@@ -1,0 +1,47 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+rendered tables are (1) written to ``benchmarks/results/`` and (2)
+printed in the terminal summary, so ``pytest benchmarks/
+--benchmark-only`` leaves both machine-readable artifacts and a
+side-by-side comparison against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture()
+def record_table():
+    """Record a rendered experiment table.
+
+    Usage: ``record_table("table6", text)``.  The text is written to
+    ``benchmarks/results/<name>.txt`` and echoed in the terminal
+    summary.
+    """
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        _REPORTS.append((name, text))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,80 @@
+"""E9 / E11: ablations of the design choices Section 4.1 argues for,
+plus the paper's future-work extension (Section 6).
+
+* n_m sorting (E9a): candidate sets sorted by match count vs left in
+  discovery order.  The paper argues sorting maximizes detections per
+  assignment.
+* full-length promotion (E9b): the rule moving the length-L_S tail
+  reproducer to the front of each A_i.
+* pseudo-random weight (E11): offering an LFSR-style weight as an
+  extra candidate ("the use of pure-random sequences as part of the
+  weight scheme ... the subject of future work").
+
+Reported for each variant: number of assignments in Ω, distinct
+subsequences, longest subsequence, and simulation effort.
+
+The benchmark kernel is the default-configuration procedure on s27.
+"""
+
+from __future__ import annotations
+
+from repro.core import ProcedureConfig, select_weight_assignments
+from repro.flows import flow_for
+from repro.sim import collapse_faults
+from repro.util.tables import format_table
+
+VARIANTS = {
+    "paper defaults": ProcedureConfig(l_g=256),
+    "no n_m sorting": ProcedureConfig(l_g=256, sort_by_matches=False),
+    "no promotion": ProcedureConfig(l_g=256, promote=False),
+    "with random weight": ProcedureConfig(l_g=256, allow_random_weight=True),
+    "dense L_S schedule": ProcedureConfig(l_g=256, ls_schedule="dense"),
+}
+
+
+def test_ablations(benchmark, record_table):
+    flow = flow_for("s27")
+    circuit = flow.circuit
+    sequence = flow.sequence
+    faults = collapse_faults(circuit)
+
+    rows = []
+    results = {}
+    for label, config in VARIANTS.items():
+        result = select_weight_assignments(circuit, sequence, faults, config)
+        results[label] = result
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        # Every variant keeps the coverage guarantee.
+        assert covered == set(result.target_faults), label
+        rows.append(
+            [
+                label,
+                len(result.omega),
+                result.n_subsequences,
+                result.max_subsequence_length,
+                result.stats.full_simulations,
+                result.stats.sample_skips,
+            ]
+        )
+
+    text = format_table(
+        ["variant", "assignments", "subs", "max len",
+         "full sims", "sample skips"],
+        rows,
+        title="Ablations on s27 (all variants keep 100% coverage of T's faults)",
+    )
+    record_table("ablations", text)
+
+    # The dense schedule must agree with auto on the coverage guarantee
+    # while being at least as thorough in lengths tried.
+    assert results["dense L_S schedule"].stats.assignments_tried >= 1
+
+    def kernel():
+        return select_weight_assignments(
+            circuit, sequence, faults, ProcedureConfig(l_g=256)
+        )
+
+    result = benchmark(kernel)
+    assert result.omega

@@ -1,0 +1,85 @@
+"""E8: the complexity claim of Section 4.2.
+
+The paper bounds the procedure by O(N_F * L^2 * N_PI) subsequence
+derivations plus the dominant fault-simulation effort of
+O(N_F * L * N_PI) sequences of length L_G, tamed in practice by the
+sample-first screen.  This bench measures how the procedure's
+simulation counters scale as the circuit (and its fault set) grows,
+and checks the screen is doing its job (skips > 0 on non-trivial
+circuits).
+
+The benchmark kernel is the procedure on the smallest synthetic
+circuit, so the suite reports a stable scaling baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuit.synth import SynthSpec, synthesize
+from repro.core import ProcedureConfig, select_weight_assignments
+from repro.sim import collapse_faults
+from repro.tgen import generate_test_sequence
+from repro.util.tables import format_table
+
+SIZES = [
+    SynthSpec("scale20", n_pi=4, n_po=2, n_ff=3, n_gates=20, seed=11),
+    SynthSpec("scale40", n_pi=6, n_po=3, n_ff=5, n_gates=40, seed=11),
+    SynthSpec("scale80", n_pi=8, n_po=4, n_ff=8, n_gates=80, seed=11),
+]
+
+
+def _run(spec: SynthSpec):
+    circuit = synthesize(spec)
+    faults = collapse_faults(circuit)
+    gen = generate_test_sequence(circuit, faults, seed=3, max_len=400)
+    start = time.perf_counter()
+    result = select_weight_assignments(
+        circuit, gen.sequence, faults, ProcedureConfig(l_g=256)
+    )
+    elapsed = time.perf_counter() - start
+    return circuit, gen, result, elapsed
+
+
+def test_complexity_scaling(benchmark, record_table):
+    rows = []
+    efforts = []
+    for spec in SIZES:
+        circuit, gen, result, elapsed = _run(spec)
+        n_f = len(result.target_faults)
+        rows.append(
+            [
+                spec.name,
+                spec.n_gates,
+                len(circuit.inputs),
+                n_f,
+                len(gen.sequence),
+                result.stats.assignments_tried,
+                result.stats.sample_skips,
+                result.stats.full_simulations,
+                f"{elapsed:.2f}",
+            ]
+        )
+        efforts.append(result.stats.full_simulations)
+
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+        # The screening shortcut avoids full simulations: full sims
+        # never exceed screens.
+        assert result.stats.full_simulations <= result.stats.sample_screens
+
+    text = format_table(
+        ["circuit", "gates", "N_PI", "N_F", "L",
+         "tried", "screen skips", "full sims", "seconds"],
+        rows,
+        title="Section 4.2 complexity: simulation effort vs circuit size",
+    )
+    record_table("complexity_scaling", text)
+
+    def kernel():
+        return _run(SIZES[0])
+
+    circuit, gen, result, _elapsed = benchmark(kernel)
+    assert result.omega

@@ -1,0 +1,99 @@
+"""E15 (related-work class): flip-flop-modifying DFT vs the proposed
+method.
+
+The paper's introduction distinguishes schemes that modify the circuit
+flip-flops ([20] partial scan/BIST registers, [21] hold mode, [22]
+partial reset) from schemes — like the proposed one — that only drive
+the primary inputs, "avoiding the routing overhead for controlling the
+flip-flops, especially when the number of flip-flops is large".
+
+This bench quantifies that tradeoff on the suite: random testing with
+hold-mode and partial-reset flip-flops (coverage of the *stem* fault
+universe, so the fault list is valid on all circuit variants) against
+plain LFSR BIST and the proposed weighted sequences, next to the extra
+gates and control inputs each modification costs.
+
+The benchmark kernel is a hold-mode BIST session on s27.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    add_hold_mode,
+    add_partial_reset,
+    hold_mode_bist,
+    lfsr_bist,
+    modification_cost,
+    partial_reset_bist,
+)
+from repro.circuit.gates import GateType
+from repro.flows import flow_for
+from repro.flows.experiments import active_suite
+from repro.sim import Fault, FaultSimulator
+from repro.util.tables import format_table
+
+
+def _stem_faults(circuit):
+    return [
+        Fault(net, v)
+        for net in circuit.gates
+        if circuit.gate(net).gtype not in (GateType.CONST0, GateType.CONST1)
+        for v in (0, 1)
+    ]
+
+
+def test_flop_modification_tradeoff(benchmark, record_table):
+    rows = []
+    for name in active_suite():
+        flow = flow_for(name)
+        circuit = flow.circuit
+        faults = _stem_faults(circuit)
+        budget = max(1, flow.table6.n_sequences) * flow.procedure.l_g
+
+        # Proposed method: kept weighted sequences, same fault universe.
+        sim = FaultSimulator(circuit)
+        covered = set()
+        for assignment in flow.reverse_order.kept:
+            t_g = assignment.generate(flow.procedure.l_g)
+            covered.update(sim.run(t_g.patterns, faults).detection_time)
+
+        plain = lfsr_bist(circuit, faults, n_patterns=budget, seed=1)
+        hold = hold_mode_bist(circuit, faults, n_patterns=budget, seed=1)
+        preset = partial_reset_bist(circuit, faults, n_patterns=budget, seed=1)
+        hold_cost = modification_cost(circuit, add_hold_mode(circuit))
+        preset_cost = modification_cost(circuit, add_partial_reset(circuit))
+
+        rows.append(
+            [
+                name,
+                len(faults),
+                f"{100 * len(covered) / len(faults):.1f}",
+                f"{100 * plain.coverage:.1f}",
+                f"{100 * hold.coverage:.1f} (+{hold_cost.extra_gates}g)",
+                f"{100 * preset.coverage:.1f} (+{preset_cost.extra_gates}g)",
+            ]
+        )
+        # Modifying the flip-flops must never *reduce* what plain random
+        # testing achieves by much; partial reset in particular fixes
+        # initialization.  (Loose sanity bound, not a paper claim.)
+        assert preset.coverage >= plain.coverage * 0.8, name
+
+    text = format_table(
+        ["circuit", "stem faults", "proposed %", "LFSR %",
+         "hold-mode % (cost)", "partial-reset % (cost)"],
+        rows,
+        title=(
+            "E15: flip-flop-modifying DFT ([21]/[22]) vs the proposed "
+            "input-only method, equal cycle budgets"
+        ),
+    )
+    record_table("flop_modification", text)
+
+    flow = flow_for("s27")
+    faults = _stem_faults(flow.circuit)
+
+    def kernel():
+        return hold_mode_bist(flow.circuit, faults, n_patterns=300, seed=1)
+
+    result = benchmark(kernel)
+    assert result.n_faults == len(faults)

@@ -1,0 +1,87 @@
+"""E17 (related-work class): full scan vs the proposed non-scan method.
+
+The canonical alternative to weighted-sequence BIST is full scan +
+combinational ATPG ([20]'s class modifies flip-flops; full scan is its
+endpoint).  This bench measures the tradeoff the paper's introduction
+argues qualitatively:
+
+* **coverage** — scan ATPG proves untestability combinationally, so it
+  reaches every scan-testable fault; the non-scan method reaches
+  whatever `T` reaches,
+* **test time** — scan pays (chain length + 1) cycles per test; the
+  weighted sequences pay |Ω| x L_G free-running cycles,
+* **hardware** — per-flop scan muxes + 3 routed pins vs the TPG's
+  weight FSMs + counters at the inputs only.
+
+A second payoff: the scan-ATPG untestability proofs explain the
+random-walk coverage plateau on the synthetic stand-ins (compare the
+`untestable` column with 100% minus the `det` column of Table 6).
+
+The benchmark kernel is scan ATPG on s27.
+"""
+
+from __future__ import annotations
+
+from repro.flows import flow_for
+from repro.flows.experiments import active_suite
+from repro.hw import tpg_cost, synthesize_tpg
+from repro.scan import insert_scan, scan_atpg, scan_cost
+from repro.sim import collapse_faults
+from repro.util.tables import format_table
+
+
+def test_scan_vs_proposed(benchmark, record_table):
+    rows = []
+    for name in active_suite():
+        flow = flow_for(name)
+        circuit = flow.circuit
+        faults = collapse_faults(circuit)
+
+        scan = scan_atpg(circuit, faults)
+        cost = scan_cost(circuit, scan.design)
+
+        # Every combinational detection must re-verify through the
+        # expanded scan session.
+        assert set(scan.detected) <= set(scan.session_detected), name
+
+        tpg = synthesize_tpg(
+            list(flow.reverse_order.kept),
+            flow.procedure.l_g,
+            circuit.inputs,
+        )
+        proposed_cost = tpg_cost(tpg)
+        proposed_cycles = flow.table6.n_sequences * flow.procedure.l_g
+
+        rows.append(
+            [
+                name,
+                len(faults),
+                len(flow.procedure.target_faults),
+                len(scan.detected),
+                len(scan.untestable),
+                scan.session_cycles,
+                proposed_cycles,
+                f"{cost.extra_gates}g/{cost.extra_ports}p",
+                f"{proposed_cost.n_gates}g+{proposed_cost.n_flops}ff/0p",
+            ]
+        )
+
+    text = format_table(
+        ["circuit", "faults", "proposed det", "scan det",
+         "proven untestable", "scan cycles", "proposed cycles",
+         "scan cost", "TPG cost"],
+        rows,
+        title=(
+            "E17: full scan + combinational ATPG vs the proposed "
+            "non-scan weighted sequences"
+        ),
+    )
+    record_table("scan_comparison", text)
+
+    flow = flow_for("s27")
+
+    def kernel():
+        return scan_atpg(flow.circuit)
+
+    result = benchmark(kernel)
+    assert result.tests

@@ -1,0 +1,111 @@
+"""E1-E4: the paper's running example (Tables 1-5, Section 2-4).
+
+Regenerates, for s27 with the paper's own deterministic sequence:
+
+* Table 1 — the test sequence and its detection times,
+* Table 2 — the weighted sequence of assignment {01, 0, 100, 1},
+* Table 3 — the shared FSM for three length-5 subsequences,
+* Tables 4-5 — the weight set S and the candidate sets A_i at u = 9.
+
+The benchmark kernel is the candidate-set construction (Table 5), the
+paper's central per-iteration computation.
+"""
+
+from __future__ import annotations
+
+from repro.circuit import load_circuit
+from repro.core import Weight, WeightAssignment, WeightSet, candidate_sets
+from repro.hw.fsm import build_weight_fsms
+from repro.sim import collapse_faults, detection_times
+from repro.tgen import TestSequence
+from repro.util.tables import format_table
+
+PAPER_T = TestSequence.from_strings(
+    ["0111", "1001", "0111", "1001", "0100",
+     "1011", "1001", "0000", "0000", "1011"]
+)
+
+TABLE4 = ["0", "1", "00", "10", "01", "11", "000", "100",
+          "010", "110", "001", "101", "011", "111"]
+
+
+def test_tables_1_through_5(benchmark, record_table):
+    circuit = load_circuit("s27")
+    faults = collapse_faults(circuit)
+
+    # -- Table 1: sequence + detections -------------------------------
+    det = detection_times(circuit, PAPER_T.patterns, faults)
+    assert len(det) == len(faults) == 32
+    per_time = {}
+    for fault, u in det.items():
+        per_time[u] = per_time.get(u, 0) + 1
+    t1 = format_table(
+        ["u"] + [f"i={i}" for i in range(4)] + ["faults detected"],
+        [
+            [u] + list(PAPER_T.at(u)) + [per_time.get(u, 0)]
+            for u in range(len(PAPER_T))
+        ],
+        title="Table 1: the deterministic test sequence T for s27",
+    )
+    assert per_time.get(9) == 2  # the paper's f10 and f12
+
+    # -- Table 2: weighted sequence ------------------------------------
+    assignment = WeightAssignment.from_strings(["01", "0", "100", "1"])
+    t_g = assignment.generate(12)
+    expected = ["0011", "1001", "0001", "1011", "0001", "1001"] * 2
+    assert list(t_g.to_strings()) == expected
+    t2 = format_table(
+        ["u"] + [f"i={i}" for i in range(4)],
+        [[u] + list(t_g.at(u)) for u in range(len(t_g))],
+        title="Table 2: weighted sequence T_G from assignment {01, 0, 100, 1}",
+    )
+    n_detected = len(detection_times(circuit, t_g.patterns, faults))
+    assert n_detected == 9  # "detects f10 as well as eight additional faults"
+
+    # -- Table 3: the shared FSM ---------------------------------------
+    fsm = build_weight_fsms(
+        [Weight.from_string(s) for s in ("00010", "01011", "11001")]
+    )[0]
+    t3 = format_table(
+        ["PS", "NS", "z1", "z2", "z3"],
+        [[ps, ns, *outs] for ps, ns, outs in fsm.transition_table()],
+        title="Table 3: one FSM producing 00010, 01011 and 11001",
+    )
+    assert fsm.n_state_bits == 3
+
+    # -- Tables 4-5: weight set and candidate sets at u = 9 -------------
+    weights = WeightSet()
+    for text in TABLE4:
+        weights.add(Weight.from_string(text))
+    t4 = format_table(
+        ["j", "alpha_j"],
+        [[j, str(w)] for j, w in enumerate(weights)],
+        title="Table 4: the weight set S for s27",
+    )
+
+    def kernel():
+        return candidate_sets(PAPER_T, 9, weights, 3)
+
+    cands = benchmark(kernel)
+    rows = []
+    depth = max(len(a) for a in cands)
+    for j in range(depth):
+        row = [j]
+        for a_i in cands:
+            if j < len(a_i):
+                w, n_m = a_i[j]
+                row.append(f"{w} ({n_m})")
+            else:
+                row.append("")
+        rows.append(row)
+    t5 = format_table(
+        ["j", "A_0", "A_1", "A_2", "A_3"],
+        rows,
+        title="Table 5: candidate sets A_i at u = 9 (weight (n_m))",
+    )
+    assert [str(a[0][0]) for a in cands] == ["01", "0", "100", "1"]
+    assert [str(a[1][0]) for a in cands] == ["100", "00", "01", "100"]
+
+    record_table(
+        "section2_tables1_5", "\n\n".join([t1, t2, t3, t4, t5])
+    )

@@ -1,0 +1,62 @@
+"""E6: the paper's Tables 7-16 — observation point insertion.
+
+For each circuit, sweeps the size of the limited assignment set Ω_lim
+(greedy selection) and reports: sequences used, subsequences, longest
+subsequence, fault efficiency, observation points required, and fault
+efficiency with those points observed.
+
+Shape claims checked against the paper:
+
+* fault efficiency is non-decreasing in the number of sequences,
+* the final row reaches 100% f.e. with 0 observation points,
+* adding observation points never lowers fault efficiency,
+* the observation-point count trends down as sequences are added
+  (checked end-to-end: last row needs none).
+
+The benchmark kernel times one OP(f) computation on s27.
+"""
+
+from __future__ import annotations
+
+from repro.flows import flow_for, tradeoff_for
+from repro.flows.experiments import active_suite
+from repro.obs import compute_op_sets, format_tradeoff, greedy_select
+
+
+def test_tables_7_16(benchmark, record_table):
+    sections = []
+    for name in active_suite():
+        rows = tradeoff_for(name)
+        assert rows, name
+
+        fes = [row.fault_efficiency for row in rows]
+        assert fes == sorted(fes), f"{name}: f.e. not monotone"
+        assert rows[-1].fault_efficiency == 100.0
+        assert rows[-1].n_observation_points == 0
+        for row in rows:
+            assert row.fault_efficiency_with_obs >= row.fault_efficiency
+
+        sections.append(format_tradeoff(name, rows))
+
+    record_table("tables7_16", "\n\n".join(sections))
+
+    # Benchmark kernel: one OP(f) computation (line-recording fault
+    # simulation) for the first greedy pick on s27.
+    flow = flow_for("s27")
+    picks = greedy_select(flow.circuit, flow.procedure)
+    first = picks[0]
+    undetected = [
+        f
+        for f in flow.procedure.target_faults
+        if f not in set(first.new_faults)
+    ]
+    if not undetected:
+        undetected = list(flow.procedure.target_faults)[:4]
+
+    def kernel():
+        return compute_op_sets(
+            flow.circuit, [first.assignment], undetected, flow.procedure.l_g
+        )
+
+    op_sets = benchmark(kernel)
+    assert set(op_sets) == set(undetected)

@@ -1,0 +1,84 @@
+"""E18 (extension): delay-fault coverage of the weighted sequences.
+
+The paper relates its subsequence weights to the 5-weight delay-fault
+schemes of [11]/[15]: a weight ``01`` *is* the rising two-pattern
+weight ``w01``.  Subsequence weights therefore apply launch/capture
+pairs continuously — unlike free-running random patterns, whose
+transitions are uncontrolled, and unlike a statically compacted stuck-at
+sequence, which was never optimized for transitions.
+
+This bench grades gross-delay transition faults (exact two-pass
+simulation) under three stimuli of equal total length: the kept
+weighted sequences, the deterministic sequence ``T`` repeated to the
+same budget, and an LFSR stream.
+
+The benchmark kernel is one transition fault-simulation run on s27.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lfsr import lfsr_patterns
+from repro.flows import flow_for
+from repro.flows.experiments import active_suite
+from repro.sim import TransitionFaultSimulator, all_transition_faults
+from repro.util.tables import format_table
+
+
+def test_transition_fault_coverage(benchmark, record_table):
+    rows = []
+    for name in active_suite():
+        flow = flow_for(name)
+        circuit = flow.circuit
+        faults = all_transition_faults(circuit)
+        sim = TransitionFaultSimulator(circuit)
+
+        # Weighted sequences, back to back (bounded for runtime).
+        l_g = min(flow.procedure.l_g, 256)
+        weighted = []
+        for assignment in flow.reverse_order.kept:
+            weighted.extend(assignment.generate(l_g).patterns)
+        budget = len(weighted)
+        if budget == 0:
+            continue
+
+        t_repeated = []
+        while len(t_repeated) < budget:
+            t_repeated.extend(flow.sequence.patterns)
+        t_repeated = t_repeated[:budget]
+
+        lfsr = lfsr_patterns(len(circuit.inputs), budget, seed=1)
+
+        cov_w = sim.run(weighted, faults).coverage
+        cov_t = sim.run(t_repeated, faults).coverage
+        cov_l = sim.run(lfsr, faults).coverage
+        rows.append(
+            [
+                name,
+                len(faults),
+                budget,
+                f"{100 * cov_w:.1f}",
+                f"{100 * cov_t:.1f}",
+                f"{100 * cov_l:.1f}",
+            ]
+        )
+
+    text = format_table(
+        ["circuit", "transition faults", "budget (cycles)",
+         "weighted seqs %", "T repeated %", "LFSR %"],
+        rows,
+        title=(
+            "E18: gross-delay transition fault coverage at equal budget "
+            "(subsequence weights embed two-pattern tests, per [11]/[15])"
+        ),
+    )
+    record_table("transition_faults", text)
+
+    flow = flow_for("s27")
+    faults = all_transition_faults(flow.circuit)
+    stimulus = flow.reverse_order.kept[0].generate(128).patterns
+
+    def kernel():
+        return TransitionFaultSimulator(flow.circuit).run(stimulus, faults)
+
+    result = benchmark(kernel)
+    assert result.n_faults == len(faults)

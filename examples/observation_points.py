@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Observation-point tradeoff (the paper's Section 5, Tables 7-16).
+
+Shows how a *limited* set of weight assignments plus a few observation
+points can replace the full assignment set: fewer weight FSMs on chip,
+at the cost of some observability DFT.
+
+Run:  python examples/observation_points.py [circuit]
+"""
+
+import sys
+
+from repro import FlowConfig, load_circuit, run_full_flow
+from repro.core import ProcedureConfig
+from repro.obs import format_tradeoff, observation_point_tradeoff
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "g208"
+    circuit = load_circuit(name)
+    print(f"Circuit: {circuit!r}")
+
+    flow = run_full_flow(
+        circuit,
+        FlowConfig(
+            seed=1,
+            tgen_max_len=1000,
+            compaction_sims=40,
+            procedure=ProcedureConfig(l_g=256),
+        ),
+    )
+    print(f"T: {len(flow.sequence)} cycles, "
+          f"{len(flow.procedure.target_faults)} target faults, "
+          f"|Omega| = {len(flow.procedure.omega)}\n")
+
+    rows = observation_point_tradeoff(circuit, flow.procedure)
+    print(format_tradeoff(name, rows))
+
+    # Narrate the tradeoff like the paper does.
+    first, last = rows[0], rows[-1]
+    print(
+        f"\nWith {first.n_sequences} assignment(s) "
+        f"({first.n_subsequences} subsequences) the weighted sequences "
+        f"reach {first.fault_efficiency:.1f}% fault efficiency; "
+        f"{first.n_observation_points} observation points lift that to "
+        f"{first.fault_efficiency_with_obs:.1f}%."
+    )
+    print(
+        f"With {last.n_sequences} assignments the full "
+        f"{last.fault_efficiency:.1f}% is reached with "
+        f"{last.n_observation_points} observation points."
+    )
+    if first.observation_points:
+        preview = ", ".join(first.observation_points[:6])
+        print(f"First-row observation points: {preview}"
+              + (" ..." if len(first.observation_points) > 6 else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scan DFT vs the paper's non-scan weighted sequences, side by side.
+
+Runs both flows on one circuit and prints the three-way tradeoff the
+paper's introduction argues: coverage, test application time, and
+hardware/routing overhead.
+
+Run:  python examples/scan_vs_weighted.py [circuit]
+"""
+
+import sys
+
+from repro import FlowConfig, load_circuit, run_full_flow
+from repro.core import ProcedureConfig
+from repro.hw import tpg_cost
+from repro.scan import scan_atpg, scan_cost
+from repro.sim import collapse_faults
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s27"
+    circuit = load_circuit(name)
+    faults = collapse_faults(circuit)
+    print(f"Circuit: {circuit!r}, {len(faults)} collapsed faults\n")
+
+    flow = run_full_flow(
+        circuit,
+        FlowConfig(procedure=ProcedureConfig(l_g=256), synthesize_hardware=True),
+    )
+    assert flow.tpg is not None
+    proposed_cost = tpg_cost(flow.tpg)
+    proposed_cycles = flow.table6.n_sequences * flow.procedure.l_g
+
+    scan = scan_atpg(circuit, faults)
+    s_cost = scan_cost(circuit, scan.design)
+
+    print(format_table(
+        ["", "proposed (weighted seqs)", "full scan + comb. ATPG"],
+        [
+            ["faults detected",
+             f"{len(flow.procedure.target_faults)} (= coverage of T)",
+             f"{len(scan.detected)} (+{len(scan.untestable)} proven untestable)"],
+            ["test time (cycles)", proposed_cycles, scan.session_cycles],
+            ["extra gates", f"{proposed_cost.n_gates} (TPG, at inputs only)",
+             f"{s_cost.extra_gates} (inside every flop's datapath)"],
+            ["extra flip-flops", proposed_cost.n_flops, 0],
+            ["routed control pins", 0, s_cost.extra_ports],
+            ["flip-flops modified", 0, s_cost.cells],
+        ],
+        title=f"DFT tradeoff on {name}",
+    ))
+
+    print(
+        "\nThe paper's position: no flip-flop is touched and nothing is "
+        "routed across the layout — the cost is test time (free-running "
+        "cycles) and the weight FSM bank at the inputs."
+    )
+
+
+if __name__ == "__main__":
+    main()

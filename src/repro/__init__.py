@@ -1,0 +1,92 @@
+"""repro — Built-In Generation of Weighted Test Sequences for
+Synchronous Sequential Circuits.
+
+A complete, from-scratch reproduction of Pomeranz & Reddy (DATE 2000):
+gate-level netlist IR, 3-valued bit-parallel sequential fault
+simulation, deterministic test generation and compaction, the paper's
+subsequence-weight selection procedure, weight-FSM / test-pattern-
+generator hardware synthesis, and observation-point insertion.
+
+Quickstart
+----------
+>>> from repro import run_full_flow
+>>> flow = run_full_flow("s27")
+>>> flow.table6.n_sequences >= 1
+True
+
+Packages
+--------
+``repro.circuit``   netlist IR, .bench I/O, benchmark library
+``repro.sim``       logic & stuck-at fault simulation
+``repro.tgen``      deterministic test generation + static compaction
+``repro.core``      the paper's weight-selection procedure
+``repro.hw``        weight FSMs, TPG synthesis, cost & verification
+``repro.obs``       observation-point insertion
+``repro.baselines`` LFSR BIST and the 3-weight method of [10]
+``repro.flows``     end-to-end pipelines and experiment drivers
+"""
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    available_circuits,
+    load_circuit,
+    parse_bench,
+    parse_bench_text,
+    write_bench,
+    write_verilog,
+)
+from repro.sim import (
+    Fault,
+    FaultSimulator,
+    LogicSimulator,
+    all_faults,
+    collapse_faults,
+    detection_times,
+)
+from repro.tgen import TestSequence, compact_sequence, generate_test_sequence
+from repro.core import (
+    ProcedureConfig,
+    Weight,
+    WeightAssignment,
+    mine_weight,
+    reverse_order_simulation,
+    select_weight_assignments,
+)
+from repro.hw import synthesize_tpg, verify_tpg
+from repro.obs import observation_point_tradeoff
+from repro.flows import FlowConfig, run_full_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "available_circuits",
+    "load_circuit",
+    "parse_bench",
+    "parse_bench_text",
+    "write_bench",
+    "write_verilog",
+    "Fault",
+    "FaultSimulator",
+    "LogicSimulator",
+    "all_faults",
+    "collapse_faults",
+    "detection_times",
+    "TestSequence",
+    "compact_sequence",
+    "generate_test_sequence",
+    "ProcedureConfig",
+    "Weight",
+    "WeightAssignment",
+    "mine_weight",
+    "reverse_order_simulation",
+    "select_weight_assignments",
+    "synthesize_tpg",
+    "verify_tpg",
+    "observation_point_tradeoff",
+    "FlowConfig",
+    "run_full_flow",
+    "__version__",
+]

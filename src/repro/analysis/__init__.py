@@ -1,0 +1,21 @@
+"""Testability analysis.
+
+* :mod:`repro.analysis.scoap` — SCOAP controllability/observability
+  measures (Goldstein), extended to sequential circuits by iterating
+  through the flip-flops to a fixpoint.
+* :mod:`repro.analysis.cop` — COP signal probabilities and single
+  stuck-at detection-probability estimates under random patterns;
+  quantitatively explains which faults the LFSR baseline and the
+  random-walk generator miss.
+"""
+
+from repro.analysis.scoap import ScoapMeasures, compute_scoap
+from repro.analysis.cop import CopEstimates, compute_cop, detection_probability
+
+__all__ = [
+    "ScoapMeasures",
+    "compute_scoap",
+    "CopEstimates",
+    "compute_cop",
+    "detection_probability",
+]

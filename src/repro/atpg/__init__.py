@@ -1,0 +1,40 @@
+"""Deterministic sequential ATPG (time-frame expansion + PODEM).
+
+The paper's input is a deterministic test sequence from STRATEGATE
+[24] / SEQCOM [25].  The random-walk generator in :mod:`repro.tgen`
+covers the easily random-testable faults; this package adds the
+deterministic complement — a structural test generator that targets
+specific faults:
+
+* :mod:`repro.atpg.dualsim` — 9-valued (good, faulty) pair simulation,
+  the composite D-calculus PODEM reasons over.
+* :mod:`repro.atpg.unroll` — time-frame expansion: the sequential
+  circuit unrolled into ``k`` combinational frames with the fault
+  active in every frame and the frame-0 state unassignable (unknown
+  power-up state, matching the fault simulator's semantics).
+* :mod:`repro.atpg.podem` — PODEM over the unrolled model: objective
+  selection (excitation, then D-frontier propagation), backtrace to an
+  assignable primary input, decision stack with backtracking, X-path
+  pruning.
+* :mod:`repro.atpg.driver` — per-fault generation with growing frame
+  counts, sequence concatenation with fault dropping, and the hybrid
+  random-then-deterministic flow.
+
+Every generated subsequence is re-verified with the bit-parallel fault
+simulator before it is accepted, so ATPG bugs cannot corrupt results.
+"""
+
+from repro.atpg.podem import PodemResult, podem
+from repro.atpg.unroll import UnrolledModel, unroll
+from repro.atpg.driver import AtpgConfig, AtpgResult, deterministic_atpg, hybrid_test_sequence
+
+__all__ = [
+    "PodemResult",
+    "podem",
+    "UnrolledModel",
+    "unroll",
+    "AtpgConfig",
+    "AtpgResult",
+    "deterministic_atpg",
+    "hybrid_test_sequence",
+]

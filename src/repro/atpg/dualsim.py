@@ -1,0 +1,133 @@
+"""Composite good/faulty simulation for ATPG.
+
+Each net carries a pair ``(good, faulty)`` of ternary values — a
+superset of Roth's 5-valued D-calculus (``D`` is ``(1, 0)``, ``D̄`` is
+``(0, 1)``; partially-known pairs like ``(1, X)`` are represented
+exactly instead of being collapsed to X).  Forward simulation evaluates
+both machines with the standard ternary operators and forces the
+faulty value at fault sites.
+
+The detection criterion is identical to the fault simulator's: some
+primary output with binary good value and complementary binary faulty
+value.  PODEM calling this simulation is therefore consistent with the
+simulator that later re-verifies its tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+from repro.sim.values import V0, V1, VX, Value, and_reduce, invert, or_reduce, xor_reduce
+
+#: A composite value: (good machine value, faulty machine value).
+Pair = Tuple[Value, Value]
+
+PAIR_X: Pair = (VX, VX)
+PAIR_0: Pair = (V0, V0)
+PAIR_1: Pair = (V1, V1)
+PAIR_D: Pair = (V1, V0)
+PAIR_DBAR: Pair = (V0, V1)
+
+
+def is_discrepant(pair: Pair) -> bool:
+    """Binary good value with complementary binary faulty value
+    (``D`` or ``D̄``)."""
+    good, faulty = pair
+    return good in (V0, V1) and faulty in (V0, V1) and good != faulty
+
+
+def eval_gate_pair(opcode: int, inputs: Sequence[Pair]) -> Pair:
+    """Evaluate one gate on composite values (both machines)."""
+    goods = [p[0] for p in inputs]
+    faults = [p[1] for p in inputs]
+    if opcode == OP_AND:
+        return (and_reduce(goods), and_reduce(faults))
+    if opcode == OP_NAND:
+        return (invert(and_reduce(goods)), invert(and_reduce(faults)))
+    if opcode == OP_OR:
+        return (or_reduce(goods), or_reduce(faults))
+    if opcode == OP_NOR:
+        return (invert(or_reduce(goods)), invert(or_reduce(faults)))
+    if opcode == OP_XOR:
+        return (xor_reduce(goods), xor_reduce(faults))
+    if opcode == OP_XNOR:
+        return (invert(xor_reduce(goods)), invert(xor_reduce(faults)))
+    if opcode == OP_NOT:
+        return (invert(goods[0]), invert(faults[0]))
+    if opcode == OP_BUF:
+        return (goods[0], faults[0])
+    raise ValueError(f"unknown opcode {opcode}")
+
+
+def apply_fault_site(pair: Pair, stuck: int) -> Pair:
+    """Force the faulty machine's value at a stuck-at fault site."""
+    return (pair[0], V0 if stuck == 0 else V1)
+
+
+class DualSimulator:
+    """Forward composite simulation of an unrolled (combinational) model.
+
+    The model is described by:
+
+    * ``n_nets`` — dense net count,
+    * ``ops`` — ``(opcode, out, fanins)`` in topological order,
+    * ``stem_sites`` — net index → stuck value (faulty machine forced
+      after the net is computed or loaded),
+    * ``pin_sites`` — (gate out index, pin) → stuck value (faulty
+      machine forced on that pin's view of its driver).
+    """
+
+    def __init__(
+        self,
+        n_nets: int,
+        ops: Sequence[Tuple[int, int, Tuple[int, ...]]],
+        stem_sites: Dict[int, int],
+        pin_sites: Dict[Tuple[int, int], int],
+    ) -> None:
+        self.n_nets = n_nets
+        self.ops = ops
+        self.stem_sites = stem_sites
+        self.pin_sites = pin_sites
+        self._op_outputs = {out for _opcode, out, _fanins in ops}
+
+    def run(self, source_values: Dict[int, Pair]) -> List[Pair]:
+        """Simulate from the given source assignments.
+
+        ``source_values`` maps source-net indices to composite values;
+        unlisted sources are X.  Returns the value of every net.
+        """
+        values: List[Pair] = [PAIR_X] * self.n_nets
+        for idx, pair in source_values.items():
+            if idx in self.stem_sites:
+                pair = apply_fault_site(pair, self.stem_sites[idx])
+            values[idx] = pair
+        # Sources with fault sites but no assignment still force the
+        # faulty machine (a stuck X-source has a known faulty value).
+        for idx, stuck in self.stem_sites.items():
+            if idx not in source_values and idx not in self._op_outputs:
+                values[idx] = apply_fault_site(values[idx], stuck)
+
+        for opcode, out, fanins in self.ops:
+            pins = []
+            for pin, f in enumerate(fanins):
+                pair = values[f]
+                stuck = self.pin_sites.get((out, pin))
+                if stuck is not None:
+                    pair = apply_fault_site(pair, stuck)
+                pins.append(pair)
+            pair = eval_gate_pair(opcode, pins)
+            stuck = self.stem_sites.get(out)
+            if stuck is not None:
+                pair = apply_fault_site(pair, stuck)
+            values[out] = pair
+        return values

@@ -1,0 +1,292 @@
+"""PODEM over the unrolled time-frame model.
+
+Classic PODEM structure (Goel): all decisions are made on assignable
+primary inputs; internal objectives (fault excitation, then D-frontier
+propagation) are *backtraced* to a PI through X-valued nets, the model
+is re-simulated, and failures backtrack through the PI decision stack.
+An X-path check prunes branches whose fault effects can no longer
+reach any observation point.
+
+Completeness caveats (standard for practical ATPGs): internal XOR
+backtrace picks one polarity, side-input choices are heuristic, and a
+backtrack limit aborts hard faults — an aborted fault is *not* proven
+untestable, just skipped.  Exhausting the decision tree at a given
+frame count only proves untestability *for that unrolling depth*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.atpg.dualsim import Pair, is_discrepant
+from repro.atpg.unroll import UnrolledModel
+from repro.sim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+from repro.sim.values import V0, V1, VX, Value
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one PODEM run.
+
+    Attributes
+    ----------
+    success:
+        A test was found.
+    assignments:
+        PI index → binary value (unassigned PIs are don't-cares).
+    backtracks:
+        Decision reversals performed.
+    aborted:
+        True when the backtrack limit stopped the search (the fault may
+        still be testable); False on success or a full exhaust.
+    """
+
+    success: bool
+    assignments: Dict[int, Value]
+    backtracks: int
+    aborted: bool
+
+
+def podem(model: UnrolledModel, backtrack_limit: int = 500) -> PodemResult:
+    """Search for a test on ``model``; see module docstring."""
+    sim = model.simulator()
+    decisions: List[List[int]] = []  # [pi, value, tried_both]
+    backtracks = 0
+
+    while True:
+        sources: Dict[int, Pair] = dict(model.fixed)
+        for pi, value, _tried in decisions:
+            sources[pi] = (value, value)
+        values = sim.run(sources)
+
+        if any(is_discrepant(values[o]) for o in model.observe):
+            return PodemResult(
+                success=True,
+                assignments={pi: value for pi, value, _t in decisions},
+                backtracks=backtracks,
+                aborted=False,
+            )
+
+        target: Optional[Tuple[int, Value]] = None
+        excited = _fault_excited(model, values)
+        if not excited or _has_x_path(model, values):
+            for objective in _objectives(model, values, excited):
+                target = _backtrace(model, values, *objective)
+                if target is not None:
+                    break
+
+        if target is not None:
+            decisions.append([target[0], target[1], False])
+            continue
+
+        # Backtrack.
+        backtracks += 1
+        if backtracks > backtrack_limit:
+            return PodemResult(False, {}, backtracks, aborted=True)
+        while decisions and decisions[-1][2]:
+            decisions.pop()
+        if not decisions:
+            return PodemResult(False, {}, backtracks, aborted=False)
+        decisions[-1][1] ^= 1
+        decisions[-1][2] = True
+
+
+# ----------------------------------------------------------------------
+# Fault excitation
+# ----------------------------------------------------------------------
+
+
+def _site_views(model: UnrolledModel, values: List[Pair]):
+    """Yield (site_driver_index, stuck, pair) for every fault site."""
+    for idx, stuck in model.stem_sites.items():
+        yield idx, stuck, values[idx]
+    for (out, pin), stuck in model.pin_sites.items():
+        driver = model.driver[out][1][pin]
+        pair = values[driver]
+        yield driver, stuck, (pair[0], V0 if stuck == 0 else V1)
+
+
+def _fault_excited(model: UnrolledModel, values: List[Pair]) -> bool:
+    return any(is_discrepant(pair) for _i, _s, pair in _site_views(model, values))
+
+
+# ----------------------------------------------------------------------
+# Objective selection
+# ----------------------------------------------------------------------
+
+_CONTROLLING = {OP_AND: 0, OP_NAND: 0, OP_OR: 1, OP_NOR: 1}
+
+
+def _objectives(model: UnrolledModel, values: List[Pair], excited: bool):
+    """Yield candidate (net, value) goals in priority order.
+
+    Excitation phase: one candidate per unexcited fault site, later
+    frames first (their justification cones contain more assignable
+    inputs).  Propagation phase: one candidate per D-frontier gate,
+    nearest observation point first.  Yielding *all* candidates matters:
+    a failed backtrace on one site/gate must not end the search.
+    """
+    if not excited:
+        sites = [
+            (idx, stuck)
+            for idx, stuck, pair in _site_views(model, values)
+            if pair[0] == VX
+        ]
+        sites.sort(key=lambda s: -s[0])  # later frames have larger indices
+        for idx, stuck in sites:
+            yield (idx, V1 - stuck)
+        return
+
+    # D-frontier: gates with a discrepant input view and an output that
+    # is still undetermined; prefer gates closest to an observe point.
+    frontier: List[Tuple[int, int, Value]] = []  # (distance, net, v)
+    for opcode, out, fanins in model.ops:
+        out_pair = values[out]
+        if is_discrepant(out_pair):
+            continue
+        if out_pair[0] in (V0, V1) and out_pair[1] in (V0, V1):
+            continue  # blocked: both machines determined and equal
+        has_d = False
+        for pin, f in enumerate(fanins):
+            pair = values[f]
+            stuck = model.pin_sites.get((out, pin))
+            if stuck is not None:
+                pair = (pair[0], V0 if stuck == 0 else V1)
+            if is_discrepant(pair):
+                has_d = True
+                break
+        if not has_d:
+            continue
+        for side_net, side_value in _side_inputs(opcode, fanins, values):
+            distance = model.po_distance.get(out, 1_000_000)
+            frontier.append((distance, side_net, side_value))
+    frontier.sort(key=lambda entry: entry[0])
+    for _distance, net, value in frontier:
+        yield (net, value)
+
+
+def _side_inputs(opcode: int, fanins: Tuple[int, ...], values: List[Pair]):
+    """X-valued side inputs with the value each needs (non-controlling)."""
+    for f in fanins:
+        if values[f][0] == VX:
+            if opcode in _CONTROLLING:
+                yield (f, 1 - _CONTROLLING[opcode])
+            elif opcode in (OP_XOR, OP_XNOR):
+                yield (f, V0)
+
+
+# ----------------------------------------------------------------------
+# X-path check
+# ----------------------------------------------------------------------
+
+
+def _has_x_path(model: UnrolledModel, values: List[Pair]) -> bool:
+    """Can any existing fault effect still reach an observation point?
+
+    BFS from discrepant nets through fanout, passing only nets whose
+    value is not fully determined-and-equal (those block propagation).
+    """
+    observe = set(model.observe)
+    frontier = [
+        idx for idx in range(len(values)) if is_discrepant(values[idx])
+    ]
+    # Branch-fault discrepancies live in a pin *view*, not in any net
+    # value: seed the sink gate's output when its view is discrepant
+    # and the output can still change.
+    for (out, pin), stuck in model.pin_sites.items():
+        driver = model.driver[out][1][pin]
+        good = values[driver][0]
+        if good in (V0, V1) and good != stuck:
+            pair = values[out]
+            if not (
+                pair[0] in (V0, V1)
+                and pair[1] in (V0, V1)
+                and pair[0] == pair[1]
+            ):
+                frontier.append(out)
+    seen: Set[int] = set(frontier)
+    while frontier:
+        idx = frontier.pop()
+        if idx in observe:
+            return True
+        for out in model.fanouts.get(idx, ()):
+            if out in seen:
+                continue
+            pair = values[out]
+            if (
+                pair[0] in (V0, V1)
+                and pair[1] in (V0, V1)
+                and pair[0] == pair[1]
+            ):
+                continue  # blocked
+            seen.add(out)
+            frontier.append(out)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Backtrace
+# ----------------------------------------------------------------------
+
+
+def _backtrace(
+    model: UnrolledModel, values: List[Pair], net: int, value: Value
+) -> Optional[Tuple[int, Value]]:
+    """Walk the objective back to an assignable PI through X nets."""
+    for _guard in range(4 * len(values) + 16):
+        if net in model.assignable:
+            return (net, value)
+        if values[net][0] != VX:
+            return None  # objective net already determined: conflict
+        entry = model.driver.get(net)
+        if entry is None:
+            return None  # unassignable X source (frame-0 state)
+        opcode, fanins = entry
+        if opcode == OP_NOT:
+            net, value = fanins[0], 1 - value
+            continue
+        if opcode == OP_BUF:
+            net = fanins[0]
+            continue
+        pool = [f for f in fanins if values[f][0] == VX]
+        preferred = [f for f in pool if f in model.reaches_assignable]
+        pool = preferred or pool
+        if not pool:
+            return None
+        if opcode in (OP_XOR, OP_XNOR):
+            net, value = _easiest(model, pool, V0), V0
+            continue
+        controlling = _CONTROLLING[opcode]
+        inverted = opcode in (OP_NAND, OP_NOR)
+        inner = value ^ (1 if inverted else 0)
+        value = controlling if inner == controlling else 1 - controlling
+        net = _easiest(model, pool, value)
+    return None  # pragma: no cover — guard against malformed models
+
+
+def _easiest(model: UnrolledModel, pool: List[int], value: Value) -> int:
+    """The pool net cheapest to justify to ``value``.
+
+    Uses SCOAP controllability when the model carries guidance,
+    otherwise falls back to the first candidate (deterministic).
+    """
+    if not model.controllability:
+        return pool[0]
+
+    def cost(idx: int) -> int:
+        cc = model.controllability.get(idx)
+        if cc is None:
+            return 1 << 30
+        return cc[1] if value == V1 else cc[0]
+
+    return min(pool, key=cost)

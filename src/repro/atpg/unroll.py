@@ -1,0 +1,218 @@
+"""Time-frame expansion of a sequential circuit for ATPG.
+
+The sequential circuit is unrolled into ``n_frames`` combinational
+copies.  Frame ``f``'s flip-flop outputs are buffers of frame
+``f - 1``'s next-state nets; frame 0's flip-flop outputs are
+*unassignable X sources* — the unknown power-up state, exactly
+matching the fault simulator's no-reset semantics (so any test PODEM
+finds on this model is valid from any actual power-up state).
+
+A single stuck-at fault in the sequential circuit becomes a replicated
+fault site in every frame (the physical defect is present in all time
+frames); the composite simulator of :mod:`repro.atpg.dualsim` forces
+each site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.sim.compile import CompiledCircuit, OP_BUF
+from repro.sim.faults import Fault
+from repro.atpg.dualsim import DualSimulator, PAIR_0, PAIR_1, Pair
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.analysis.scoap import ScoapMeasures
+
+
+@dataclass
+class UnrolledModel:
+    """The unrolled combinational model PODEM works on.
+
+    Net indexing: net ``i`` of frame ``f`` has index
+    ``f * comp.n_nets + i``.
+
+    Attributes
+    ----------
+    comp:
+        The compiled sequential circuit this was unrolled from.
+    n_frames:
+        Number of time frames.
+    ops:
+        All gates of all frames, topologically ordered across frames.
+    driver:
+        out index → ``(opcode, fanins)`` for backtrace.
+    assignable:
+        Primary-input net indices PODEM may assign (all frames).
+    fixed:
+        Net index → constant composite value (CONST0/CONST1 nets).
+    unassignable:
+        Frame-0 flip-flop outputs: X sources PODEM must not touch.
+    observe:
+        Primary-output indices of every frame (detection points).
+    stem_sites / pin_sites:
+        Fault forcing locations for the composite simulator.
+    fanouts:
+        Net index → sink op outputs (for the X-path check).
+    po_distance:
+        Net index → edge distance to the nearest observe point
+        (frontier-selection heuristic; unreachable nets are absent).
+    reaches_assignable:
+        Nets with at least one assignable primary input in their fanin
+        cone (backtrace avoids cones that are pure X sources).
+    controllability:
+        Optional SCOAP guidance: net index → (CC0, CC1) of the
+        underlying net, replicated per frame.  When present, backtrace
+        prefers the easiest-to-justify X input instead of the first.
+    """
+
+    comp: CompiledCircuit
+    n_frames: int
+    ops: Tuple[Tuple[int, int, Tuple[int, ...]], ...]
+    driver: Dict[int, Tuple[int, Tuple[int, ...]]]
+    assignable: Set[int]
+    fixed: Dict[int, Pair]
+    unassignable: Set[int]
+    observe: Tuple[int, ...]
+    stem_sites: Dict[int, int]
+    pin_sites: Dict[Tuple[int, int], int]
+    fanouts: Dict[int, List[int]] = field(default_factory=dict)
+    po_distance: Dict[int, int] = field(default_factory=dict)
+    reaches_assignable: Set[int] = field(default_factory=set)
+    controllability: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_nets(self) -> int:
+        """Total nets across all frames."""
+        return self.n_frames * self.comp.n_nets
+
+    def frame_and_net(self, idx: int) -> Tuple[int, str]:
+        """Map a model index back to (frame, original net name)."""
+        frame, net = divmod(idx, self.comp.n_nets)
+        return frame, self.comp.names[net]
+
+    def pi_of_frame(self, frame: int) -> Tuple[int, ...]:
+        """The assignable PI indices of one frame, in port order."""
+        offset = frame * self.comp.n_nets
+        return tuple(offset + i for i in self.comp.pi_indices)
+
+    def simulator(self) -> DualSimulator:
+        """A composite simulator over this model."""
+        return DualSimulator(self.n_nets, self.ops, self.stem_sites, self.pin_sites)
+
+
+def unroll(
+    comp: CompiledCircuit,
+    fault: Fault,
+    n_frames: int,
+    scoap: "ScoapMeasures | None" = None,
+) -> UnrolledModel:
+    """Unroll ``comp`` for ``n_frames`` frames with ``fault`` active in
+    every frame.
+
+    ``scoap`` (see :func:`repro.analysis.compute_scoap`) optionally
+    attaches controllability guidance for PODEM's backtrace.
+    """
+    if n_frames < 1:
+        raise ValueError(f"need at least one frame, got {n_frames}")
+    n = comp.n_nets
+    circuit = comp.circuit
+
+    ops: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for frame in range(n_frames):
+        offset = frame * n
+        if frame > 0:
+            prev = (frame - 1) * n
+            for ff_idx, d_idx in zip(comp.ff_indices, comp.ff_next_indices):
+                ops.append((OP_BUF, offset + ff_idx, (prev + d_idx,)))
+        for opcode, out, fanins in comp.ops:
+            ops.append(
+                (opcode, offset + out, tuple(offset + f for f in fanins))
+            )
+
+    assignable: Set[int] = set()
+    fixed: Dict[int, Pair] = {}
+    unassignable: Set[int] = set(comp.ff_indices)  # frame 0 only
+    observe: List[int] = []
+    for frame in range(n_frames):
+        offset = frame * n
+        assignable.update(offset + i for i in comp.pi_indices)
+        observe.extend(offset + i for i in comp.po_indices)
+        for idx in comp.const0_indices:
+            fixed[offset + idx] = PAIR_0
+        for idx in comp.const1_indices:
+            fixed[offset + idx] = PAIR_1
+
+    stem_sites: Dict[int, int] = {}
+    pin_sites: Dict[Tuple[int, int], int] = {}
+    flop_pos = {name: i for i, name in enumerate(circuit.flops)}
+    fault_net_idx = comp.index[fault.net]
+    for frame in range(n_frames):
+        offset = frame * n
+        if not fault.is_branch:
+            stem_sites[offset + fault_net_idx] = fault.stuck
+        elif fault.gate in flop_pos:
+            # D-pin branch fault: forces the state buffer of the NEXT
+            # frame (the sampled value), mirroring the fault simulator.
+            if frame > 0:
+                ff_idx = comp.index[fault.gate]
+                pin_sites[(offset + ff_idx, 0)] = fault.stuck
+        else:
+            gate_idx = comp.index[fault.gate]
+            pin_sites[(offset + gate_idx, fault.pin)] = fault.stuck
+
+    model = UnrolledModel(
+        comp=comp,
+        n_frames=n_frames,
+        ops=tuple(ops),
+        driver={out: (opcode, fanins) for opcode, out, fanins in ops},
+        assignable=assignable,
+        fixed=fixed,
+        unassignable=unassignable,
+        observe=tuple(observe),
+        stem_sites=stem_sites,
+        pin_sites=pin_sites,
+    )
+    if scoap is not None:
+        guidance: Dict[int, Tuple[int, int]] = {}
+        for name, idx in comp.index.items():
+            pair = (scoap.cc0[name], scoap.cc1[name])
+            for frame in range(n_frames):
+                guidance[frame * n + idx] = pair
+        model.controllability.update(guidance)
+    _annotate(model)
+    return model
+
+
+def _annotate(model: UnrolledModel) -> None:
+    """Compute fanouts, PO distances and assignable-reachability."""
+    fanouts: Dict[int, List[int]] = {}
+    for _opcode, out, fanins in model.ops:
+        for f in fanins:
+            fanouts.setdefault(f, []).append(out)
+    model.fanouts = fanouts
+
+    # Reverse BFS from observe points.
+    distance: Dict[int, int] = {idx: 0 for idx in model.observe}
+    frontier = list(model.observe)
+    while frontier:
+        next_frontier: List[int] = []
+        for idx in frontier:
+            d = distance[idx]
+            entry = model.driver.get(idx)
+            if entry is None:
+                continue
+            for f in entry[1]:
+                if f not in distance or distance[f] > d + 1:
+                    distance[f] = d + 1
+                    next_frontier.append(f)
+        frontier = next_frontier
+    model.po_distance = distance
+
+    # Forward reachability from assignable PIs.
+    reaches: Set[int] = set(model.assignable)
+    for opcode, out, fanins in model.ops:
+        if any(f in reaches for f in fanins):
+            reaches.add(out)
+    model.reaches_assignable = reaches

@@ -1,0 +1,39 @@
+"""Baseline on-chip test generation methods the paper positions against.
+
+* :mod:`repro.baselines.lfsr` — pure pseudo-random BIST ([16]/[17]
+  class: no storage, but no coverage guarantee).
+* :mod:`repro.baselines.threeweight` — the 3-weight {0, 0.5, 1} method
+  of [10], naively extended to sequential circuits by intersecting
+  windows of the deterministic sequence (the extension the paper's
+  introduction critiques and improves upon).
+* :mod:`repro.baselines.flopmod` — the flip-flop-modifying class the
+  paper positions against: hold mode ([21]) and partial reset ([22]).
+"""
+
+from repro.baselines.lfsr import Lfsr, lfsr_patterns, lfsr_bist
+from repro.baselines.threeweight import (
+    ThreeWeightAssignment,
+    three_weight_assignments,
+    three_weight_bist,
+)
+from repro.baselines.flopmod import (
+    add_hold_mode,
+    add_partial_reset,
+    hold_mode_bist,
+    modification_cost,
+    partial_reset_bist,
+)
+
+__all__ = [
+    "Lfsr",
+    "lfsr_patterns",
+    "lfsr_bist",
+    "ThreeWeightAssignment",
+    "three_weight_assignments",
+    "three_weight_bist",
+    "add_hold_mode",
+    "add_partial_reset",
+    "hold_mode_bist",
+    "modification_cost",
+    "partial_reset_bist",
+]

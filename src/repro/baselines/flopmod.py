@@ -1,0 +1,188 @@
+"""Flip-flop-modifying DFT baselines ([21] hold mode, [22] partial
+reset).
+
+The paper's introduction sorts prior BIST schemes into two classes;
+the second class *modifies the circuit flip-flops*:
+
+* **Hold mode** (Muradali et al. [21]): selected flip-flops gain a
+  hold input; while held, their value does not change, letting biased
+  random patterns reach the combinational logic.
+* **Partial reset** (Flottes et al. [22]): selected flip-flops gain a
+  synchronous reset, used to drive the circuit into states needed by
+  hard-to-detect faults.
+
+The proposed method's selling point is avoiding these modifications
+("it avoids the routing overhead for controlling the flip-flops").
+This module implements both transforms and simple random-test drivers
+on top of them, so the tradeoff — extra per-flop hardware + control
+routing vs. weight FSMs — can be measured instead of argued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultSimResult, FaultSimulator
+from repro.util.rng import DeterministicRng
+
+
+def add_hold_mode(
+    circuit: Circuit,
+    flops: Sequence[str] | None = None,
+    hold_input: str = "hold",
+) -> Circuit:
+    """Add a hold input to the selected flip-flops ([21]).
+
+    Each selected flip-flop's next state becomes
+    ``hold ? Q : D`` (a 2:1 mux built from AND/OR/NOT).  The new
+    primary input ``hold_input`` is appended after the existing inputs.
+    """
+    selected = _validate_flops(circuit, flops, hold_input)
+    # Original gates first so the control input lands *after* the
+    # existing primary inputs in port order.
+    gates: List[Gate] = []
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.DFF and net in selected:
+            d_net = gate.fanins[0]
+            gates.append(
+                Gate(f"{net}_holdq", GateType.AND, (hold_input, net))
+            )
+            gates.append(
+                Gate(f"{net}_passd", GateType.AND, (f"{hold_input}_n", d_net))
+            )
+            gates.append(
+                Gate(f"{net}_next", GateType.OR, (f"{net}_holdq", f"{net}_passd"))
+            )
+            gates.append(Gate(net, GateType.DFF, (f"{net}_next",)))
+        else:
+            gates.append(gate)
+    gates.append(Gate(hold_input, GateType.INPUT, ()))
+    gates.append(Gate(f"{hold_input}_n", GateType.NOT, (hold_input,)))
+    return Circuit(f"{circuit.name}_hold", gates, circuit.outputs)
+
+
+def add_partial_reset(
+    circuit: Circuit,
+    flops: Sequence[str] | None = None,
+    reset_input: str = "preset",
+) -> Circuit:
+    """Add a synchronous reset-to-0 to the selected flip-flops ([22])."""
+    selected = _validate_flops(circuit, flops, reset_input)
+    gates: List[Gate] = []
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.DFF and net in selected:
+            d_net = gate.fanins[0]
+            gates.append(
+                Gate(f"{net}_next", GateType.AND, (f"{reset_input}_n", d_net))
+            )
+            gates.append(Gate(net, GateType.DFF, (f"{net}_next",)))
+        else:
+            gates.append(gate)
+    gates.append(Gate(reset_input, GateType.INPUT, ()))
+    gates.append(Gate(f"{reset_input}_n", GateType.NOT, (reset_input,)))
+    return Circuit(f"{circuit.name}_preset", gates, circuit.outputs)
+
+
+def _validate_flops(
+    circuit: Circuit, flops: Sequence[str] | None, new_input: str
+) -> set:
+    if new_input in circuit:
+        raise NetlistError(f"net {new_input!r} already exists")
+    if flops is None:
+        return set(circuit.flops)
+    selected = set(flops)
+    unknown = selected - set(circuit.flops)
+    if unknown:
+        raise NetlistError(f"not flip-flops: {sorted(unknown)}")
+    return selected
+
+
+@dataclass(frozen=True)
+class FlopModCost:
+    """Hardware cost of a flip-flop modification.
+
+    Attributes
+    ----------
+    extra_gates:
+        Combinational gates added.
+    extra_inputs:
+        Control inputs added (each needs chip-level routing — the
+        overhead the paper's method avoids).
+    flops_touched:
+        Flip-flops whose datapath was modified.
+    """
+
+    extra_gates: int
+    extra_inputs: int
+    flops_touched: int
+
+
+def modification_cost(original: Circuit, modified: Circuit) -> FlopModCost:
+    """Cost delta between a circuit and its flop-modified version."""
+    return FlopModCost(
+        extra_gates=(
+            modified.num_gates(combinational_only=True)
+            - original.num_gates(combinational_only=True)
+        ),
+        extra_inputs=len(modified.inputs) - len(original.inputs),
+        flops_touched=len(original.flops),
+    )
+
+
+def hold_mode_bist(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    n_patterns: int,
+    hold_probability: float = 0.3,
+    seed: int = 1,
+) -> FaultSimResult:
+    """Random BIST on a hold-modified circuit ([21]-style).
+
+    Every cycle applies a random pattern; the hold input is asserted
+    with ``hold_probability``, freezing the state so several patterns
+    hit the same combinational context.  Faults are simulated on the
+    *modified* circuit but only the original fault list (the added DFT
+    logic is not graded).
+    """
+    modified = add_hold_mode(circuit)
+    return _random_session(modified, faults, n_patterns, hold_probability, seed)
+
+
+def partial_reset_bist(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    n_patterns: int,
+    reset_probability: float = 0.05,
+    seed: int = 1,
+) -> FaultSimResult:
+    """Random BIST on a partial-reset circuit ([22]-style).
+
+    Occasional reset pulses re-synchronize the state, which both
+    initializes the circuit quickly and re-visits the reset state's
+    neighbourhood — the mechanism [22] exploits.
+    """
+    modified = add_partial_reset(circuit)
+    return _random_session(modified, faults, n_patterns, reset_probability, seed)
+
+
+def _random_session(
+    modified: Circuit,
+    faults: Sequence[Fault],
+    n_patterns: int,
+    control_probability: float,
+    seed: int,
+) -> FaultSimResult:
+    rng = DeterministicRng(seed)
+    n_orig = len(modified.inputs) - 1  # the control input is last
+    stimulus: List[Tuple[int, ...]] = []
+    for _ in range(n_patterns):
+        pattern = rng.bits(n_orig)
+        control = 1 if rng.random() < control_probability else 0
+        stimulus.append(pattern + (control,))
+    sim = FaultSimulator(modified)
+    return sim.run(stimulus, list(faults))

@@ -1,0 +1,162 @@
+"""Linear feedback shift register pseudo-random BIST baseline.
+
+The paper's introduction places the proposed method against schemes
+that drive the circuit inputs from free-running pseudo-random sources
+([16], [17]): zero storage, but no coverage guarantee — exactly what
+this module lets the benchmarks demonstrate.
+
+The LFSR is a Fibonacci-style register with primitive feedback
+polynomials (maximum-length sequences) for every width up to 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+from repro.sim.compile import CompiledCircuit, compile_circuit
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultSimResult, FaultSimulator
+
+#: Primitive polynomial tap positions (1-based, including the width) for
+#: maximum-length LFSRs.  Source: standard LFSR tap tables.
+PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 25, 24, 20),
+    27: (27, 26, 25, 22),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 29, 28, 7),
+    31: (31, 28),
+    32: (32, 31, 30, 10),
+}
+
+
+class Lfsr:
+    """A Fibonacci LFSR producing a maximum-length bit stream.
+
+    Parameters
+    ----------
+    width:
+        Register width (2..32 for the built-in primitive taps).
+    seed:
+        Initial state; must be non-zero (the all-zero state is the
+        LFSR's fixed point).  Reduced modulo ``2^width``.
+    taps:
+        Optional explicit tap positions (1-based); defaults to a
+        primitive polynomial for the width.
+    """
+
+    def __init__(
+        self, width: int, seed: int = 1, taps: Sequence[int] | None = None
+    ) -> None:
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ReproError(
+                    f"no built-in primitive polynomial for width {width}"
+                )
+            taps = PRIMITIVE_TAPS[width]
+        for tap in taps:
+            if tap < 1 or tap > width:
+                raise ReproError(f"tap {tap} outside 1..{width}")
+        self.width = width
+        self.taps = tuple(taps)
+        self._mask = (1 << width) - 1
+        self.state = seed & self._mask
+        if self.state == 0:
+            self.state = 1
+
+    def step(self) -> int:
+        """Advance one cycle; return the shifted-out bit.
+
+        Left-shift Fibonacci form: the new LSB is the XOR of the tap
+        bits (1-based positions of the feedback polynomial), and the
+        old MSB shifts out.
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        out = (self.state >> (self.width - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & self._mask
+        return out
+
+    def bits(self, count: int) -> Tuple[int, ...]:
+        """The next ``count`` output bits."""
+        return tuple(self.step() for _ in range(count))
+
+    @property
+    def period(self) -> int:
+        """Maximum-length period for primitive taps."""
+        return (1 << self.width) - 1
+
+
+def lfsr_patterns(
+    n_inputs: int, n_patterns: int, seed: int = 1, width: int = 23
+) -> List[Tuple[int, ...]]:
+    """Generate ``n_patterns`` pseudo-random input patterns.
+
+    A single wide LFSR is sampled ``n_inputs`` bits per pattern — the
+    standard cheap BIST configuration (one register, serially tapped).
+    """
+    lfsr = Lfsr(width, seed)
+    return [lfsr.bits(n_inputs) for _ in range(n_patterns)]
+
+
+def lfsr_bist(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    n_patterns: int,
+    seed: int = 1,
+    compiled: CompiledCircuit | None = None,
+) -> FaultSimResult:
+    """Fault-simulate pure LFSR BIST on ``circuit``.
+
+    Returns the full simulation result; ``result.coverage`` is the
+    headline number and ``result.detection_time`` gives the coverage
+    curve.
+    """
+    comp = compiled or compile_circuit(circuit)
+    sim = FaultSimulator(circuit, comp)
+    patterns = lfsr_patterns(len(circuit.inputs), n_patterns, seed)
+    return sim.run(patterns, list(faults))
+
+
+def coverage_curve(
+    result: FaultSimResult, n_points: int = 20, length: int | None = None
+) -> List[Tuple[int, float]]:
+    """Sampled (patterns applied, coverage) points from a run."""
+    if result.n_faults == 0:
+        return []
+    times = sorted(result.detection_time.values())
+    horizon = length if length is not None else (times[-1] + 1 if times else 1)
+    points = []
+    for k in range(1, n_points + 1):
+        t = max(1, horizon * k // n_points)
+        detected = sum(1 for u in times if u < t)
+        points.append((t, detected / result.n_faults))
+    return points

@@ -1,0 +1,111 @@
+"""The 3-weight {0, 0.5, 1} baseline ([10]) extended to sequences.
+
+The method of [10] computes weight assignments for combinational
+circuits by *intersecting* subsets of deterministic test patterns:
+positions agreeing on 0 (or 1) get weight 0 (or 1); positions that
+disagree get 0.5 (pseudo-random).  The paper's introduction explains
+why the direct sequential extension is awkward — intersecting test
+*subsequences* yields per-time-unit weight assignments that must change
+every cycle.
+
+This module implements the *held-constant* naive variant used as a
+baseline: the deterministic sequence is cut into windows, each window's
+patterns are intersected into a single {0, 0.5, 1} assignment, and
+``n_per_assignment`` pseudo-random patterns are applied under each
+assignment.  It reproduces the flavor of [10] while staying applicable
+to a single test sequence — and its weaker results against the
+subsequence-weight method are exactly the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.sim.compile import CompiledCircuit, compile_circuit
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultSimResult, FaultSimulator
+from repro.sim.values import V0, V1
+from repro.tgen.sequence import TestSequence
+from repro.util.rng import DeterministicRng
+
+#: Sentinel weight values.
+W0 = 0.0
+W1 = 1.0
+WHALF = 0.5
+
+
+@dataclass(frozen=True)
+class ThreeWeightAssignment:
+    """One {0, 0.5, 1} weight assignment.
+
+    Attributes
+    ----------
+    weights:
+        Per primary input: 0.0 (held at 0), 1.0 (held at 1), or 0.5
+        (pseudo-random).
+    """
+
+    weights: Tuple[float, ...]
+
+    def sample(self, rng: DeterministicRng) -> Tuple[int, ...]:
+        """Draw one input pattern under this assignment."""
+        pattern = []
+        for w in self.weights:
+            if w == W0:
+                pattern.append(V0)
+            elif w == W1:
+                pattern.append(V1)
+            else:
+                pattern.append(rng.bit())
+        return tuple(pattern)
+
+
+def three_weight_assignments(
+    sequence: TestSequence, window: int
+) -> List[ThreeWeightAssignment]:
+    """Intersect ``sequence``'s patterns window-by-window into
+    {0, 0.5, 1} assignments (the [10]-style computation)."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    assignments = []
+    for start in range(0, len(sequence), window):
+        chunk = sequence.patterns[start : start + window]
+        weights = []
+        for i in range(sequence.width):
+            values = {row[i] for row in chunk}
+            if values == {V0}:
+                weights.append(W0)
+            elif values == {V1}:
+                weights.append(W1)
+            else:
+                weights.append(WHALF)
+        assignments.append(ThreeWeightAssignment(tuple(weights)))
+    return assignments
+
+
+def three_weight_bist(
+    circuit: Circuit,
+    sequence: TestSequence,
+    faults: Sequence[Fault],
+    window: int = 8,
+    n_per_assignment: int = 256,
+    seed: int = 1,
+    compiled: CompiledCircuit | None = None,
+) -> FaultSimResult:
+    """Fault-simulate the 3-weight baseline end to end.
+
+    The weighted patterns of all assignments are applied back-to-back
+    as one long session (matching how the hardware would run), and the
+    whole session is fault-simulated once.
+    """
+    comp = compiled or compile_circuit(circuit)
+    sim = FaultSimulator(circuit, comp)
+    rng = DeterministicRng(seed)
+    stimulus: List[Tuple[int, ...]] = []
+    for assignment in three_weight_assignments(sequence, window):
+        stimulus.extend(
+            assignment.sample(rng) for _ in range(n_per_assignment)
+        )
+    return sim.run(stimulus, list(faults))

@@ -1,0 +1,111 @@
+"""Classic weighted-random-pattern BIST (the [1]-[9] class).
+
+The oldest weighted-testing idea: give every primary input an
+independent probability of being 1, chosen from the statistics of a
+deterministic test set — here the frequency of 1s in ``T_i``.  One
+weight assignment for the whole session (single-distribution WRBIST);
+optionally several assignments from windows of ``T`` (multiple
+distributions, Wunderlich [4]-style).
+
+This is the paper's deepest ancestor baseline: it captures *per-input
+bias* but no *temporal structure*, which is exactly what the paper's
+subsequence weights add.  The benchmarks show the resulting gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.sim.compile import CompiledCircuit, compile_circuit
+from repro.sim.faults import Fault
+from repro.sim.faultsim import FaultSimResult, FaultSimulator
+from repro.sim.values import V1
+from repro.tgen.sequence import TestSequence
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class InputWeights:
+    """Per-input probabilities of applying a 1.
+
+    Attributes
+    ----------
+    probabilities:
+        One probability per primary input, in port order.
+    """
+
+    probabilities: Tuple[float, ...]
+
+    def sample(self, rng: DeterministicRng) -> Tuple[int, ...]:
+        """Draw one input pattern."""
+        return tuple(
+            1 if rng.random() < p else 0 for p in self.probabilities
+        )
+
+
+def weights_from_sequence(
+    sequence: TestSequence, quantize: int | None = 8
+) -> InputWeights:
+    """Per-input 1-frequencies of ``sequence``.
+
+    ``quantize`` rounds each probability to multiples of
+    ``1/quantize``, mirroring the coarse weight sets hardware weighted
+    pattern generators implement ([13]); ``None`` keeps exact
+    frequencies.
+    """
+    if not len(sequence):
+        raise ValueError("cannot derive weights from an empty sequence")
+    probabilities = []
+    for i in range(sequence.width):
+        column = sequence.restrict(i)
+        p = sum(1 for v in column if v == V1) / len(column)
+        if quantize:
+            p = round(p * quantize) / quantize
+        probabilities.append(min(1.0, max(0.0, p)))
+    return InputWeights(tuple(probabilities))
+
+
+def windowed_weights(
+    sequence: TestSequence, n_windows: int, quantize: int | None = 8
+) -> List[InputWeights]:
+    """Multiple distributions from contiguous windows of ``T`` ([4])."""
+    if n_windows < 1:
+        raise ValueError(f"need at least one window, got {n_windows}")
+    size = max(1, (len(sequence) + n_windows - 1) // n_windows)
+    out = []
+    for start in range(0, len(sequence), size):
+        window = TestSequence(sequence.patterns[start : start + size])
+        out.append(weights_from_sequence(window, quantize))
+    return out
+
+
+def weighted_random_bist(
+    circuit: Circuit,
+    sequence: TestSequence,
+    faults: Sequence[Fault],
+    n_patterns: int,
+    n_distributions: int = 1,
+    seed: int = 1,
+    compiled: CompiledCircuit | None = None,
+) -> FaultSimResult:
+    """Run weighted-random BIST derived from ``sequence``'s statistics.
+
+    ``n_patterns`` total patterns are split evenly over
+    ``n_distributions`` weight assignments (windowed when more than
+    one).
+    """
+    comp = compiled or compile_circuit(circuit)
+    rng = DeterministicRng(seed)
+    if n_distributions <= 1:
+        distributions = [weights_from_sequence(sequence)]
+    else:
+        distributions = windowed_weights(sequence, n_distributions)
+    per_distribution = max(1, n_patterns // len(distributions))
+    stimulus: List[Tuple[int, ...]] = []
+    for weights in distributions:
+        stimulus.extend(
+            weights.sample(rng) for _ in range(per_distribution)
+        )
+    return FaultSimulator(circuit, comp).run(stimulus, list(faults))

@@ -1,0 +1,44 @@
+"""Gate-level netlist intermediate representation.
+
+This package is the structural substrate of the reproduction: a small,
+validated gate-level IR for synchronous sequential circuits in the style
+of the ISCAS-89 benchmarks — primary inputs, primary outputs, D
+flip-flops, and a combinational core of basic gates.
+
+Public surface:
+
+* :class:`~repro.circuit.gates.GateType` and
+  :class:`~repro.circuit.gates.Gate` — gate vocabulary.
+* :class:`~repro.circuit.netlist.Circuit` — the netlist graph with
+  levelization and structural queries.
+* :class:`~repro.circuit.builder.CircuitBuilder` — ergonomic programmatic
+  construction.
+* :func:`~repro.circuit.bench.parse_bench` /
+  :func:`~repro.circuit.bench.write_bench` — ISCAS-89 ``.bench`` I/O.
+* :func:`~repro.circuit.library.load_circuit` — embedded benchmark
+  circuits (``s27`` plus synthetic stand-ins for the larger ISCAS-89
+  circuits used by the paper).
+"""
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.bench import parse_bench, parse_bench_text, write_bench
+from repro.circuit.verilog import write_verilog
+from repro.circuit.library import available_circuits, load_circuit
+from repro.circuit.stats import CircuitStats, circuit_stats
+
+__all__ = [
+    "write_verilog",
+    "Gate",
+    "GateType",
+    "Circuit",
+    "CircuitBuilder",
+    "parse_bench",
+    "parse_bench_text",
+    "write_bench",
+    "available_circuits",
+    "load_circuit",
+    "CircuitStats",
+    "circuit_stats",
+]

@@ -1,0 +1,127 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The ``.bench`` dialect accepted here is the one the ISCAS-89 benchmark
+distribution uses::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+
+Gate names are matched case-insensitively (``dff``/``DFF``); net names
+are preserved verbatim.  ``OUTPUT`` lines may appear before the driver of
+the named net.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.builder import CircuitBuilder
+from repro.errors import BenchParseError
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^()]*)\s*\)$"
+)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench_text(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source from a string.
+
+    Parameters
+    ----------
+    text:
+        The bench source.
+    name:
+        Name for the resulting :class:`Circuit`.
+
+    Raises
+    ------
+    BenchParseError
+        On any malformed line or unknown gate type.
+    """
+    builder = CircuitBuilder(name)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                builder.input(net)
+            else:
+                builder.output(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            net, type_name, arg_text = gate_match.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchParseError(f"unknown gate type {type_name!r}", line_no)
+            fanins = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+            try:
+                builder.gate(net, gtype, *fanins)
+            except Exception as exc:  # arity / duplicate-driver errors
+                raise BenchParseError(str(exc), line_no) from exc
+            continue
+        raise BenchParseError(f"unparseable line: {line!r}", line_no)
+    try:
+        return builder.build()
+    except Exception as exc:
+        raise BenchParseError(f"invalid netlist: {exc}") from exc
+
+
+def parse_bench(path: str | Path, name: str | None = None) -> Circuit:
+    """Parse a ``.bench`` file from disk.
+
+    The circuit name defaults to the file's stem.
+    """
+    path = Path(path)
+    return parse_bench_text(path.read_text(), name or path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render ``circuit`` as ``.bench`` source.
+
+    The output round-trips through :func:`parse_bench_text` to an
+    identical circuit (same gates, same port order).
+    """
+    lines: list[str] = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    for net in circuit.flops:
+        gate = circuit.gate(net)
+        lines.append(f"{net} = DFF({gate.fanins[0]})")
+    for net in circuit.combinational_order:
+        gate = circuit.gate(net)
+        lines.append(f"{net} = {gate.gtype.value}({', '.join(gate.fanins)})")
+    for net, gate in circuit.gates.items():
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            lines.append(f"{net} = {gate.gtype.value}()")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> None:
+    """Write ``circuit`` to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,113 @@
+"""Programmatic circuit construction.
+
+:class:`CircuitBuilder` accumulates gates and produces an immutable
+:class:`~repro.circuit.netlist.Circuit`.  It is used by the bench parser,
+the synthetic benchmark generator, and the TPG synthesizer, and is also
+the intended way for library users to describe their own designs:
+
+>>> b = CircuitBuilder("toggler")
+>>> _ = b.input("en")
+>>> _ = b.dff("q", "d")
+>>> _ = b.xor("d", "q", "en")
+>>> b.output("q")
+>>> circuit = b.build()
+>>> circuit.flops
+('q',)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+
+class CircuitBuilder:
+    """Accumulates gates, then builds a validated :class:`Circuit`.
+
+    Gates may be declared in any order; fanins may reference nets that
+    are declared later.  All structural validation happens in
+    :meth:`build`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._gates: List[Gate] = []
+        self._names: set[str] = set()
+        self._outputs: List[str] = []
+
+    def _add(self, name: str, gtype: GateType, fanins: tuple[str, ...]) -> str:
+        if name in self._names:
+            raise NetlistError(f"net {name!r} already driven")
+        self._gates.append(Gate(name, gtype, fanins))
+        self._names.add(name)
+        return name
+
+    # -- sources --------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Declare a primary input net."""
+        return self._add(name, GateType.INPUT, ())
+
+    def dff(self, name: str, next_state: str) -> str:
+        """Declare a flip-flop whose output is ``name`` and whose
+        next-state (D pin) is the net ``next_state``."""
+        return self._add(name, GateType.DFF, (next_state,))
+
+    def const0(self, name: str) -> str:
+        """Declare a constant-0 net."""
+        return self._add(name, GateType.CONST0, ())
+
+    def const1(self, name: str) -> str:
+        """Declare a constant-1 net."""
+        return self._add(name, GateType.CONST1, ())
+
+    # -- combinational gates ---------------------------------------------
+
+    def gate(self, name: str, gtype: GateType, *fanins: str) -> str:
+        """Declare a combinational gate of arbitrary type."""
+        return self._add(name, gtype, tuple(fanins))
+
+    def and_(self, name: str, *fanins: str) -> str:
+        """Declare an AND gate."""
+        return self._add(name, GateType.AND, tuple(fanins))
+
+    def nand(self, name: str, *fanins: str) -> str:
+        """Declare a NAND gate."""
+        return self._add(name, GateType.NAND, tuple(fanins))
+
+    def or_(self, name: str, *fanins: str) -> str:
+        """Declare an OR gate."""
+        return self._add(name, GateType.OR, tuple(fanins))
+
+    def nor(self, name: str, *fanins: str) -> str:
+        """Declare a NOR gate."""
+        return self._add(name, GateType.NOR, tuple(fanins))
+
+    def xor(self, name: str, *fanins: str) -> str:
+        """Declare an XOR gate."""
+        return self._add(name, GateType.XOR, tuple(fanins))
+
+    def xnor(self, name: str, *fanins: str) -> str:
+        """Declare an XNOR gate."""
+        return self._add(name, GateType.XNOR, tuple(fanins))
+
+    def not_(self, name: str, fanin: str) -> str:
+        """Declare an inverter."""
+        return self._add(name, GateType.NOT, (fanin,))
+
+    def buf(self, name: str, fanin: str) -> str:
+        """Declare a buffer."""
+        return self._add(name, GateType.BUF, (fanin,))
+
+    # -- outputs and build ------------------------------------------------
+
+    def output(self, name: str) -> None:
+        """Mark ``name`` as a primary output (may precede its driver)."""
+        self._outputs.append(name)
+
+    def build(self) -> Circuit:
+        """Validate and return the immutable circuit."""
+        return Circuit(self.name, self._gates, self._outputs)

@@ -1,0 +1,113 @@
+"""Gate vocabulary for the netlist IR.
+
+The gate set mirrors what the ISCAS-89 ``.bench`` format uses: the basic
+combinational gates, buffers/inverters, D flip-flops, and constants.
+Evaluation semantics (including the 3-valued extension) live in
+:mod:`repro.sim`; this module only defines structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class GateType(enum.Enum):
+    """The kinds of netlist nodes the IR supports."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_combinational(self) -> bool:
+        """True for gates evaluated inside a clock cycle."""
+        return self not in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_source(self) -> bool:
+        """True for nodes that begin a combinational evaluation (no
+        combinational fanin): primary inputs, flip-flop outputs and
+        constants."""
+        return self in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for gates whose output inverts the natural function
+        (NAND/NOR/XNOR/NOT)."""
+        return self in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+
+#: Allowed fanin counts: (minimum, maximum or None for unbounded).
+_ARITY: dict[GateType, Tuple[int, int | None]] = {
+    GateType.INPUT: (0, 0),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.NOT: (1, 1),
+    GateType.BUF: (1, 1),
+    GateType.DFF: (1, 1),
+    GateType.AND: (1, None),
+    GateType.NAND: (1, None),
+    GateType.OR: (1, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+}
+
+
+def arity_bounds(gtype: GateType) -> Tuple[int, int | None]:
+    """Return the (min, max) fanin count for ``gtype``.
+
+    ``max`` is ``None`` for gates accepting any number of inputs.
+    """
+    return _ARITY[gtype]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One netlist node: a named output net driven by a typed function.
+
+    Attributes
+    ----------
+    name:
+        The net this gate drives.  Net names are unique in a circuit.
+    gtype:
+        The gate's function.
+    fanins:
+        Names of the driving nets, in pin order.  Pin order matters for
+        fault modelling (branch faults are identified by ``(gate, pin)``).
+    """
+
+    name: str
+    gtype: GateType
+    fanins: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = arity_bounds(self.gtype)
+        n = len(self.fanins)
+        if n < lo or (hi is not None and n > hi):
+            raise ValueError(
+                f"gate {self.name!r}: {self.gtype.value} accepts "
+                f"{lo}..{hi if hi is not None else 'inf'} fanins, got {n}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of fanin pins."""
+        return len(self.fanins)
+
+    def describe(self) -> str:
+        """Human-readable one-line description, bench-like."""
+        if self.gtype is GateType.INPUT:
+            return f"INPUT({self.name})"
+        return f"{self.name} = {self.gtype.value}({', '.join(self.fanins)})"

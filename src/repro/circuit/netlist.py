@@ -1,0 +1,234 @@
+"""The :class:`Circuit` netlist graph.
+
+A circuit is a set of named nets, each driven by exactly one
+:class:`~repro.circuit.gates.Gate`.  Synchronous sequential semantics
+follow the ISCAS-89 convention:
+
+* ``INPUT`` nets are primary inputs, assigned a fresh value every cycle.
+* ``DFF`` nets are flip-flop outputs (the present state); the DFF's
+  single fanin is its next-state net, sampled at the end of each cycle.
+* All other gates are combinational and must form a DAG once flip-flop
+  outputs are cut.
+* Primary outputs are a designated subset of nets.
+
+The class exposes the structural queries every later stage relies on:
+fanout maps, a levelized combinational evaluation order, and reachability
+helpers.  It is immutable after construction (build with
+:class:`~repro.circuit.builder.CircuitBuilder` or the bench parser).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.circuit.gates import Gate, GateType
+from repro.errors import NetlistError
+
+
+class Circuit:
+    """An immutable gate-level synchronous sequential circuit.
+
+    Parameters
+    ----------
+    name:
+        Circuit name (e.g. ``"s27"``).
+    gates:
+        All gates, including ``INPUT`` and ``DFF`` nodes.  Each gate
+        drives the net bearing its name; names must be unique.
+    outputs:
+        Names of primary output nets, in order.
+
+    Raises
+    ------
+    NetlistError
+        If a fanin is undriven, a name is duplicated, an output is
+        undriven, or the combinational core contains a cycle.
+    """
+
+    def __init__(self, name: str, gates: Iterable[Gate], outputs: Sequence[str]) -> None:
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self._gates:
+                raise NetlistError(f"duplicate driver for net {gate.name!r}")
+            self._gates[gate.name] = gate
+        self._outputs: Tuple[str, ...] = tuple(outputs)
+        self._inputs: Tuple[str, ...] = tuple(
+            g.name for g in self._gates.values() if g.gtype is GateType.INPUT
+        )
+        self._flops: Tuple[str, ...] = tuple(
+            g.name for g in self._gates.values() if g.gtype is GateType.DFF
+        )
+        self._validate_references()
+        self._fanouts = self._build_fanouts()
+        self._comb_order = self._levelize()
+        self._levels = self._compute_levels()
+
+    # ------------------------------------------------------------------
+    # Construction-time checks
+    # ------------------------------------------------------------------
+
+    def _validate_references(self) -> None:
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                if fanin not in self._gates:
+                    raise NetlistError(
+                        f"gate {gate.name!r} references undriven net {fanin!r}"
+                    )
+        for out in self._outputs:
+            if out not in self._gates:
+                raise NetlistError(f"primary output {out!r} is not driven")
+        seen: set[str] = set()
+        for out in self._outputs:
+            if out in seen:
+                raise NetlistError(f"primary output {out!r} listed twice")
+            seen.add(out)
+
+    def _build_fanouts(self) -> Dict[str, Tuple[Tuple[str, int], ...]]:
+        fanouts: Dict[str, List[Tuple[str, int]]] = {name: [] for name in self._gates}
+        for gate in self._gates.values():
+            for pin, fanin in enumerate(gate.fanins):
+                fanouts[fanin].append((gate.name, pin))
+        return {name: tuple(sinks) for name, sinks in fanouts.items()}
+
+    def _levelize(self) -> Tuple[str, ...]:
+        """Topologically order the combinational gates.
+
+        Sources (inputs, flip-flop outputs, constants) are not included;
+        they are available before combinational evaluation begins.
+        Raises :class:`NetlistError` on a combinational cycle.
+        """
+        pending: Dict[str, int] = {}
+        for gate in self._gates.values():
+            if not gate.gtype.is_combinational:
+                continue
+            count = sum(
+                1 for f in gate.fanins if self._gates[f].gtype.is_combinational
+            )
+            pending[gate.name] = count
+        ready = [name for name, count in pending.items() if count == 0]
+        # Sort for determinism: evaluation order must not depend on dict order.
+        ready.sort()
+        order: List[str] = []
+        cursor = 0
+        while cursor < len(ready):
+            name = ready[cursor]
+            cursor += 1
+            order.append(name)
+            next_ready = []
+            for sink, _pin in self._fanouts[name]:
+                if sink in pending and self._gates[sink].gtype.is_combinational:
+                    pending[sink] -= 1
+                    if pending[sink] == 0:
+                        next_ready.append(sink)
+            ready.extend(sorted(next_ready))
+        if len(order) != len(pending):
+            stuck = sorted(set(pending) - set(order))
+            raise NetlistError(
+                f"combinational cycle involving nets: {', '.join(stuck[:8])}"
+            )
+        return tuple(order)
+
+    def _compute_levels(self) -> Dict[str, int]:
+        levels: Dict[str, int] = {}
+        for gate in self._gates.values():
+            if gate.gtype.is_source:
+                levels[gate.name] = 0
+        for name in self._comb_order:
+            gate = self._gates[name]
+            levels[name] = 1 + max(levels[f] for f in gate.fanins)
+        return levels
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input nets, in declaration order."""
+        return self._inputs
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output nets, in declaration order."""
+        return self._outputs
+
+    @property
+    def flops(self) -> Tuple[str, ...]:
+        """Flip-flop output nets (present-state lines)."""
+        return self._flops
+
+    @property
+    def gates(self) -> Mapping[str, Gate]:
+        """All gates, keyed by the net they drive."""
+        return self._gates
+
+    @property
+    def combinational_order(self) -> Tuple[str, ...]:
+        """Combinational gates in a valid evaluation order."""
+        return self._comb_order
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        """Every net name: sources first, then combinational order."""
+        sources = tuple(
+            sorted(n for n, g in self._gates.items() if g.gtype.is_source)
+        )
+        return sources + self._comb_order
+
+    def gate(self, name: str) -> Gate:
+        """Return the gate driving ``name``."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def fanout(self, name: str) -> Tuple[Tuple[str, int], ...]:
+        """Return the sinks of net ``name`` as ``(gate, pin)`` pairs."""
+        try:
+            return self._fanouts[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def fanout_count(self, name: str) -> int:
+        """Number of gate pins the net ``name`` drives."""
+        return len(self.fanout(name))
+
+    def level(self, name: str) -> int:
+        """Combinational depth of ``name`` (0 for sources)."""
+        try:
+            return self._levels[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    @property
+    def depth(self) -> int:
+        """Maximum combinational level in the circuit."""
+        return max(self._levels.values()) if self._levels else 0
+
+    def num_gates(self, combinational_only: bool = False) -> int:
+        """Gate count; optionally only combinational gates."""
+        if combinational_only:
+            return len(self._comb_order)
+        return len(self._gates)
+
+    def is_output(self, name: str) -> bool:
+        """True if ``name`` is a primary output."""
+        return name in set(self._outputs)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._gates
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}: {len(self._inputs)} PIs, "
+            f"{len(self._outputs)} POs, {len(self._flops)} DFFs, "
+            f"{len(self._comb_order)} gates)"
+        )

@@ -1,0 +1,89 @@
+"""Circuit statistics, as reported in experiment tables and logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary counts for a circuit.
+
+    Attributes
+    ----------
+    name:
+        Circuit name.
+    n_pi / n_po / n_ff:
+        Primary input / output / flip-flop counts.
+    n_gates:
+        Combinational gate count.
+    n_nets:
+        Total driven nets (sources + gates).
+    depth:
+        Maximum combinational level.
+    gate_mix:
+        Count of each combinational gate type present.
+    """
+
+    name: str
+    n_pi: int
+    n_po: int
+    n_ff: int
+    n_gates: int
+    n_nets: int
+    depth: int
+    gate_mix: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        mix = ", ".join(f"{t}:{c}" for t, c in self.gate_mix)
+        return (
+            f"{self.name}: {self.n_pi} PI, {self.n_po} PO, {self.n_ff} DFF, "
+            f"{self.n_gates} gates (depth {self.depth}; {mix})"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circuit``."""
+    mix: dict[str, int] = {}
+    for net in circuit.combinational_order:
+        gtype = circuit.gate(net).gtype
+        mix[gtype.value] = mix.get(gtype.value, 0) + 1
+    return CircuitStats(
+        name=circuit.name,
+        n_pi=len(circuit.inputs),
+        n_po=len(circuit.outputs),
+        n_ff=len(circuit.flops),
+        n_gates=circuit.num_gates(combinational_only=True),
+        n_nets=len(circuit),
+        depth=circuit.depth,
+        gate_mix=tuple(sorted(mix.items())),
+    )
+
+
+def feedback_flops(circuit: Circuit) -> tuple[str, ...]:
+    """Flip-flops whose next-state cone (transitively) includes any
+    flip-flop output — i.e. state bits involved in sequential feedback."""
+    involved: list[str] = []
+    flop_set = set(circuit.flops)
+    for flop in circuit.flops:
+        frontier = [circuit.gate(flop).fanins[0]]
+        seen: set[str] = set()
+        found = False
+        while frontier and not found:
+            net = frontier.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if net in flop_set:
+                found = True
+                break
+            gate = circuit.gate(net)
+            if gate.gtype is not GateType.INPUT:
+                frontier.extend(gate.fanins)
+        if found:
+            involved.append(flop)
+    return tuple(involved)

@@ -1,0 +1,113 @@
+"""Structural Verilog export.
+
+Emits a synthesizable Verilog-2001 module for any
+:class:`~repro.circuit.Circuit` — including synthesized TPGs and MISRs
+— so the generated BIST hardware can be taken into a standard flow.
+Flip-flops become a single always-block with a positive-edge clock
+(added as an implicit ``clk`` port); everything else is continuous
+assignments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+_OPERATORS = {
+    GateType.AND: ("&", False),
+    GateType.NAND: ("&", True),
+    GateType.OR: ("|", False),
+    GateType.NOR: ("|", True),
+    GateType.XOR: ("^", False),
+    GateType.XNOR: ("^", True),
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+_KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "posedge", "negedge", "if", "else", "case",
+}
+
+
+def _ident(name: str) -> str:
+    """Make a net name a legal Verilog identifier (escaped if needed)."""
+    if _ID_RE.match(name) and name not in _KEYWORDS:
+        return name
+    return f"\\{name} "  # escaped identifier (trailing space required)
+
+
+def write_verilog(circuit: Circuit, clock: str = "clk") -> str:
+    """Render ``circuit`` as a structural Verilog module.
+
+    The module name is the circuit name; ports are the primary inputs,
+    primary outputs, and (when the circuit has flip-flops) the added
+    ``clock`` input.
+    """
+    if clock in circuit:
+        raise NetlistError(
+            f"clock name {clock!r} collides with an existing net"
+        )
+    has_flops = bool(circuit.flops)
+    ports: List[str] = []
+    if has_flops:
+        ports.append(_ident(clock))
+    ports.extend(_ident(n) for n in circuit.inputs)
+    ports.extend(_ident(n) for n in circuit.outputs)
+
+    lines = [f"module {_ident(circuit.name.replace('-', '_'))} ("]
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    if has_flops:
+        lines.append(f"  input {_ident(clock)};")
+    for net in circuit.inputs:
+        lines.append(f"  input {_ident(net)};")
+    for net in circuit.outputs:
+        lines.append(f"  output {_ident(net)};")
+
+    output_set = set(circuit.outputs)
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.INPUT:
+            continue
+        kind = "reg" if gate.gtype is GateType.DFF else "wire"
+        if net in output_set and kind == "wire":
+            continue  # outputs already declared; wire is implicit
+        lines.append(f"  {kind} {_ident(net)};")
+
+    lines.append("")
+    for net in circuit.combinational_order:
+        gate = circuit.gate(net)
+        lines.append(f"  assign {_ident(net)} = {_expression(gate)};")
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {_ident(net)} = 1'b0;")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {_ident(net)} = 1'b1;")
+
+    if has_flops:
+        lines.append("")
+        lines.append(f"  always @(posedge {_ident(clock)}) begin")
+        for net in circuit.flops:
+            d_net = circuit.gate(net).fanins[0]
+            lines.append(f"    {_ident(net)} <= {_ident(d_net)};")
+        lines.append("  end")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _expression(gate) -> str:
+    operands = [_ident(f) for f in gate.fanins]
+    if gate.gtype is GateType.NOT:
+        return f"~{operands[0]}"
+    if gate.gtype is GateType.BUF:
+        return operands[0]
+    operator, invert = _OPERATORS[gate.gtype]
+    body = f" {operator} ".join(operands)
+    if len(operands) > 1:
+        body = f"({body})"
+    return f"~{body}" if invert else body

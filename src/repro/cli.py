@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro circuits
+    python -m repro flow s27 --lg 256 --verilog tpg.v --bench tpg.bench
+    python -m repro table6 s27 g208
+    python -m repro tradeoff g208
+    python -m repro atpg s27
+    python -m repro bench-info path/to/design.bench
+
+Every command prints plain text; files are written only when an output
+path is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.circuit import (
+    available_circuits,
+    circuit_stats,
+    load_circuit,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.verilog import write_verilog
+from repro.core import ProcedureConfig
+from repro.core.report import format_table6
+from repro.flows import FlowConfig, run_full_flow
+from repro.obs import format_tradeoff, observation_point_tradeoff
+from repro.sim import all_faults, collapse_faults
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = getattr(args, "handler", None)
+    if handler is None:
+        parser.print_help()
+        return 2
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Built-in generation of weighted test sequences for "
+            "synchronous sequential circuits (Pomeranz & Reddy, DATE 2000)"
+        ),
+    )
+    sub = parser.add_subparsers()
+
+    p = sub.add_parser("circuits", help="list the embedded benchmark circuits")
+    p.set_defaults(handler=_cmd_circuits)
+
+    p = sub.add_parser("flow", help="run the full pipeline on one circuit")
+    p.add_argument("circuit", help="library name (e.g. s27) or .bench path")
+    p.add_argument("--lg", type=int, default=512, help="weighted sequence length L_G")
+    p.add_argument("--seed", type=int, default=1, help="test generation seed")
+    p.add_argument("--hybrid", action="store_true",
+                   help="use random + deterministic ATPG test generation")
+    p.add_argument("--verilog", type=Path, default=None,
+                   help="write the synthesized TPG as Verilog")
+    p.add_argument("--bench", type=Path, default=None,
+                   help="write the synthesized TPG as .bench")
+    p.add_argument("--save-seq", type=Path, default=None,
+                   help="write the deterministic test sequence T")
+    p.set_defaults(handler=_cmd_flow)
+
+    p = sub.add_parser("table6", help="regenerate the paper's Table 6")
+    p.add_argument("circuits", nargs="*", help="circuit names (default: fast suite)")
+    p.set_defaults(handler=_cmd_table6)
+
+    p = sub.add_parser("tradeoff", help="observation-point tradeoff (Tables 7-16)")
+    p.add_argument("circuit")
+    p.set_defaults(handler=_cmd_tradeoff)
+
+    p = sub.add_parser("atpg", help="run deterministic ATPG on a circuit")
+    p.add_argument("circuit")
+    p.set_defaults(handler=_cmd_atpg)
+
+    p = sub.add_parser("scan", help="full-scan insertion + combinational ATPG")
+    p.add_argument("circuit")
+    p.set_defaults(handler=_cmd_scan)
+
+    p = sub.add_parser("bench-info", help="parse a .bench file and show statistics")
+    p.add_argument("path", type=Path)
+    p.set_defaults(handler=_cmd_bench_info)
+
+    p = sub.add_parser("report", help="render benchmarks/results/ as an HTML report")
+    p.add_argument("--results", type=Path, default=Path("benchmarks/results"))
+    p.add_argument("--output", type=Path, default=Path("report.html"))
+    p.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def _load(ref: str):
+    if ref.endswith(".bench") or "/" in ref:
+        return parse_bench(ref)
+    return load_circuit(ref)
+
+
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    for name in available_circuits():
+        print(circuit_stats(load_circuit(name)).describe())
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    circuit = _load(args.circuit)
+    config = FlowConfig(
+        seed=args.seed,
+        tgen_mode="hybrid" if args.hybrid else "random",
+        procedure=ProcedureConfig(l_g=args.lg),
+        synthesize_hardware=True,
+    )
+    flow = run_full_flow(circuit, config)
+    print(format_table6([flow.table6]))
+    print(f"\nT: {len(flow.sequence)} cycles, coverage "
+          f"{100 * flow.generated.coverage:.1f}% of the collapsed fault list")
+    print(f"TPG verified: {flow.tpg_verified}")
+    if flow.tpg is not None:
+        if args.verilog is not None:
+            args.verilog.write_text(write_verilog(flow.tpg.circuit))
+            print(f"wrote {args.verilog}")
+        if args.bench is not None:
+            args.bench.write_text(write_bench(flow.tpg.circuit))
+            print(f"wrote {args.bench}")
+    if args.save_seq is not None:
+        from repro.tgen.io import save_sequence
+
+        save_sequence(
+            flow.sequence,
+            args.save_seq,
+            comment=f"{flow.circuit.name}: deterministic test sequence T "
+                    f"({len(flow.sequence)} cycles)",
+        )
+        print(f"wrote {args.save_seq}")
+    return 0
+
+
+def _cmd_table6(args: argparse.Namespace) -> int:
+    from repro.flows import table6_rows
+
+    names = tuple(args.circuits) or None
+    print(format_table6(table6_rows(names)))
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.flows import flow_for
+
+    flow = flow_for(args.circuit)
+    rows = observation_point_tradeoff(flow.circuit, flow.procedure)
+    print(format_tradeoff(args.circuit, rows))
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg import deterministic_atpg
+
+    circuit = _load(args.circuit)
+    faults = collapse_faults(circuit)
+    result = deterministic_atpg(circuit, faults)
+    print(f"{circuit.name}: {len(result.detected)}/{len(faults)} faults "
+          f"detected by a {len(result.sequence)}-cycle sequence")
+    print(f"aborted: {len(result.aborted)}, "
+          f"untestable at max depth: {len(result.exhausted)}, "
+          f"PODEM runs: {result.n_podem_runs}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.scan import scan_atpg, scan_cost
+
+    circuit = _load(args.circuit)
+    result = scan_atpg(circuit)
+    cost = scan_cost(circuit, result.design)
+    supported = (
+        len(result.detected) + len(result.untestable) + len(result.aborted)
+    )
+    print(f"{circuit.name}: {len(result.tests)} scan tests, "
+          f"{len(result.detected)}/{supported} supported faults detected")
+    print(f"proven untestable: {len(result.untestable)}, "
+          f"aborted: {len(result.aborted)}, "
+          f"unsupported (DFF D-pin branches): {len(result.unsupported)}")
+    print(f"session: {result.session_cycles} cycles "
+          f"({result.design.chain_length}-cell chain); "
+          f"overhead: {cost.extra_gates} gates, {cost.extra_ports} pins")
+    return 0
+
+
+def _cmd_bench_info(args: argparse.Namespace) -> int:
+    circuit = parse_bench(args.path)
+    print(circuit_stats(circuit).describe())
+    print(f"fault universe: {len(all_faults(circuit))} "
+          f"({len(collapse_faults(circuit))} collapsed)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import collect_results, write_report
+
+    artifacts = collect_results(args.results)
+    if not artifacts:
+        print(f"no artifacts in {args.results}; run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    path = write_report(args.results, args.output)
+    print(f"wrote {path} ({len(artifacts)} artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: selection of subsequence weights
+and weight assignments for built-in generation of weighted test
+sequences (Pomeranz & Reddy, DATE 2000).
+
+Pipeline (paper section in parentheses):
+
+1. :mod:`repro.core.weight` — subsequence weights ``α`` and the tail
+   mining rule ``α(u' mod L_S) = T_i(u')`` (§3).
+2. :mod:`repro.core.weight_set` — the growing weight set ``S`` (§3).
+3. :mod:`repro.core.candidates` — per-input candidate sets ``A_i``
+   sorted by match count ``n_m``, with the full-length promotion rule
+   (§4.1).
+4. :mod:`repro.core.assignment` — weight assignments ``w_j`` and
+   weighted sequence generation ``T_G`` (§4.1).
+5. :mod:`repro.core.procedure` — the overall selection procedure
+   producing the assignment set ``Ω`` (§4.2).
+6. :mod:`repro.core.postprocess` — reverse-order simulation (§4.3).
+7. :mod:`repro.core.report` — Table-6-style result rows (§5).
+"""
+
+from repro.core.weight import Weight, RandomWeight, mine_weight
+from repro.core.weight_set import WeightSet
+from repro.core.candidates import candidate_sets, promote_full_length
+from repro.core.assignment import WeightAssignment
+from repro.core.procedure import ProcedureConfig, ProcedureResult, select_weight_assignments
+from repro.core.postprocess import reverse_order_simulation
+from repro.core.report import Table6Row, build_table6_row
+
+__all__ = [
+    "Weight",
+    "RandomWeight",
+    "mine_weight",
+    "WeightSet",
+    "candidate_sets",
+    "promote_full_length",
+    "WeightAssignment",
+    "ProcedureConfig",
+    "ProcedureResult",
+    "select_weight_assignments",
+    "reverse_order_simulation",
+    "Table6Row",
+    "build_table6_row",
+]

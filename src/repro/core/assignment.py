@@ -1,0 +1,114 @@
+"""Weight assignments and weighted sequence generation (Section 4.1).
+
+A weight assignment ``w = {α_i : 1 <= i <= n}`` gives every primary
+input one weight.  Applying it for ``L_G`` cycles produces the weighted
+test sequence ``T_G`` where input ``i`` receives ``α_i^r`` — this is
+exactly what the hardware of Figure 1 applies, with all weight FSMs
+starting from their reset state (phase 0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.weight import RandomWeight, Weight
+from repro.errors import WeightError
+from repro.tgen.sequence import TestSequence
+from repro.util.rng import DeterministicRng
+
+AnyWeight = Union[Weight, RandomWeight]
+
+
+class WeightAssignment:
+    """An immutable per-input weight assignment.
+
+    Parameters
+    ----------
+    weights:
+        One weight per primary input, in port order.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: Sequence[AnyWeight]) -> None:
+        if not weights:
+            raise WeightError("a weight assignment needs at least one input")
+        self._weights: Tuple[AnyWeight, ...] = tuple(weights)
+
+    @classmethod
+    def from_strings(cls, texts: Sequence[str]) -> "WeightAssignment":
+        """Build from subsequence strings, e.g. ``["01", "0", "100", "1"]``.
+
+        The string ``"R"`` denotes the pseudo-random weight.
+        """
+        weights: list[AnyWeight] = []
+        for text in texts:
+            if text == "R":
+                weights.append(RandomWeight())
+            else:
+                weights.append(Weight.from_string(text))
+        return cls(weights)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def weights(self) -> Tuple[AnyWeight, ...]:
+        """The per-input weights."""
+        return self._weights
+
+    @property
+    def width(self) -> int:
+        """Number of inputs covered."""
+        return len(self._weights)
+
+    @property
+    def max_length(self) -> int:
+        """Longest subsequence in the assignment."""
+        return max(w.length for w in self._weights)
+
+    @property
+    def has_random(self) -> bool:
+        """True if any input uses the pseudo-random weight."""
+        return any(w.is_random for w in self._weights)
+
+    def deterministic_weights(self) -> Tuple[Weight, ...]:
+        """The non-random weights of this assignment."""
+        return tuple(w for w in self._weights if not w.is_random)
+
+    # -- generation ----------------------------------------------------------
+
+    def generate(
+        self, length: int, rng: Optional[DeterministicRng] = None
+    ) -> TestSequence:
+        """Produce the weighted test sequence ``T_G`` of ``length`` cycles.
+
+        Every weight expands from phase 0, matching the hardware's FSM
+        reset between weight assignments.  ``rng`` is required only when
+        the assignment contains the pseudo-random weight.
+        """
+        if self.has_random and rng is None:
+            raise WeightError("assignment contains RandomWeight: rng required")
+        columns = [w.expand(length, rng) for w in self._weights]
+        return TestSequence(zip(*columns)) if length else TestSequence([])
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightAssignment):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __getitem__(self, i: int) -> AnyWeight:
+        return self._weights[i]
+
+    def __repr__(self) -> str:
+        return f"WeightAssignment({', '.join(str(w) for w in self._weights)})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(w) for w in self._weights) + "}"

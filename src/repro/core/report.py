@@ -1,0 +1,94 @@
+"""Table-6-style reporting (Section 5).
+
+For each circuit the paper reports: the given sequence's length and
+fault count, then — after reverse-order simulation — the number of
+weight assignments (``seq``), the number of subsequences defining them
+(``subs``), the longest subsequence (``len``), and the FSM bank size
+(``num`` FSMs / total ``out`` outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.core.postprocess import ReverseOrderResult
+from repro.core.procedure import ProcedureResult
+from repro.core.weight import Weight
+from repro.hw.fsm import fsm_summary
+from repro.tgen.sequence import TestSequence
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One row of the paper's Table 6.
+
+    Attributes
+    ----------
+    circuit:
+        Circuit name.
+    given_len / given_det:
+        Length of the deterministic sequence ``T`` and the number of
+        faults it detects (the ``given seq`` columns).
+    n_sequences:
+        Weight assignments kept after reverse-order simulation
+        (``seq``).
+    n_subsequences:
+        Distinct subsequences defining the kept assignments (``subs``).
+    max_length:
+        Longest of those subsequences (``len``).
+    n_fsms / n_fsm_outputs:
+        FSM bank size for the kept assignments (``num`` / ``out``).
+    """
+
+    circuit: str
+    given_len: int
+    given_det: int
+    n_sequences: int
+    n_subsequences: int
+    max_length: int
+    n_fsms: int
+    n_fsm_outputs: int
+
+
+def build_table6_row(
+    circuit_name: str,
+    sequence: TestSequence,
+    procedure: ProcedureResult,
+    reverse_order: ReverseOrderResult,
+) -> Table6Row:
+    """Assemble a :class:`Table6Row` from a completed flow."""
+    distinct: Set[Weight] = set()
+    for assignment in reverse_order.kept:
+        distinct.update(assignment.deterministic_weights())
+    summary = fsm_summary(distinct)
+    return Table6Row(
+        circuit=circuit_name,
+        given_len=len(sequence),
+        given_det=len(procedure.target_faults),
+        n_sequences=reverse_order.n_kept,
+        n_subsequences=len(distinct),
+        max_length=max((w.length for w in distinct), default=0),
+        n_fsms=summary.n_fsms,
+        n_fsm_outputs=summary.n_outputs,
+    )
+
+
+def format_table6(rows: Sequence[Table6Row]) -> str:
+    """Render rows in the paper's Table 6 layout."""
+    headers = ["circuit", "len", "det", "seq", "subs", "len", "num", "out"]
+    body: List[List[object]] = [
+        [
+            r.circuit,
+            r.given_len,
+            r.given_det,
+            r.n_sequences,
+            r.n_subsequences,
+            r.max_length,
+            r.n_fsms,
+            r.n_fsm_outputs,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 6: Experimental results")

@@ -1,0 +1,234 @@
+"""Subsequence weights (Section 3 of the paper).
+
+A *weight* is a binary subsequence ``α``.  Assigned to an input, it
+means the input receives the periodic sequence ``α^r = αα...α``.  The
+key operations are:
+
+* **Expansion** — ``α^r(u) = α(u mod |α|)``.
+* **Mining** — given ``T_i`` and a detection time ``u``, the unique
+  subsequence of length ``L_S`` whose expansion reproduces the last
+  ``L_S`` values of ``T_i`` ending at ``u``:
+  ``α(u' mod L_S) = T_i(u')`` for ``u - L_S + 1 <= u' <= u``.
+* **Matching** — ``n_m``: at how many time units the expansion agrees
+  with ``T_i`` (the sorting key for candidate sets ``A_i``).
+
+The paper's worked example (s27, Table 1): mining input 0 at ``u = 8``
+with ``L_S = 4`` yields ``α = 0110``, whose repetition ``011001100...``
+matches ``T_0`` perfectly at time units 5..8.
+
+:class:`RandomWeight` implements the paper's future-work extension
+(Section 6): a pseudo-random source used as one more weight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import WeightError
+from repro.sim.values import V0, V1, Value
+from repro.util.rng import DeterministicRng
+
+
+class Weight:
+    """An immutable binary subsequence weight ``α``.
+
+    >>> w = Weight((0, 1))
+    >>> w.expand(5)
+    (0, 1, 0, 1, 0)
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Sequence[int]) -> None:
+        bits = tuple(bits)
+        if not bits:
+            raise WeightError("a weight subsequence cannot be empty")
+        if any(b not in (0, 1) for b in bits):
+            raise WeightError(f"weight bits must be binary, got {bits!r}")
+        self._bits = bits
+
+    @classmethod
+    def from_string(cls, text: str) -> "Weight":
+        """Build from a string like ``"001"``."""
+        return cls(tuple(int(c) for c in text))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def bits(self) -> Tuple[int, ...]:
+        """The subsequence ``α`` itself."""
+        return self._bits
+
+    @property
+    def length(self) -> int:
+        """``L_S``: the subsequence length."""
+        return len(self._bits)
+
+    @property
+    def is_random(self) -> bool:
+        """False — deterministic subsequence weight."""
+        return False
+
+    def value_at(self, u: int) -> int:
+        """``α^r(u) = α(u mod L_S)``."""
+        return self._bits[u % len(self._bits)]
+
+    def expand(self, length: int, rng: Optional[DeterministicRng] = None) -> Tuple[int, ...]:
+        """The repeated sequence ``α^r`` truncated to ``length``.
+
+        ``rng`` is accepted (and ignored) for interface compatibility
+        with :class:`RandomWeight`.
+        """
+        del rng
+        bits = self._bits
+        n = len(bits)
+        reps = length // n + 1
+        return (bits * reps)[:length]
+
+    # -- paper operations ------------------------------------------------------
+
+    def match_count(self, t_i: Sequence[Value]) -> int:
+        """``n_m``: time units where ``α^r`` agrees with ``T_i``.
+
+        Unknown (X) values in ``T_i`` never match.
+        """
+        bits = self._bits
+        n = len(bits)
+        return sum(1 for u, v in enumerate(t_i) if bits[u % n] == v)
+
+    def matches_tail(self, t_i: Sequence[Value], u: int) -> bool:
+        """Perfect match with the last ``L_S`` values of ``T_i`` ending
+        at time unit ``u`` (Section 4.1's membership test for ``A_i``).
+
+        Requires ``u - L_S + 1 >= 0``; shorter histories cannot be
+        perfectly matched and return False.
+        """
+        n = len(self._bits)
+        if u - n + 1 < 0 or u >= len(t_i):
+            return False
+        return all(
+            self._bits[up % n] == t_i[up] for up in range(u - n + 1, u + 1)
+        )
+
+    def canonical(self) -> "Weight":
+        """The shortest weight with the same infinite expansion.
+
+        ``0101`` canonicalizes to ``01``; ``100`` is already canonical.
+        Two weights produce identical repeated sequences iff their
+        canonical forms are equal — the dedup rule the paper applies
+        before FSM construction (Section 5).
+        """
+        bits = self._bits
+        n = len(bits)
+        for period in range(1, n + 1):
+            if n % period:
+                continue
+            if bits == bits[:period] * (n // period):
+                return Weight(bits[:period]) if period != n else self
+        return self  # pragma: no cover — period n always divides
+
+    def same_expansion(self, other: "Weight") -> bool:
+        """True iff repeating both weights yields the same sequence."""
+        return self.canonical().bits == other.canonical().bits
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RandomWeight):
+            return False
+        if not isinstance(other, Weight):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __lt__(self, other: "Weight") -> bool:
+        if not isinstance(other, Weight):
+            return NotImplemented
+        return (self.length, self._bits) < (other.length, other._bits)
+
+    def __repr__(self) -> str:
+        return f"Weight({''.join(map(str, self._bits))})"
+
+    def __str__(self) -> str:
+        return "".join(map(str, self._bits))
+
+
+class RandomWeight:
+    """The pseudo-random weight of the paper's future-work extension.
+
+    Assigned to an input, the input receives pseudo-random values
+    instead of a repeated subsequence (in hardware: one LFSR cell).  It
+    trivially "matches" nothing deterministically, so the procedure
+    only uses it as an explicitly enabled fallback.
+    """
+
+    __slots__ = ()
+
+    @property
+    def length(self) -> int:
+        """Period length reported as 1 (one LFSR cell feeds the input)."""
+        return 1
+
+    @property
+    def is_random(self) -> bool:
+        """True — pseudo-random weight."""
+        return True
+
+    def expand(self, length: int, rng: Optional[DeterministicRng] = None) -> Tuple[int, ...]:
+        """``length`` pseudo-random bits drawn from ``rng``."""
+        if rng is None:
+            raise WeightError("RandomWeight.expand requires an rng")
+        return rng.bits(length)
+
+    def match_count(self, t_i: Sequence[Value]) -> int:
+        """Expected matches of an unbiased random source: half."""
+        return len(t_i) // 2
+
+    def matches_tail(self, t_i: Sequence[Value], u: int) -> bool:
+        """A random source never guarantees a perfect tail match."""
+        del t_i, u
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RandomWeight)
+
+    def __hash__(self) -> int:
+        return hash("RandomWeight")
+
+    def __repr__(self) -> str:
+        return "RandomWeight()"
+
+    def __str__(self) -> str:
+        return "R"
+
+
+def mine_weight(t_i: Sequence[Value], u: int, length: int) -> Weight:
+    """Mine the unique weight reproducing ``T_i``'s tail at ``u``.
+
+    Solves ``α(u' mod L_S) = T_i(u')`` for ``u - L_S + 1 <= u' <= u``
+    (Section 3).  The ``L_S`` consecutive time units cover every residue
+    modulo ``L_S`` exactly once, so ``α`` is fully determined.
+
+    Raises
+    ------
+    WeightError
+        If ``length > u + 1`` (not enough history), ``u`` is out of
+        range, or the tail contains unknown values.
+    """
+    if u < 0 or u >= len(t_i):
+        raise WeightError(f"time unit {u} outside sequence of length {len(t_i)}")
+    if length < 1:
+        raise WeightError(f"subsequence length must be >= 1, got {length}")
+    if length > u + 1:
+        raise WeightError(
+            f"cannot mine length {length} at time {u}: only {u + 1} values of history"
+        )
+    alpha: list[int | None] = [None] * length
+    for up in range(u - length + 1, u + 1):
+        value = t_i[up]
+        if value not in (V0, V1):
+            raise WeightError(f"unknown value at time {up}; weights must be binary")
+        alpha[up % length] = value
+    return Weight(tuple(alpha))  # type: ignore[arg-type] — all slots filled

@@ -1,0 +1,80 @@
+"""The growing weight set ``S`` (Section 3).
+
+``S`` accumulates subsequences mined from the deterministic sequence
+``T`` as the procedure visits detection times.  The paper deliberately
+keeps repetition-equivalent subsequences of different lengths (e.g.
+``0`` and ``00``) because the *length* matters when constructing weight
+assignments; only the hardware stage (Section 5) merges them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.weight import Weight, mine_weight
+from repro.tgen.sequence import TestSequence
+
+
+class WeightSet:
+    """Insertion-ordered set of distinct subsequence weights.
+
+    Iteration order is insertion order, which gives every weight a
+    stable index — the paper's Table 4 numbers its weights the same way.
+    """
+
+    def __init__(self) -> None:
+        self._weights: List[Weight] = []
+        self._seen: set[Weight] = set()
+
+    def add(self, weight: Weight) -> bool:
+        """Add ``weight`` if new; return True when it was added."""
+        if weight in self._seen:
+            return False
+        self._seen.add(weight)
+        self._weights.append(weight)
+        return True
+
+    def extend_from(self, sequence: TestSequence, u: int, length: int) -> List[Weight]:
+        """Extend ``S`` from detection time ``u`` and length ``L_S``.
+
+        For every primary input ``i``, mines the unique subsequence of
+        length ``L_S`` reproducing ``T_i``'s tail ending at ``u``
+        (Section 3's extension step) and adds it.  Returns the weights
+        that were actually new.
+        """
+        added = []
+        for i in range(sequence.width):
+            weight = mine_weight(sequence.restrict(i), u, length)
+            if self.add(weight):
+                added.append(weight)
+        return added
+
+    def of_length(self, length: int) -> Tuple[Weight, ...]:
+        """All weights of exactly the given length, in insertion order."""
+        return tuple(w for w in self._weights if w.length == length)
+
+    def up_to_length(self, length: int) -> Tuple[Weight, ...]:
+        """All weights of length at most ``length``, in insertion order."""
+        return tuple(w for w in self._weights if w.length <= length)
+
+    @property
+    def max_length(self) -> int:
+        """Longest subsequence in ``S`` (0 when empty)."""
+        return max((w.length for w in self._weights), default=0)
+
+    def __iter__(self) -> Iterator[Weight]:
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, weight: object) -> bool:
+        return weight in self._seen
+
+    def __getitem__(self, index: int) -> Weight:
+        return self._weights[index]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(w) for w in self._weights[:8])
+        suffix = ", ..." if len(self._weights) > 8 else ""
+        return f"WeightSet([{preview}{suffix}], n={len(self._weights)})"

@@ -1,0 +1,22 @@
+"""Fault diagnosis from observed test responses.
+
+A fault-dictionary diagnosis layer on top of the fault simulator: build
+the full pass/fail syndrome of every modeled fault under the applied
+test sequence once, then locate an observed failing response by exact
+or nearest-syndrome match.  This is the classic companion of any BIST
+scheme — once the signature mismatches, diagnosis tells you *where*.
+"""
+
+from repro.diag.dictionary import (
+    Diagnosis,
+    FaultDictionary,
+    Syndrome,
+    observed_syndrome,
+)
+
+__all__ = [
+    "Diagnosis",
+    "FaultDictionary",
+    "Syndrome",
+    "observed_syndrome",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (dangling nets, cycles, ...)."""
+
+
+class BenchParseError(NetlistError):
+    """An ISCAS-89 ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class SimulationError(ReproError):
+    """A simulation was configured or driven incorrectly."""
+
+
+class FaultModelError(ReproError):
+    """A fault refers to a line or pin that does not exist."""
+
+
+class WeightError(ReproError):
+    """A weight subsequence is malformed (empty, non-binary, ...)."""
+
+
+class ProcedureError(ReproError):
+    """The weight-selection procedure was invoked with invalid inputs."""
+
+
+class HardwareError(ReproError):
+    """Hardware (FSM / TPG) synthesis failed or was misconfigured."""

@@ -1,0 +1,35 @@
+"""End-to-end flows and experiment drivers.
+
+:mod:`repro.flows.full_flow` runs the complete pipeline on one circuit:
+test generation → static compaction → weight selection → reverse-order
+simulation → Table-6 row (optionally TPG synthesis + verification).
+
+:mod:`repro.flows.experiments` wraps the flows into the exact
+experiments of the paper's evaluation section; the benchmark harness
+calls these.
+"""
+
+from repro.flows.full_flow import FlowConfig, FlowResult, run_full_flow
+from repro.flows.closure import BistClosure, compose_bist
+from repro.flows.experiments import (
+    DEFAULT_SUITE,
+    FULL_SUITE,
+    clear_cache,
+    flow_for,
+    table6_rows,
+    tradeoff_for,
+)
+
+__all__ = [
+    "FlowConfig",
+    "FlowResult",
+    "run_full_flow",
+    "BistClosure",
+    "compose_bist",
+    "DEFAULT_SUITE",
+    "FULL_SUITE",
+    "clear_cache",
+    "flow_for",
+    "table6_rows",
+    "tradeoff_for",
+]

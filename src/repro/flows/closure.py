@@ -1,0 +1,254 @@
+"""Full BIST closure: TPG → CUT → MISR composed into one netlist.
+
+The paper's Figure 1 shows the generator driving the CUT; a deployable
+BIST also compacts the responses.  This module stitches the three
+blocks into a single self-testing circuit with one ``reset`` input and
+the MISR signature as outputs, then checks the whole thing end to end:
+the hardware signature after the complete session must equal the
+software-predicted signature.
+
+Semantics note: unlike the per-assignment fault simulation (which
+conservatively restarts the CUT from an unknown state for every
+weighted sequence), the composed hardware runs the CUT *continuously*
+across assignment windows.  The 3-valued argument still guarantees
+every fault detected under X-start per-cycle observation is detected
+in the continuous run; the signature reference below replays the exact
+continuous stimulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import HardwareError
+from repro.hw.misr import Misr, synthesize_misr
+from repro.hw.tpg import TpgDesign
+from repro.sim.logicsim import LogicSimulator
+from repro.sim.values import V0, V1, VX
+
+
+@dataclass(frozen=True)
+class BistClosure:
+    """The composed self-test circuit and its session parameters.
+
+    Attributes
+    ----------
+    circuit:
+        TPG + CUT + MISR in one netlist.  PI: ``reset``; POs: the MISR
+        state bits (LSB first).
+    cut:
+        The original circuit under test (for software prediction).
+    tpg:
+        The embedded generator design.
+    misr_width:
+        Signature width.
+    session_cycles:
+        Cycles after reset until the signature is valid (all assignment
+        windows plus one flush cycle for the final MISR update).
+    settle_cycles:
+        Leading cycles whose CUT outputs are not absorbed: a hardware
+        settle counter holds the MISR in reset until the unknown
+        power-up values have flushed out of the responses (real BIST
+        controllers do exactly this).  Computed from the fault-free
+        simulation at composition time.
+    """
+
+    circuit: Circuit
+    cut: Circuit
+    tpg: TpgDesign
+    misr_width: int
+    session_cycles: int
+    settle_cycles: int
+
+    def run_hardware(self) -> Tuple[int, int]:
+        """Simulate the composed netlist; return ``(signature, n_x_bits)``.
+
+        ``n_x_bits`` counts signature bits still unknown at session end
+        (nonzero means the CUT leaked X into the MISR — the masking
+        caveat documented in :mod:`repro.hw.misr`).
+        """
+        stimulus = [(V1,)] + [(V0,)] * self.session_cycles
+        trace = LogicSimulator(self.circuit).run(stimulus)
+        final = trace.outputs[-1]
+        signature = 0
+        n_x = 0
+        for k, value in enumerate(final):
+            if value == VX:
+                n_x += 1
+            elif value == V1:
+                signature |= 1 << k
+        return signature, n_x
+
+    def predict_signature(self) -> Tuple[int, int]:
+        """Software-predict ``(signature, n_x_positions)``.
+
+        Simulates the CUT continuously over the concatenated expected
+        streams and absorbs the PO values into a software MISR.  X
+        outputs are absorbed as 0 and counted — when the count is zero
+        the hardware signature must match exactly.
+        """
+        cut = self.cut
+        streams = [
+            self.tpg.expected_stream(j) for j in range(self.tpg.n_assignments)
+        ]
+        stimulus: List[Tuple[int, ...]] = []
+        for stream in streams:
+            stimulus.extend(stream.patterns)
+        trace = LogicSimulator(cut).run(stimulus)
+        misr = Misr(self.misr_width, len(cut.outputs))
+        n_x = 0
+        for outputs in trace.outputs[self.settle_cycles :]:
+            bits = []
+            for value in outputs:
+                if value == VX:
+                    n_x += 1
+                    bits.append(0)
+                else:
+                    bits.append(value)
+            misr.absorb(bits)
+        return misr.signature, n_x
+
+def compose_bist(
+    cut: Circuit,
+    tpg: TpgDesign,
+    misr_width: int | None = None,
+    name: str | None = None,
+    settle_cycles: int | None = None,
+) -> BistClosure:
+    """Stitch ``tpg`` → ``cut`` → MISR into one circuit.
+
+    The TPG's output ports must match the CUT's primary inputs in
+    count and order (build the TPG with ``input_names=cut.inputs``).
+    ``settle_cycles`` defaults to the first cycle after which the
+    fault-free responses are X-free (computed by simulation); it
+    becomes a hardware settle counter gating the MISR.
+
+    Raises
+    ------
+    HardwareError
+        If the fault-free responses never become X-free (the CUT is
+        not initializable under these weighted sequences).
+    """
+    if len(tpg.output_ports) != len(cut.inputs):
+        raise HardwareError(
+            f"TPG drives {len(tpg.output_ports)} inputs, CUT has "
+            f"{len(cut.inputs)}"
+        )
+    width = misr_width or max(len(cut.outputs), 8)
+    misr = synthesize_misr(width, len(cut.outputs))
+
+    if settle_cycles is None:
+        settle_cycles = _required_settle(cut, tpg)
+
+    gates: List[Gate] = []
+    outputs: List[str] = []
+
+    def clone(circuit: Circuit, prefix: str, port_map: Dict[str, str]) -> None:
+        for net, gate in circuit.gates.items():
+            if gate.gtype is GateType.INPUT:
+                source = port_map.get(net)
+                if source is None:
+                    raise HardwareError(f"unbound input {net!r} in {prefix}")
+                gates.append(Gate(f"{prefix}{net}", GateType.BUF, (source,)))
+            else:
+                gates.append(
+                    Gate(
+                        f"{prefix}{net}",
+                        gate.gtype,
+                        tuple(f"{prefix}{f}" for f in gate.fanins),
+                    )
+                )
+
+    gates.append(Gate("reset", GateType.INPUT, ()))
+
+    clone(tpg.circuit, "tpg_", {"reset": "reset"})
+    cut_port_map = {
+        pi: f"tpg_{port}" for pi, port in zip(cut.inputs, tpg.output_ports)
+    }
+    clone(cut, "cut_", cut_port_map)
+
+    # Settle gate: a saturating counter holds the MISR in reset for the
+    # first `settle_cycles` cycles so unknown power-up responses are
+    # never absorbed.
+    misr_reset = _build_settle_gate(gates, settle_cycles)
+
+    misr_port_map: Dict[str, str] = {"reset": misr_reset}
+    for k, po in enumerate(cut.outputs):
+        misr_port_map[f"d{k}"] = f"cut_{po}"
+    clone(misr, "misr_", misr_port_map)
+    outputs.extend(f"misr_s{k}" for k in range(width))
+
+    composed = Circuit(
+        name or f"{cut.name}_bist", gates, outputs
+    )
+    return BistClosure(
+        circuit=composed,
+        cut=cut,
+        tpg=tpg,
+        misr_width=width,
+        session_cycles=tpg.total_cycles + 1,
+        settle_cycles=settle_cycles,
+    )
+
+
+def _required_settle(cut: Circuit, tpg: TpgDesign) -> int:
+    """First cycle index after which fault-free responses are X-free."""
+    stimulus: List[Tuple[int, ...]] = []
+    for j in range(tpg.n_assignments):
+        stimulus.extend(tpg.expected_stream(j).patterns)
+    trace = LogicSimulator(cut).run(stimulus)
+    last_x = -1
+    for u, outputs in enumerate(trace.outputs):
+        if any(v == VX for v in outputs):
+            last_x = u
+    if last_x == len(trace.outputs) - 1:
+        raise HardwareError(
+            "fault-free responses never become X-free; the circuit does "
+            "not initialize under these weighted sequences"
+        )
+    return last_x + 1
+
+
+def _build_settle_gate(gates: List[Gate], settle: int) -> str:
+    """Append the settle counter; return the gated MISR reset net.
+
+    The counter saturates at ``settle``; while below, the MISR reset is
+    held high.  ``settle == 0`` returns the plain reset unchanged.
+    """
+    if settle <= 0:
+        return "reset"
+    n_bits = settle.bit_length()
+    q = [f"settle_q{k}" for k in range(n_bits)]
+    gates.append(Gate("settle_nreset", GateType.NOT, ("reset",)))
+
+    # at_sat = (q == settle)
+    literals: List[str] = []
+    for k in range(n_bits):
+        if (settle >> k) & 1:
+            literals.append(q[k])
+        else:
+            gates.append(Gate(f"settle_nq{k}", GateType.NOT, (q[k],)))
+            literals.append(f"settle_nq{k}")
+    if len(literals) == 1:
+        gates.append(Gate("settle_at_sat", GateType.BUF, (literals[0],)))
+    else:
+        gates.append(Gate("settle_at_sat", GateType.AND, tuple(literals)))
+    gates.append(Gate("settle_active", GateType.NOT, ("settle_at_sat",)))
+
+    # Increment with enable = active (hold when saturated).
+    carry = "settle_active"
+    for k in range(n_bits):
+        gates.append(Gate(f"settle_inc{k}", GateType.XOR, (q[k], carry)))
+        if k + 1 < n_bits:
+            gates.append(Gate(f"settle_c{k}", GateType.AND, (q[k], carry)))
+            carry = f"settle_c{k}"
+        gates.append(
+            Gate(f"settle_d{k}", GateType.AND, ("settle_nreset", f"settle_inc{k}"))
+        )
+        gates.append(Gate(q[k], GateType.DFF, (f"settle_d{k}",)))
+
+    gates.append(Gate("misr_gate_reset", GateType.OR, ("reset", "settle_active")))
+    return "misr_gate_reset"

@@ -1,0 +1,200 @@
+"""The complete per-circuit pipeline.
+
+``run_full_flow`` takes a circuit (object or library name) and produces
+everything the paper reports for it:
+
+1. deterministic test sequence ``T`` (simulation-based generation —
+   the STRATEGATE/SEQCOM stand-in),
+2. static compaction of ``T``,
+3. weight-assignment selection (``Ω``),
+4. reverse-order simulation,
+5. the Table-6 row, and
+6. optionally a synthesized, replay-verified TPG.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuit.library import load_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.postprocess import ReverseOrderResult, reverse_order_simulation
+from repro.core.procedure import (
+    ProcedureConfig,
+    ProcedureResult,
+    select_weight_assignments,
+)
+from repro.core.report import Table6Row, build_table6_row
+from repro.errors import ReproError
+from repro.hw.tpg import TpgDesign, synthesize_tpg
+from repro.hw.verify import verify_tpg
+from repro.sim.compile import compile_circuit
+from repro.sim.collapse import collapse_faults
+from repro.tgen.compaction import CompactionResult, compact_sequence
+from repro.tgen.random_tgen import GeneratedTest, generate_test_sequence
+from repro.tgen.sequence import TestSequence
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Configuration for the full pipeline.
+
+    Attributes
+    ----------
+    seed:
+        Seed for test generation.
+    tgen_max_len:
+        Length cap for the generated sequence (random phase).
+    tgen_mode:
+        ``"random"`` — simulation-based random walk only (fast);
+        ``"hybrid"`` — random walk plus deterministic PODEM targeting
+        of the leftover faults (slower, higher coverage; the closest
+        stand-in for the paper's STRATEGATE sequences).
+    compaction_sims:
+        Fault-simulation budget for static compaction (0 disables
+        compaction).
+    procedure:
+        Weight-selection knobs (see :class:`ProcedureConfig`); its
+        ``l_g`` is the paper's ``L_G``.
+    synthesize_hardware:
+        Also synthesize and verify the TPG for the kept assignments.
+    """
+
+    seed: int = 1
+    tgen_max_len: int = 2000
+    tgen_mode: str = "random"
+    compaction_sims: int = 60
+    procedure: ProcedureConfig = field(default_factory=ProcedureConfig)
+    synthesize_hardware: bool = False
+
+
+@dataclass
+class FlowResult:
+    """Everything the pipeline produced for one circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The circuit under test.
+    generated:
+        Raw test-generation outcome (pre-compaction).
+    compaction:
+        Compaction outcome (None when disabled).
+    sequence:
+        The final deterministic sequence ``T`` driving weight selection.
+    procedure:
+        The selection procedure's result (``Ω`` and friends).
+    reverse_order:
+        Reverse-order simulation outcome.
+    table6:
+        The circuit's Table-6 row.
+    tpg:
+        Synthesized TPG design (None unless requested).
+    tpg_verified:
+        Replay-verification verdict for the TPG (None unless
+        synthesized).
+    timings:
+        Per-stage wall-clock seconds.
+    """
+
+    circuit: Circuit
+    generated: GeneratedTest
+    compaction: Optional[CompactionResult]
+    sequence: TestSequence
+    procedure: ProcedureResult
+    reverse_order: ReverseOrderResult
+    table6: Table6Row
+    tpg: Optional[TpgDesign] = None
+    tpg_verified: Optional[bool] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def run_full_flow(
+    circuit: Circuit | str, config: FlowConfig | None = None
+) -> FlowResult:
+    """Run the complete pipeline on ``circuit``.
+
+    ``circuit`` may be a :class:`Circuit` or a library name
+    (e.g. ``"s27"``).
+    """
+    cfg = config or FlowConfig()
+    if isinstance(circuit, str):
+        circuit = load_circuit(circuit)
+    comp = compile_circuit(circuit)
+    faults = collapse_faults(circuit)
+    timings: Dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    if cfg.tgen_mode == "hybrid":
+        from repro.atpg.driver import hybrid_test_sequence
+
+        generated = hybrid_test_sequence(
+            circuit,
+            faults,
+            seed=cfg.seed,
+            random_max_len=cfg.tgen_max_len,
+            compiled=comp,
+        )
+    elif cfg.tgen_mode == "random":
+        generated = generate_test_sequence(
+            circuit, faults, seed=cfg.seed, max_len=cfg.tgen_max_len, compiled=comp
+        )
+    else:
+        raise ReproError(f"unknown tgen_mode {cfg.tgen_mode!r}")
+    timings["test_generation"] = time.perf_counter() - t0
+    if not generated.detected:
+        raise ReproError(
+            f"test generation detected no faults on {circuit.name}; "
+            "cannot drive weight selection"
+        )
+
+    compaction: Optional[CompactionResult] = None
+    sequence = generated.sequence
+    if cfg.compaction_sims > 0:
+        t0 = time.perf_counter()
+        compaction = compact_sequence(
+            circuit,
+            sequence,
+            generated.detected,
+            max_simulations=cfg.compaction_sims,
+            compiled=comp,
+        )
+        sequence = compaction.sequence
+        timings["compaction"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    procedure = select_weight_assignments(
+        circuit, sequence, faults, cfg.procedure, compiled=comp
+    )
+    timings["procedure"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reverse_order = reverse_order_simulation(circuit, procedure, comp)
+    timings["reverse_order"] = time.perf_counter() - t0
+
+    table6 = build_table6_row(circuit.name, sequence, procedure, reverse_order)
+
+    tpg: Optional[TpgDesign] = None
+    verified: Optional[bool] = None
+    if cfg.synthesize_hardware and reverse_order.kept:
+        t0 = time.perf_counter()
+        tpg = synthesize_tpg(
+            list(reverse_order.kept), procedure.l_g, circuit.inputs
+        )
+        verified = verify_tpg(tpg).ok
+        timings["hardware"] = time.perf_counter() - t0
+
+    return FlowResult(
+        circuit=circuit,
+        generated=generated,
+        compaction=compaction,
+        sequence=sequence,
+        procedure=procedure,
+        reverse_order=reverse_order,
+        table6=table6,
+        tpg=tpg,
+        tpg_verified=verified,
+        timings=timings,
+    )

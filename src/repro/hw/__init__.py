@@ -1,0 +1,43 @@
+"""Hardware realization of the weight-based test pattern generator.
+
+* :mod:`repro.hw.fsm` — the weight FSMs of Section 3 / Table 3: one FSM
+  per subsequence length, one output column per subsequence, with
+  repetition-equivalent subsequences merged (Section 5).
+* :mod:`repro.hw.qm` — a from-scratch Quine-McCluskey two-level
+  minimizer (don't-cares from unreachable FSM states).
+* :mod:`repro.hw.tpg` — the full test sequence generator of Figure 1:
+  phase counter, assignment counter, FSM bank and per-input selection
+  logic, synthesized as an ordinary :class:`~repro.circuit.Circuit`.
+* :mod:`repro.hw.cost` — gate/flip-flop cost model, including the
+  ROM-storage comparison that motivates the paper.
+* :mod:`repro.hw.verify` — replay equivalence: the synthesized TPG is
+  simulated and checked cycle-exact against the software-generated
+  weighted sequences.
+"""
+
+from repro.hw.fsm import WeightFsm, FsmSummary, build_weight_fsms, fsm_summary
+from repro.hw.qm import Cube, minimize
+from repro.hw.tpg import LfsrSpec, TpgDesign, synthesize_tpg
+from repro.hw.cost import TpgCost, tpg_cost, rom_bits_equivalent
+from repro.hw.verify import verify_tpg
+from repro.hw.misr import Misr, SignatureCoverage, signature_coverage, synthesize_misr
+
+__all__ = [
+    "WeightFsm",
+    "FsmSummary",
+    "build_weight_fsms",
+    "fsm_summary",
+    "Cube",
+    "minimize",
+    "LfsrSpec",
+    "TpgDesign",
+    "synthesize_tpg",
+    "TpgCost",
+    "tpg_cost",
+    "rom_bits_equivalent",
+    "verify_tpg",
+    "Misr",
+    "SignatureCoverage",
+    "signature_coverage",
+    "synthesize_misr",
+]

@@ -1,0 +1,74 @@
+"""Hardware cost model for synthesized TPGs.
+
+The paper's motivation for weighted-sequence BIST over stored-pattern
+BIST ([18]/[19]) is memory: storing a deterministic sequence of length
+``L`` for ``n`` inputs costs ``L x n`` ROM bits, while the FSM-based
+generator costs a handful of flip-flops and gates.  This module
+quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuit.gates import GateType
+from repro.hw.tpg import TpgDesign
+
+
+@dataclass(frozen=True)
+class TpgCost:
+    """Gate-level cost of a TPG.
+
+    Attributes
+    ----------
+    n_flops:
+        Flip-flop count (cycle counter + assignment counter + FSM state
+        registers).
+    n_gates:
+        Combinational gate count.
+    n_literals:
+        Total fanin pins of combinational gates (a standard two-level
+        area proxy).
+    gate_mix:
+        Per-type combinational gate counts.
+    """
+
+    n_flops: int
+    n_gates: int
+    n_literals: int
+    gate_mix: Dict[str, int]
+
+    @property
+    def gate_equivalents(self) -> float:
+        """Rough NAND2-equivalent area: gates weighted by fanin, flops
+        counted as 6 gate equivalents (a common rule of thumb)."""
+        return self.n_literals / 2 + 6 * self.n_flops
+
+
+def tpg_cost(design: TpgDesign) -> TpgCost:
+    """Compute the cost of a synthesized TPG."""
+    circuit = design.circuit
+    mix: Dict[str, int] = {}
+    literals = 0
+    n_gates = 0
+    for net in circuit.combinational_order:
+        gate = circuit.gate(net)
+        mix[gate.gtype.value] = mix.get(gate.gtype.value, 0) + 1
+        literals += gate.arity
+        n_gates += 1
+    n_flops = sum(
+        1 for g in circuit.gates.values() if g.gtype is GateType.DFF
+    )
+    return TpgCost(
+        n_flops=n_flops,
+        n_gates=n_gates,
+        n_literals=literals,
+        gate_mix=mix,
+    )
+
+
+def rom_bits_equivalent(sequence_length: int, n_inputs: int) -> int:
+    """ROM bits to store a deterministic sequence directly
+    (the stored-pattern alternative of [18]/[19])."""
+    return sequence_length * n_inputs

@@ -1,0 +1,144 @@
+"""Weight FSMs (Section 3, Table 3 of the paper).
+
+Every subsequence weight is produced by a finite-state machine that
+cycles through ``L_S`` states and emits the subsequence's values, one
+output column per subsequence.  All subsequences of the same length
+share one FSM — so the number of FSMs equals the number of *distinct
+subsequence lengths*, and the total output count equals the number of
+distinct subsequences (after merging repetition-equivalent ones such as
+``01`` and ``0101``, exactly as Section 5 prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.weight import Weight
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class WeightFsm:
+    """One weight FSM: a modulo-``length`` state cycle with one output
+    per subsequence.
+
+    Attributes
+    ----------
+    length:
+        ``L_S``: number of reachable states.
+    outputs:
+        The subsequences emitted, one per output, in a deterministic
+        order.  Output ``z_j`` at state ``s`` is ``outputs[j].bits[s]``.
+    """
+
+    length: int
+    outputs: Tuple[Weight, ...]
+
+    def __post_init__(self) -> None:
+        for weight in self.outputs:
+            if weight.length != self.length:
+                raise HardwareError(
+                    f"subsequence {weight} has length {weight.length}, "
+                    f"FSM has {self.length} states"
+                )
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of output columns."""
+        return len(self.outputs)
+
+    @property
+    def n_state_bits(self) -> int:
+        """State register width: ``ceil(log2 L_S)`` (0 for ``L_S = 1``)."""
+        return (self.length - 1).bit_length()
+
+    @property
+    def n_unreachable_states(self) -> int:
+        """Binary-encoded states never visited — the output don't-cares
+        the paper's observation (2) in Section 3 refers to."""
+        return (1 << self.n_state_bits) - self.length
+
+    def output_at(self, weight_index: int, state: int) -> int:
+        """Output value of column ``weight_index`` at ``state``."""
+        return self.outputs[weight_index].bits[state]
+
+    def transition_table(self) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """Rows ``(present_state, next_state, output_values)`` — the
+        paper's Table 3 layout (states numbered instead of lettered)."""
+        rows = []
+        for state in range(self.length):
+            next_state = (state + 1) % self.length
+            values = tuple(w.bits[state] for w in self.outputs)
+            rows.append((state, next_state, values))
+        return rows
+
+
+@dataclass(frozen=True)
+class FsmSummary:
+    """The two FSM columns of the paper's Table 6.
+
+    Attributes
+    ----------
+    n_fsms:
+        Number of FSMs = number of distinct subsequence lengths
+        (column ``num``).
+    n_outputs:
+        Total outputs over all FSMs = number of distinct subsequences
+        after repetition-equivalence merging (column ``out``).
+    """
+
+    n_fsms: int
+    n_outputs: int
+
+
+def merge_equivalent(weights: Iterable[Weight]) -> Dict[Weight, Weight]:
+    """Map every weight to its repetition-equivalence representative.
+
+    Weights whose repetitions produce the same infinite sequence (same
+    canonical form) share a representative: the canonical (shortest)
+    form itself.  ``01`` and ``0101`` both map to ``01``.
+    """
+    return {w: w.canonical() for w in weights}
+
+
+def build_weight_fsms(weights: Iterable[Weight]) -> List[WeightFsm]:
+    """Build the FSM bank implementing ``weights``.
+
+    Repetition-equivalent subsequences are merged first; the remaining
+    distinct subsequences are grouped by length, one FSM per length,
+    sorted by length for determinism.
+    """
+    representatives = sorted(set(merge_equivalent(weights).values()))
+    by_length: Dict[int, List[Weight]] = {}
+    for weight in representatives:
+        by_length.setdefault(weight.length, []).append(weight)
+    return [
+        WeightFsm(length=length, outputs=tuple(sorted(members)))
+        for length, members in sorted(by_length.items())
+    ]
+
+
+def fsm_summary(weights: Iterable[Weight]) -> FsmSummary:
+    """Compute the ``FSMs num / out`` columns of Table 6 for ``weights``."""
+    fsms = build_weight_fsms(weights)
+    return FsmSummary(
+        n_fsms=len(fsms),
+        n_outputs=sum(f.n_outputs for f in fsms),
+    )
+
+
+def find_output(fsms: Sequence[WeightFsm], weight: Weight) -> Tuple[int, int]:
+    """Locate ``weight``'s generator: ``(fsm_index, output_index)``.
+
+    The weight is looked up by its canonical form (the merged
+    representative that actually got an FSM output).
+    """
+    canonical = weight.canonical()
+    for fsm_index, fsm in enumerate(fsms):
+        if fsm.length != canonical.length:
+            continue
+        for output_index, out in enumerate(fsm.outputs):
+            if out == canonical:
+                return (fsm_index, output_index)
+    raise HardwareError(f"weight {weight} has no FSM output")

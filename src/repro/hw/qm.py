@@ -1,0 +1,204 @@
+"""Quine-McCluskey two-level logic minimization with don't-cares.
+
+Used to synthesize the weight-FSM output functions: a subsequence of
+length ``L_S`` occupies ``L_S`` states of a ``ceil(log2 L_S)``-bit state
+register, and the ``2^ceil(log2 L_S) - L_S`` unreachable states are
+don't-cares — exactly the structure the paper's observation (2) in
+Section 3 exploits.
+
+The minimizer is exact for prime implicant generation and uses
+essential-then-greedy covering (optimal for the tiny functions that
+arise here; the greedy step only matters for cyclic charts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over ``n_vars`` variables.
+
+    Attributes
+    ----------
+    care:
+        Bit mask of variables appearing in the term.
+    value:
+        Polarity of each caring variable (bits outside ``care`` are 0).
+    """
+
+    care: int
+    value: int
+
+    def covers(self, minterm: int) -> bool:
+        """True iff the cube contains ``minterm``."""
+        return (minterm & self.care) == self.value
+
+    def literal_count(self) -> int:
+        """Number of literals in the product term."""
+        return bin(self.care).count("1")
+
+    def to_string(self, n_vars: int) -> str:
+        """Positional cube string, MSB first: ``1``, ``0`` or ``-``.
+
+        >>> Cube(care=0b10, value=0b10).to_string(2)
+        '1-'
+        """
+        chars = []
+        for bit in range(n_vars - 1, -1, -1):
+            mask = 1 << bit
+            if not self.care & mask:
+                chars.append("-")
+            elif self.value & mask:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+
+def minimize(
+    n_vars: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
+) -> List[Cube]:
+    """Minimize a single-output function.
+
+    Parameters
+    ----------
+    n_vars:
+        Number of input variables.
+    minterms:
+        Input combinations where the function is 1.
+    dont_cares:
+        Input combinations whose value is free.
+
+    Returns
+    -------
+    A list of prime-implicant cubes covering every minterm (possibly
+    empty for the constant-0 function).  The constant-1 function
+    returns a single all-don't-care cube.
+    """
+    ones = sorted(set(minterms))
+    free = sorted(set(dont_cares) - set(ones))
+    if not ones:
+        return []
+    space = 1 << n_vars
+    for term in ones + free:
+        if term < 0 or term >= space:
+            raise ValueError(f"term {term} outside {n_vars}-variable space")
+    if len(ones) + len(free) == space:
+        return [Cube(care=0, value=0)]
+
+    primes = _prime_implicants(n_vars, ones + free)
+    return _cover(primes, ones)
+
+
+def _prime_implicants(n_vars: int, terms: Sequence[int]) -> List[Cube]:
+    """All prime implicants of the ON∪DC set (classic QM merging)."""
+    current: set[Tuple[int, int]] = {((1 << n_vars) - 1, t) for t in terms}
+    primes: set[Tuple[int, int]] = set()
+    while current:
+        merged: set[Tuple[int, int]] = set()
+        used: set[Tuple[int, int]] = set()
+        group = sorted(current)
+        by_care: dict[int, List[Tuple[int, int]]] = {}
+        for cube in group:
+            by_care.setdefault(cube[0], []).append(cube)
+        for care, cubes in by_care.items():
+            values = {v for _c, v in cubes}
+            for _care, value in cubes:
+                for bit in range(n_vars):
+                    mask = 1 << bit
+                    if not care & mask:
+                        continue
+                    partner = value ^ mask
+                    if partner in values and value & mask == 0:
+                        merged.add((care & ~mask, value))
+                        used.add((care, value))
+                        used.add((care, partner))
+        primes.update(current - used)
+        current = merged
+    return [Cube(care=c, value=v) for c, v in sorted(primes)]
+
+
+def _cover(primes: Sequence[Cube], ones: Sequence[int]) -> List[Cube]:
+    """Essential-first prime implicant covering.
+
+    The residual (cyclic) chart is solved exactly by increasing subset
+    size when few primes remain; oversized charts fall back to greedy
+    (most new minterms, fewest literals) — a standard compromise.
+    """
+    remaining: set[int] = set(ones)
+    coverage: dict[int, List[Cube]] = {
+        m: [p for p in primes if p.covers(m)] for m in ones
+    }
+    chosen: List[Cube] = []
+
+    # Essential primes.
+    for minterm, covers in coverage.items():
+        if len(covers) == 1 and covers[0] not in chosen:
+            chosen.append(covers[0])
+    for cube in chosen:
+        remaining -= {m for m in remaining if cube.covers(m)}
+    if not remaining:
+        return chosen
+
+    useful = [
+        p
+        for p in primes
+        if p not in chosen and any(p.covers(m) for m in remaining)
+    ]
+    exact = _exact_cover(useful, remaining) if len(useful) <= 18 else None
+    if exact is not None:
+        return chosen + exact
+
+    # Greedy fallback: most new minterms, fewest literals.
+    while remaining:
+        best: Cube | None = None
+        best_key: Tuple[int, int] | None = None
+        for prime in useful:
+            gain = sum(1 for m in remaining if prime.covers(m))
+            if not gain:
+                continue
+            key = (-gain, prime.literal_count())
+            if best_key is None or key < best_key:
+                best, best_key = prime, key
+        if best is None:  # pragma: no cover — primes always cover ones
+            raise AssertionError("prime implicants fail to cover minterms")
+        chosen.append(best)
+        remaining -= {m for m in remaining if best.covers(m)}
+    return chosen
+
+
+def _exact_cover(primes: Sequence[Cube], minterms: set[int]) -> List[Cube] | None:
+    """Smallest subset of ``primes`` covering ``minterms`` — minimum
+    cardinality, ties by total literal count.  Exhaustive by subset
+    size; call only with small prime counts."""
+    from itertools import combinations
+
+    for size in range(1, len(primes) + 1):
+        best: List[Cube] | None = None
+        best_literals = None
+        for subset in combinations(primes, size):
+            covered: set[int] = set()
+            for cube in subset:
+                covered |= {m for m in minterms if cube.covers(m)}
+            if covered == minterms:
+                literals = sum(c.literal_count() for c in subset)
+                if best is None or literals < best_literals:
+                    best, best_literals = list(subset), literals
+        if best is not None:
+            return best
+    return None
+
+
+def evaluate_cubes(cubes: Sequence[Cube], assignment: int) -> int:
+    """Evaluate a sum-of-products at one input combination."""
+    return 1 if any(cube.covers(assignment) for cube in cubes) else 0
+
+
+def total_literals(cubes: Sequence[Cube]) -> int:
+    """Literal count of a sum-of-products (standard area proxy)."""
+    return sum(cube.literal_count() for cube in cubes)

@@ -1,0 +1,33 @@
+"""Observation-point insertion (Section 5, Tables 7-16).
+
+Observation points trade DFT area for TPG size: with fewer weight
+assignments in a limited set ``Ω_lim``, some target faults stay
+undetected at the primary outputs — but their effects do reach internal
+lines, and observing those lines recovers the coverage.
+
+* :mod:`repro.obs.selection` — greedy selection of ``Ω_lim`` from ``Ω``
+  (most new detections first).
+* :mod:`repro.obs.oppoints` — computation of ``OP(f)``: the lines where
+  fault ``f``'s effect appears under ``Ω_lim``'s sequences.
+* :mod:`repro.obs.cover` — minimal covering set of observation points
+  (greedy set cover).
+* :mod:`repro.obs.tradeoff` — the full sweep regenerating the paper's
+  Tables 7-16.
+"""
+
+from repro.obs.selection import GreedyPick, greedy_select
+from repro.obs.oppoints import compute_op_sets
+from repro.obs.cover import greedy_cover
+from repro.obs.insert import insert_observation_points
+from repro.obs.tradeoff import TradeoffRow, observation_point_tradeoff, format_tradeoff
+
+__all__ = [
+    "GreedyPick",
+    "greedy_select",
+    "compute_op_sets",
+    "greedy_cover",
+    "insert_observation_points",
+    "TradeoffRow",
+    "observation_point_tradeoff",
+    "format_tradeoff",
+]

@@ -1,0 +1,67 @@
+"""Physical insertion of observation points into a netlist.
+
+The analysis in :mod:`repro.obs.oppoints` chooses *lines*; this module
+applies them — producing a circuit whose primary outputs include the
+chosen lines (optionally buffered, the way a real observation point
+adds a sink without disturbing the observed net's fanout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+
+def insert_observation_points(
+    circuit: Circuit,
+    lines: Iterable[str],
+    buffered: bool = True,
+    prefix: str = "obs",
+) -> Circuit:
+    """Return a copy of ``circuit`` observing the given ``lines``.
+
+    Parameters
+    ----------
+    circuit:
+        The original circuit (unchanged).
+    lines:
+        Net names to observe.  Lines that are already primary outputs
+        are skipped.
+    buffered:
+        Insert a buffer per observation point (named
+        ``<prefix>_<line>``) so the new PO is a distinct net — matches
+        how a physical observation point taps a wire.  When False the
+        lines are appended to the output list directly.
+    prefix:
+        Name prefix for the buffer nets.
+
+    Raises
+    ------
+    NetlistError
+        If a line does not exist.
+    """
+    existing_outputs = set(circuit.outputs)
+    gates: List[Gate] = list(circuit.gates.values())
+    outputs: List[str] = list(circuit.outputs)
+    taken = set(circuit.gates)
+
+    for line in lines:
+        if line not in circuit:
+            raise NetlistError(f"cannot observe unknown net {line!r}")
+        if line in existing_outputs:
+            continue
+        if buffered:
+            name = f"{prefix}_{line}"
+            if name in taken:
+                raise NetlistError(f"observation net {name!r} collides")
+            gates.append(Gate(name, GateType.BUF, (line,)))
+            taken.add(name)
+            outputs.append(name)
+        else:
+            outputs.append(line)
+        existing_outputs.add(line)
+
+    return Circuit(f"{circuit.name}_obs", gates, outputs)

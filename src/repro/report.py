@@ -1,0 +1,100 @@
+"""HTML experiment report generation.
+
+Collects the plain-text artifacts the benchmark harness writes to
+``benchmarks/results/`` into a single self-contained HTML page —
+the shareable summary of a reproduction run.  No external assets, no
+JavaScript; just the tables, titled and ordered to follow the paper.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+#: Display order and headings; artifacts not listed are appended last.
+_SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("section2_tables1_5", "Tables 1-5 — the worked example (s27)"),
+    ("table6", "Table 6 — main experimental results"),
+    ("tables7_16", "Tables 7-16 — observation point insertion"),
+    ("figure1_tpg", "Figure 1 — synthesized test pattern generators"),
+    ("baseline_comparison", "Baselines — LFSR / 3-weight / weighted-random"),
+    ("ablations", "Ablations — Section 4.1 design choices"),
+    ("complexity_scaling", "Section 4.2 — complexity scaling"),
+    ("atpg_substrate", "E12 — deterministic test-generation substrate"),
+    ("misr_response", "E13 — MISR response compaction"),
+    ("testability_analysis", "E14 — COP/SCOAP testability analysis"),
+    ("flop_modification", "E15 — flip-flop-modifying DFT"),
+    ("seed_robustness", "E16 — seed robustness"),
+    ("scan_comparison", "E17 — full scan comparison"),
+    ("transition_faults", "E18 — transition (delay) faults"),
+)
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 72rem; margin: 2rem auto;
+       padding: 0 1rem; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; color: #334; }
+pre { background: #f7f7f4; border: 1px solid #ddd; border-radius: 4px;
+      padding: .8rem 1rem; overflow-x: auto; font-size: .85rem;
+      line-height: 1.35; }
+p.meta { color: #666; font-style: italic; }
+"""
+
+
+def collect_results(results_dir: str | Path) -> Dict[str, str]:
+    """Read every ``*.txt`` artifact in ``results_dir``."""
+    directory = Path(results_dir)
+    artifacts: Dict[str, str] = {}
+    if not directory.is_dir():
+        return artifacts
+    for path in sorted(directory.glob("*.txt")):
+        artifacts[path.stem] = path.read_text().rstrip()
+    return artifacts
+
+
+def render_report(
+    artifacts: Dict[str, str],
+    title: str = "Built-In Generation of Weighted Test Sequences — reproduction report",
+) -> str:
+    """Render the artifacts as a self-contained HTML page."""
+    ordered: List[Tuple[str, str]] = []
+    seen = set()
+    for key, heading in _SECTIONS:
+        if key in artifacts:
+            ordered.append((heading, artifacts[key]))
+            seen.add(key)
+    for key in sorted(artifacts):
+        if key not in seen:
+            ordered.append((key, artifacts[key]))
+
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<p class='meta'>Pomeranz &amp; Reddy, DATE 2000 — regenerated "
+        "artifacts from <code>pytest benchmarks/ --benchmark-only</code>. "
+        "See EXPERIMENTS.md for the paper-vs-measured discussion.</p>",
+    ]
+    if not ordered:
+        parts.append(
+            "<p>No artifacts found — run the benchmark suite first.</p>"
+        )
+    for heading, body in ordered:
+        parts.append(f"<h2>{html.escape(heading)}</h2>")
+        parts.append(f"<pre>{html.escape(body)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path
+) -> Path:
+    """Collect artifacts and write the HTML report; returns the path."""
+    artifacts = collect_results(results_dir)
+    out_path = Path(output)
+    out_path.write_text(render_report(artifacts))
+    return out_path

@@ -1,0 +1,32 @@
+"""Scan-design DFT substrate (the [20]-class alternative).
+
+The paper's method deliberately avoids touching the flip-flops; the
+canonical opposite is *full scan*: every flip-flop becomes a scan cell
+on a shift chain, turning sequential test generation into combinational
+test generation at the cost of per-test shift cycles and per-flop mux
+hardware.  Implementing it makes the paper's central tradeoff —
+hardware + routing overhead vs. test application time and coverage —
+measurable on the same circuits with the same fault simulator.
+
+* :mod:`repro.scan.insert` — scan-chain insertion (mux-D scan cells).
+* :mod:`repro.scan.session` — expansion of scan tests into a flat
+  stimulus (shift-in / capture / overlapped shift-out) that the
+  ordinary sequential fault simulator grades.
+* :mod:`repro.scan.atpg` — combinational ATPG on the scan-equivalent
+  model (state bits as pseudo-inputs, next-state functions as
+  pseudo-outputs) using the same PODEM engine.
+"""
+
+from repro.scan.insert import ScanDesign, insert_scan, scan_cost
+from repro.scan.session import ScanTest, expand_scan_session
+from repro.scan.atpg import ScanAtpgResult, scan_atpg
+
+__all__ = [
+    "ScanDesign",
+    "insert_scan",
+    "scan_cost",
+    "ScanTest",
+    "expand_scan_session",
+    "ScanAtpgResult",
+    "scan_atpg",
+]

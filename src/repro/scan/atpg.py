@@ -1,0 +1,198 @@
+"""Combinational ATPG for scan designs.
+
+With full scan, every flip-flop is directly loadable and observable,
+so test generation reduces to the *scan-equivalent combinational
+model*: flip-flop outputs become pseudo primary inputs, next-state
+nets become pseudo primary outputs, and the ordinary 1-frame PODEM
+engine does the rest.
+
+Detection claims are verified twice: combinationally (the capture
+pattern re-simulated against the fault) and sequentially (the whole
+expanded scan session fault-simulated on the scan-inserted netlist,
+where pseudo-PO detections surface through ``scan_out`` during
+shift-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.atpg.podem import podem
+from repro.atpg.unroll import unroll
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import ReproError
+from repro.scan.insert import ScanDesign, insert_scan
+from repro.scan.session import ScanTest, expand_scan_session
+from repro.sim.compile import compile_circuit
+from repro.sim.collapse import collapse_faults
+from repro.sim.faults import Fault, validate_fault
+from repro.sim.faultsim import FaultSimulator
+from repro.sim.values import V0
+from repro.tgen.sequence import TestSequence
+
+
+@dataclass
+class ScanAtpgResult:
+    """Outcome of scan ATPG.
+
+    Attributes
+    ----------
+    tests:
+        The generated scan tests, in generation order.
+    detected:
+        Faults the tests detect on the combinational model.
+    untestable:
+        Faults proven combinationally untestable (full exhaust) —
+        with full scan this is a *proof* of (scan-mode) untestability.
+    aborted:
+        Faults abandoned at the backtrack limit.
+    unsupported:
+        Faults that do not exist on the combinational model (branch
+        faults into flip-flop D pins).
+    session:
+        The expanded flat stimulus for the scan circuit.
+    design:
+        The scan-inserted design the session drives.
+    session_detected:
+        Faults (valid on the scan netlist) the expanded session
+        detects end to end — the cross-check.
+    """
+
+    tests: List[ScanTest]
+    detected: Tuple[Fault, ...]
+    untestable: Tuple[Fault, ...]
+    aborted: Tuple[Fault, ...]
+    unsupported: Tuple[Fault, ...]
+    session: TestSequence
+    design: ScanDesign
+    session_detected: Tuple[Fault, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Combinational-model coverage over the supported faults."""
+        total = (
+            len(self.detected) + len(self.untestable) + len(self.aborted)
+        )
+        return len(self.detected) / total if total else 1.0
+
+    @property
+    def session_cycles(self) -> int:
+        """Test application time in clock cycles."""
+        return len(self.session)
+
+
+def scan_equivalent_model(circuit: Circuit) -> Tuple[Circuit, Dict[str, str]]:
+    """The combinational model: flops → pseudo-PIs, D nets → pseudo-POs.
+
+    Returns the model and a map from flop name to its pseudo-PO net
+    (the flop's next-state net).
+    """
+    gates: List[Gate] = []
+    pseudo_po: Dict[str, str] = {}
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.DFF:
+            gates.append(Gate(net, GateType.INPUT, ()))
+            pseudo_po[net] = gate.fanins[0]
+        else:
+            gates.append(gate)
+    outputs = list(circuit.outputs)
+    for d_net in pseudo_po.values():
+        if d_net not in outputs:
+            outputs.append(d_net)
+    model = Circuit(f"{circuit.name}_comb", gates, outputs)
+    return model, pseudo_po
+
+
+def scan_atpg(
+    circuit: Circuit,
+    faults: Sequence[Fault] | None = None,
+    backtrack_limit: int = 300,
+) -> ScanAtpgResult:
+    """Generate and verify scan tests for ``faults`` on ``circuit``."""
+    if faults is None:
+        faults = collapse_faults(circuit)
+    model, _pseudo_po = scan_equivalent_model(circuit)
+    comp = compile_circuit(model)
+    sim = FaultSimulator(model, comp)
+
+    supported: List[Fault] = []
+    unsupported: List[Fault] = []
+    for fault in faults:
+        try:
+            validate_fault(model, fault)
+            supported.append(fault)
+        except Exception:
+            unsupported.append(fault)
+
+    def model_row(test: ScanTest) -> Tuple[int, ...]:
+        """One capture-cycle input row in the model's own PI order."""
+        values = dict(zip(circuit.inputs, test.pattern))
+        values.update(zip(circuit.flops, test.state))
+        return tuple(values[name] for name in model.inputs)
+
+    tests: List[ScanTest] = []
+    untestable: List[Fault] = []
+    aborted: List[Fault] = []
+    pending = list(supported)
+    while pending:
+        fault = pending.pop(0)
+        unrolled = unroll(comp, fault, 1)
+        result = podem(unrolled, backtrack_limit)
+        if not result.success:
+            (aborted if result.aborted else untestable).append(fault)
+            continue
+        assignment = {
+            comp.names[idx]: value for idx, value in result.assignments.items()
+        }
+        pattern = tuple(
+            assignment.get(name, V0) for name in circuit.inputs
+        )
+        # State vector in chain order (== circuit.flops order).
+        state = tuple(
+            assignment.get(name, V0) for name in circuit.flops
+        )
+        test = ScanTest(state=state, pattern=pattern)
+
+        # Combinational verification + collateral dropping.
+        check = sim.run([model_row(test)], [fault] + pending)
+        if fault not in check.detection_time:
+            raise ReproError(
+                f"scan test for {fault} fails combinational verification"
+            )
+        tests.append(test)
+        detected_now = set(check.detection_time)
+        pending = [f for f in pending if f not in detected_now]
+
+    detected = tuple(
+        sorted(set(supported) - set(untestable) - set(aborted))
+    )
+
+    # End-to-end verification on the scan-inserted netlist.
+    design = insert_scan(circuit)
+    session = expand_scan_session(design, tests) if tests else TestSequence([])
+    scan_valid: List[Fault] = []
+    for fault in faults:
+        try:
+            validate_fault(design.circuit, fault)
+            scan_valid.append(fault)
+        except Exception:
+            continue
+    session_detected: Tuple[Fault, ...] = ()
+    if tests and scan_valid:
+        scan_sim = FaultSimulator(design.circuit)
+        session_detected = tuple(
+            sorted(scan_sim.run(session.patterns, scan_valid).detection_time)
+        )
+
+    return ScanAtpgResult(
+        tests=tests,
+        detected=detected,
+        untestable=tuple(untestable),
+        aborted=tuple(aborted),
+        unsupported=tuple(unsupported),
+        session=session,
+        design=design,
+        session_detected=session_detected,
+    )

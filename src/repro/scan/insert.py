@@ -1,0 +1,135 @@
+"""Scan-chain insertion.
+
+Every selected flip-flop becomes a mux-D scan cell::
+
+    D' = scan_en ? previous_cell_Q : D
+
+The first cell's scan input is the new primary input ``scan_in``; the
+last cell's output is exported as the new primary output ``scan_out``.
+Chain order follows the circuit's flop declaration order (a real tool
+would order by layout; order only permutes the shift vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class ScanDesign:
+    """A circuit with an inserted scan chain.
+
+    Attributes
+    ----------
+    circuit:
+        The scan-inserted netlist.  Ports: original PIs then
+        ``scan_in`` and ``scan_en``; original POs then ``scan_out``.
+    chain:
+        Flip-flop output nets in shift order (``scan_in`` feeds
+        ``chain[0]``; ``chain[-1]`` drives ``scan_out``).
+    scan_in / scan_en / scan_out:
+        The added port names.
+    """
+
+    circuit: Circuit
+    chain: Tuple[str, ...]
+    scan_in: str
+    scan_en: str
+    scan_out: str
+
+    @property
+    def chain_length(self) -> int:
+        """Cells on the chain."""
+        return len(self.chain)
+
+
+@dataclass(frozen=True)
+class ScanCost:
+    """Hardware cost of scan insertion.
+
+    Attributes
+    ----------
+    extra_gates:
+        Mux gates added (3 per cell plus one shared inverter).
+    extra_ports:
+        Added pins (scan_in, scan_en, scan_out).
+    cells:
+        Scan cells inserted.
+    """
+
+    extra_gates: int
+    extra_ports: int
+    cells: int
+
+
+def insert_scan(
+    circuit: Circuit,
+    scan_in: str = "scan_in",
+    scan_en: str = "scan_en",
+    scan_out: str = "scan_out",
+) -> ScanDesign:
+    """Insert a full scan chain into ``circuit``."""
+    for name in (scan_in, scan_en, scan_out):
+        if name in circuit:
+            raise NetlistError(f"net {name!r} already exists")
+    if not circuit.flops:
+        raise NetlistError("circuit has no flip-flops to scan")
+
+    chain: List[str] = list(circuit.flops)
+    gates: List[Gate] = []
+    for net, gate in circuit.gates.items():
+        if gate.gtype is GateType.DFF:
+            position = chain.index(net)
+            shift_source = scan_in if position == 0 else chain[position - 1]
+            d_net = gate.fanins[0]
+            gates.append(
+                Gate(f"{net}_shift", GateType.AND, (scan_en, shift_source))
+            )
+            gates.append(
+                Gate(f"{net}_func", GateType.AND, (f"{scan_en}_n", d_net))
+            )
+            gates.append(
+                Gate(f"{net}_scanmux", GateType.OR, (f"{net}_shift", f"{net}_func"))
+            )
+            gates.append(Gate(net, GateType.DFF, (f"{net}_scanmux",)))
+        else:
+            gates.append(gate)
+    gates.append(Gate(scan_in, GateType.INPUT, ()))
+    gates.append(Gate(scan_en, GateType.INPUT, ()))
+    gates.append(Gate(f"{scan_en}_n", GateType.NOT, (scan_en,)))
+    gates.append(Gate(scan_out, GateType.BUF, (chain[-1],)))
+
+    scanned = Circuit(
+        f"{circuit.name}_scan",
+        gates,
+        list(circuit.outputs) + [scan_out],
+    )
+    return ScanDesign(
+        circuit=scanned,
+        chain=tuple(chain),
+        scan_in=scan_in,
+        scan_en=scan_en,
+        scan_out=scan_out,
+    )
+
+
+def scan_cost(original: Circuit, design: ScanDesign) -> ScanCost:
+    """Cost delta of scan insertion."""
+    return ScanCost(
+        extra_gates=(
+            design.circuit.num_gates(combinational_only=True)
+            - original.num_gates(combinational_only=True)
+        ),
+        extra_ports=(
+            len(design.circuit.inputs)
+            - len(original.inputs)
+            + len(design.circuit.outputs)
+            - len(original.outputs)
+        ),
+        cells=design.chain_length,
+    )

@@ -1,0 +1,86 @@
+"""Scan test sessions: expansion into flat stimuli.
+
+A *scan test* is a state vector to load plus a primary-input pattern
+to apply.  Application protocol (standard mux-D scan):
+
+1. **shift** — ``scan_en = 1`` for ``n`` cycles (``n`` = chain length),
+   feeding the state vector serially on ``scan_in``; primary inputs are
+   held at 0 during shifting.
+2. **capture** — ``scan_en = 0`` for one cycle with the test's primary
+   inputs applied; the combinational responses are observed at the POs
+   and the next state is captured into the cells.
+3. The next test's shift-in simultaneously shifts the captured state
+   *out* through ``scan_out``, where the fault simulator observes it
+   (``scan_out`` is a primary output of the scan design).
+
+After the last test, a final flush shift exposes the last captured
+state.  The expansion is graded by the ordinary sequential fault
+simulator — no scan-specific detection logic is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.scan.insert import ScanDesign
+from repro.sim.values import V0, V1, Value
+from repro.tgen.sequence import TestSequence
+
+
+@dataclass(frozen=True)
+class ScanTest:
+    """One scan test.
+
+    Attributes
+    ----------
+    state:
+        Value per chain cell, in chain order (``state[k]`` ends up in
+        ``chain[k]`` after shifting).
+    pattern:
+        Primary-input values for the capture cycle (original PI order).
+    """
+
+    state: Tuple[int, ...]
+    pattern: Tuple[int, ...]
+
+
+def expand_scan_session(
+    design: ScanDesign, tests: Sequence[ScanTest]
+) -> TestSequence:
+    """Expand ``tests`` into a flat stimulus for ``design.circuit``.
+
+    Input column order matches the scan circuit's ports: original PIs,
+    then ``scan_in``, then ``scan_en``.
+    """
+    n_pi = len(design.circuit.inputs) - 2  # minus scan_in, scan_en
+    n = design.chain_length
+    rows: List[Tuple[Value, ...]] = []
+    for test in tests:
+        if len(test.state) != n:
+            raise SimulationError(
+                f"state vector of {len(test.state)} for a {n}-cell chain"
+            )
+        if len(test.pattern) != n_pi:
+            raise SimulationError(
+                f"pattern of {len(test.pattern)} for {n_pi} primary inputs"
+            )
+        # Shift in: chain[k] must hold state[k] after n shift cycles.
+        # chain[0] is fed directly from scan_in, so the value destined
+        # for the *last* cell enters first.
+        for cycle in range(n):
+            bit = test.state[n - 1 - cycle]
+            rows.append(tuple([V0] * n_pi) + (bit, V1))
+        # Capture cycle.
+        rows.append(tuple(test.pattern) + (V0, V0))
+    # Flush: shift the final captured state out.
+    for _ in range(n):
+        rows.append(tuple([V0] * n_pi) + (V0, V1))
+    return TestSequence(rows)
+
+
+def capture_cycle_indices(design: ScanDesign, n_tests: int) -> List[int]:
+    """Time units of the capture cycles within an expanded session."""
+    n = design.chain_length
+    return [k * (n + 1) + n for k in range(n_tests)]

@@ -1,0 +1,137 @@
+"""Structural equivalence collapsing of stuck-at faults.
+
+Two faults are structurally equivalent when every test for one is a
+test for the other.  The classic local rules are applied with a
+union-find over the fault universe:
+
+* ``BUF``: input s-a-v ≡ output s-a-v; ``NOT``: input s-a-v ≡ output
+  s-a-(1-v).
+* ``AND``: any input s-a-0 ≡ output s-a-0; ``NAND``: any input s-a-0 ≡
+  output s-a-1; ``OR``/``NOR`` dually with s-a-1 inputs.
+* Across a fanout-free connection, the input-pin fault *is* the
+  driver's stem fault (no separate branch fault exists).
+
+We deliberately do not collapse across flip-flops: with an unknown
+initial state, a stuck-at on a flip-flop output is observable one cycle
+earlier than the same fault on its D input, so they are not strictly
+equivalent under the no-reset detection criterion.
+
+Applied to s27, these rules reduce the 52-fault universe to the 32
+equivalence classes the paper enumerates as ``f_0 .. f_31``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.sim.faults import Fault, all_faults
+
+_Key = Tuple
+
+
+def _key(fault: Fault) -> _Key:
+    if fault.is_branch:
+        return ("b", fault.gate, fault.pin, fault.stuck)
+    return ("s", fault.net, fault.stuck)
+
+
+class _UnionFind:
+    """Minimal union-find over hashable keys."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[_Key, _Key] = {}
+
+    def add(self, key: _Key) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: _Key) -> _Key:
+        parent = self._parent
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(self, a: _Key, b: _Key) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def collapse_faults(circuit: Circuit) -> List[Fault]:
+    """Return one representative fault per equivalence class.
+
+    The representative is the lexicographically smallest fault in its
+    class, so the result is deterministic.  Representatives are sorted.
+    """
+    classes = equivalence_classes(circuit)
+    return sorted(min(members) for members in classes)
+
+
+def equivalence_classes(circuit: Circuit) -> List[List[Fault]]:
+    """Group the full fault universe into equivalence classes."""
+    universe = all_faults(circuit)
+    by_key = {_key(f): f for f in universe}
+    uf = _UnionFind()
+    for fault in universe:
+        uf.add(_key(fault))
+
+    const_nets = {
+        n
+        for n, g in circuit.gates.items()
+        if g.gtype in (GateType.CONST0, GateType.CONST1)
+    }
+
+    def input_key(gate_name: str, pin: int, stuck: int) -> _Key | None:
+        """Key of the fault at a gate input pin: the branch fault when
+        the driver fans out, otherwise the driver's stem fault.  Pins
+        driven by constants carry no fault (None)."""
+        driver = circuit.gate(gate_name).fanins[pin]
+        if driver in const_nets and circuit.fanout_count(driver) <= 1:
+            return None
+        if circuit.fanout_count(driver) > 1:
+            return ("b", gate_name, pin, stuck)
+        return ("s", driver, stuck)
+
+    def merge(in_key: _Key | None, out_key: _Key) -> None:
+        if in_key is not None:
+            uf.union(in_key, out_key)
+
+    for net, gate in circuit.gates.items():
+        gtype = gate.gtype
+        out0, out1 = ("s", net, 0), ("s", net, 1)
+        if gtype is GateType.BUF:
+            merge(input_key(net, 0, 0), out0)
+            merge(input_key(net, 0, 1), out1)
+        elif gtype is GateType.NOT:
+            merge(input_key(net, 0, 0), out1)
+            merge(input_key(net, 0, 1), out0)
+        elif gtype is GateType.AND:
+            for pin in range(gate.arity):
+                merge(input_key(net, pin, 0), out0)
+        elif gtype is GateType.NAND:
+            for pin in range(gate.arity):
+                merge(input_key(net, pin, 0), out1)
+        elif gtype is GateType.OR:
+            for pin in range(gate.arity):
+                merge(input_key(net, pin, 1), out1)
+        elif gtype is GateType.NOR:
+            for pin in range(gate.arity):
+                merge(input_key(net, pin, 1), out0)
+        # XOR/XNOR/DFF/INPUT: no structural equivalences.
+
+    groups: Dict[_Key, List[Fault]] = {}
+    for fault in universe:
+        groups.setdefault(uf.find(_key(fault)), []).append(fault)
+    return list(groups.values())
+
+
+def collapse_ratio(circuit: Circuit) -> float:
+    """Collapsed-to-total fault ratio (a standard collapsing metric)."""
+    total = len(all_faults(circuit))
+    if not total:
+        return 1.0
+    return len(collapse_faults(circuit)) / total

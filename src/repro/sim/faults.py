@@ -1,0 +1,106 @@
+"""Single stuck-at fault model.
+
+Faults live either on a net's *stem* (the gate output) or on a *branch*
+(a specific gate input pin, meaningful when the driving net fans out to
+more than one pin).  This is the classic ISCAS-89 fault universe; the
+paper's fault counts (e.g. the 32 faults ``f_0..f_31`` of s27) are
+counts of equivalence-collapsed faults over exactly this universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import FaultModelError
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes
+    ----------
+    net:
+        The affected net.  For a stem fault this is the faulty line
+        itself; for a branch fault it is the *driving* net of the pin.
+    stuck:
+        The stuck value, 0 or 1.
+    gate / pin:
+        ``None`` for a stem fault.  For a branch fault, the gate and
+        fanin pin index where the branch connects.
+    """
+
+    net: str
+    stuck: int
+    gate: Optional[str] = None
+    pin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck not in (0, 1):
+            raise FaultModelError(f"stuck value must be 0 or 1, got {self.stuck!r}")
+        if (self.gate is None) != (self.pin is None):
+            raise FaultModelError("branch fault needs both gate and pin")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for a fanout-branch fault."""
+        return self.gate is not None
+
+    @property
+    def sort_key(self) -> tuple:
+        """Deterministic total order (stems before branches of a net)."""
+        return (self.net, self.stuck, self.gate or "", self.pin if self.pin is not None else -1)
+
+    def __lt__(self, other: "Fault") -> bool:
+        if not isinstance(other, Fault):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+
+def fault_name(fault: Fault) -> str:
+    """Canonical printable name, e.g. ``G8/0`` or ``G8->G15.1/0``."""
+    if fault.is_branch:
+        return f"{fault.net}->{fault.gate}.{fault.pin}/{fault.stuck}"
+    return f"{fault.net}/{fault.stuck}"
+
+
+def all_faults(circuit: Circuit) -> List[Fault]:
+    """Enumerate the full (uncollapsed) stuck-at fault universe.
+
+    * both polarities on every driven net's stem, and
+    * both polarities on every gate input pin whose driving net fans
+      out to more than one pin (fanout branches).
+
+    Constant nets are excluded — a constant's stem has no physical
+    counterpart in ISCAS-style netlists and its same-polarity fault is
+    vacuously untestable.
+    """
+    faults: List[Fault] = []
+    for net, gate in circuit.gates.items():
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        faults.append(Fault(net, 0))
+        faults.append(Fault(net, 1))
+    for net, gate in circuit.gates.items():
+        for pin, driver in enumerate(gate.fanins):
+            if circuit.fanout_count(driver) > 1:
+                faults.append(Fault(driver, 0, gate=net, pin=pin))
+                faults.append(Fault(driver, 1, gate=net, pin=pin))
+    return sorted(faults)
+
+
+def validate_fault(circuit: Circuit, fault: Fault) -> None:
+    """Raise :class:`FaultModelError` if ``fault`` does not fit ``circuit``."""
+    if fault.net not in circuit:
+        raise FaultModelError(f"fault net {fault.net!r} not in circuit")
+    if fault.is_branch:
+        if fault.gate not in circuit:
+            raise FaultModelError(f"fault gate {fault.gate!r} not in circuit")
+        gate = circuit.gate(fault.gate)
+        if fault.pin >= len(gate.fanins) or gate.fanins[fault.pin] != fault.net:
+            raise FaultModelError(
+                f"gate {fault.gate!r} pin {fault.pin} is not driven by {fault.net!r}"
+            )

@@ -1,0 +1,24 @@
+"""Deterministic test sequence generation substrate.
+
+The paper takes as input a deterministic test sequence produced by
+STRATEGATE [24] or SEQCOM [25] and statically compacted.  Those tools
+are not available; this package provides the stand-in: a
+simulation-based sequential test generator with fault dropping and
+restarts (:mod:`repro.tgen.random_tgen`) followed by restoration-based
+static compaction (:mod:`repro.tgen.compaction`).
+
+The weight-selection procedure only consumes the *sequence* and the
+detection times it induces, so any deterministic sequence works; the
+method's coverage guarantee is relative to the sequence's own coverage.
+"""
+
+from repro.tgen.sequence import TestSequence
+from repro.tgen.random_tgen import GeneratedTest, generate_test_sequence
+from repro.tgen.compaction import compact_sequence
+
+__all__ = [
+    "TestSequence",
+    "GeneratedTest",
+    "generate_test_sequence",
+    "compact_sequence",
+]

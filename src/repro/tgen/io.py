@@ -1,0 +1,63 @@
+"""Test sequence file I/O.
+
+A minimal, diff-friendly text format — one pattern per line as
+``0``/``1``/``x`` characters, ``#`` comments, blank lines ignored:
+
+    # s27, 10 cycles
+    0111
+    1001
+    ...
+
+Used by the CLI to hand sequences between runs and to external tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.tgen.sequence import TestSequence
+
+
+def dumps_sequence(sequence: TestSequence, comment: str | None = None) -> str:
+    """Render a sequence in the text format."""
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"# {row}")
+    lines.extend(sequence.to_strings())
+    return "\n".join(lines) + "\n"
+
+
+def loads_sequence(text: str) -> TestSequence:
+    """Parse the text format back into a sequence.
+
+    Raises
+    ------
+    SimulationError
+        On malformed characters or ragged line widths.
+    """
+    rows = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for char in line:
+            if char not in "01xX":
+                raise SimulationError(
+                    f"line {line_no}: bad character {char!r} in sequence file"
+                )
+        rows.append(line)
+    return TestSequence.from_strings(rows)
+
+
+def save_sequence(
+    sequence: TestSequence, path: str | Path, comment: str | None = None
+) -> None:
+    """Write a sequence file."""
+    Path(path).write_text(dumps_sequence(sequence, comment))
+
+
+def load_sequence(path: str | Path) -> TestSequence:
+    """Read a sequence file."""
+    return loads_sequence(Path(path).read_text())

@@ -1,0 +1,17 @@
+"""Small shared utilities: deterministic RNG, ASCII tables, bit helpers."""
+
+from repro.util.rng import DeterministicRng
+from repro.util.tables import format_table
+from repro.util.bits import (
+    bit_count,
+    iter_set_bits,
+    mask_of_width,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "format_table",
+    "bit_count",
+    "iter_set_bits",
+    "mask_of_width",
+]

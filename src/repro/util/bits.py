@@ -1,0 +1,49 @@
+"""Bit-twiddling helpers for the bit-parallel fault simulator.
+
+The simulator packs up to :data:`WORD_BITS` simulation machines into a
+single Python integer; these helpers manipulate such machine words.
+Python integers are arbitrary precision, so a "word" here may be any
+width — the constant is just the default group size chosen so that a
+word stays within one or two 64-bit limbs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+WORD_BITS = 64
+"""Default number of simulation machines packed per fault group."""
+
+
+def mask_of_width(width: int) -> int:
+    """Return a mask with the ``width`` low bits set.
+
+    >>> bin(mask_of_width(4))
+    '0b1111'
+    """
+    if width < 0:
+        raise ValueError(f"negative mask width {width}")
+    return (1 << width) - 1
+
+
+def bit_count(word: int) -> int:
+    """Count set bits in a non-negative integer."""
+    if word < 0:
+        raise ValueError("bit_count expects a non-negative word")
+    return bin(word).count("1")
+
+
+def iter_set_bits(word: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order.
+
+    >>> list(iter_set_bits(0b1010))
+    [1, 3]
+    """
+    if word < 0:
+        raise ValueError("iter_set_bits expects a non-negative word")
+    index = 0
+    while word:
+        if word & 1:
+            yield index
+        word >>= 1
+        index += 1

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them as aligned ASCII so the output can be compared
+against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Every cell is converted with :func:`str`.  Column widths are sized to
+    the longest cell.  A ``title`` line, when given, is placed above the
+    header.
+
+    >>> print(format_table(["a", "bb"], [[1, 2], [33, 4]]))
+    a  | bb
+    ---+---
+    1  | 2
+    33 | 4
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Shared fixtures: the s27 circuit, the paper's Table-1 sequence, and
+small hand-checkable circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, load_circuit
+from repro.sim import collapse_faults
+from repro.tgen import TestSequence
+
+#: The deterministic test sequence of the paper's Table 1 (s27).
+PAPER_T_STRINGS = (
+    "0111",
+    "1001",
+    "0111",
+    "1001",
+    "0100",
+    "1011",
+    "1001",
+    "0000",
+    "0000",
+    "1011",
+)
+
+
+@pytest.fixture(scope="session")
+def s27():
+    """The genuine ISCAS-89 s27 circuit."""
+    return load_circuit("s27")
+
+
+@pytest.fixture(scope="session")
+def s27_faults(s27):
+    """s27's collapsed fault list (the paper's f_0 .. f_31)."""
+    return collapse_faults(s27)
+
+
+@pytest.fixture(scope="session")
+def paper_t():
+    """The paper's Table-1 test sequence for s27."""
+    return TestSequence.from_strings(PAPER_T_STRINGS)
+
+
+@pytest.fixture(scope="session")
+def g208():
+    """The synthetic stand-in for ISCAS-89 s208."""
+    return load_circuit("g208")
+
+
+@pytest.fixture()
+def toggle_circuit():
+    """A 1-input, 1-flop toggle circuit: q' = q XOR en, PO = q.
+
+    The flop is initializable only through the XOR when ``q`` is known,
+    so it stays X forever from an all-X start — useful for testing
+    X-propagation semantics.
+    """
+    b = CircuitBuilder("toggle")
+    b.input("en")
+    b.dff("q", "d")
+    b.xor("d", "q", "en")
+    b.output("q")
+    return b.build()
+
+
+@pytest.fixture()
+def settable_circuit():
+    """A 2-input circuit whose flop initializes through an AND gate:
+    q' = AND(set, en); POs: q and an inverter off q."""
+    b = CircuitBuilder("settable")
+    b.input("set")
+    b.input("en")
+    b.dff("q", "d")
+    b.and_("d", "set", "en")
+    b.not_("nq", "q")
+    b.output("q")
+    b.output("nq")
+    return b.build()
+
+
+@pytest.fixture()
+def comb_circuit():
+    """A purely combinational circuit (no flops): y = NAND(a, OR(b, c))."""
+    b = CircuitBuilder("comb")
+    b.input("a")
+    b.input("b")
+    b.input("c")
+    b.or_("o", "b", "c")
+    b.nand("y", "a", "o")
+    b.output("y")
+    return b.build()

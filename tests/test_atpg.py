@@ -1,0 +1,248 @@
+"""Tests for the deterministic ATPG: dual simulation, unrolling, PODEM,
+and the drivers.
+
+The strongest check: on small combinational circuits, PODEM must find a
+test for exactly the faults brute-force enumeration proves testable,
+and exhaust on exactly the untestable (redundant) ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.atpg import (
+    AtpgConfig,
+    deterministic_atpg,
+    hybrid_test_sequence,
+    podem,
+    unroll,
+)
+from repro.atpg.driver import generate_for_fault
+from repro.atpg.dualsim import (
+    PAIR_0,
+    PAIR_1,
+    PAIR_D,
+    PAIR_DBAR,
+    PAIR_X,
+    eval_gate_pair,
+    is_discrepant,
+)
+from repro.circuit import CircuitBuilder
+from repro.sim import FaultSimulator, all_faults, collapse_faults
+from repro.sim.compile import (
+    OP_AND,
+    OP_NAND,
+    OP_NOT,
+    OP_OR,
+    OP_XOR,
+    compile_circuit,
+)
+from repro.sim.values import V0, V1, VX
+from repro.tgen import generate_test_sequence
+
+
+class TestDualAlgebra:
+    def test_d_propagation_through_and(self):
+        # AND(D, 1) = D; AND(D, 0) = 0; AND(D, X) undetermined.
+        assert eval_gate_pair(OP_AND, [PAIR_D, PAIR_1]) == PAIR_D
+        assert eval_gate_pair(OP_AND, [PAIR_D, PAIR_0]) == PAIR_0
+        assert eval_gate_pair(OP_AND, [PAIR_D, PAIR_X]) == (VX, V0)
+
+    def test_d_inversion(self):
+        assert eval_gate_pair(OP_NOT, [PAIR_D]) == PAIR_DBAR
+        assert eval_gate_pair(OP_NAND, [PAIR_D, PAIR_1]) == PAIR_DBAR
+
+    def test_d_xor_dbar_is_one(self):
+        # XOR(D, D̄): good 1^0=1, faulty 0^1=1 -> constant 1.
+        assert eval_gate_pair(OP_XOR, [PAIR_D, PAIR_DBAR]) == PAIR_1
+
+    def test_d_and_d(self):
+        assert eval_gate_pair(OP_AND, [PAIR_D, PAIR_D]) == PAIR_D
+        assert eval_gate_pair(OP_OR, [PAIR_D, PAIR_DBAR]) == PAIR_1
+
+    def test_is_discrepant(self):
+        assert is_discrepant(PAIR_D)
+        assert is_discrepant(PAIR_DBAR)
+        assert not is_discrepant(PAIR_X)
+        assert not is_discrepant((V1, VX))
+        assert not is_discrepant(PAIR_1)
+
+
+def _brute_force_testable(circuit, fault):
+    """Is there an input pattern detecting ``fault`` (combinational)?"""
+    sim = FaultSimulator(circuit)
+    n = len(circuit.inputs)
+    for bits in itertools.product((0, 1), repeat=n):
+        if sim.run([bits], [fault]).detection_time:
+            return True
+    return False
+
+
+class TestPodemCombinationalExact:
+    """PODEM agrees with brute force on every fault of small circuits."""
+
+    def _circuits(self):
+        b = CircuitBuilder("c1")
+        b.input("a")
+        b.input("b")
+        b.input("c")
+        b.or_("o", "b", "c")
+        b.nand("y", "a", "o")
+        b.output("y")
+        yield b.build()
+
+        # Circuit with a redundant (untestable) fault: y = OR(a, AND(a, b))
+        # -> AND output s-a-0 is undetectable (absorption).
+        b = CircuitBuilder("c2")
+        b.input("a")
+        b.input("b")
+        b.and_("m", "a", "b")
+        b.or_("y", "a", "m")
+        b.output("y")
+        yield b.build()
+
+        b = CircuitBuilder("c3")
+        b.input("a")
+        b.input("b")
+        b.input("c")
+        b.input("d")
+        b.xor("x1", "a", "b")
+        b.and_("m", "x1", "c")
+        b.nor("y", "m", "d")
+        b.output("y")
+        yield b.build()
+
+    def test_matches_brute_force(self):
+        checked = 0
+        for circuit in self._circuits():
+            comp = compile_circuit(circuit)
+            for fault in all_faults(circuit):
+                model = unroll(comp, fault, 1)
+                result = podem(model, backtrack_limit=200)
+                expected = _brute_force_testable(circuit, fault)
+                assert result.success == expected, (circuit.name, fault)
+                assert not result.aborted
+                checked += 1
+        assert checked > 30
+
+    def test_redundant_fault_proven_untestable(self):
+        # The absorption redundancy: m s-a-0 in y = OR(a, AND(a, b)).
+        from repro.sim import Fault
+
+        b = CircuitBuilder("c2")
+        b.input("a")
+        b.input("b")
+        b.and_("m", "a", "b")
+        b.or_("y", "a", "m")
+        b.output("y")
+        circuit = b.build()
+        model = unroll(compile_circuit(circuit), Fault("m", 0), 1)
+        result = podem(model, backtrack_limit=200)
+        assert not result.success
+        assert not result.aborted  # exhausted: proven untestable
+
+
+class TestPodemSequential:
+    def test_s27_all_faults(self, s27, s27_faults):
+        # Pure deterministic ATPG covers all of s27 (the random-walk
+        # generator also does; this proves the structural engine alone
+        # is sufficient on the genuine ISCAS circuit).
+        result = deterministic_atpg(s27, s27_faults)
+        assert len(result.detected) == 32
+        assert not result.aborted
+
+    def test_generated_tests_verified(self, s27, s27_faults):
+        comp = compile_circuit(s27)
+        sim = FaultSimulator(s27, comp)
+        found = 0
+        for fault in s27_faults[:12]:
+            seq = generate_for_fault(s27, fault, compiled=comp)
+            if seq is None:
+                continue
+            assert fault in sim.run(seq.patterns, [fault]).detection_time
+            found += 1
+        assert found >= 8
+
+    def test_tests_valid_from_any_state(self, s27, s27_faults):
+        # The unrolled model starts from X, so a PODEM test must detect
+        # its fault from *every* concrete initial state.
+        from repro.sim import LogicSimulator
+
+        comp = compile_circuit(s27)
+        fault = s27_faults[0]
+        seq = generate_for_fault(s27, fault, compiled=comp)
+        assert seq is not None
+        sim = FaultSimulator(s27, comp)
+        for state_bits in itertools.product((0, 1), repeat=3):
+            # Prefix forcing the state is not directly supported by the
+            # fault simulator; instead check detection still happens when
+            # the sequence is preceded by arbitrary patterns.
+            prefix = [state_bits + (0,)]
+            padded = list(prefix) + list(seq.patterns)
+            assert fault in sim.run(padded, [fault]).detection_time
+
+    def test_frame_schedule_respected(self, s27, s27_faults):
+        config = AtpgConfig(frame_schedule=(1,))
+        # One frame = combinational only: most sequential faults fail,
+        # but nothing crashes and nothing false-positives.
+        result = deterministic_atpg(s27, s27_faults, config)
+        assert len(result.detected) < 32
+
+
+class TestHybrid:
+    def test_s27_short_random_plus_atpg_reaches_full(self, s27, s27_faults):
+        rnd = generate_test_sequence(s27, s27_faults, seed=3, max_len=6)
+        assert rnd.coverage < 1.0
+        hyb = hybrid_test_sequence(s27, s27_faults, seed=3, random_max_len=6)
+        assert hyb.coverage == 1.0
+        # Re-verify the combined sequence from scratch.
+        resim = FaultSimulator(s27).run(hyb.sequence.patterns, s27_faults)
+        assert set(resim.detection_time) == set(hyb.detected)
+
+    def test_hybrid_no_op_when_random_suffices(self, s27, s27_faults):
+        hyb = hybrid_test_sequence(s27, s27_faults, seed=7, random_max_len=500)
+        assert hyb.coverage == 1.0
+
+
+class TestUnroll:
+    def test_indexing(self, s27):
+        from repro.sim import Fault
+
+        comp = compile_circuit(s27)
+        model = unroll(comp, Fault("G8", 0), 3)
+        assert model.n_nets == 3 * comp.n_nets
+        frame, net = model.frame_and_net(2 * comp.n_nets + comp.index["G17"])
+        assert (frame, net) == (2, "G17")
+
+    def test_fault_sites_in_every_frame(self, s27):
+        from repro.sim import Fault
+
+        comp = compile_circuit(s27)
+        model = unroll(comp, Fault("G8", 0), 4)
+        assert len(model.stem_sites) == 4
+
+    def test_frame0_state_unassignable(self, s27):
+        from repro.sim import Fault
+
+        comp = compile_circuit(s27)
+        model = unroll(comp, Fault("G8", 0), 2)
+        for idx in comp.ff_indices:
+            assert idx in model.unassignable
+            assert idx not in model.assignable
+
+    def test_dff_branch_fault_sites(self, s27):
+        # G11 drives DFF G6; the D-pin branch fault sites sit on the
+        # state buffers of frames >= 1.
+        from repro.sim import Fault
+
+        comp = compile_circuit(s27)
+        model = unroll(comp, Fault("G11", 0, gate="G6", pin=0), 3)
+        assert len(model.pin_sites) == 2  # frames 1 and 2
+
+    def test_bad_frame_count(self, s27):
+        from repro.sim import Fault
+
+        with pytest.raises(ValueError):
+            unroll(compile_circuit(s27), Fault("G8", 0), 0)

@@ -1,0 +1,134 @@
+"""Tests for the LFSR and 3-weight baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    Lfsr,
+    lfsr_bist,
+    lfsr_patterns,
+    three_weight_assignments,
+    three_weight_bist,
+)
+from repro.baselines.lfsr import PRIMITIVE_TAPS, coverage_curve
+from repro.baselines.threeweight import W0, W1, WHALF
+from repro.errors import ReproError
+from repro.tgen import TestSequence
+from repro.util.rng import DeterministicRng
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8])
+    def test_maximum_length_period(self, width):
+        lfsr = Lfsr(width, seed=1)
+        seen = {lfsr.state}
+        for _ in range((1 << width) - 2):
+            lfsr.step()
+            assert lfsr.state not in seen, "period shorter than maximal"
+            seen.add(lfsr.state)
+        lfsr.step()
+        assert lfsr.state == 1  # back to the seed
+
+    def test_zero_seed_coerced(self):
+        assert Lfsr(8, seed=0).state != 0
+
+    def test_seed_reduced_mod_width(self):
+        assert Lfsr(4, seed=0x17).state == 0x7
+
+    def test_unknown_width_raises(self):
+        with pytest.raises(ReproError):
+            Lfsr(64)
+
+    def test_explicit_taps(self):
+        lfsr = Lfsr(3, seed=1, taps=(3, 2))
+        assert lfsr.taps == (3, 2)
+
+    def test_bad_tap_raises(self):
+        with pytest.raises(ReproError):
+            Lfsr(3, taps=(4,))
+
+    def test_bits_deterministic(self):
+        assert Lfsr(16, seed=5).bits(64) == Lfsr(16, seed=5).bits(64)
+
+    def test_all_widths_have_valid_taps(self):
+        for width, taps in PRIMITIVE_TAPS.items():
+            assert max(taps) == width
+            assert all(1 <= t <= width for t in taps)
+
+    def test_period_property(self):
+        assert Lfsr(8).period == 255
+
+
+class TestLfsrBist:
+    def test_patterns_shape(self):
+        patterns = lfsr_patterns(5, 10, seed=3)
+        assert len(patterns) == 10
+        assert all(len(p) == 5 for p in patterns)
+
+    def test_underperforms_deterministic_at_equal_budget(
+        self, s27, s27_faults, paper_t
+    ):
+        # With the same pattern budget as the paper sequence (10 cycles)
+        # the LFSR detects strictly fewer faults than the deterministic
+        # sequence's 32/32 — the no-guarantee weakness the paper's
+        # introduction attributes to [16]/[17]-style BIST.
+        result = lfsr_bist(s27, s27_faults, n_patterns=10, seed=1)
+        assert result.coverage < 1.0
+
+    def test_coverage_grows_with_budget(self, s27, s27_faults):
+        small = lfsr_bist(s27, s27_faults, n_patterns=5, seed=1)
+        large = lfsr_bist(s27, s27_faults, n_patterns=200, seed=1)
+        assert large.coverage >= small.coverage
+
+    def test_coverage_curve_monotone(self, s27, s27_faults):
+        result = lfsr_bist(s27, s27_faults, n_patterns=100, seed=1)
+        curve = coverage_curve(result, n_points=10, length=100)
+        covs = [c for _t, c in curve]
+        assert covs == sorted(covs)
+        assert curve[-1][1] == result.coverage
+
+    def test_coverage_curve_empty(self, s27):
+        result = lfsr_bist(s27, [], n_patterns=10)
+        assert coverage_curve(result) == []
+
+
+class TestThreeWeight:
+    def test_assignment_computation(self):
+        seq = TestSequence.from_strings(["00", "01", "01", "01"])
+        assignments = three_weight_assignments(seq, window=2)
+        assert len(assignments) == 2
+        # Window 1: rows 00, 01 -> input0 all-0 -> W0; input1 mixed -> 0.5
+        assert assignments[0].weights == (W0, WHALF)
+        # Window 2: rows 01, 01 -> (W0, W1)
+        assert assignments[1].weights == (W0, W1)
+
+    def test_window_larger_than_sequence(self):
+        seq = TestSequence.from_strings(["01"])
+        assignments = three_weight_assignments(seq, window=10)
+        assert len(assignments) == 1
+        assert assignments[0].weights == (W0, W1)
+
+    def test_bad_window_raises(self):
+        seq = TestSequence.from_strings(["01"])
+        with pytest.raises(ValueError):
+            three_weight_assignments(seq, window=0)
+
+    def test_sampling_respects_weights(self):
+        seq = TestSequence.from_strings(["01", "00"])
+        assignment = three_weight_assignments(seq, window=2)[0]
+        rng = DeterministicRng(3)
+        draws = [assignment.sample(rng) for _ in range(50)]
+        assert all(d[0] == 0 for d in draws)  # weight 0 held at 0
+        assert {d[1] for d in draws} == {0, 1}  # weight 0.5 varies
+
+    def test_bist_end_to_end(self, s27, s27_faults, paper_t):
+        result = three_weight_bist(
+            s27, paper_t, s27_faults, window=4, n_per_assignment=64, seed=2
+        )
+        assert 0 < result.coverage <= 1.0
+
+    def test_deterministic(self, s27, s27_faults, paper_t):
+        a = three_weight_bist(s27, paper_t, s27_faults, window=4, n_per_assignment=32)
+        b = three_weight_bist(s27, paper_t, s27_faults, window=4, n_per_assignment=32)
+        assert a.detection_time == b.detection_time

@@ -1,0 +1,90 @@
+"""Tests for .bench parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import parse_bench, parse_bench_text, write_bench
+from repro.circuit.bench import write_bench_file
+from repro.circuit.gates import GateType
+from repro.circuit.library import S27_BENCH
+from repro.errors import BenchParseError
+
+
+class TestParse:
+    def test_parse_s27(self):
+        circuit = parse_bench_text(S27_BENCH, "s27")
+        assert circuit.inputs == ("G0", "G1", "G2", "G3")
+        assert circuit.outputs == ("G17",)
+        assert len(circuit.flops) == 3
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(y)  # trailing comment
+        y = NOT(a)
+        """
+        circuit = parse_bench_text(text)
+        assert circuit.inputs == ("a",)
+
+    def test_case_insensitive_gate_names(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = not(a)\n"
+        assert parse_bench_text(text).gate("y").gtype is GateType.NOT
+
+    def test_aliases(self):
+        text = "INPUT(a)\nOUTPUT(y)\nb = INV(a)\ny = BUFF(b)\n"
+        circuit = parse_bench_text(text)
+        assert circuit.gate("b").gtype is GateType.NOT
+        assert circuit.gate("y").gtype is GateType.BUF
+
+    def test_output_before_driver(self):
+        text = "OUTPUT(y)\nINPUT(a)\ny = BUF(a)\n"
+        assert parse_bench_text(text).outputs == ("y",)
+
+    def test_unknown_gate_raises_with_line(self):
+        text = "INPUT(a)\ny = FROB(a)\n"
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench_text(text)
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(BenchParseError, match="unparseable"):
+            parse_bench_text("INPUT(a)\nthis is not bench\n")
+
+    def test_arity_error_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench_text("INPUT(a)\ny = NOT(a, a)\n")
+
+    def test_undriven_net_raises(self):
+        with pytest.raises(BenchParseError, match="invalid netlist"):
+            parse_bench_text("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+    def test_whitespace_tolerance(self):
+        text = "INPUT( a )\nOUTPUT( y )\ny   =  AND( a ,  a2 )\nINPUT(a2)\n"
+        circuit = parse_bench_text(text)
+        assert circuit.gate("y").fanins == ("a", "a2")
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self, s27):
+        text = write_bench(s27)
+        again = parse_bench_text(text, "s27")
+        assert again.inputs == s27.inputs
+        assert again.outputs == s27.outputs
+        assert set(again.flops) == set(s27.flops)
+        assert {n: (g.gtype, g.fanins) for n, g in again.gates.items()} == {
+            n: (g.gtype, g.fanins) for n, g in s27.gates.items()
+        }
+
+    def test_file_round_trip(self, s27, tmp_path):
+        path = tmp_path / "s27.bench"
+        write_bench_file(s27, path)
+        again = parse_bench(path)
+        assert again.name == "s27"
+        assert len(again) == len(s27)
+
+    def test_parse_bench_uses_stem_as_name(self, s27, tmp_path):
+        path = tmp_path / "mycircuit.bench"
+        write_bench_file(s27, path)
+        assert parse_bench(path).name == "mycircuit"

@@ -1,0 +1,80 @@
+"""Tests for the gate vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gates import Gate, GateType, arity_bounds
+
+
+class TestGateType:
+    def test_sources(self):
+        assert GateType.INPUT.is_source
+        assert GateType.DFF.is_source
+        assert GateType.CONST0.is_source
+        assert GateType.CONST1.is_source
+        assert not GateType.AND.is_source
+
+    def test_combinational(self):
+        for gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                      GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+            assert gtype.is_combinational
+        for gtype in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1):
+            assert not gtype.is_combinational
+
+    def test_inverting(self):
+        assert GateType.NAND.is_inverting
+        assert GateType.NOR.is_inverting
+        assert GateType.NOT.is_inverting
+        assert GateType.XNOR.is_inverting
+        assert not GateType.AND.is_inverting
+        assert not GateType.BUF.is_inverting
+
+
+class TestArity:
+    def test_input_takes_no_fanins(self):
+        assert arity_bounds(GateType.INPUT) == (0, 0)
+        with pytest.raises(ValueError):
+            Gate("a", GateType.INPUT, ("x",))
+
+    def test_not_takes_exactly_one(self):
+        with pytest.raises(ValueError):
+            Gate("a", GateType.NOT, ())
+        with pytest.raises(ValueError):
+            Gate("a", GateType.NOT, ("x", "y"))
+        assert Gate("a", GateType.NOT, ("x",)).arity == 1
+
+    def test_dff_takes_exactly_one(self):
+        with pytest.raises(ValueError):
+            Gate("q", GateType.DFF, ("a", "b"))
+        assert Gate("q", GateType.DFF, ("d",)).arity == 1
+
+    def test_xor_needs_two(self):
+        with pytest.raises(ValueError):
+            Gate("y", GateType.XOR, ("a",))
+        assert Gate("y", GateType.XOR, ("a", "b", "c")).arity == 3
+
+    def test_and_unbounded(self):
+        fanins = tuple(f"x{i}" for i in range(10))
+        assert Gate("y", GateType.AND, fanins).arity == 10
+
+
+class TestGate:
+    def test_describe_input(self):
+        assert Gate("G0", GateType.INPUT, ()).describe() == "INPUT(G0)"
+
+    def test_describe_gate(self):
+        g = Gate("G8", GateType.AND, ("G14", "G6"))
+        assert g.describe() == "G8 = AND(G14, G6)"
+
+    def test_frozen(self):
+        g = Gate("a", GateType.NOT, ("b",))
+        with pytest.raises(AttributeError):
+            g.name = "c"
+
+    def test_equality(self):
+        a = Gate("y", GateType.OR, ("a", "b"))
+        b = Gate("y", GateType.OR, ("a", "b"))
+        c = Gate("y", GateType.OR, ("b", "a"))
+        assert a == b
+        assert a != c  # pin order matters

@@ -1,0 +1,133 @@
+"""Tests for the Circuit netlist graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Circuit, CircuitBuilder
+from repro.circuit.gates import Gate, GateType
+from repro.errors import NetlistError
+
+
+def _simple() -> Circuit:
+    b = CircuitBuilder("c")
+    b.input("a")
+    b.input("b")
+    b.and_("y", "a", "b")
+    b.output("y")
+    return b.build()
+
+
+class TestConstruction:
+    def test_duplicate_driver_raises(self):
+        gates = [Gate("a", GateType.INPUT, ()), Gate("a", GateType.INPUT, ())]
+        with pytest.raises(NetlistError, match="duplicate"):
+            Circuit("c", gates, [])
+
+    def test_undriven_fanin_raises(self):
+        gates = [Gate("y", GateType.NOT, ("ghost",))]
+        with pytest.raises(NetlistError, match="undriven"):
+            Circuit("c", gates, ["y"])
+
+    def test_undriven_output_raises(self):
+        gates = [Gate("a", GateType.INPUT, ())]
+        with pytest.raises(NetlistError, match="not driven"):
+            Circuit("c", gates, ["ghost"])
+
+    def test_duplicate_output_raises(self):
+        gates = [Gate("a", GateType.INPUT, ())]
+        with pytest.raises(NetlistError, match="twice"):
+            Circuit("c", gates, ["a", "a"])
+
+    def test_combinational_cycle_raises(self):
+        b = CircuitBuilder("cyc")
+        b.input("a")
+        b.and_("x", "a", "y")
+        b.and_("y", "a", "x")
+        b.output("y")
+        with pytest.raises(NetlistError, match="cycle"):
+            b.build()
+
+    def test_sequential_loop_is_fine(self):
+        # Feedback through a flip-flop is not a combinational cycle.
+        b = CircuitBuilder("seq")
+        b.input("en")
+        b.dff("q", "d")
+        b.xor("d", "q", "en")
+        b.output("q")
+        circuit = b.build()
+        assert circuit.flops == ("q",)
+
+
+class TestQueries:
+    def test_ports(self, s27):
+        assert s27.inputs == ("G0", "G1", "G2", "G3")
+        assert s27.outputs == ("G17",)
+        assert set(s27.flops) == {"G5", "G6", "G7"}
+
+    def test_counts(self, s27):
+        assert s27.num_gates(combinational_only=True) == 10
+        assert len(s27) == 17  # 4 PI + 3 DFF + 10 gates
+
+    def test_fanout(self, s27):
+        # G11 drives G17, G10 (pin 1) and the DFF G6.
+        sinks = dict(s27.fanout("G11"))
+        assert set(sinks) == {"G17", "G10", "G6"}
+        assert s27.fanout_count("G11") == 3
+
+    def test_fanout_unknown_raises(self, s27):
+        with pytest.raises(NetlistError):
+            s27.fanout("nope")
+
+    def test_gate_lookup(self, s27):
+        assert s27.gate("G8").gtype is GateType.AND
+        with pytest.raises(NetlistError):
+            s27.gate("nope")
+
+    def test_levels_monotone(self, s27):
+        for net in s27.combinational_order:
+            gate = s27.gate(net)
+            assert s27.level(net) == 1 + max(s27.level(f) for f in gate.fanins)
+
+    def test_sources_level_zero(self, s27):
+        for net in list(s27.inputs) + list(s27.flops):
+            assert s27.level(net) == 0
+
+    def test_depth_positive(self, s27):
+        assert s27.depth >= 1
+
+    def test_topological_order_valid(self, s27):
+        seen = set(s27.inputs) | set(s27.flops)
+        for net in s27.combinational_order:
+            for fanin in s27.gate(net).fanins:
+                assert fanin in seen
+            seen.add(net)
+
+    def test_contains(self, s27):
+        assert "G17" in s27
+        assert "nope" not in s27
+
+    def test_is_output(self, s27):
+        assert s27.is_output("G17")
+        assert not s27.is_output("G11")
+
+    def test_nets_cover_everything(self, s27):
+        assert set(s27.nets) == set(s27.gates)
+
+    def test_repr(self):
+        assert "1 POs" in repr(_simple())
+
+
+class TestDeterminism:
+    def test_same_input_same_order(self):
+        # Levelization must not depend on dict iteration order.
+        orders = set()
+        for _ in range(3):
+            b = CircuitBuilder("d")
+            b.input("a")
+            b.not_("x", "a")
+            b.not_("y", "a")
+            b.and_("z", "x", "y")
+            b.output("z")
+            orders.add(b.build().combinational_order)
+        assert len(orders) == 1

@@ -1,0 +1,271 @@
+"""Tests for the BIST closure, observation-point insertion, Verilog
+export, the LFSR-backed TPG, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    load_circuit,
+    parse_bench_text,
+    write_bench,
+    write_verilog,
+)
+from repro.cli import main as cli_main
+from repro.core import WeightAssignment
+from repro.errors import HardwareError, NetlistError
+from repro.flows import compose_bist
+from repro.hw import LfsrSpec, synthesize_tpg, verify_tpg
+from repro.obs import insert_observation_points
+from repro.sim import FaultSimulator, LogicSimulator, V0, V1
+
+
+@pytest.fixture(scope="module")
+def s27_tpg():
+    cut = load_circuit("s27")
+    a1 = WeightAssignment.from_strings(["01", "0", "100", "1"])
+    a2 = WeightAssignment.from_strings(["100", "00", "01", "100"])
+    return cut, synthesize_tpg([a1, a2], l_g=30, input_names=cut.inputs)
+
+
+class TestBistClosure:
+    def test_signature_matches_prediction(self, s27_tpg):
+        cut, tpg = s27_tpg
+        closure = compose_bist(cut, tpg)
+        hw_sig, hw_x = closure.run_hardware()
+        sw_sig, sw_x = closure.predict_signature()
+        assert hw_x == 0 and sw_x == 0
+        assert hw_sig == sw_sig
+
+    def test_faulty_cut_changes_signature(self, s27_tpg):
+        from repro.circuit.gates import Gate, GateType
+        from repro.circuit.netlist import Circuit
+
+        cut, tpg = s27_tpg
+        good = compose_bist(cut, tpg)
+        good_sig, _ = good.run_hardware()
+
+        # G11 -> G17 branch stuck-at-0.
+        gates = []
+        for net, gate in cut.gates.items():
+            fanins = tuple(
+                "fc" if (net == "G17" and f == "G11") else f
+                for f in gate.fanins
+            )
+            gates.append(Gate(net, gate.gtype, fanins))
+        gates.append(Gate("fc", GateType.CONST0, ()))
+        faulty = Circuit("s27f", gates, cut.outputs)
+        bad = compose_bist(faulty, tpg, settle_cycles=good.settle_cycles)
+        bad_sig, bad_x = bad.run_hardware()
+        assert bad_x == 0
+        assert bad_sig != good_sig
+
+    def test_settle_computed(self, s27_tpg):
+        cut, tpg = s27_tpg
+        closure = compose_bist(cut, tpg)
+        assert closure.settle_cycles >= 1
+
+    def test_mismatched_ports_rejected(self, s27_tpg):
+        cut, _tpg = s27_tpg
+        narrow = synthesize_tpg(
+            [WeightAssignment.from_strings(["0"])], l_g=4
+        )
+        with pytest.raises(HardwareError, match="drives"):
+            compose_bist(cut, narrow)
+
+    def test_uninitializable_cut_rejected(self):
+        # A toggle flop never initializes -> settle cannot be computed.
+        b = CircuitBuilder("t")
+        b.input("en")
+        b.dff("q", "d")
+        b.xor("d", "q", "en")
+        b.output("q")
+        cut = b.build()
+        tpg = synthesize_tpg(
+            [WeightAssignment.from_strings(["1"])], l_g=8,
+            input_names=cut.inputs,
+        )
+        with pytest.raises(HardwareError, match="X-free"):
+            compose_bist(cut, tpg)
+
+
+class TestLfsrTpg:
+    def test_replay_with_random_weights(self):
+        a1 = WeightAssignment.from_strings(["R", "01", "1"])
+        a2 = WeightAssignment.from_strings(["100", "R", "R"])
+        design = synthesize_tpg(
+            [a1, a2], l_g=20, lfsr=LfsrSpec(width=6, seed=1)
+        )
+        assert verify_tpg(design).ok
+        assert design.lfsr is not None
+
+    def test_random_stream_not_constant(self):
+        design = synthesize_tpg(
+            [WeightAssignment.from_strings(["R"])],
+            l_g=16,
+            lfsr=LfsrSpec(width=5, seed=1),
+        )
+        stream = design.expected_stream(0).restrict(0)
+        assert len(set(stream)) == 2  # both values occur
+
+    def test_random_without_lfsr_rejected(self):
+        with pytest.raises(HardwareError, match="LfsrSpec"):
+            synthesize_tpg([WeightAssignment.from_strings(["R"])], l_g=4)
+
+    def test_expected_stream_matches_deterministic_generate(self, s27_tpg):
+        _cut, tpg = s27_tpg
+        for j in range(tpg.n_assignments):
+            assert tpg.expected_stream(j) == tpg.assignments[j].generate(tpg.l_g)
+
+    def test_lfsr_resets_each_window(self):
+        # Both assignments use R on the same input: identical streams.
+        a1 = WeightAssignment.from_strings(["R", "0"])
+        a2 = WeightAssignment.from_strings(["R", "1"])
+        design = synthesize_tpg([a1, a2], l_g=12, lfsr=LfsrSpec(width=4))
+        assert verify_tpg(design).ok
+        s1 = design.expected_stream(0).restrict(0)
+        s2 = design.expected_stream(1).restrict(0)
+        assert s1 == s2
+
+
+class TestObservationInsertion:
+    def test_buffered_insertion(self, s27):
+        observed = insert_observation_points(s27, ["G8", "G12"])
+        assert len(observed.outputs) == 3
+        assert "obs_G8" in observed.outputs
+        # The observed net's original function is untouched.
+        assert observed.gate("G8").fanins == s27.gate("G8").fanins
+
+    def test_unbuffered_insertion(self, s27):
+        observed = insert_observation_points(s27, ["G8"], buffered=False)
+        assert observed.outputs == ("G17", "G8")
+
+    def test_existing_output_skipped(self, s27):
+        observed = insert_observation_points(s27, ["G17"])
+        assert len(observed.outputs) == 1
+
+    def test_unknown_line_rejected(self, s27):
+        with pytest.raises(NetlistError):
+            insert_observation_points(s27, ["nope"])
+
+    def test_insertion_enables_detection(self, s27, s27_faults, paper_t):
+        # End-to-end soundness: a fault undetected by a short prefix
+        # becomes detected once one of its OP(f) lines is observed.
+        from repro.obs import compute_op_sets
+        from repro.core import select_weight_assignments, ProcedureConfig
+
+        procedure = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=64)
+        )
+        first = procedure.omega[0]
+        undetected = [
+            f for f in procedure.target_faults if f not in set(first.detected)
+        ]
+        if not undetected:
+            pytest.skip("first assignment covers everything")
+        op_sets = compute_op_sets(
+            s27, [first.assignment], undetected, procedure.l_g
+        )
+        fault = next(f for f in undetected if op_sets[f])
+        line = sorted(op_sets[fault])[0]
+        observed = insert_observation_points(s27, [line])
+        t_g = first.assignment.generate(procedure.l_g)
+        result = FaultSimulator(observed).run(t_g.patterns, [fault])
+        assert fault in result.detection_time
+
+
+class TestVerilogExport:
+    def test_s27_module_structure(self, s27):
+        text = write_verilog(s27)
+        assert text.startswith("module s27 (")
+        assert "input clk;" in text
+        assert "always @(posedge clk)" in text
+        for net in s27.flops:
+            assert f"{net} <=" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_combinational_module_has_no_clock(self, comb_circuit):
+        text = write_verilog(comb_circuit)
+        assert "clk" not in text
+        assert "always" not in text
+
+    def test_operators(self):
+        b = CircuitBuilder("ops")
+        b.input("a")
+        b.input("b")
+        b.nand("n1", "a", "b")
+        b.xnor("n2", "a", "b")
+        b.not_("n3", "a")
+        b.buf("n4", "b")
+        b.const1("one")
+        b.and_("n5", "n1", "one")
+        b.output("n5")
+        text = write_verilog(b.build())
+        assert "~(a & b)" in text
+        assert "~(a ^ b)" in text
+        assert "= ~a;" in text
+        assert "= b;" in text
+        assert "1'b1" in text
+
+    def test_clock_collision_rejected(self, s27):
+        from repro.errors import NetlistError
+
+        with pytest.raises(NetlistError):
+            write_verilog(s27, clock="G0")
+
+    def test_tpg_exports(self, s27_tpg):
+        _cut, tpg = s27_tpg
+        text = write_verilog(tpg.circuit)
+        assert "module tpg" in text
+        assert "out_G0" in text
+
+
+class TestCli:
+    def test_circuits(self, capsys):
+        assert cli_main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "g208" in out
+
+    def test_flow_with_exports(self, capsys, tmp_path):
+        verilog = tmp_path / "tpg.v"
+        bench = tmp_path / "tpg.bench"
+        code = cli_main(
+            ["flow", "s27", "--lg", "64",
+             "--verilog", str(verilog), "--bench", str(bench)]
+        )
+        assert code == 0
+        assert "TPG verified: True" in capsys.readouterr().out
+        assert verilog.exists() and bench.exists()
+        # the .bench export round-trips
+        again = parse_bench_text(bench.read_text(), "tpg")
+        assert again.outputs
+
+    def test_table6_single(self, capsys):
+        assert cli_main(["table6", "s27"]) == 0
+        assert "s27" in capsys.readouterr().out
+
+    def test_flow_save_seq(self, capsys, tmp_path):
+        from repro.tgen.io import load_sequence
+
+        path = tmp_path / "t.seq"
+        assert cli_main(
+            ["flow", "s27", "--lg", "64", "--save-seq", str(path)]
+        ) == 0
+        sequence = load_sequence(path)
+        assert len(sequence) > 0
+        assert sequence.width == 4
+
+    def test_atpg(self, capsys):
+        assert cli_main(["atpg", "s27"]) == 0
+        assert "32/32" in capsys.readouterr().out
+
+    def test_bench_info(self, capsys, tmp_path, s27):
+        path = tmp_path / "c.bench"
+        path.write_text(write_bench(s27))
+        assert cli_main(["bench-info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "52 (32 collapsed)" in out
+
+    def test_no_command_shows_help(self, capsys):
+        assert cli_main([]) == 2

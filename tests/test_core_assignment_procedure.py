@@ -1,0 +1,239 @@
+"""Tests for weight assignments, the selection procedure, reverse-order
+simulation, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ProcedureConfig,
+    RandomWeight,
+    Weight,
+    WeightAssignment,
+    build_table6_row,
+    reverse_order_simulation,
+    select_weight_assignments,
+)
+from repro.core.procedure import _ls_lengths
+from repro.core.report import format_table6
+from repro.errors import ProcedureError, WeightError
+from repro.sim import FaultSimulator
+from repro.tgen import TestSequence
+from repro.util.rng import DeterministicRng
+
+
+class TestWeightAssignment:
+    def test_generate_shapes(self):
+        wa = WeightAssignment.from_strings(["01", "1"])
+        t_g = wa.generate(5)
+        assert len(t_g) == 5
+        assert t_g.width == 2
+        assert t_g.restrict(0) == (0, 1, 0, 1, 0)
+        assert t_g.restrict(1) == (1, 1, 1, 1, 1)
+
+    def test_generate_zero_length(self):
+        wa = WeightAssignment.from_strings(["0"])
+        assert len(wa.generate(0)) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(WeightError):
+            WeightAssignment([])
+
+    def test_random_weight_needs_rng(self):
+        wa = WeightAssignment.from_strings(["R", "0"])
+        assert wa.has_random
+        with pytest.raises(WeightError):
+            wa.generate(4)
+        t_g = wa.generate(4, DeterministicRng(1))
+        assert t_g.restrict(1) == (0, 0, 0, 0)
+
+    def test_properties(self):
+        wa = WeightAssignment.from_strings(["01", "100", "1"])
+        assert wa.width == 3
+        assert wa.max_length == 3
+        assert not wa.has_random
+        assert len(wa.deterministic_weights()) == 3
+
+    def test_equality_hash(self):
+        a = WeightAssignment.from_strings(["01", "1"])
+        b = WeightAssignment.from_strings(["01", "1"])
+        assert a == b and hash(a) == hash(b)
+        assert a != WeightAssignment.from_strings(["1", "01"])
+
+    def test_indexing(self):
+        wa = WeightAssignment.from_strings(["01", "1"])
+        assert wa[0] == Weight.from_string("01")
+        assert len(wa) == 2
+        assert "01" in str(wa)
+
+
+class TestLsSchedule:
+    def test_dense(self):
+        assert _ls_lengths(4, "dense") == [1, 2, 3, 4, 5]
+
+    def test_auto_ends_at_limit(self):
+        for u in (0, 3, 9, 50, 300):
+            lengths = _ls_lengths(u, "auto")
+            assert lengths[-1] == u + 1
+            assert lengths == sorted(set(lengths))
+
+    def test_auto_starts_dense(self):
+        assert _ls_lengths(9, "auto")[:4] == [1, 2, 3, 4]
+
+    def test_unknown_raises(self):
+        with pytest.raises(ProcedureError):
+            _ls_lengths(3, "nope")
+
+
+class TestProcedure:
+    def test_covers_all_targets(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100, ls_schedule="dense")
+        )
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+        assert len(result.target_faults) == 32
+
+    def test_every_omega_entry_is_useful(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        for entry in result.omega:
+            assert entry.detected  # stored only when it detected new faults
+
+    def test_detected_sets_disjoint(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        seen = set()
+        for entry in result.omega:
+            assert not (set(entry.detected) & seen)
+            seen.update(entry.detected)
+
+    def test_l_g_raised_to_sequence_length(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=3)
+        )
+        assert result.l_g == len(paper_t)
+
+    def test_deterministic(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=100)
+        a = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        b = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        assert a.assignments == b.assignments
+
+    def test_empty_sequence_raises(self, s27, s27_faults):
+        with pytest.raises(ProcedureError):
+            select_weight_assignments(s27, TestSequence([]), s27_faults)
+
+    def test_wrong_width_raises(self, s27, s27_faults):
+        seq = TestSequence.from_strings(["01", "10"])
+        with pytest.raises(ProcedureError, match="width"):
+            select_weight_assignments(s27, seq, s27_faults)
+
+    def test_stats_recorded(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        assert result.stats.assignments_tried >= len(result.omega)
+        assert result.stats.full_simulations >= len(result.omega)
+
+    def test_ablation_no_sort(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=100, sort_by_matches=False)
+        result = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+
+    def test_ablation_no_promotion(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=100, promote=False)
+        result = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+
+    def test_random_weight_allowed(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=100, allow_random_weight=True, seed=5)
+        result = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+
+    def test_row_cap_still_terminates(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=100, max_rows_per_length=1)
+        result = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        covered = set()
+        for entry in result.omega:
+            covered.update(entry.detected)
+        assert covered == set(result.target_faults)
+
+    def test_subsequence_properties(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        assert result.n_subsequences >= 1
+        assert 1 <= result.max_subsequence_length <= len(paper_t)
+
+
+class TestReverseOrder:
+    def _procedure(self, s27, s27_faults, paper_t):
+        return select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+
+    def test_kept_covers_targets(self, s27, s27_faults, paper_t):
+        result = self._procedure(s27, s27_faults, paper_t)
+        ros = reverse_order_simulation(s27, result)
+        sim = FaultSimulator(s27)
+        covered = set()
+        for assignment in ros.kept:
+            t_g = assignment.generate(result.l_g)
+            covered.update(sim.run(t_g.patterns, list(result.target_faults)).detection_time)
+        assert covered == set(result.target_faults)
+
+    def test_kept_plus_dropped_is_omega(self, s27, s27_faults, paper_t):
+        result = self._procedure(s27, s27_faults, paper_t)
+        ros = reverse_order_simulation(s27, result)
+        assert len(ros.kept) + len(ros.dropped) == len(result.omega)
+
+    def test_kept_preserves_generation_order(self, s27, s27_faults, paper_t):
+        result = self._procedure(s27, s27_faults, paper_t)
+        ros = reverse_order_simulation(s27, result)
+        order = [result.assignments.index(a) for a in ros.kept]
+        assert order == sorted(order)
+
+    def test_credits_partition_targets(self, s27, s27_faults, paper_t):
+        result = self._procedure(s27, s27_faults, paper_t)
+        ros = reverse_order_simulation(s27, result)
+        credited = [f for faults in ros.detected_by for f in faults]
+        assert sorted(credited) == sorted(result.target_faults)
+
+
+class TestReport:
+    def test_table6_row(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        ros = reverse_order_simulation(s27, result)
+        row = build_table6_row("s27", paper_t, result, ros)
+        assert row.circuit == "s27"
+        assert row.given_len == 10
+        assert row.given_det == 32
+        assert row.n_sequences == ros.n_kept
+        assert row.n_fsms <= row.n_subsequences
+        assert row.max_length <= row.given_len
+
+    def test_format_table6(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=100)
+        )
+        ros = reverse_order_simulation(s27, result)
+        row = build_table6_row("s27", paper_t, result, ros)
+        text = format_table6([row])
+        assert "s27" in text
+        assert "circuit" in text

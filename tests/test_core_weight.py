@@ -1,0 +1,154 @@
+"""Tests for subsequence weights: expansion, mining, matching,
+canonical forms, and the pseudo-random weight."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Weight, RandomWeight, mine_weight
+from repro.errors import WeightError
+from repro.util.rng import DeterministicRng
+
+
+class TestWeightBasics:
+    def test_expand(self):
+        assert Weight.from_string("01").expand(5) == (0, 1, 0, 1, 0)
+        assert Weight.from_string("100").expand(7) == (1, 0, 0, 1, 0, 0, 1)
+
+    def test_expand_zero_length(self):
+        assert Weight.from_string("1").expand(0) == ()
+
+    def test_value_at(self):
+        w = Weight.from_string("011")
+        assert [w.value_at(u) for u in range(6)] == [0, 1, 1, 0, 1, 1]
+
+    def test_empty_raises(self):
+        with pytest.raises(WeightError):
+            Weight(())
+
+    def test_non_binary_raises(self):
+        with pytest.raises(WeightError):
+            Weight((0, 2))
+
+    def test_equality_and_hash(self):
+        assert Weight.from_string("01") == Weight((0, 1))
+        assert hash(Weight.from_string("01")) == hash(Weight((0, 1)))
+        assert Weight.from_string("01") != Weight.from_string("0101")
+
+    def test_ordering_by_length_then_bits(self):
+        ws = [Weight.from_string(s) for s in ("11", "0", "101", "1")]
+        assert [str(w) for w in sorted(ws)] == ["0", "1", "11", "101"]
+
+    def test_str_repr(self):
+        w = Weight.from_string("001")
+        assert str(w) == "001"
+        assert "001" in repr(w)
+
+
+class TestCanonical:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("0101", "01"),
+            ("00", "0"),
+            ("010101", "01"),
+            ("100100", "100"),
+            ("100", "100"),
+            ("0110", "0110"),
+            ("1", "1"),
+            ("111111", "1"),
+        ],
+    )
+    def test_canonical(self, raw, expected):
+        assert str(Weight.from_string(raw).canonical()) == expected
+
+    def test_same_expansion(self):
+        a = Weight.from_string("01")
+        b = Weight.from_string("0101")
+        c = Weight.from_string("10")
+        assert a.same_expansion(b)
+        assert not a.same_expansion(c)  # phase differs
+
+
+class TestMatching:
+    def test_matches_tail_needs_history(self):
+        w = Weight.from_string("0110")
+        assert not w.matches_tail((0, 1, 1), 2)  # only 3 values of history
+
+    def test_matches_tail_out_of_range(self):
+        w = Weight.from_string("1")
+        assert not w.matches_tail((1, 1), 5)
+
+    def test_x_never_matches(self):
+        from repro.sim.values import VX
+
+        w = Weight.from_string("1")
+        assert w.match_count((1, VX, 1)) == 2
+        assert not w.matches_tail((1, VX), 1)
+
+
+class TestMining:
+    def test_mining_full_prefix_reproduces_t(self, paper_t):
+        # L_S = u + 1 reproduces T_i exactly from time 0.
+        for i in range(4):
+            t_i = paper_t.restrict(i)
+            for u in (0, 4, 9):
+                w = mine_weight(t_i, u, u + 1)
+                assert w.expand(u + 1) == t_i[: u + 1]
+
+    def test_mined_weight_always_matches_tail(self, paper_t):
+        for i in range(4):
+            t_i = paper_t.restrict(i)
+            for u in range(len(t_i)):
+                for length in range(1, u + 2):
+                    w = mine_weight(t_i, u, length)
+                    assert w.matches_tail(t_i, u)
+
+    def test_too_long_raises(self, paper_t):
+        with pytest.raises(WeightError, match="history"):
+            mine_weight(paper_t.restrict(0), 3, 5)
+
+    def test_bad_time_raises(self, paper_t):
+        with pytest.raises(WeightError):
+            mine_weight(paper_t.restrict(0), 99, 1)
+        with pytest.raises(WeightError):
+            mine_weight(paper_t.restrict(0), -1, 1)
+
+    def test_bad_length_raises(self, paper_t):
+        with pytest.raises(WeightError):
+            mine_weight(paper_t.restrict(0), 3, 0)
+
+    def test_x_in_tail_raises(self):
+        from repro.sim.values import VX
+
+        with pytest.raises(WeightError, match="binary"):
+            mine_weight((1, VX, 0), 2, 2)
+
+
+class TestRandomWeight:
+    def test_expansion_needs_rng(self):
+        with pytest.raises(WeightError):
+            RandomWeight().expand(4)
+
+    def test_expansion_deterministic_in_rng(self):
+        a = RandomWeight().expand(64, DeterministicRng(7))
+        b = RandomWeight().expand(64, DeterministicRng(7))
+        assert a == b
+        assert set(a) <= {0, 1}
+
+    def test_flags(self):
+        r = RandomWeight()
+        assert r.is_random
+        assert r.length == 1
+        assert not Weight.from_string("0").is_random
+
+    def test_never_matches_tail(self):
+        assert not RandomWeight().matches_tail((0, 1), 1)
+
+    def test_equality(self):
+        assert RandomWeight() == RandomWeight()
+        assert RandomWeight() != Weight.from_string("1")
+        assert Weight.from_string("1") != RandomWeight()
+
+    def test_str(self):
+        assert str(RandomWeight()) == "R"

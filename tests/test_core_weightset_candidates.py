@@ -1,0 +1,139 @@
+"""Tests for the weight set S and the candidate sets A_i."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Weight, WeightSet, candidate_sets, promote_full_length
+from repro.core.candidates import assignment_row, max_rows
+from repro.tgen import TestSequence
+
+
+class TestWeightSet:
+    def test_insertion_order_preserved(self):
+        s = WeightSet()
+        for text in ("1", "0", "01"):
+            s.add(Weight.from_string(text))
+        assert [str(w) for w in s] == ["1", "0", "01"]
+        assert s[1] == Weight.from_string("0")
+
+    def test_duplicates_ignored(self):
+        s = WeightSet()
+        assert s.add(Weight.from_string("01"))
+        assert not s.add(Weight.from_string("01"))
+        assert len(s) == 1
+
+    def test_repetition_equivalent_kept_separately(self):
+        # The paper keeps 0 and 00 both in S (Section 2).
+        s = WeightSet()
+        s.add(Weight.from_string("0"))
+        s.add(Weight.from_string("00"))
+        assert len(s) == 2
+
+    def test_extend_from(self, paper_t):
+        s = WeightSet()
+        added = s.extend_from(paper_t, 9, 1)
+        # Tails at u=9: inputs give 1, 0, 1, 1 -> two distinct weights.
+        assert {str(w) for w in added} == {"1", "0"}
+        added2 = s.extend_from(paper_t, 9, 2)
+        assert all(w.length == 2 for w in added2)
+
+    def test_of_length_and_up_to(self):
+        s = WeightSet()
+        for text in ("0", "01", "011"):
+            s.add(Weight.from_string(text))
+        assert [str(w) for w in s.of_length(2)] == ["01"]
+        assert [str(w) for w in s.up_to_length(2)] == ["0", "01"]
+        assert s.max_length == 3
+
+    def test_contains(self):
+        s = WeightSet()
+        s.add(Weight.from_string("0"))
+        assert Weight.from_string("0") in s
+        assert Weight.from_string("1") not in s
+
+
+class TestCandidateSets:
+    def _sequence(self):
+        return TestSequence.from_strings(["01", "10", "01", "10"])
+
+    def test_only_tail_matchers_included(self):
+        seq = self._sequence()
+        s = WeightSet()
+        for text in ("0", "1", "01", "10"):
+            s.add(Weight.from_string(text))
+        cands = candidate_sets(seq, 3, s, 2)
+        # T_0 = 0101; tail at u=3 is 1: candidates are 1 and 10
+        # (10 expands to 1010... value at u=3 ... wait 10 -> 1,0,1,0; at
+        # u=3 it is 0 != 1).  Check membership strictly by expansion.
+        t_0 = seq.restrict(0)
+        for w, _n in cands[0]:
+            assert w.matches_tail(t_0, 3)
+
+    def test_sorted_by_matches(self, paper_t):
+        s = WeightSet()
+        for text in ("0", "1", "00", "10", "01", "11"):
+            s.add(Weight.from_string(text))
+        cands = candidate_sets(paper_t, 9, s, 2)
+        for a_i in cands:
+            counts = [n for _w, n in a_i]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_unsorted_keeps_insertion_order(self, paper_t):
+        s = WeightSet()
+        for text in ("0", "1", "00", "10", "01", "11"):
+            s.add(Weight.from_string(text))
+        cands = candidate_sets(paper_t, 9, s, 2, sort_by_matches=False)
+        order = [str(w) for w, _n in cands[0]]
+        in_s = [str(w) for w in s if Weight.from_string(str(w)).matches_tail(paper_t.restrict(0), 9)]
+        assert order == in_s
+
+    def test_max_length_filter(self, paper_t):
+        s = WeightSet()
+        s.add(Weight.from_string("1"))
+        s.add(Weight.from_string("101"))
+        cands = candidate_sets(paper_t, 9, s, 1)
+        for a_i in cands:
+            for w, _n in a_i:
+                assert w.length <= 1
+
+
+class TestPromotion:
+    def test_no_op_when_full_row_exists(self, paper_t):
+        s = WeightSet()
+        s.extend_from(paper_t, 9, 2)
+        cands = candidate_sets(paper_t, 9, s, 2)
+        promoted = promote_full_length(cands, 2)
+        # Every A_i contains only the mined length-2 weight -> row 0 is
+        # already all-full-length -> unchanged.
+        assert promoted == cands
+
+    def test_promotes_to_front(self, paper_t):
+        s = WeightSet()
+        s.extend_from(paper_t, 9, 1)
+        s.extend_from(paper_t, 9, 3)
+        cands = candidate_sets(paper_t, 9, s, 3)
+        promoted = promote_full_length(cands, 3)
+        for a_i in promoted:
+            assert a_i[0][0].length == 3
+
+    def test_empty_candidates_passthrough(self):
+        assert promote_full_length([], 2) == []
+
+
+class TestAssignmentRows:
+    def test_row_reuses_last_when_short(self):
+        w0, w1 = Weight.from_string("0"), Weight.from_string("1")
+        cands = [[(w0, 5)], [(w0, 5), (w1, 3)]]
+        assert assignment_row(cands, 0) == [w0, w0]
+        assert assignment_row(cands, 1) == [w0, w1]
+        assert assignment_row(cands, 7) == [w0, w1]
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            assignment_row([[], [(Weight.from_string("0"), 1)]], 0)
+
+    def test_max_rows(self):
+        w = Weight.from_string("0")
+        assert max_rows([[(w, 1)], [(w, 1), (w, 1)]]) == 2
+        assert max_rows([]) == 0

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end flows and experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FlowConfig, run_full_flow
+from repro.core import ProcedureConfig
+from repro.flows import clear_cache, flow_for, table6_rows, tradeoff_for
+from repro.flows.experiments import flow_config_for
+from repro.sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_flow():
+    return run_full_flow(
+        "s27",
+        FlowConfig(
+            seed=1,
+            tgen_max_len=500,
+            compaction_sims=30,
+            procedure=ProcedureConfig(l_g=100),
+            synthesize_hardware=True,
+        ),
+    )
+
+
+class TestFullFlow:
+    def test_coverage_preserved_end_to_end(self, s27_flow):
+        # The headline claim: the kept weight assignments detect exactly
+        # the faults the deterministic sequence detects.
+        flow = s27_flow
+        sim = FaultSimulator(flow.circuit)
+        targets = list(flow.procedure.target_faults)
+        covered = set()
+        for assignment in flow.reverse_order.kept:
+            t_g = assignment.generate(flow.procedure.l_g)
+            covered.update(sim.run(t_g.patterns, targets).detection_time)
+        assert covered == set(targets)
+
+    def test_table6_row_consistency(self, s27_flow):
+        row = s27_flow.table6
+        assert row.circuit == "s27"
+        assert row.given_len == len(s27_flow.sequence)
+        assert row.given_det == len(s27_flow.procedure.target_faults)
+        assert row.n_fsms <= row.n_subsequences
+        assert row.n_fsm_outputs <= row.n_subsequences
+
+    def test_hardware_synthesized_and_verified(self, s27_flow):
+        assert s27_flow.tpg is not None
+        assert s27_flow.tpg_verified is True
+        assert len(s27_flow.tpg.circuit.outputs) == 4
+
+    def test_compaction_never_lengthens(self, s27_flow):
+        assert len(s27_flow.sequence) <= len(s27_flow.generated.sequence)
+
+    def test_timings_recorded(self, s27_flow):
+        assert {"test_generation", "procedure", "reverse_order"} <= set(
+            s27_flow.timings
+        )
+
+    def test_accepts_circuit_object(self, s27):
+        flow = run_full_flow(
+            s27,
+            FlowConfig(tgen_max_len=300, compaction_sims=0,
+                       procedure=ProcedureConfig(l_g=64)),
+        )
+        assert flow.compaction is None
+        assert flow.table6.circuit == "s27"
+
+
+class TestExperimentDrivers:
+    def test_flow_cache(self):
+        clear_cache()
+        a = flow_for("s27")
+        b = flow_for("s27")
+        assert a is b
+
+    def test_table6_rows_shape(self):
+        rows = table6_rows(("s27",))
+        assert len(rows) == 1
+        assert rows[0].circuit == "s27"
+
+    def test_tradeoff_rows(self):
+        rows = tradeoff_for("s27")
+        assert rows[-1].fault_efficiency == 100.0
+
+    def test_config_lg_defaults(self):
+        assert flow_config_for("s27").procedure.l_g == 2000
+        assert flow_config_for("g208").procedure.l_g == 512
+        assert flow_config_for("g208", l_g=64).procedure.l_g == 64

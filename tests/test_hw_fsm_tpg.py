@@ -1,0 +1,181 @@
+"""Tests for weight FSM construction, TPG synthesis, verification and
+the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Weight, WeightAssignment
+from repro.errors import HardwareError
+from repro.hw import (
+    build_weight_fsms,
+    fsm_summary,
+    rom_bits_equivalent,
+    synthesize_tpg,
+    tpg_cost,
+    verify_tpg,
+)
+from repro.hw.fsm import WeightFsm, find_output, merge_equivalent
+from repro.sim import LogicSimulator, V0, V1
+
+
+def _w(text: str) -> Weight:
+    return Weight.from_string(text)
+
+
+class TestMergeEquivalent:
+    def test_merges_repetitions(self):
+        mapping = merge_equivalent([_w("01"), _w("0101"), _w("10")])
+        assert mapping[_w("0101")] == _w("01")
+        assert mapping[_w("01")] == _w("01")
+        assert mapping[_w("10")] == _w("10")
+
+
+class TestBuildFsms:
+    def test_one_fsm_per_length(self):
+        fsms = build_weight_fsms([_w("0"), _w("1"), _w("01"), _w("100")])
+        assert [f.length for f in fsms] == [1, 2, 3]
+
+    def test_equivalent_weights_share_output(self):
+        fsms = build_weight_fsms([_w("01"), _w("0101")])
+        assert len(fsms) == 1
+        assert fsms[0].length == 2
+        assert fsms[0].n_outputs == 1
+
+    def test_summary_counts(self):
+        summary = fsm_summary([_w("0"), _w("00"), _w("01"), _w("100"), _w("110")])
+        # canonical: 0, 0 (dup), 01, 100, 110 -> lengths {1, 2, 3}
+        assert summary.n_fsms == 3
+        assert summary.n_outputs == 4
+
+    def test_state_bits(self):
+        assert WeightFsm(1, (_w("0"),)).n_state_bits == 0
+        assert WeightFsm(2, (_w("01"),)).n_state_bits == 1
+        assert WeightFsm(5, (_w("00010"),)).n_state_bits == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(HardwareError):
+            WeightFsm(3, (_w("01"),))
+
+    def test_find_output(self):
+        fsms = build_weight_fsms([_w("01"), _w("100")])
+        fsm_i, out_i = find_output(fsms, _w("0101"))  # via canonical form
+        assert fsms[fsm_i].outputs[out_i] == _w("01")
+        with pytest.raises(HardwareError):
+            find_output(fsms, _w("111000"))
+
+    def test_output_at(self):
+        fsm = build_weight_fsms([_w("0110")])[0]
+        assert [fsm.output_at(0, s) for s in range(4)] == [0, 1, 1, 0]
+
+
+class TestTpgSynthesis:
+    def test_replay_single_assignment(self):
+        wa = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        design = synthesize_tpg([wa], l_g=12)
+        assert verify_tpg(design).ok
+
+    def test_replay_multiple_assignments(self):
+        a1 = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        a2 = WeightAssignment.from_strings(["100", "00", "01", "100"])
+        a3 = WeightAssignment.from_strings(["1", "1", "1", "0110"])
+        design = synthesize_tpg([a1, a2, a3], l_g=10)
+        assert design.n_assignments == 3
+        assert design.total_cycles == 30
+        assert verify_tpg(design).ok
+
+    def test_replay_non_power_of_two_lg(self):
+        # l_g = 7 exercises the cycle-counter wrap logic.
+        a1 = WeightAssignment.from_strings(["011", "10"])
+        a2 = WeightAssignment.from_strings(["1", "0"])
+        design = synthesize_tpg([a1, a2], l_g=7)
+        assert verify_tpg(design).ok
+
+    def test_replay_lg_one(self):
+        a1 = WeightAssignment.from_strings(["1", "0"])
+        a2 = WeightAssignment.from_strings(["0", "1"])
+        design = synthesize_tpg([a1, a2], l_g=1)
+        assert verify_tpg(design).ok
+
+    def test_replay_three_assignments_wrap(self):
+        # Non-power-of-two assignment count exercises the selector wrap;
+        # simulate past the wrap and check assignment 0 repeats.
+        a1 = WeightAssignment.from_strings(["01"])
+        a2 = WeightAssignment.from_strings(["1"])
+        a3 = WeightAssignment.from_strings(["100"])
+        design = synthesize_tpg([a1, a2, a3], l_g=6)
+        total = design.total_cycles
+        stimulus = [(V1,)] + [(V0,)] * (total + 6)
+        trace = LogicSimulator(design.circuit).run(stimulus)
+        wrapped = [trace.outputs[1 + total + t][0] for t in range(6)]
+        expected = [a1.generate(6)[t][0] for t in range(6)]
+        assert wrapped == expected
+
+    def test_custom_port_names(self, s27):
+        wa = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        design = synthesize_tpg([wa], l_g=8, input_names=s27.inputs)
+        assert design.output_ports == ("out_G0", "out_G1", "out_G2", "out_G3")
+
+    def test_rejects_empty(self):
+        with pytest.raises(HardwareError):
+            synthesize_tpg([], l_g=4)
+
+    def test_rejects_mixed_widths(self):
+        with pytest.raises(HardwareError, match="mixed"):
+            synthesize_tpg(
+                [WeightAssignment.from_strings(["0"]),
+                 WeightAssignment.from_strings(["0", "1"])],
+                l_g=4,
+            )
+
+    def test_rejects_random_weights(self):
+        with pytest.raises(HardwareError, match="random"):
+            synthesize_tpg([WeightAssignment.from_strings(["R", "0"])], l_g=4)
+
+    def test_rejects_bad_lg(self):
+        with pytest.raises(HardwareError):
+            synthesize_tpg([WeightAssignment.from_strings(["0"])], l_g=0)
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(HardwareError):
+            synthesize_tpg(
+                [WeightAssignment.from_strings(["0", "1"])],
+                l_g=4,
+                input_names=["a"],
+            )
+
+
+class TestVerifyReportsMismatches:
+    def test_mismatch_detection(self):
+        # Tamper with a correct design by verifying it against altered
+        # expectations: rebuild a design whose assignment differs.
+        wa = WeightAssignment.from_strings(["01"])
+        design = synthesize_tpg([wa], l_g=6)
+        tampered = type(design)(
+            circuit=design.circuit,
+            assignments=(WeightAssignment.from_strings(["10"]),),
+            l_g=design.l_g,
+            fsms=design.fsms,
+            output_ports=design.output_ports,
+        )
+        verdict = verify_tpg(tampered)
+        assert not verdict.ok
+        assert verdict.mismatches
+        first = verdict.mismatches[0]
+        assert first.expected != first.actual
+
+
+class TestCost:
+    def test_cost_counts(self):
+        a1 = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        a2 = WeightAssignment.from_strings(["100", "00", "01", "100"])
+        design = synthesize_tpg([a1, a2], l_g=12)
+        cost = tpg_cost(design)
+        assert cost.n_flops >= 4  # cycle counter bits + fsm states
+        assert cost.n_gates > 0
+        assert cost.n_literals >= cost.n_gates  # every gate has >= 1 pin
+        assert cost.gate_equivalents > 0
+        assert sum(cost.gate_mix.values()) == cost.n_gates
+
+    def test_rom_equivalent(self):
+        assert rom_bits_equivalent(105, 10) == 1050

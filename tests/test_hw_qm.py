@@ -1,0 +1,119 @@
+"""Tests for the Quine-McCluskey minimizer, including exhaustive
+correctness checks against truth tables."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.hw.qm import Cube, evaluate_cubes, minimize, total_literals
+
+
+def _check_equivalent(n_vars, minterms, dont_cares, cubes):
+    """The SOP must be 1 on all minterms, 0 on all maxterms, anything on
+    don't-cares."""
+    dc = set(dont_cares)
+    on = set(minterms)
+    for assignment in range(1 << n_vars):
+        value = evaluate_cubes(cubes, assignment)
+        if assignment in on:
+            assert value == 1, f"minterm {assignment} not covered"
+        elif assignment not in dc:
+            assert value == 0, f"maxterm {assignment} wrongly covered"
+
+
+class TestCube:
+    def test_covers(self):
+        cube = Cube(care=0b110, value=0b100)  # x2=1, x1=0, x0=don't-care
+        assert cube.covers(0b100)
+        assert cube.covers(0b101)
+        assert not cube.covers(0b110)
+
+    def test_literal_count(self):
+        assert Cube(care=0b1011, value=0).literal_count() == 3
+
+    def test_to_string(self):
+        assert Cube(care=0b10, value=0b10).to_string(2) == "1-"
+        assert Cube(care=0b11, value=0b01).to_string(2) == "01"
+        assert Cube(care=0, value=0).to_string(3) == "---"
+
+
+class TestMinimize:
+    def test_constant_zero(self):
+        assert minimize(2, []) == []
+
+    def test_constant_one(self):
+        cubes = minimize(2, [0, 1, 2, 3])
+        assert cubes == [Cube(care=0, value=0)]
+
+    def test_constant_one_with_dontcares(self):
+        cubes = minimize(2, [0, 3], [1, 2])
+        assert cubes == [Cube(care=0, value=0)]
+
+    def test_single_minterm(self):
+        cubes = minimize(2, [3])
+        assert len(cubes) == 1
+        assert cubes[0].care == 0b11 and cubes[0].value == 0b11
+
+    def test_classic_xor_not_reducible(self):
+        cubes = minimize(2, [1, 2])
+        assert len(cubes) == 2
+        _check_equivalent(2, [1, 2], [], cubes)
+
+    def test_adjacent_merge(self):
+        # f = m0 + m1 over 2 vars -> single cube x1'.
+        cubes = minimize(2, [0, 1])
+        assert len(cubes) == 1
+        assert cubes[0].care == 0b10 and cubes[0].value == 0
+
+    def test_dont_cares_enable_merging(self):
+        # f(x1,x0): ON={0}, DC={1,2,3} -> constant 1.
+        cubes = minimize(2, [0], [1, 2, 3])
+        assert cubes == [Cube(care=0, value=0)]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            minimize(2, [4])
+
+    @pytest.mark.parametrize("n_vars", [2, 3, 4])
+    def test_exhaustive_small_functions(self, n_vars):
+        # Every function of n_vars variables (sampled for n=4).
+        space = 1 << n_vars
+        n_functions = 1 << space
+        step = 1 if n_functions <= 256 else max(1, n_functions // 256)
+        for f in range(0, n_functions, step):
+            minterms = [m for m in range(space) if (f >> m) & 1]
+            cubes = minimize(n_vars, minterms)
+            _check_equivalent(n_vars, minterms, [], cubes)
+
+    def test_exhaustive_with_dontcares(self):
+        # All (on, dc) partitions over 3 variables, sampled.
+        space = 8
+        for f in range(0, 1 << space, 7):
+            for d in range(0, 1 << space, 13):
+                on = [m for m in range(space) if (f >> m) & 1 and not (d >> m) & 1]
+                dc = [m for m in range(space) if (d >> m) & 1 and m not in on]
+                cubes = minimize(3, on, dc)
+                _check_equivalent(3, on, dc, cubes)
+
+    def test_minimality_on_known_example(self):
+        # f = Σ(0,1,2,5,6,7) over 3 vars minimizes to 3 cubes or fewer
+        # (known result: x1'x0' + x1 x0 ... classic = 3 terms of 2 lits).
+        cubes = minimize(3, [0, 1, 2, 5, 6, 7])
+        _check_equivalent(3, [0, 1, 2, 5, 6, 7], [], cubes)
+        assert len(cubes) <= 3
+        assert total_literals(cubes) <= 6
+
+    def test_fsm_output_shape(self):
+        # The exact shape used by weight FSMs: L_S = 5, 3 unreachable
+        # don't-care states.
+        minterms = [3]  # subsequence 00010
+        cubes = minimize(3, minterms, [5, 6, 7])
+        _check_equivalent(3, minterms, [5, 6, 7], cubes)
+
+
+class TestTotalLiterals:
+    def test_counts(self):
+        cubes = [Cube(care=0b11, value=0b01), Cube(care=0b1, value=0b1)]
+        assert total_literals(cubes) == 3

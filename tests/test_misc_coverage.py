@@ -1,0 +1,140 @@
+"""Edge cases and cross-cutting behaviours not covered elsewhere:
+error hierarchy, experiment drivers, flow modes, provenance metadata,
+Verilog identifier escaping, and the hybrid flow path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FlowConfig, run_full_flow
+from repro.circuit import CircuitBuilder, write_verilog
+from repro.core import ProcedureConfig, select_weight_assignments
+from repro.errors import (
+    BenchParseError,
+    FaultModelError,
+    HardwareError,
+    NetlistError,
+    ProcedureError,
+    ReproError,
+    SimulationError,
+    WeightError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            NetlistError,
+            BenchParseError,
+            SimulationError,
+            FaultModelError,
+            WeightError,
+            ProcedureError,
+            HardwareError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_bench_parse_error_line_number(self):
+        error = BenchParseError("bad", line_no=7)
+        assert "line 7" in str(error)
+        assert error.line_no == 7
+
+    def test_bench_parse_error_no_line(self):
+        assert BenchParseError("bad").line_no is None
+
+
+class TestExperimentDrivers:
+    def test_full_suite_env(self, monkeypatch):
+        from repro.flows.experiments import FULL_SUITE, active_suite
+
+        monkeypatch.setenv("REPRO_FULL_SUITE", "1")
+        assert active_suite() == FULL_SUITE
+
+    def test_default_suite(self, monkeypatch):
+        from repro.flows.experiments import DEFAULT_SUITE, active_suite
+
+        monkeypatch.delenv("REPRO_FULL_SUITE", raising=False)
+        assert active_suite() == DEFAULT_SUITE
+
+    def test_clear_cache(self):
+        from repro.flows import clear_cache, flow_for
+
+        first = flow_for("s27")
+        clear_cache()
+        second = flow_for("s27")
+        assert first is not second
+        # Determinism: same content even after a cache clear.
+        assert first.table6 == second.table6
+
+
+class TestFlowModes:
+    def test_unknown_tgen_mode_rejected(self, s27):
+        with pytest.raises(ReproError, match="tgen_mode"):
+            run_full_flow(s27, FlowConfig(tgen_mode="quantum"))
+
+    def test_hybrid_mode_runs(self, s27):
+        flow = run_full_flow(
+            s27,
+            FlowConfig(
+                tgen_mode="hybrid",
+                tgen_max_len=6,  # starve the random phase on purpose
+                compaction_sims=10,
+                procedure=ProcedureConfig(l_g=64),
+            ),
+        )
+        # The deterministic phase completes coverage on s27.
+        assert flow.generated.coverage == 1.0
+        assert flow.table6.given_det == 32
+
+
+class TestProcedureProvenance:
+    def test_omega_entries_carry_provenance(self, s27, s27_faults, paper_t):
+        result = select_weight_assignments(
+            s27, paper_t, s27_faults, ProcedureConfig(l_g=64)
+        )
+        for entry in result.omega:
+            assert 0 <= entry.u < len(paper_t)
+            assert 1 <= entry.l_s <= entry.u + 1
+            assert entry.row >= -1  # -1 marks the guarantee fallback
+            # The assignment's longest subsequence never exceeds l_s.
+            assert entry.assignment.max_length <= entry.l_s
+
+    def test_generation_rng_reproducible(self, s27, s27_faults, paper_t):
+        cfg = ProcedureConfig(l_g=64, allow_random_weight=True, seed=9)
+        result = select_weight_assignments(s27, paper_t, s27_faults, cfg)
+        for index, entry in enumerate(result.omega):
+            if not entry.assignment.has_random:
+                continue
+            a = entry.assignment.generate(result.l_g, result.generation_rng(index))
+            b = entry.assignment.generate(result.l_g, result.generation_rng(index))
+            assert a == b
+
+
+class TestVerilogEscaping:
+    def test_weird_net_names_escaped(self):
+        b = CircuitBuilder("weird")
+        b.input("a$b")      # legal verilog (with $), fine unescaped
+        b.input("3net")     # starts with a digit: must be escaped
+        b.and_("module", "a$b", "3net")  # keyword: must be escaped
+        b.output("module")
+        text = write_verilog(b.build())
+        assert "\\3net " in text
+        assert "\\module " in text
+
+    def test_dash_in_circuit_name(self):
+        b = CircuitBuilder("my-circ")
+        b.input("a")
+        b.buf("y", "a")
+        b.output("y")
+        text = write_verilog(b.build())
+        assert "module my_circ" in text
+
+
+class TestCliTradeoff:
+    def test_tradeoff_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["tradeoff", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "f.e." in out
+        assert "100.0" in out

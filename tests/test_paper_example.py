@@ -1,0 +1,212 @@
+"""Exact reproduction of the paper's running example (Sections 2-4).
+
+These tests pin the implementation to the numbers printed in the paper:
+Table 1 (the s27 test sequence), Table 2 (the weighted sequence), the
+Section-2 match counts, the Section-3 mining example, Table 3 (the
+three-weight FSM), and Tables 4-5 (the weight set and candidate sets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Weight, WeightAssignment, mine_weight
+from repro.core.candidates import candidate_sets
+from repro.core.weight_set import WeightSet
+from repro.hw.fsm import build_weight_fsms
+from repro.sim import all_faults, collapse_faults, detection_times
+
+
+class TestTable1:
+    """The deterministic sequence of Table 1 detects all of s27."""
+
+    def test_collapsed_fault_count_is_32(self, s27):
+        # The paper enumerates the faults of s27 as f_0 .. f_31.
+        assert len(collapse_faults(s27)) == 32
+
+    def test_uncollapsed_fault_count_is_52(self, s27):
+        assert len(all_faults(s27)) == 52
+
+    def test_sequence_detects_all_faults(self, s27, s27_faults, paper_t):
+        det = detection_times(s27, paper_t.patterns, s27_faults)
+        assert len(det) == 32
+
+    def test_two_faults_detected_at_time_9(self, s27, s27_faults, paper_t):
+        # "Two faults are detected at time unit 9, f10 and f12."
+        det = detection_times(s27, paper_t.patterns, s27_faults)
+        assert sum(1 for u in det.values() if u == 9) == 2
+
+    def test_last_detection_is_time_9(self, s27, s27_faults, paper_t):
+        det = detection_times(s27, paper_t.patterns, s27_faults)
+        assert max(det.values()) == 9
+
+    def test_restrictions_match_paper(self, paper_t):
+        # "T_0 = (0101011001), T_1 = (1010100000)"
+        assert "".join(map(str, paper_t.restrict(0))) == "0101011001"
+        assert "".join(map(str, paper_t.restrict(1))) == "1010100000"
+
+
+class TestSection2MatchCounts:
+    """The match counts n_m quoted throughout Section 2."""
+
+    @pytest.mark.parametrize(
+        "input_index, alpha, expected",
+        [
+            (0, "1", 5),     # α=1 matches T_0 at 5 time units
+            (0, "01", 8),    # α=01 matches T_0 at 8 time units
+            (0, "100", 7),   # α=100 matches T_0 at 7 time units
+            (1, "0", 7),     # α=0 matches T_1 at 7 time units
+            (1, "00", 7),
+            (1, "000", 7),
+            (2, "100", 6),   # α=100 matches T_2 at 6 time units
+            (2, "01", 5),    # second-best for input 2
+            (3, "1", 7),     # α=1 matches T_3 at 7 time units
+            (3, "100", 7),   # second-best for input 3
+        ],
+    )
+    def test_match_count(self, paper_t, input_index, alpha, expected):
+        weight = Weight.from_string(alpha)
+        assert weight.match_count(paper_t.restrict(input_index)) == expected
+
+    @pytest.mark.parametrize(
+        "input_index, alpha, u",
+        [
+            (0, "1", 9),
+            (0, "01", 9),
+            (0, "100", 9),
+            (1, "0", 9),
+            (2, "100", 9),
+            (3, "1", 9),
+        ],
+    )
+    def test_perfect_tail_matches_at_9(self, paper_t, input_index, alpha, u):
+        weight = Weight.from_string(alpha)
+        assert weight.matches_tail(paper_t.restrict(input_index), u)
+
+
+class TestTable2:
+    """The weighted sequence generated from weights {01, 0, 100, 1}."""
+
+    EXPECTED = [
+        "0011", "1001", "0001", "1011", "0001", "1001",
+        "0011", "1001", "0001", "1011", "0001", "1001",
+    ]
+
+    def test_weighted_sequence_matches_table2(self):
+        assignment = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        t_g = assignment.generate(12)
+        assert list(t_g.to_strings()) == self.EXPECTED
+
+    def test_weighted_sequence_detects_f10_plus_eight(
+        self, s27, s27_faults, paper_t
+    ):
+        # "This sequence detects f10 as well as eight additional faults."
+        assignment = WeightAssignment.from_strings(["01", "0", "100", "1"])
+        t_g = assignment.generate(12)
+        det = detection_times(s27, t_g.patterns, s27_faults)
+        assert len(det) == 9
+
+
+class TestSection3Mining:
+    """The mining example of Section 3: u = 8, L_S = 4."""
+
+    def test_input0_mines_0110(self, paper_t):
+        assert mine_weight(paper_t.restrict(0), 8, 4) == Weight.from_string("0110")
+
+    def test_input1_mines_0000(self, paper_t):
+        assert mine_weight(paper_t.restrict(1), 8, 4) == Weight.from_string("0000")
+
+    def test_input2_mines_0100(self, paper_t):
+        assert mine_weight(paper_t.restrict(2), 8, 4) == Weight.from_string("0100")
+
+    def test_input3_same_as_input0(self, paper_t):
+        assert mine_weight(paper_t.restrict(3), 8, 4) == mine_weight(
+            paper_t.restrict(0), 8, 4
+        )
+
+    def test_mined_weight_reproduces_tail(self, paper_t):
+        # "Repeating α, we obtain (011001100...) which matches T_0
+        # perfectly at time units 5 to 8."
+        weight = mine_weight(paper_t.restrict(0), 8, 4)
+        expansion = weight.expand(9)
+        t_0 = paper_t.restrict(0)
+        for u in range(5, 9):
+            assert expansion[u] == t_0[u]
+
+
+class TestTable3Fsm:
+    """The FSM of Table 3 producing 00010, 01011 and 11001."""
+
+    def test_single_fsm_with_three_outputs(self):
+        weights = [Weight.from_string(s) for s in ("00010", "01011", "11001")]
+        fsms = build_weight_fsms(weights)
+        assert len(fsms) == 1
+        assert fsms[0].length == 5
+        assert fsms[0].n_outputs == 3
+
+    def test_transition_table_matches_paper(self):
+        weights = [Weight.from_string(s) for s in ("00010", "01011", "11001")]
+        fsm = build_weight_fsms(weights)[0]
+        # Table 3 rows (A..E -> 0..4): outputs z1, z2, z3 per state.
+        paper_rows = {
+            0: (0, 0, 1),
+            1: (0, 1, 1),
+            2: (0, 0, 0),
+            3: (1, 1, 0),
+            4: (0, 1, 1),
+        }
+        for state, next_state, outputs in fsm.transition_table():
+            assert next_state == (state + 1) % 5
+            assert outputs == paper_rows[state]
+
+    def test_three_state_bits(self):
+        weights = [Weight.from_string(s) for s in ("00010", "01011", "11001")]
+        fsm = build_weight_fsms(weights)[0]
+        # ceil(log2 5) = 3 state variables, 8 states, 5 reachable.
+        assert fsm.n_state_bits == 3
+        assert fsm.n_unreachable_states == 3
+
+
+class TestTables4And5:
+    """The weight set S of Table 4 and the candidate sets A_i of Table 5."""
+
+    TABLE4 = [
+        "0", "1", "00", "10", "01", "11", "000", "100",
+        "010", "110", "001", "101", "011", "111",
+    ]
+
+    def _table4_set(self) -> WeightSet:
+        weights = WeightSet()
+        for text in self.TABLE4:
+            weights.add(Weight.from_string(text))
+        return weights
+
+    def test_candidate_sets_at_u9(self, paper_t):
+        # Table 5: A_0 = [01(8), 100(7), 1(5)], A_1 = [0(7), 00(7),
+        # 000(7)], A_2 = [100(6), 01(5), 1(4)], A_3 = [1(7), 100(7),
+        # 01(6)].
+        cands = candidate_sets(paper_t, 9, self._table4_set(), 3)
+        expected = [
+            [("01", 8), ("100", 7), ("1", 5)],
+            [("0", 7), ("00", 7), ("000", 7)],
+            [("100", 6), ("01", 5), ("1", 4)],
+            [("1", 7), ("100", 7), ("01", 6)],
+        ]
+        assert len(cands) == 4
+        for a_i, exp in zip(cands, expected):
+            got = [(str(w), n) for w, n in a_i]
+            assert got == exp
+
+    def test_row0_is_the_section2_assignment(self, paper_t):
+        # "we select the weight assignment based on the subsequences
+        # 01, 0, 100 and 1"
+        cands = candidate_sets(paper_t, 9, self._table4_set(), 3)
+        row0 = [str(a_i[0][0]) for a_i in cands]
+        assert row0 == ["01", "0", "100", "1"]
+
+    def test_row1_is_the_second_best_assignment(self, paper_t):
+        # "the weight assignment based on the subsequences 100, 00, 01
+        # and 100"
+        cands = candidate_sets(paper_t, 9, self._table4_set(), 3)
+        row1 = [str(a_i[1][0]) for a_i in cands]
+        assert row1 == ["100", "00", "01", "100"]

@@ -1,0 +1,103 @@
+"""Property-based tests for the newer subsystems: scan sessions,
+transition algebra, MISR linearity, and sequence file I/O."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.misr import Misr
+from repro.scan import ScanTest, expand_scan_session, insert_scan
+from repro.scan.session import capture_cycle_indices
+from repro.sim import LogicSimulator, V0, V1, VX
+from repro.sim.transition import TransitionFault, _forced_value
+from repro.tgen import TestSequence
+from repro.tgen.io import dumps_sequence, loads_sequence
+
+bits = st.integers(min_value=0, max_value=1)
+ternary = st.sampled_from([V0, V1, VX])
+
+
+class TestScanSessionProperties:
+    @given(st.lists(st.tuples(
+        st.tuples(bits, bits, bits),
+        st.tuples(bits, bits, bits, bits),
+    ), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_every_capture_sees_its_state_and_pattern(self, raw):
+        from repro.circuit import load_circuit
+
+        circuit = load_circuit("s27")
+        design = insert_scan(circuit)
+        tests = [ScanTest(state, pattern) for state, pattern in raw]
+        session = expand_scan_session(design, tests)
+        trace = LogicSimulator(design.circuit).run(session.patterns)
+        for k, test in enumerate(tests):
+            capture = capture_cycle_indices(design, len(tests))[k]
+            assert trace.states[capture] == test.state
+            # PIs at the capture cycle are the test's pattern.
+            assert session[capture][: len(circuit.inputs)] == test.pattern
+
+
+class TestTransitionAlgebraProperties:
+    @given(ternary, ternary)
+    def test_str_is_ternary_and(self, current, previous):
+        from repro.sim.values import and_reduce
+
+        fault = TransitionFault("n", 1)
+        assert _forced_value(fault, current, previous) == and_reduce(
+            [current, previous]
+        )
+
+    @given(ternary, ternary)
+    def test_stf_is_ternary_or(self, current, previous):
+        from repro.sim.values import or_reduce
+
+        fault = TransitionFault("n", 0)
+        assert _forced_value(fault, current, previous) == or_reduce(
+            [current, previous]
+        )
+
+    @given(ternary)
+    def test_steady_value_passes(self, value):
+        for slow_to in (0, 1):
+            fault = TransitionFault("n", slow_to)
+            assert _forced_value(fault, value, value) == value
+
+
+class TestMisrProperties:
+    @given(
+        st.lists(st.tuples(bits, bits, bits), min_size=1, max_size=30),
+        st.lists(st.tuples(bits, bits, bits), min_size=1, max_size=30),
+    )
+    @settings(max_examples=50)
+    def test_linearity(self, stream_a, stream_b):
+        # MISR is linear over GF(2): sig(a) XOR sig(b) == sig(a XOR b)
+        # when both streams have equal length and the seed is 0.
+        n = min(len(stream_a), len(stream_b))
+        a = stream_a[:n]
+        b = stream_b[:n]
+        xored = [tuple(x ^ y for x, y in zip(ra, rb)) for ra, rb in zip(a, b)]
+        sig_a = Misr(8, 3, seed=0).run(a)
+        sig_b = Misr(8, 3, seed=0).run(b)
+        sig_x = Misr(8, 3, seed=0).run(xored)
+        assert sig_a ^ sig_b == sig_x
+
+    @given(st.lists(st.tuples(bits, bits), min_size=1, max_size=40), st.data())
+    @settings(max_examples=50)
+    def test_single_flip_always_changes_signature(self, stream, data):
+        # Invertible state update: one error bit can never alias.
+        index = data.draw(st.integers(0, len(stream) - 1))
+        channel = data.draw(st.integers(0, 1))
+        flipped = [list(row) for row in stream]
+        flipped[index][channel] ^= 1
+        base = Misr(8, 2).run(stream)
+        other = Misr(8, 2).run([tuple(r) for r in flipped])
+        assert base != other
+
+
+class TestSequenceIoProperties:
+    @given(st.lists(st.tuples(ternary, ternary, ternary), max_size=20))
+    @settings(max_examples=50)
+    def test_round_trip(self, rows):
+        seq = TestSequence(rows)
+        assert loads_sequence(dumps_sequence(seq, comment="c")) == seq

@@ -1,0 +1,68 @@
+"""Tests for the HTML report generator."""
+
+from __future__ import annotations
+
+from repro.cli import main as cli_main
+from repro.report import collect_results, render_report, write_report
+
+
+class TestCollect:
+    def test_reads_artifacts(self, tmp_path):
+        (tmp_path / "table6.txt").write_text("Table 6 body\n")
+        (tmp_path / "extra.txt").write_text("extra body\n")
+        (tmp_path / "ignored.json").write_text("{}")
+        artifacts = collect_results(tmp_path)
+        assert set(artifacts) == {"table6", "extra"}
+        assert artifacts["table6"] == "Table 6 body"
+
+    def test_missing_dir(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+
+class TestRender:
+    def test_section_ordering(self):
+        artifacts = {
+            "tables7_16": "B",
+            "table6": "A",
+            "zz_custom": "C",
+        }
+        page = render_report(artifacts)
+        assert page.index("Table 6") < page.index("Tables 7-16")
+        assert page.index("Tables 7-16") < page.index("zz_custom")
+
+    def test_html_escaping(self):
+        page = render_report({"table6": "a < b & c"})
+        assert "a &lt; b &amp; c" in page
+        assert "<pre>" in page
+
+    def test_empty(self):
+        page = render_report({})
+        assert "No artifacts" in page
+
+    def test_self_contained(self):
+        page = render_report({"table6": "x"})
+        assert "<style>" in page
+        assert "http" not in page.split("EXPERIMENTS")[0].split("<body>")[1]
+
+
+class TestWriteAndCli:
+    def test_write_report(self, tmp_path):
+        (tmp_path / "table6.txt").write_text("body")
+        out = write_report(tmp_path, tmp_path / "report.html")
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_cli_report(self, tmp_path, capsys):
+        (tmp_path / "table6.txt").write_text("body")
+        code = cli_main(
+            ["report", "--results", str(tmp_path),
+             "--output", str(tmp_path / "r.html")]
+        )
+        assert code == 0
+        assert (tmp_path / "r.html").exists()
+
+    def test_cli_report_empty(self, tmp_path, capsys):
+        code = cli_main(
+            ["report", "--results", str(tmp_path / "none"),
+             "--output", str(tmp_path / "r.html")]
+        )
+        assert code == 1

@@ -1,0 +1,161 @@
+"""Tests for the scan-design substrate: insertion, session expansion,
+and combinational scan ATPG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError, SimulationError
+from repro.scan import (
+    ScanTest,
+    expand_scan_session,
+    insert_scan,
+    scan_atpg,
+    scan_cost,
+)
+from repro.scan.atpg import scan_equivalent_model
+from repro.scan.session import capture_cycle_indices
+from repro.sim import FaultSimulator, LogicSimulator, V0, V1, collapse_faults
+
+
+class TestInsertion:
+    def test_structure(self, s27):
+        design = insert_scan(s27)
+        assert design.chain == s27.flops
+        assert design.circuit.inputs[-2:] == ("scan_in", "scan_en")
+        assert design.circuit.outputs[-1] == "scan_out"
+
+    def test_cost(self, s27):
+        design = insert_scan(s27)
+        cost = scan_cost(s27, design)
+        assert cost.cells == 3
+        assert cost.extra_gates == 3 * 3 + 1 + 1  # muxes + inverter + out buf
+        assert cost.extra_ports == 3
+
+    def test_functional_mode_unchanged(self, s27, paper_t):
+        # With scan_en = 0, the scan circuit behaves like the original.
+        design = insert_scan(s27)
+        plain = LogicSimulator(s27).run(paper_t.patterns)
+        scan_stim = [row + (V0, V0) for row in paper_t.patterns]
+        scanned = LogicSimulator(design.circuit).run(scan_stim)
+        for a, b in zip(plain.outputs, scanned.outputs):
+            assert a == b[: len(a)]
+
+    def test_shift_loads_state(self, s27):
+        # Shift 1,0,1 into the chain, then inspect the state.
+        design = insert_scan(s27)
+        n = design.chain_length
+        target = (1, 0, 1)
+        stim = []
+        for cycle in range(n):
+            stim.append((V0, V0, V0, V0) + (target[n - 1 - cycle], V1))
+        stim.append((V0, V0, V0, V0) + (V0, V0))
+        trace = LogicSimulator(design.circuit).run(stim)
+        # State at the last cycle (after n shifts) must equal target.
+        assert trace.states[n] == target
+
+    def test_shift_out_observes_state(self, s27):
+        design = insert_scan(s27)
+        n = design.chain_length
+        # Load 1,1,1 then shift out while feeding zeros.
+        stim = []
+        for _ in range(n):
+            stim.append((V0, V0, V0, V0) + (V1, V1))
+        for _ in range(n):
+            stim.append((V0, V0, V0, V0) + (V0, V1))
+        trace = LogicSimulator(design.circuit).run(stim)
+        scan_out_index = len(design.circuit.outputs) - 1
+        observed = [trace.outputs[n + k][scan_out_index] for k in range(n)]
+        assert observed == [V1] * n
+
+    def test_no_flops_rejected(self, comb_circuit):
+        with pytest.raises(NetlistError):
+            insert_scan(comb_circuit)
+
+    def test_name_collision_rejected(self, s27):
+        with pytest.raises(NetlistError):
+            insert_scan(s27, scan_in="G0")
+
+
+class TestSession:
+    def test_expansion_shape(self, s27):
+        design = insert_scan(s27)
+        tests = [ScanTest((1, 0, 1), (0, 1, 0, 1))]
+        session = expand_scan_session(design, tests)
+        # n shift + 1 capture + n flush.
+        assert len(session) == 3 + 1 + 3
+        assert session.width == 6
+
+    def test_capture_indices(self, s27):
+        design = insert_scan(s27)
+        assert capture_cycle_indices(design, 3) == [3, 7, 11]
+
+    def test_capture_applies_state_and_pattern(self, s27):
+        design = insert_scan(s27)
+        test = ScanTest((1, 1, 0), (1, 0, 1, 0))
+        session = expand_scan_session(design, [test])
+        trace = LogicSimulator(design.circuit).run(session.patterns)
+        capture = capture_cycle_indices(design, 1)[0]
+        assert trace.states[capture] == test.state
+
+    def test_bad_vector_sizes(self, s27):
+        design = insert_scan(s27)
+        with pytest.raises(SimulationError):
+            expand_scan_session(design, [ScanTest((1,), (0, 0, 0, 0))])
+        with pytest.raises(SimulationError):
+            expand_scan_session(design, [ScanTest((0, 0, 0), (1,))])
+
+
+class TestScanEquivalentModel:
+    def test_flops_become_inputs(self, s27):
+        model, pseudo_po = scan_equivalent_model(s27)
+        for flop in s27.flops:
+            assert model.gate(flop).gtype.value == "INPUT"
+        assert set(pseudo_po) == set(s27.flops)
+        assert not model.flops
+
+    def test_next_state_nets_observable(self, s27):
+        model, pseudo_po = scan_equivalent_model(s27)
+        for d_net in pseudo_po.values():
+            assert model.is_output(d_net)
+
+
+class TestScanAtpg:
+    def test_s27_full_supported_coverage(self, s27):
+        result = scan_atpg(s27)
+        assert not result.aborted
+        assert not result.untestable
+        assert len(result.unsupported) == 2  # the DFF D-pin branch faults
+        assert len(result.detected) == 30
+
+    def test_session_confirms_combinational_claims(self, s27):
+        result = scan_atpg(s27)
+        assert set(result.detected) <= set(result.session_detected)
+
+    def test_session_cycles_accounting(self, s27):
+        result = scan_atpg(s27)
+        n = result.design.chain_length
+        expected = len(result.tests) * (n + 1) + n
+        assert result.session_cycles == expected
+
+    def test_untestable_faults_are_proofs(self):
+        # The absorption redundancy from the ATPG tests, now sequential:
+        # y = OR(a, AND(a, b)) feeding a flop.
+        from repro.circuit import CircuitBuilder
+        from repro.sim import Fault
+
+        b = CircuitBuilder("red")
+        b.input("a")
+        b.input("b")
+        b.and_("m", "a", "b")
+        b.or_("y", "a", "m")
+        b.dff("q", "y")
+        b.not_("z", "q")
+        b.output("z")
+        circuit = b.build()
+        result = scan_atpg(circuit, [Fault("m", 0)])
+        assert result.untestable == (Fault("m", 0),)
+
+    def test_coverage_property(self, s27):
+        result = scan_atpg(s27)
+        assert result.coverage == 1.0  # all supported faults detected

@@ -1,0 +1,102 @@
+"""Tests for the incremental (stepping) fault simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import FaultSimulator, IncrementalFaultSimulator, collapse_faults
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture()
+def stimulus(s27):
+    rng = DeterministicRng(11)
+    return [rng.bits(len(s27.inputs)) for _ in range(30)]
+
+
+class TestAgreementWithBatch:
+    def test_step_detections_match_batch(self, s27, s27_faults, stimulus):
+        batch = FaultSimulator(s27).run(stimulus, s27_faults)
+        inc = IncrementalFaultSimulator(s27, s27_faults)
+        stepped = {}
+        for u, pattern in enumerate(stimulus):
+            for fault in inc.step(pattern):
+                stepped[fault] = u
+        assert stepped == batch.detection_time
+
+    def test_multi_group_agreement(self, g208, stimulus):
+        faults = collapse_faults(g208)[:150]
+        rng = DeterministicRng(4)
+        stim = [rng.bits(len(g208.inputs)) for _ in range(40)]
+        batch = FaultSimulator(g208).run(stim, faults)
+        inc = IncrementalFaultSimulator(g208, faults)
+        stepped = {}
+        for u, pattern in enumerate(stim):
+            for fault in inc.step(pattern):
+                stepped[fault] = u
+        assert stepped == batch.detection_time
+
+
+class TestPeek:
+    def test_peek_does_not_commit(self, s27, s27_faults, stimulus):
+        inc = IncrementalFaultSimulator(s27, s27_faults)
+        before = inc.n_remaining
+        count = inc.peek(stimulus[0])
+        assert inc.n_remaining == before
+        # Committing the same pattern detects exactly what peek counted.
+        assert len(inc.step(stimulus[0])) == count
+
+    def test_peek_counts_match_step(self, s27, s27_faults, stimulus):
+        inc = IncrementalFaultSimulator(s27, s27_faults)
+        for pattern in stimulus[:10]:
+            peeked = inc.peek(pattern)
+            assert peeked == len(inc.step(pattern))
+
+
+class TestRegroup:
+    def test_regroup_preserves_behaviour(self, s27, s27_faults, stimulus):
+        # Run two simulators in lockstep; regroup one of them mid-way.
+        plain = IncrementalFaultSimulator(s27, s27_faults)
+        packed = IncrementalFaultSimulator(s27, s27_faults)
+        for u, pattern in enumerate(stimulus):
+            a = set(plain.step(pattern))
+            b = set(packed.step(pattern))
+            assert a == b, f"divergence at time {u}"
+            if u in (3, 7, 15):
+                packed.regroup()
+
+    def test_regroup_shrinks_remaining_list(self, g208):
+        faults = collapse_faults(g208)
+        inc = IncrementalFaultSimulator(g208, faults)
+        rng = DeterministicRng(8)
+        for _ in range(40):
+            inc.step(rng.bits(len(g208.inputs)))
+        remaining_before = sorted(inc.remaining_faults())
+        inc.regroup()
+        assert sorted(inc.remaining_faults()) == remaining_before
+
+    def test_regroup_empty(self, s27):
+        inc = IncrementalFaultSimulator(s27, [])
+        inc.regroup()
+        assert inc.n_remaining == 0
+
+
+class TestResetState:
+    def test_reset_forgets_initialization(self, s27, s27_faults):
+        inc = IncrementalFaultSimulator(s27, s27_faults)
+        rng = DeterministicRng(2)
+        for _ in range(5):
+            inc.step(rng.bits(4))
+        inc.reset_state()
+        # After a reset to all-X, an all-X input detects nothing.
+        from repro.sim import VX
+
+        assert inc.peek((VX, VX, VX, VX)) == 0
+
+    def test_remaining_accounting(self, s27, s27_faults, stimulus):
+        inc = IncrementalFaultSimulator(s27, s27_faults)
+        total = 0
+        for pattern in stimulus:
+            total += len(inc.step(pattern))
+        assert inc.n_remaining == len(s27_faults) - total
+        assert len(inc.remaining_faults()) == inc.n_remaining

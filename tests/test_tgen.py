@@ -1,0 +1,130 @@
+"""Tests for the test-generation substrate: TestSequence, the
+simulation-based generator, and static compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FaultSimulator, V0, V1, VX, collapse_faults
+from repro.tgen import TestSequence, compact_sequence, generate_test_sequence
+
+
+class TestTestSequence:
+    def test_from_strings_and_notation(self, paper_t):
+        assert paper_t.at(0) == (0, 1, 1, 1)
+        assert paper_t.value(9, 0) == 1
+        assert paper_t.width == 4
+        assert len(paper_t) == 10
+
+    def test_restrict(self, paper_t):
+        assert paper_t.restrict(2) == (1, 0, 1, 0, 0, 1, 0, 0, 0, 1)
+
+    def test_x_values(self):
+        seq = TestSequence.from_strings(["0x1", "X10"])
+        assert seq.value(0, 1) == VX
+        assert seq.value(1, 0) == VX
+
+    def test_ragged_raises(self):
+        with pytest.raises(SimulationError, match="ragged"):
+            TestSequence([(0, 1), (0,)])
+
+    def test_bad_value_raises(self):
+        with pytest.raises(SimulationError):
+            TestSequence([(0, 5)])
+
+    def test_append_concat_prefix(self, paper_t):
+        longer = paper_t.append((1, 1, 1, 1))
+        assert len(longer) == 11
+        assert len(paper_t) == 10  # immutable
+        both = paper_t.concat(paper_t)
+        assert len(both) == 20
+        assert both.prefix(10) == paper_t
+
+    def test_drop_time_unit(self, paper_t):
+        dropped = paper_t.drop_time_unit(0)
+        assert len(dropped) == 9
+        assert dropped.at(0) == paper_t.at(1)
+
+    def test_round_trip_strings(self, paper_t):
+        assert TestSequence.from_strings(paper_t.to_strings()) == paper_t
+
+    def test_equality_and_hash(self, paper_t):
+        clone = TestSequence.from_strings(paper_t.to_strings())
+        assert clone == paper_t
+        assert hash(clone) == hash(paper_t)
+
+    def test_iteration_and_indexing(self, paper_t):
+        assert list(paper_t)[3] == paper_t[3]
+
+    def test_empty(self):
+        seq = TestSequence.empty(4)
+        assert len(seq) == 0
+        assert seq.width == 0
+
+
+class TestGenerator:
+    def test_s27_full_coverage(self, s27, s27_faults):
+        gen = generate_test_sequence(s27, s27_faults, seed=7, max_len=500)
+        assert gen.coverage == 1.0
+        assert gen.undetected == ()
+
+    def test_detected_set_is_what_sequence_detects(self, s27, s27_faults):
+        gen = generate_test_sequence(s27, s27_faults, seed=7, max_len=500)
+        resim = FaultSimulator(s27).run(gen.sequence.patterns, s27_faults)
+        assert set(resim.detection_time) == set(gen.detected)
+
+    def test_deterministic_in_seed(self, s27, s27_faults):
+        a = generate_test_sequence(s27, s27_faults, seed=3, max_len=200)
+        b = generate_test_sequence(s27, s27_faults, seed=3, max_len=200)
+        assert a.sequence == b.sequence
+
+    def test_seed_changes_sequence(self, s27, s27_faults):
+        a = generate_test_sequence(s27, s27_faults, seed=3, max_len=200)
+        b = generate_test_sequence(s27, s27_faults, seed=4, max_len=200)
+        assert a.sequence != b.sequence
+
+    def test_max_len_respected(self, g208):
+        faults = collapse_faults(g208)
+        gen = generate_test_sequence(g208, faults, seed=1, max_len=50)
+        assert len(gen.sequence) <= 50
+
+    def test_default_fault_list(self, s27):
+        gen = generate_test_sequence(s27, seed=7, max_len=500)
+        assert len(gen.detected) + len(gen.undetected) == 32
+
+
+class TestCompaction:
+    def test_preserves_detection(self, s27, s27_faults):
+        gen = generate_test_sequence(s27, s27_faults, seed=7, max_len=500)
+        comp = compact_sequence(s27, gen.sequence, gen.detected)
+        resim = FaultSimulator(s27).run(comp.sequence.patterns, list(gen.detected))
+        assert not resim.undetected
+
+    def test_never_longer(self, s27, s27_faults):
+        gen = generate_test_sequence(s27, s27_faults, seed=7, max_len=500)
+        comp = compact_sequence(s27, gen.sequence, gen.detected)
+        assert comp.compacted_length <= comp.original_length
+        assert comp.reduction >= 0.0
+
+    def test_budget_respected(self, s27, s27_faults):
+        gen = generate_test_sequence(s27, s27_faults, seed=7, max_len=500)
+        comp = compact_sequence(s27, gen.sequence, gen.detected, max_simulations=5)
+        assert comp.n_simulations <= 5
+
+    def test_rejects_non_covering_sequence(self, s27, s27_faults, paper_t):
+        with pytest.raises(ValueError, match="does not detect"):
+            compact_sequence(s27, paper_t.prefix(2), s27_faults)
+
+    def test_empty_targets_noop(self, s27, paper_t):
+        comp = compact_sequence(s27, paper_t, [])
+        assert comp.sequence == paper_t
+        assert comp.n_simulations == 0
+
+    def test_paper_sequence_already_tight(self, s27, s27_faults, paper_t):
+        # The Table-1 sequence detects faults at u=9, so truncation
+        # cannot shorten it; omission may or may not help, but the
+        # result must still detect everything.
+        comp = compact_sequence(s27, paper_t, s27_faults)
+        resim = FaultSimulator(s27).run(comp.sequence.patterns, s27_faults)
+        assert not resim.undetected

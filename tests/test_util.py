@@ -1,0 +1,116 @@
+"""Tests for repro.util: rng, bits, tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import DeterministicRng, bit_count, format_table, iter_set_bits, mask_of_width
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.bit() for _ in range(64)] == [b.bit() for _ in range(64)]
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.bit() for _ in range(64)] != [b.bit() for _ in range(64)]
+
+    def test_bits_width(self):
+        rng = DeterministicRng(3)
+        assert len(rng.bits(10)) == 10
+        assert all(b in (0, 1) for b in rng.bits(100))
+
+    def test_bits_zero(self):
+        assert DeterministicRng(1).bits(0) == ()
+
+    def test_bits_negative_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).bits(-1)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(5)
+        draws = [rng.randint(2, 4) for _ in range(100)]
+        assert set(draws) <= {2, 3, 4}
+        assert len(set(draws)) == 3  # all values hit over 100 draws
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(7)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        picked = rng.sample(items, 2)
+        assert len(picked) == 2 and len(set(picked)) == 2
+
+    def test_fork_independent_and_deterministic(self):
+        root1 = DeterministicRng(9)
+        root2 = DeterministicRng(9)
+        f1 = root1.fork(3)
+        f2 = root2.fork(3)
+        assert f1.bits(32) == f2.bits(32)
+        other = DeterministicRng(9).fork(4)
+        assert DeterministicRng(9).fork(3).bits(32) != other.bits(32)
+
+    def test_shuffle_deterministic(self):
+        a = list(range(20))
+        b = list(range(20))
+        DeterministicRng(11).shuffle(a)
+        DeterministicRng(11).shuffle(b)
+        assert a == b
+        assert a != list(range(20))
+
+    def test_seed_property(self):
+        assert DeterministicRng(123).seed == 123
+
+
+class TestBits:
+    def test_mask_of_width(self):
+        assert mask_of_width(0) == 0
+        assert mask_of_width(1) == 1
+        assert mask_of_width(8) == 0xFF
+        assert mask_of_width(64) == (1 << 64) - 1
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask_of_width(-1)
+
+    def test_bit_count(self):
+        assert bit_count(0) == 0
+        assert bit_count(0b1011) == 3
+        assert bit_count(mask_of_width(100)) == 100
+
+    def test_bit_count_negative_raises(self):
+        with pytest.raises(ValueError):
+            bit_count(-5)
+
+    def test_iter_set_bits(self):
+        assert list(iter_set_bits(0)) == []
+        assert list(iter_set_bits(0b1010)) == [1, 3]
+        assert list(iter_set_bits(1 << 70)) == [70]
+
+    def test_iter_set_bits_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_set_bits(-1))
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        assert lines[1].count("+") == 1
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

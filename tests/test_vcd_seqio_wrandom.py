@@ -1,0 +1,142 @@
+"""Tests for VCD export, sequence file I/O, and the weighted-random
+baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.weighted_random import (
+    InputWeights,
+    weighted_random_bist,
+    weights_from_sequence,
+    windowed_weights,
+)
+from repro.errors import SimulationError
+from repro.sim import LogicSimulator, V0, V1
+from repro.sim.vcd import write_vcd, write_vcd_file
+from repro.tgen import TestSequence
+from repro.tgen.io import (
+    dumps_sequence,
+    load_sequence,
+    loads_sequence,
+    save_sequence,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestVcd:
+    def test_header_and_changes(self, s27, paper_t):
+        trace = LogicSimulator(s27).run(paper_t.patterns, record_nets=True)
+        text = write_vcd(s27, trace)
+        assert "$timescale 1 ns $end" in text
+        assert "$scope module s27 $end" in text
+        assert "$enddefinitions $end" in text
+        # every net declared
+        for net in s27.nets:
+            assert f" {net} $end" in text
+        # first timestep dumps all values
+        assert "#0" in text
+
+    def test_net_subset(self, s27, paper_t):
+        trace = LogicSimulator(s27).run(paper_t.patterns, record_nets=True)
+        text = write_vcd(s27, trace, nets=["G17", "G11"])
+        assert "G17 $end" in text
+        assert "G8 $end" not in text
+
+    def test_requires_recorded_nets(self, s27, paper_t):
+        trace = LogicSimulator(s27).run(paper_t.patterns)
+        with pytest.raises(SimulationError, match="record_nets"):
+            write_vcd(s27, trace)
+
+    def test_unknown_net_rejected(self, s27, paper_t):
+        trace = LogicSimulator(s27).run(paper_t.patterns, record_nets=True)
+        with pytest.raises(SimulationError):
+            write_vcd(s27, trace, nets=["nope"])
+
+    def test_change_compression(self, comb_circuit):
+        # A constant stimulus should dump values once, not per cycle.
+        stim = [(V1, V0, V0)] * 5
+        trace = LogicSimulator(comb_circuit).run(stim, record_nets=True)
+        text = write_vcd(comb_circuit, trace)
+        # After #0, no further change entries for these nets.
+        after = text.split("#0", 1)[1]
+        assert "#5" in after
+        body = after.split("\n")
+        change_lines = [
+            l for l in body if l and not l.startswith("#") and not l.startswith("$")
+        ]
+        assert len(change_lines) == len(comb_circuit.nets)
+
+    def test_file_output(self, s27, paper_t, tmp_path):
+        trace = LogicSimulator(s27).run(paper_t.patterns, record_nets=True)
+        path = tmp_path / "trace.vcd"
+        write_vcd_file(s27, trace, path)
+        assert path.read_text().startswith("$date")
+
+
+class TestSequenceIo:
+    def test_round_trip(self, paper_t, tmp_path):
+        path = tmp_path / "t.seq"
+        save_sequence(paper_t, path, comment="paper table 1")
+        again = load_sequence(path)
+        assert again == paper_t
+
+    def test_comment_and_blank_lines(self):
+        text = "# hello\n\n01\n10  \n# trailing\n"
+        seq = loads_sequence(text)
+        assert len(seq) == 2
+
+    def test_x_values(self):
+        seq = loads_sequence("0x\nX1\n")
+        from repro.sim import VX
+
+        assert seq.value(0, 1) == VX
+
+    def test_bad_char_rejected(self):
+        with pytest.raises(SimulationError, match="bad character"):
+            loads_sequence("012\n")
+
+    def test_dumps_includes_comment(self, paper_t):
+        text = dumps_sequence(paper_t, comment="line1\nline2")
+        assert text.startswith("# line1\n# line2\n")
+
+
+class TestWeightedRandom:
+    def test_weights_from_sequence(self):
+        seq = TestSequence.from_strings(["10", "10", "11", "10"])
+        weights = weights_from_sequence(seq, quantize=None)
+        assert weights.probabilities == (1.0, 0.25)
+
+    def test_quantization(self):
+        seq = TestSequence.from_strings(["1", "0", "0"])  # p = 1/3
+        weights = weights_from_sequence(seq, quantize=8)
+        assert weights.probabilities[0] == pytest.approx(3 / 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weights_from_sequence(TestSequence([]))
+
+    def test_windowed(self, paper_t):
+        distributions = windowed_weights(paper_t, 2)
+        assert len(distributions) == 2
+        with pytest.raises(ValueError):
+            windowed_weights(paper_t, 0)
+
+    def test_sample_respects_extremes(self):
+        weights = InputWeights((0.0, 1.0))
+        rng = DeterministicRng(1)
+        for _ in range(30):
+            pattern = weights.sample(rng)
+            assert pattern == (0, 1)
+
+    def test_bist_runs_and_is_deterministic(self, s27, s27_faults, paper_t):
+        a = weighted_random_bist(s27, paper_t, s27_faults, n_patterns=200, seed=4)
+        b = weighted_random_bist(s27, paper_t, s27_faults, n_patterns=200, seed=4)
+        assert a.detection_time == b.detection_time
+        assert 0.0 < a.coverage <= 1.0
+
+    def test_multi_distribution(self, s27, s27_faults, paper_t):
+        result = weighted_random_bist(
+            s27, paper_t, s27_faults, n_patterns=200, n_distributions=3, seed=4
+        )
+        assert 0.0 < result.coverage <= 1.0

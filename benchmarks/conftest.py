@@ -1,7 +1,8 @@
 """Shared benchmark infrastructure.
 
 Each benchmark regenerates one of the paper's tables or figures.  The
-rendered tables are (1) written to ``benchmarks/results/`` and (2)
+rendered tables are (1) written to ``benchmarks/results/`` as both a
+``.txt`` rendering and a machine-readable ``.json`` artifact and (2)
 printed in the terminal summary, so ``pytest benchmarks/
 --benchmark-only`` leaves both machine-readable artifacts and a
 side-by-side comparison against the paper.
@@ -9,8 +10,10 @@ side-by-side comparison against the paper.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
-from typing import List, Tuple
+from typing import Any, List, Optional, Tuple
 
 import pytest
 
@@ -25,12 +28,30 @@ def record_table():
 
     Usage: ``record_table("table6", text)``.  The text is written to
     ``benchmarks/results/<name>.txt`` and echoed in the terminal
-    summary.
+    summary.  A companion ``benchmarks/results/<name>.json`` records
+    the rows (``rows`` if given, else the text split into lines), the
+    wall time since the fixture was set up, and any ``extra`` payload.
     """
+    t0 = time.perf_counter()
 
-    def _record(name: str, text: str) -> None:
+    def _record(
+        name: str,
+        text: str,
+        rows: Optional[Any] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = {
+            "name": name,
+            "wall_time_s": round(time.perf_counter() - t0, 3),
+            "rows": rows if rows is not None else text.splitlines(),
+        }
+        if extra:
+            payload.update(extra)
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+        )
         _REPORTS.append((name, text))
 
     return _record

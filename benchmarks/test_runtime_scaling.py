@@ -1,0 +1,93 @@
+"""Runtime-layer scaling: parallel speedup and warm-cache skip rate.
+
+Runs the fault-simulation-heavy part of the flow (weight selection on a
+multi-group circuit) serially and on a worker pool, asserts the results
+are identical, and records the measured wall times and speedup to
+``benchmarks/results/runtime_scaling.json``.  A second pass measures
+the warm-cache rerun.
+
+Not a paper artifact — an implementation benchmark for the runtime
+subsystem.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuit import load_circuit
+from repro.core import ProcedureConfig, select_weight_assignments
+from repro.runtime import RuntimeContext
+from repro.sim import collapse_faults
+from repro.tgen import generate_test_sequence
+from repro.util.tables import format_table
+
+CIRCUIT = "g386"
+L_G = 256
+JOBS = (1, 2, 4)
+
+
+def test_runtime_scaling(record_table, tmp_path):
+    circuit = load_circuit(CIRCUIT)
+    faults = collapse_faults(circuit)
+    generated = generate_test_sequence(circuit, faults, seed=1, max_len=400)
+    cfg = ProcedureConfig(l_g=L_G)
+
+    def run(jobs: int, cache_dir=None):
+        t0 = time.perf_counter()
+        with RuntimeContext(jobs=jobs, cache_dir=cache_dir) as rt:
+            result = select_weight_assignments(
+                circuit, generated.sequence, faults, cfg, runtime=rt
+            )
+            stats = rt.stats
+        return time.perf_counter() - t0, result, stats
+
+    timings = {}
+    reference = None
+    for jobs in JOBS:
+        wall, result, _ = run(jobs)
+        timings[jobs] = wall
+        if reference is None:
+            reference = result
+        else:
+            assert [e.assignment for e in result.omega] == [
+                e.assignment for e in reference.omega
+            ], f"jobs={jobs} diverged from serial"
+            assert result.detection_time == reference.detection_time
+
+    cache_dir = tmp_path / "cache"
+    cold_wall, _, _ = run(1, cache_dir=cache_dir)
+    warm_wall, warm_result, warm_stats = run(1, cache_dir=cache_dir)
+    assert warm_result.detection_time == reference.detection_time
+    assert warm_stats.full_sim_skip_rate >= 0.9
+
+    rows = [
+        {
+            "jobs": jobs,
+            "wall_s": round(wall, 3),
+            "speedup": round(timings[1] / wall, 2) if wall else None,
+        }
+        for jobs, wall in timings.items()
+    ]
+    rows.append(
+        {
+            "jobs": "1 (warm cache)",
+            "wall_s": round(warm_wall, 3),
+            "speedup": round(cold_wall / warm_wall, 2) if warm_wall else None,
+        }
+    )
+
+    text = format_table(
+        ["jobs", "wall (s)", "speedup vs serial"],
+        [[r["jobs"], r["wall_s"], r["speedup"]] for r in rows],
+        title=f"Runtime scaling — weight selection on {CIRCUIT} (L_G={L_G})",
+    )
+    record_table(
+        "runtime_scaling",
+        text,
+        rows=rows,
+        extra={
+            "circuit": CIRCUIT,
+            "l_g": L_G,
+            "warm_cache_skip_rate": round(warm_stats.full_sim_skip_rate, 3),
+        },
+    )

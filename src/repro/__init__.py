@@ -24,6 +24,7 @@ Packages
 ``repro.obs``       observation-point insertion
 ``repro.baselines`` LFSR BIST and the 3-weight method of [10]
 ``repro.flows``     end-to-end pipelines and experiment drivers
+``repro.runtime``   parallel execution, artifact caching, run metrics
 """
 
 from repro.circuit import (
@@ -56,8 +57,9 @@ from repro.core import (
 from repro.hw import synthesize_tpg, verify_tpg
 from repro.obs import observation_point_tradeoff
 from repro.flows import FlowConfig, run_full_flow
+from repro.runtime import RuntimeContext, RuntimeStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -88,5 +90,7 @@ __all__ = [
     "observation_point_tradeoff",
     "FlowConfig",
     "run_full_flow",
+    "RuntimeContext",
+    "RuntimeStats",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro circuits
     python -m repro flow s27 --lg 256 --verilog tpg.v --bench tpg.bench
+    python -m repro flow g1488 --jobs 4 --stats
     python -m repro table6 s27 g208
     python -m repro tradeoff g208
     python -m repro atpg s27
@@ -11,6 +12,13 @@ Usage (after ``pip install -e .``)::
 
 Every command prints plain text; files are written only when an output
 path is given explicitly.
+
+The simulation-heavy commands (``flow``, ``table6``, ``tradeoff``)
+accept runtime flags: ``--jobs N`` fans fault simulation out over N
+worker processes, ``--cache-dir PATH`` / ``--no-cache`` control the
+on-disk artifact cache (on by default, under ``~/.cache/repro``), and
+``--stats`` prints the runtime counters after the command.  Results are
+bit-identical regardless of worker count or cache state.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import __version__
 from repro.circuit import (
     available_circuits,
     circuit_stats,
@@ -30,6 +39,7 @@ from repro.circuit import (
 from repro.circuit.verilog import write_verilog
 from repro.core import ProcedureConfig
 from repro.core.report import format_table6
+from repro.errors import ReproError
 from repro.flows import FlowConfig, run_full_flow
 from repro.obs import format_tradeoff, observation_point_tradeoff
 from repro.sim import all_faults, collapse_faults
@@ -43,7 +53,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if handler is None:
         parser.print_help()
         return 2
-    return handler(args)
+    try:
+        return handler(args)
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Built-in generation of weighted test sequences for "
             "synchronous sequential circuits (Pomeranz & Reddy, DATE 2000)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers()
 
@@ -71,14 +88,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="write the synthesized TPG as .bench")
     p.add_argument("--save-seq", type=Path, default=None,
                    help="write the deterministic test sequence T")
+    _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_flow)
 
     p = sub.add_parser("table6", help="regenerate the paper's Table 6")
     p.add_argument("circuits", nargs="*", help="circuit names (default: fast suite)")
+    _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_table6)
 
     p = sub.add_parser("tradeoff", help="observation-point tradeoff (Tables 7-16)")
     p.add_argument("circuit")
+    _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_tradeoff)
 
     p = sub.add_parser("atpg", help="run deterministic ATPG on a circuit")
@@ -101,6 +121,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("runtime")
+    g.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for fault simulation (default: 1)")
+    g.add_argument("--cache-dir", type=Path, default=None, metavar="PATH",
+                   help="artifact cache directory "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    g.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk artifact cache")
+    g.add_argument("--stats", action="store_true",
+                   help="print runtime statistics after the command")
+
+
+def _make_runtime(args: argparse.Namespace):
+    from repro.runtime import RuntimeContext
+
+    return RuntimeContext(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        enable_cache=not args.no_cache,
+    )
+
+
 def _load(ref: str):
     if ref.endswith(".bench") or "/" in ref:
         return parse_bench(ref)
@@ -121,7 +164,11 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         procedure=ProcedureConfig(l_g=args.lg),
         synthesize_hardware=True,
     )
-    flow = run_full_flow(circuit, config)
+    runtime = _make_runtime(args)
+    try:
+        flow = run_full_flow(circuit, config, runtime=runtime)
+    finally:
+        runtime.close()
     print(format_table6([flow.table6]))
     print(f"\nT: {len(flow.sequence)} cycles, coverage "
           f"{100 * flow.generated.coverage:.1f}% of the collapsed fault list")
@@ -143,6 +190,9 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                     f"({len(flow.sequence)} cycles)",
         )
         print(f"wrote {args.save_seq}")
+    if args.stats:
+        print()
+        print(runtime.stats.format())
     return 0
 
 
@@ -150,16 +200,33 @@ def _cmd_table6(args: argparse.Namespace) -> int:
     from repro.flows import table6_rows
 
     names = tuple(args.circuits) or None
-    print(format_table6(table6_rows(names)))
+    runtime = _make_runtime(args)
+    try:
+        rows = table6_rows(names, runtime=runtime)
+    finally:
+        runtime.close()
+    print(format_table6(rows))
+    if args.stats:
+        print()
+        print(runtime.stats.format())
     return 0
 
 
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
     from repro.flows import flow_for
 
-    flow = flow_for(args.circuit)
-    rows = observation_point_tradeoff(flow.circuit, flow.procedure)
+    runtime = _make_runtime(args)
+    try:
+        flow = flow_for(args.circuit, runtime=runtime)
+        rows = observation_point_tradeoff(
+            flow.circuit, flow.procedure, runtime=runtime
+        )
+    finally:
+        runtime.close()
     print(format_tradeoff(args.circuit, rows))
+    if args.stats:
+        print()
+        print(runtime.stats.format())
     return 0
 
 

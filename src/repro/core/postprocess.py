@@ -52,6 +52,7 @@ def reverse_order_simulation(
     result: ProcedureResult,
     compiled: CompiledCircuit | None = None,
     simulator=None,
+    runtime=None,
 ) -> ReverseOrderResult:
     """Remove redundant weight assignments from ``result.omega``.
 
@@ -62,10 +63,15 @@ def reverse_order_simulation(
 
     ``simulator`` defaults to the stuck-at fault simulator; pass the
     same simulator the procedure ran with when targeting a different
-    fault model.
+    fault model.  ``runtime`` (ignored when ``simulator`` is given)
+    plugs the default simulator into the cache / worker pool.
     """
     comp = compiled or compile_circuit(circuit)
-    sim = simulator if simulator is not None else FaultSimulator(circuit, comp)
+    sim = (
+        simulator
+        if simulator is not None
+        else FaultSimulator(circuit, comp, runtime=runtime)
+    )
     pending: Set[Fault] = set(result.target_faults)
 
     kept_rev: List[WeightAssignment] = []

@@ -31,6 +31,17 @@ Deviations from the paper, both configurable:
   detected before, so re-simulation cannot help).  Assignments that
   were only screened out may be retried at later iterations, which
   keeps the termination guarantee intact.
+
+Parallelism (``runtime`` argument): candidate rows are screened in
+*speculative batches* on the runtime's worker pool.  A batch's verdicts
+are all computed against the procedure state at batch start; rows are
+then consumed strictly in order, and the moment one row's full
+simulation detects faults (i.e. mutates ``remaining`` / ``Ω``) the rest
+of the batch is discarded and re-gathered under the new state.  A
+negative screen leaves the state untouched, so its verdict is exactly
+the one the serial run would have computed — ``Ω``, every
+:class:`OmegaEntry` and every :class:`ProcedureStats` counter are
+bit-identical to the serial run for any worker count.
 """
 
 from __future__ import annotations
@@ -202,6 +213,20 @@ def _ls_lengths(u: int, schedule: str) -> List[int]:
     return lengths
 
 
+@dataclass
+class _RowCandidate:
+    """One gathered candidate row awaiting (speculative) screening.
+
+    ``t_g`` is None for rows that were already fully simulated at
+    gather time — they are carried through so the consume loop counts
+    them exactly as the serial run does.
+    """
+
+    row: int
+    assignment: WeightAssignment
+    t_g: Optional[TestSequence]
+
+
 def select_weight_assignments(
     circuit: Circuit,
     sequence: TestSequence,
@@ -209,6 +234,7 @@ def select_weight_assignments(
     config: ProcedureConfig | None = None,
     compiled: CompiledCircuit | None = None,
     simulator=None,
+    runtime=None,
 ) -> ProcedureResult:
     """Run the paper's overall procedure (Section 4.2).
 
@@ -234,6 +260,11 @@ def select_weight_assignments(
         the paper's [11]/[15] discussion suggests).  The coverage
         guarantee holds for any such simulator whose detections depend
         only on the applied stimulus prefix.
+    runtime:
+        Optional :class:`~repro.runtime.context.RuntimeContext`.  Its
+        cache and worker pool accelerate the screening/simulation work;
+        the result is identical with or without it (see the module
+        docstring for the speculative-batch rule).
 
     Returns
     -------
@@ -248,9 +279,22 @@ def select_weight_assignments(
             f"sequence width {sequence.width} != circuit inputs {len(circuit.inputs)}"
         )
     comp = compiled or compile_circuit(circuit)
-    sim = simulator if simulator is not None else FaultSimulator(circuit, comp)
+    sim = (
+        simulator
+        if simulator is not None
+        else FaultSimulator(circuit, comp, runtime=runtime)
+    )
     if faults is None:
         faults = collapse_faults(circuit)
+    # Speculative screening batches only make sense with pool workers
+    # and the stock simulator (whose batch screening is pool-aware).
+    batch_size = 1
+    if (
+        runtime is not None
+        and runtime.executor.jobs > 1
+        and type(sim) is FaultSimulator
+    ):
+        batch_size = runtime.executor.jobs * 2
 
     l_g = max(cfg.l_g, len(sequence))
     detection_time = sim.run(sequence.patterns, list(faults)).detection_time
@@ -284,47 +328,87 @@ def select_weight_assignments(
             if cfg.max_rows_per_length is not None:
                 row_limit = min(row_limit, cfg.max_rows_per_length)
 
-            for j in range(row_limit):
-                if not at_u:
-                    break
-                row = assignment_row(cands, j)
-                if not any(
-                    (not w.is_random) and w.length == l_s for w in row
-                ):
+            j = 0
+            while j < row_limit and at_u:
+                # Gather the next batch of candidate rows.  Row filters
+                # here are either pure (length rule) or speculative
+                # (the fully-simulated check is re-run at consume time);
+                # T_G generation uses the current Ω size for the random
+                # weight's rng fork — valid for every row up to and
+                # including the first state change, after which the
+                # batch is discarded and re-gathered anyway.
+                batch: List[_RowCandidate] = []
+                while j < row_limit and len(batch) < batch_size:
+                    row = assignment_row(cands, j)
+                    j += 1
+                    if not any(
+                        (not w.is_random) and w.length == l_s for w in row
+                    ):
+                        continue
+                    assignment = WeightAssignment(row)
+                    if assignment in fully_simulated:
+                        batch.append(_RowCandidate(j - 1, assignment, None))
+                        continue
+                    rng = (
+                        rng_root.fork(len(omega))
+                        if assignment.has_random
+                        else None
+                    )
+                    batch.append(
+                        _RowCandidate(j - 1, assignment, assignment.generate(l_g, rng))
+                    )
+                if not batch:
                     continue
-                assignment = WeightAssignment(row)
-                stats.assignments_tried += 1
-                if assignment in fully_simulated:
-                    stats.duplicate_skips += 1
-                    continue
-
-                rng = rng_root.fork(len(omega)) if assignment.has_random else None
-                t_g = assignment.generate(l_g, rng)
 
                 # Screening shortcut: a sample including the target fault.
                 target = max(at_u)  # deterministic pick among ties
                 sample = _fault_sample(target, remaining, cfg.sample_size)
-                stats.sample_screens += 1
-                if not sim.detects_any(t_g.patterns, sample):
-                    stats.sample_skips += 1
-                    continue
-
-                stats.full_simulations += 1
-                fully_simulated.add(assignment)
-                result = sim.run(t_g.patterns, sorted(remaining))
-                if result.detection_time:
-                    detected = tuple(sorted(result.detection_time))
-                    omega.append(
-                        OmegaEntry(
-                            assignment=assignment,
-                            detected=detected,
-                            u=u,
-                            l_s=l_s,
-                            row=j,
-                        )
+                to_screen = [c for c in batch if c.t_g is not None]
+                if batch_size > 1 and len(to_screen) > 1:
+                    verdicts = sim.detects_any_batch(
+                        [c.t_g.patterns for c in to_screen], sample
                     )
-                    remaining.difference_update(detected)
-                    at_u.difference_update(detected)
+                else:
+                    verdicts = [
+                        sim.detects_any(c.t_g.patterns, sample)
+                        for c in to_screen
+                    ]
+                verdict_of = dict(zip((id(c) for c in to_screen), verdicts))
+
+                # Consume strictly in row order — serial semantics.
+                for pos, cand in enumerate(batch):
+                    stats.assignments_tried += 1
+                    if cand.assignment in fully_simulated:
+                        stats.duplicate_skips += 1
+                        continue
+                    stats.sample_screens += 1
+                    if not verdict_of[id(cand)]:
+                        stats.sample_skips += 1
+                        continue
+
+                    stats.full_simulations += 1
+                    fully_simulated.add(cand.assignment)
+                    result = sim.run(cand.t_g.patterns, sorted(remaining))
+                    if result.detection_time:
+                        detected = tuple(sorted(result.detection_time))
+                        omega.append(
+                            OmegaEntry(
+                                assignment=cand.assignment,
+                                detected=detected,
+                                u=u,
+                                l_s=l_s,
+                                row=cand.row,
+                            )
+                        )
+                        remaining.difference_update(detected)
+                        at_u.difference_update(detected)
+                        # The state changed: every later speculative
+                        # verdict is stale.  Rewind and re-gather.
+                        discarded = len(batch) - pos - 1
+                        if discarded and runtime is not None:
+                            runtime.stats.speculative_discards += discarded
+                        j = cand.row + 1
+                        break
 
             if at_u and l_s == u + 1:
                 # Safety net for ablation configurations (promotion off,

@@ -15,6 +15,7 @@ from repro.flows.experiments import (
     DEFAULT_SUITE,
     FULL_SUITE,
     clear_cache,
+    flow_config_for,
     flow_for,
     table6_rows,
     tradeoff_for,
@@ -29,6 +30,7 @@ __all__ = [
     "DEFAULT_SUITE",
     "FULL_SUITE",
     "clear_cache",
+    "flow_config_for",
     "flow_for",
     "table6_rows",
     "tradeoff_for",

@@ -64,28 +64,37 @@ def flow_config_for(circuit_name: str, l_g: int | None = None) -> FlowConfig:
     )
 
 
-def flow_for(circuit_name: str, l_g: int | None = None) -> FlowResult:
-    """Run (or fetch from cache) the full flow for ``circuit_name``."""
+def flow_for(
+    circuit_name: str, l_g: int | None = None, runtime=None
+) -> FlowResult:
+    """Run (or fetch from cache) the full flow for ``circuit_name``.
+
+    ``runtime`` (a :class:`~repro.runtime.context.RuntimeContext`) is
+    only consulted on a cache miss; results are runtime-independent so
+    the in-process cache stays valid either way.
+    """
     cfg = flow_config_for(circuit_name, l_g)
     key = (circuit_name, cfg.procedure.l_g, cfg.seed)
     if key not in _FLOW_CACHE:
-        _FLOW_CACHE[key] = run_full_flow(circuit_name, cfg)
+        _FLOW_CACHE[key] = run_full_flow(circuit_name, cfg, runtime=runtime)
     return _FLOW_CACHE[key]
 
 
-def table6_rows(circuit_names: Tuple[str, ...] | None = None) -> List[Table6Row]:
+def table6_rows(
+    circuit_names: Tuple[str, ...] | None = None, runtime=None
+) -> List[Table6Row]:
     """Regenerate the paper's Table 6 over ``circuit_names``."""
     names = circuit_names or active_suite()
-    return [flow_for(name).table6 for name in names]
+    return [flow_for(name, runtime=runtime).table6 for name in names]
 
 
 def tradeoff_for(
-    circuit_name: str, max_prefix: int | None = None
+    circuit_name: str, max_prefix: int | None = None, runtime=None
 ) -> List[TradeoffRow]:
     """Regenerate a Tables-7-16 style tradeoff table for one circuit."""
-    flow = flow_for(circuit_name)
+    flow = flow_for(circuit_name, runtime=runtime)
     return observation_point_tradeoff(
-        flow.circuit, flow.procedure, max_prefix=max_prefix
+        flow.circuit, flow.procedure, max_prefix=max_prefix, runtime=runtime
     )
 
 

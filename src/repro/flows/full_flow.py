@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.metrics import RuntimeStats
 
 from repro.circuit.library import load_circuit
 from repro.circuit.netlist import Circuit
@@ -97,6 +100,9 @@ class FlowResult:
         synthesized).
     timings:
         Per-stage wall-clock seconds.
+    runtime_stats:
+        The runtime layer's counters for this run (None when no
+        ``runtime`` was supplied).
     """
 
     circuit: Circuit
@@ -109,15 +115,22 @@ class FlowResult:
     tpg: Optional[TpgDesign] = None
     tpg_verified: Optional[bool] = None
     timings: Dict[str, float] = field(default_factory=dict)
+    runtime_stats: Optional["RuntimeStats"] = None
 
 
 def run_full_flow(
-    circuit: Circuit | str, config: FlowConfig | None = None
+    circuit: Circuit | str,
+    config: FlowConfig | None = None,
+    runtime=None,
 ) -> FlowResult:
     """Run the complete pipeline on ``circuit``.
 
     ``circuit`` may be a :class:`Circuit` or a library name
-    (e.g. ``"s27"``).
+    (e.g. ``"s27"``).  ``runtime`` is an optional
+    :class:`~repro.runtime.context.RuntimeContext`; when given, the
+    fault-simulation-heavy stages (compaction, weight selection,
+    reverse-order simulation) run through its worker pool and artifact
+    cache.  Results are bit-identical with or without it.
     """
     cfg = config or FlowConfig()
     if isinstance(circuit, str):
@@ -160,18 +173,21 @@ def run_full_flow(
             generated.detected,
             max_simulations=cfg.compaction_sims,
             compiled=comp,
+            runtime=runtime,
         )
         sequence = compaction.sequence
         timings["compaction"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     procedure = select_weight_assignments(
-        circuit, sequence, faults, cfg.procedure, compiled=comp
+        circuit, sequence, faults, cfg.procedure, compiled=comp, runtime=runtime
     )
     timings["procedure"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    reverse_order = reverse_order_simulation(circuit, procedure, comp)
+    reverse_order = reverse_order_simulation(
+        circuit, procedure, comp, runtime=runtime
+    )
     timings["reverse_order"] = time.perf_counter() - t0
 
     table6 = build_table6_row(circuit.name, sequence, procedure, reverse_order)
@@ -186,6 +202,12 @@ def run_full_flow(
         verified = verify_tpg(tpg).ok
         timings["hardware"] = time.perf_counter() - t0
 
+    if runtime is not None:
+        for stage, seconds in timings.items():
+            runtime.stats.timers[stage] = (
+                runtime.stats.timers.get(stage, 0.0) + seconds
+            )
+
     return FlowResult(
         circuit=circuit,
         generated=generated,
@@ -197,4 +219,5 @@ def run_full_flow(
         tpg=tpg,
         tpg_verified=verified,
         timings=timings,
+        runtime_stats=runtime.stats if runtime is not None else None,
     )

@@ -27,6 +27,7 @@ def compute_op_sets(
     l_g: int,
     rngs: Sequence[DeterministicRng | None] | None = None,
     compiled: CompiledCircuit | None = None,
+    runtime=None,
 ) -> Dict[Fault, Set[str]]:
     """Compute ``OP(f)`` for every fault of ``faults`` under the
     weighted sequences of ``assignments``.
@@ -46,6 +47,9 @@ def compute_op_sets(
         weights); aligned with ``assignments``.
     compiled:
         Optional pre-compiled circuit to reuse.
+    runtime:
+        Optional :class:`~repro.runtime.context.RuntimeContext` for
+        cached / parallel fault simulation.
 
     Returns
     -------
@@ -55,7 +59,7 @@ def compute_op_sets(
     below 100%).
     """
     comp = compiled or compile_circuit(circuit)
-    sim = FaultSimulator(circuit, comp)
+    sim = FaultSimulator(circuit, comp, runtime=runtime)
     op_sets: Dict[Fault, Set[str]] = {f: set() for f in faults}
     for k, assignment in enumerate(assignments):
         rng = rngs[k] if rngs is not None else None

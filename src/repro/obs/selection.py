@@ -43,16 +43,18 @@ def greedy_select(
     circuit: Circuit,
     procedure: ProcedureResult,
     compiled: CompiledCircuit | None = None,
+    runtime=None,
 ) -> List[GreedyPick]:
     """Order ``Ω`` greedily by marginal fault coverage.
 
     Each assignment's weighted sequence is fault-simulated once against
     the full target set; the greedy loop then works on the cached
     detection sets.  The returned order covers every target fault (``Ω``
-    does by construction).
+    does by construction).  ``runtime`` optionally plugs the simulator
+    into the artifact cache / worker pool.
     """
     comp = compiled or compile_circuit(circuit)
-    sim = FaultSimulator(circuit, comp)
+    sim = FaultSimulator(circuit, comp, runtime=runtime)
     targets = list(procedure.target_faults)
 
     detection_sets: List[Set[Fault]] = []

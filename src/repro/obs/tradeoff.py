@@ -62,6 +62,7 @@ def observation_point_tradeoff(
     max_prefix: int | None = None,
     stop_at_full: bool = True,
     compiled: CompiledCircuit | None = None,
+    runtime=None,
 ) -> List[TradeoffRow]:
     """Run the Section-5 observation-point experiment.
 
@@ -80,9 +81,12 @@ def observation_point_tradeoff(
         without observation points (the tables' last row).
     compiled:
         Optional pre-compiled circuit to reuse.
+    runtime:
+        Optional :class:`~repro.runtime.context.RuntimeContext` for
+        cached / parallel fault simulation.
     """
     comp = compiled or compile_circuit(circuit)
-    picks = greedy_select(circuit, procedure, comp)
+    picks = greedy_select(circuit, procedure, comp, runtime=runtime)
     if max_prefix is not None:
         picks = picks[:max_prefix]
     n_targets = len(procedure.target_faults)
@@ -99,7 +103,12 @@ def observation_point_tradeoff(
 
         if undetected:
             op_sets = compute_op_sets(
-                circuit, assignments, undetected, procedure.l_g, compiled=comp
+                circuit,
+                assignments,
+                undetected,
+                procedure.l_g,
+                compiled=comp,
+                runtime=runtime,
             )
             cover = greedy_cover(op_sets)
             n_obs = len(cover.lines)

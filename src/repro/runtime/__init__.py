@@ -1,0 +1,62 @@
+"""repro.runtime — parallel execution and artifact caching.
+
+The runtime layer makes the reproduction fast without changing a single
+result:
+
+* :mod:`repro.runtime.executor` — a common executor interface with a
+  serial and a process-pool implementation; whole-sequence fault
+  simulations shard across 63-fault groups and the Section-4.2
+  procedure screens candidate assignments in speculative batches, with
+  results merged deterministically (bit-identical to the serial run).
+* :mod:`repro.runtime.cache` + :mod:`repro.runtime.keys` — a
+  content-addressed artifact cache keyed on (canonical netlist, fault
+  set, stimulus, config), with versioned keys, atomic writes and an
+  LRU size cap.  Corrupt or stale entries are discarded, never trusted.
+* :mod:`repro.runtime.metrics` — :class:`RuntimeStats` counters/timers
+  (simulations run vs. served from cache, worker utilization), printed
+  by ``repro flow --stats``.
+
+Entry point: build a :class:`RuntimeContext` and pass it down —
+``run_full_flow(circuit, runtime=rt)``, ``FaultSimulator(circuit,
+runtime=rt)``, ``select_weight_assignments(..., runtime=rt)``.
+"""
+
+from repro.runtime.cache import (
+    DEFAULT_MAX_BYTES,
+    ArtifactCache,
+    default_cache_dir,
+)
+from repro.runtime.context import RuntimeContext
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.keys import (
+    CACHE_FORMAT,
+    circuit_fingerprint,
+    config_fingerprint,
+    faults_fingerprint,
+    fingerprint,
+    simulation_key,
+    stimulus_fingerprint,
+)
+from repro.runtime.metrics import RuntimeStats
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_FORMAT",
+    "DEFAULT_MAX_BYTES",
+    "ProcessExecutor",
+    "RuntimeContext",
+    "RuntimeStats",
+    "SerialExecutor",
+    "circuit_fingerprint",
+    "config_fingerprint",
+    "default_cache_dir",
+    "faults_fingerprint",
+    "fingerprint",
+    "make_executor",
+    "simulation_key",
+    "stimulus_fingerprint",
+]

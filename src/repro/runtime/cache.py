@@ -1,0 +1,169 @@
+"""Content-addressed artifact cache.
+
+One JSON file per artifact under a cache root (default
+``~/.cache/repro``, overridable via ``REPRO_CACHE_DIR`` or the CLI's
+``--cache-dir``).  The design rules:
+
+* **Versioned, never trusted.**  Every entry records the cache format
+  version and its own key; a corrupted, unreadable or
+  version-mismatched entry is deleted and reported as a miss — the
+  caller re-simulates.
+* **Atomic writes.**  Entries are written to a temporary file in the
+  same directory and ``os.replace``-d into place, so a crashed or
+  concurrent writer can never leave a half-written entry behind under
+  the final name.
+* **LRU size cap.**  Reads refresh an entry's mtime; when the cache
+  grows past ``max_bytes`` after a write, least-recently-used entries
+  are evicted until it fits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.runtime.keys import CACHE_FORMAT
+from repro.runtime.metrics import RuntimeStats
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+"""Default cache size cap (256 MiB)."""
+
+_SUFFIX = ".json"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactCache:
+    """Persistent key → JSON-payload store with LRU eviction.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first use); defaults to
+        :func:`default_cache_dir`.
+    max_bytes:
+        Size cap enforced after each write.
+    stats:
+        Counters to report stores/discards/evictions into.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        stats: RuntimeStats | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes
+        self.stats = stats if stats is not None else RuntimeStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The payload stored under ``key``, or None.
+
+        Any defect — unreadable file, invalid JSON, wrong format
+        version, key mismatch, missing payload — deletes the entry and
+        returns None.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("key") != key
+            or not isinstance(entry.get("payload"), dict)
+        ):
+            self._discard(path)
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return entry["payload"]
+
+    # -- store --------------------------------------------------------------
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` (atomic); then enforce the cap."""
+        path = self._path(key)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        body = json.dumps(
+            {"format": CACHE_FORMAT, "key": key, "payload": payload}
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(body)
+            os.replace(tmp, path)
+        except OSError:
+            # An unusable cache root (e.g. --cache-dir pointing at a
+            # file) or a failed write is not an error; the result is
+            # still in hand, the store is just skipped.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        self.stats.cache_stores += 1
+        self._enforce_cap()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            return
+        self.stats.cache_discards += 1
+
+    def _enforce_cap(self) -> None:
+        try:
+            entries = [
+                (p.stat().st_mtime, p.stat().st_size, p)
+                for p in self.root.glob(f"*{_SUFFIX}")
+            ]
+        except OSError:
+            return
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):  # oldest mtime first
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+            self.stats.cache_evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*{_SUFFIX}"))

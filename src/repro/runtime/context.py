@@ -1,0 +1,81 @@
+"""The :class:`RuntimeContext`: executor + cache + stats as one handle.
+
+Everything runtime-aware in the library accepts an optional
+``runtime`` argument.  ``None`` (the default everywhere) means the
+historical behaviour: serial execution, no caching, no counters —
+results are *identical* either way; the context only changes how fast
+they are obtained.
+
+>>> from repro.runtime import RuntimeContext
+>>> with RuntimeContext(jobs=4, cache_dir="/tmp/repro-cache",
+...                     enable_cache=True) as rt:     # doctest: +SKIP
+...     flow = run_full_flow("g1488", runtime=rt)
+...     print(rt.stats.format())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache
+from repro.runtime.executor import make_executor
+from repro.runtime.metrics import RuntimeStats
+
+
+class RuntimeContext:
+    """Bundle of executor, artifact cache and stats.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (default) runs everything in-process.
+        Results are independent of this value by construction.
+    cache_dir:
+        Cache root.  Implies ``enable_cache=True`` when given.
+    enable_cache:
+        Turn the artifact cache on (at ``cache_dir`` or the default
+        root).  Off by default so library callers opt in explicitly;
+        the CLI enables it unless ``--no-cache`` is passed.
+    max_cache_bytes:
+        LRU size cap for the cache.
+    stats:
+        An existing stats object to record into (a fresh one is
+        created otherwise).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        enable_cache: bool = False,
+        max_cache_bytes: int = DEFAULT_MAX_BYTES,
+        stats: RuntimeStats | None = None,
+    ) -> None:
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.executor = make_executor(jobs, self.stats)
+        self.stats.jobs = self.executor.jobs
+        self.cache: Optional[ArtifactCache] = None
+        if enable_cache or cache_dir is not None:
+            self.cache = ArtifactCache(
+                cache_dir, max_bytes=max_cache_bytes, stats=self.stats
+            )
+
+    @property
+    def jobs(self) -> int:
+        """Worker count of the underlying executor."""
+        return self.executor.jobs
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "RuntimeContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        cache = self.cache.root if self.cache is not None else None
+        return f"RuntimeContext(jobs={self.jobs}, cache={cache})"

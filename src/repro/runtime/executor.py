@@ -1,0 +1,178 @@
+"""Executor layer: serial and process-pool execution of simulation work.
+
+Two work shapes cover everything the flows fan out:
+
+* **Fault-group sharding** — a whole-sequence fault simulation splits
+  its fault list into the simulator's 63-fault groups; groups are
+  independent, so they run on separate workers and their per-group
+  :class:`~repro.sim.faultsim.FaultSimResult`\\ s merge into exactly the
+  serial result (detection times are per-fault, groups are disjoint).
+* **Screening batches** — the Section-4.2 procedure screens many
+  candidate weighted sequences against one fault sample; each screen is
+  an independent ``detects_any`` run.
+
+Workers receive the circuit as canonical ``.bench`` text (cheap, and
+round-trips to an identical circuit) and memoize the compiled simulator
+per circuit, so repeated calls on the same circuit pay compilation once
+per worker process.  Results are returned in task order — parallel
+execution is *deterministic by construction*; worker count never
+changes any result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.metrics import RuntimeStats
+
+#: Per-worker-process memo of compiled fault simulators, keyed by a
+#: digest of the circuit's ``.bench`` text.
+_WORKER_SIMS: Dict[str, object] = {}
+
+
+def _worker_sim(bench_text: str):
+    """The (memoized) fault simulator for ``bench_text`` in this process."""
+    key = hashlib.sha1(bench_text.encode("utf-8")).hexdigest()
+    sim = _WORKER_SIMS.get(key)
+    if sim is None:
+        # Imported lazily: workers under the ``spawn`` start method
+        # import this module before the package is fully initialized.
+        from repro.circuit.bench import parse_bench_text
+        from repro.sim.faultsim import FaultSimulator
+
+        sim = FaultSimulator(parse_bench_text(bench_text, name="worker"))
+        _WORKER_SIMS[key] = sim
+    return sim
+
+
+def _run_group_task(task) -> Tuple[object, float]:
+    """Worker: whole-sequence fault simulation of one fault group."""
+    bench_text, stimulus, faults, record_lines, stop = task
+    t0 = time.perf_counter()
+    sim = _worker_sim(bench_text)
+    result = sim.run(
+        stimulus,
+        faults,
+        record_lines=record_lines,
+        stop_when_all_detected=stop,
+    )
+    return result, time.perf_counter() - t0
+
+
+def _screen_task(task) -> Tuple[bool, float]:
+    """Worker: one screening (``detects_any``) run."""
+    bench_text, stimulus, sample = task
+    t0 = time.perf_counter()
+    sim = _worker_sim(bench_text)
+    return sim.detects_any(stimulus, sample), time.perf_counter() - t0
+
+
+class SerialExecutor:
+    """In-process executor — the jobs=1 reference implementation.
+
+    Runs every task inline via the same worker functions the pool uses,
+    so the two paths cannot drift apart.
+    """
+
+    jobs = 1
+
+    def __init__(self, stats: RuntimeStats | None = None) -> None:
+        self.stats = stats if stats is not None else RuntimeStats()
+
+    def run_fault_groups(
+        self,
+        bench_text: str,
+        stimulus,
+        groups: Sequence[Sequence],
+        record_lines: bool,
+        stop_when_all_detected: bool,
+    ) -> List[object]:
+        """Simulate each fault group; per-group results in group order."""
+        out = []
+        for group in groups:
+            result, _ = _run_group_task(
+                (bench_text, stimulus, group, record_lines, stop_when_all_detected)
+            )
+            out.append(result)
+        return out
+
+    def screen_batch(
+        self, bench_text: str, stimuli: Sequence, sample: Sequence
+    ) -> List[bool]:
+        """Screen each stimulus against ``sample``; verdicts in order."""
+        return [
+            _screen_task((bench_text, stimulus, sample))[0]
+            for stimulus in stimuli
+        ]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ProcessExecutor:
+    """``concurrent.futures.ProcessPoolExecutor``-backed executor.
+
+    The pool is created lazily on first use and reused across calls;
+    workers keep their compiled circuits between tasks.  ``map``
+    preserves task order, so merged results are identical to the
+    serial executor's.
+    """
+
+    def __init__(self, jobs: int, stats: RuntimeStats | None = None) -> None:
+        if jobs < 2:
+            raise ValueError(f"ProcessExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+        self.stats = stats if stats is not None else RuntimeStats()
+        self._pool: Optional[_ProcessPool] = None
+
+    def _pool_instance(self) -> _ProcessPool:
+        if self._pool is None:
+            self._pool = _ProcessPool(max_workers=self.jobs)
+        return self._pool
+
+    def _map(self, fn, tasks: list) -> list:
+        t0 = time.perf_counter()
+        outcomes = list(self._pool_instance().map(fn, tasks))
+        wall = time.perf_counter() - t0
+        busy = sum(elapsed for _, elapsed in outcomes)
+        self.stats.record_fanout(wall, busy, len(tasks))
+        return [result for result, _ in outcomes]
+
+    def run_fault_groups(
+        self,
+        bench_text: str,
+        stimulus,
+        groups: Sequence[Sequence],
+        record_lines: bool,
+        stop_when_all_detected: bool,
+    ) -> List[object]:
+        """Simulate fault groups on the pool; results in group order."""
+        tasks = [
+            (bench_text, stimulus, group, record_lines, stop_when_all_detected)
+            for group in groups
+        ]
+        return self._map(_run_group_task, tasks)
+
+    def screen_batch(
+        self, bench_text: str, stimuli: Sequence, sample: Sequence
+    ) -> List[bool]:
+        """Screen stimuli on the pool; verdicts in task order."""
+        tasks = [(bench_text, stimulus, sample) for stimulus in stimuli]
+        return self._map(_screen_task, tasks)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(jobs: int, stats: RuntimeStats | None = None):
+    """A :class:`SerialExecutor` for ``jobs <= 1``, else a
+    :class:`ProcessExecutor`."""
+    if jobs <= 1:
+        return SerialExecutor(stats)
+    return ProcessExecutor(jobs, stats)

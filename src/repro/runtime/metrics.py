@@ -1,0 +1,141 @@
+"""Instrumentation for the runtime layer.
+
+:class:`RuntimeStats` is a plain counter/timer bag shared by the
+executor, the artifact cache and the simulators a
+:class:`~repro.runtime.context.RuntimeContext` is wired into.  It
+answers the questions the flows care about: how many full fault
+simulations actually ran, how many were served from the cache, how
+well the worker pool was utilized, and where the wall-clock time went.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class RuntimeStats:
+    """Counters and timers for one runtime context.
+
+    Attributes
+    ----------
+    jobs:
+        Worker count of the executor the stats are attached to.
+    full_simulations:
+        Whole-sequence fault simulations actually executed.
+    full_sim_hits:
+        Whole-sequence fault simulations served from the cache.
+    screen_simulations:
+        Screening (``detects_any``) simulations actually executed.
+    screen_hits:
+        Screening verdicts served from the cache.
+    cache_misses / cache_stores / cache_discards / cache_evictions:
+        Cache bookkeeping: lookups that missed, entries written,
+        corrupted or version-mismatched entries dropped, entries
+        removed by the LRU size cap.
+    tasks_dispatched:
+        Work units handed to the executor's worker pool.
+    speculative_discards:
+        Batched screening verdicts thrown away because an earlier row
+        of the batch changed the procedure state (the serial-equivalence
+        rule; see :mod:`repro.core.procedure`).
+    parallel_wall_s / worker_busy_s:
+        Wall-clock seconds spent inside executor fan-outs and the
+        summed busy seconds of the workers during them.
+    timers:
+        Named wall-clock timers (flow stages, etc.).
+    """
+
+    jobs: int = 1
+    full_simulations: int = 0
+    full_sim_hits: int = 0
+    screen_simulations: int = 0
+    screen_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_discards: int = 0
+    cache_evictions: int = 0
+    tasks_dispatched: int = 0
+    speculative_discards: int = 0
+    parallel_wall_s: float = 0.0
+    worker_busy_s: float = 0.0
+    timers: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Total lookups served from the cache."""
+        return self.full_sim_hits + self.screen_hits
+
+    @property
+    def simulations_executed(self) -> int:
+        """Total simulations that actually ran (full + screening)."""
+        return self.full_simulations + self.screen_simulations
+
+    @property
+    def full_sim_skip_rate(self) -> float:
+        """Fraction of full fault simulations the cache avoided."""
+        total = self.full_simulations + self.full_sim_hits
+        if not total:
+            return 0.0
+        return self.full_sim_hits / total
+
+    def utilization(self) -> float:
+        """Worker utilization across all parallel sections (0..1).
+
+        Busy worker-seconds divided by the capacity of the pool over
+        the fanned-out wall time.  1.0 means every worker was busy for
+        the whole parallel phase.
+        """
+        capacity = self.parallel_wall_s * max(self.jobs, 1)
+        if capacity <= 0.0:
+            return 0.0
+        return min(self.worker_busy_s / capacity, 1.0)
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of a ``with`` block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = (
+                self.timers.get(name, 0.0) + time.perf_counter() - t0
+            )
+
+    def record_fanout(self, wall_s: float, busy_s: float, tasks: int) -> None:
+        """Record one executor fan-out."""
+        self.parallel_wall_s += wall_s
+        self.worker_busy_s += busy_s
+        self.tasks_dispatched += tasks
+
+    # -- rendering ----------------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable summary (what ``repro flow --stats`` prints)."""
+        lines = [
+            "runtime stats",
+            f"  workers              {self.jobs}",
+            f"  full simulations     {self.full_simulations} run, "
+            f"{self.full_sim_hits} from cache "
+            f"({100.0 * self.full_sim_skip_rate:.0f}% skipped)",
+            f"  screening sims       {self.screen_simulations} run, "
+            f"{self.screen_hits} from cache",
+            f"  cache                {self.cache_stores} stored, "
+            f"{self.cache_misses} misses, {self.cache_discards} discarded, "
+            f"{self.cache_evictions} evicted",
+            f"  pool                 {self.tasks_dispatched} tasks, "
+            f"{100.0 * self.utilization():.0f}% utilization, "
+            f"{self.speculative_discards} speculative verdicts discarded",
+        ]
+        if self.timers:
+            lines.append("  timers")
+            for name in sorted(self.timers):
+                lines.append(f"    {name:<18} {self.timers[name]:.3f}s")
+        return "\n".join(lines)

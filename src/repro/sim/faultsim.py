@@ -19,13 +19,22 @@ Two front ends share the stepping engine:
 * :class:`IncrementalFaultSimulator` — pattern-at-a-time stepping with
   snapshot/restore, used by the simulation-based test generator to
   evaluate candidate patterns without re-simulating the prefix.
+
+:class:`FaultSimulator` optionally plugs into the runtime layer
+(:mod:`repro.runtime`): given a
+:class:`~repro.runtime.context.RuntimeContext` it (a) serves repeated
+``run`` / ``detects_any`` calls from the content-addressed artifact
+cache and (b) shards whole-sequence runs across fault groups on the
+context's worker pool.  Both are behaviourally invisible — results are
+identical to the serial, uncached run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.circuit.bench import write_bench
 from repro.circuit.netlist import Circuit
 from repro.errors import SimulationError
 from repro.sim.compile import (
@@ -40,7 +49,7 @@ from repro.sim.compile import (
     OP_XOR,
     compile_circuit,
 )
-from repro.sim.faults import Fault, validate_fault
+from repro.sim.faults import Fault, fault_name, validate_fault
 from repro.sim.values import V0, V1, VX, Value
 
 GROUP_FAULTS = 63
@@ -296,12 +305,67 @@ class FaultSimulator:
 
     Reusable and stateless between :meth:`run` calls; every run starts
     from the all-X circuit state (the paper's no-reset assumption).
+
+    ``runtime`` (a :class:`~repro.runtime.context.RuntimeContext`)
+    plugs the simulator into the artifact cache and the worker pool;
+    results never depend on it.
     """
 
-    def __init__(self, circuit: Circuit, compiled: CompiledCircuit | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        compiled: CompiledCircuit | None = None,
+        runtime=None,
+    ) -> None:
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
+        self.runtime = runtime
         self._flop_pos = {name: i for i, name in enumerate(circuit.flops)}
+        self._cache_ids_memo: Optional[Tuple[str, str]] = None
+
+    # -- runtime plumbing ---------------------------------------------------
+
+    def _ctx(self):
+        """The runtime context, but only for the exact base class.
+
+        Subclasses with different semantics (they would corrupt the
+        cache and the workers run plain stuck-at simulation) fall back
+        to serial, uncached behaviour unless they opt in themselves.
+        """
+        return self.runtime if type(self) is FaultSimulator else None
+
+    def _cache_ids(self) -> Tuple[str, str]:
+        """(circuit fingerprint, canonical bench text), memoized."""
+        if self._cache_ids_memo is None:
+            from repro.runtime.keys import fingerprint
+
+            text = write_bench(self.circuit)
+            self._cache_ids_memo = (fingerprint(text), text)
+        return self._cache_ids_memo
+
+    def _artifact_key(
+        self,
+        stimulus: Sequence[Sequence[Value]],
+        faults: Sequence[Fault],
+        config: Dict[str, object],
+    ) -> str:
+        from repro.runtime.keys import (
+            faults_fingerprint,
+            simulation_key,
+            stimulus_fingerprint,
+        )
+
+        circuit_fp, _ = self._cache_ids()
+        config = dict(config)
+        config["sim"] = type(self).__name__
+        return simulation_key(
+            circuit_fp,
+            stimulus_fingerprint(stimulus),
+            faults_fingerprint(faults),
+            config,
+        )
+
+    # -- whole-sequence runs ------------------------------------------------
 
     def run(
         self,
@@ -325,9 +389,52 @@ class FaultSimulator:
             detection still matter.
         stop_when_all_detected:
             Stop a group's simulation once all its faults are detected.
+            (Does not influence the result — only how far simulation
+            continues after the last detection — so it is not part of
+            the cache key.)
         """
         for fault in faults:
             validate_fault(self.circuit, fault)
+        ctx = self._ctx()
+        key = None
+        if ctx is not None and ctx.cache is not None:
+            key = self._artifact_key(
+                stimulus, faults, {"kind": "run", "record_lines": record_lines}
+            )
+            payload = ctx.cache.get(key)
+            if payload is not None:
+                result = _result_from_payload(payload, faults, record_lines)
+                if result is not None:
+                    ctx.stats.full_sim_hits += 1
+                    return result
+            ctx.stats.cache_misses += 1
+        result = self._simulate(
+            stimulus, faults, record_lines, stop_when_all_detected, ctx
+        )
+        if ctx is not None:
+            ctx.stats.full_simulations += 1
+            if key is not None:
+                ctx.cache.put(key, _result_payload(result, record_lines))
+        return result
+
+    def _simulate(
+        self,
+        stimulus: Sequence[Sequence[Value]],
+        faults: Sequence[Fault],
+        record_lines: bool,
+        stop_when_all_detected: bool,
+        ctx=None,
+    ) -> FaultSimResult:
+        """The actual simulation — sharded across the worker pool when
+        the runtime provides one and there is more than one group."""
+        if (
+            ctx is not None
+            and ctx.executor.jobs > 1
+            and len(faults) > GROUP_FAULTS
+        ):
+            return self._simulate_sharded(
+                stimulus, faults, record_lines, stop_when_all_detected, ctx
+            )
         detection: Dict[Fault, int] = {}
         lines: Dict[Fault, Set[str]] = {f: set() for f in faults} if record_lines else {}
         early_stop = stop_when_all_detected and not record_lines
@@ -353,6 +460,46 @@ class FaultSimulator:
             lines=lines,
         )
 
+    def _simulate_sharded(
+        self,
+        stimulus: Sequence[Sequence[Value]],
+        faults: Sequence[Fault],
+        record_lines: bool,
+        stop_when_all_detected: bool,
+        ctx,
+    ) -> FaultSimResult:
+        """Fan the fault groups out to the executor and merge.
+
+        Groups are independent (each packs its own machines into one
+        word), so the merged result is identical to the serial run for
+        any worker count.
+        """
+        _, bench_text = self._cache_ids()
+        frozen = tuple(tuple(p) for p in stimulus)
+        groups = [
+            list(faults[start : start + GROUP_FAULTS])
+            for start in range(0, len(faults), GROUP_FAULTS)
+        ]
+        parts = ctx.executor.run_fault_groups(
+            bench_text, frozen, groups, record_lines, stop_when_all_detected
+        )
+        detection: Dict[Fault, int] = {}
+        lines: Dict[Fault, Set[str]] = {f: set() for f in faults} if record_lines else {}
+        for part in parts:
+            detection.update(part.detection_time)
+            if record_lines:
+                for fault, nets in part.lines.items():
+                    lines[fault].update(nets)
+        undetected = tuple(f for f in faults if f not in detection)
+        return FaultSimResult(
+            detection_time=detection,
+            undetected=undetected,
+            n_faults=len(faults),
+            lines=lines,
+        )
+
+    # -- screening ----------------------------------------------------------
+
     def detects_any(
         self,
         stimulus: Sequence[Sequence[Value]],
@@ -367,6 +514,27 @@ class FaultSimulator:
         """
         for fault in faults:
             validate_fault(self.circuit, fault)
+        ctx = self._ctx()
+        key = None
+        if ctx is not None and ctx.cache is not None:
+            key = self._artifact_key(stimulus, faults, {"kind": "screen"})
+            payload = ctx.cache.get(key)
+            if payload is not None and isinstance(payload.get("detects"), bool):
+                ctx.stats.screen_hits += 1
+                return payload["detects"]
+            ctx.stats.cache_misses += 1
+        verdict = self._screen(stimulus, faults)
+        if ctx is not None:
+            ctx.stats.screen_simulations += 1
+            if key is not None:
+                ctx.cache.put(key, {"detects": verdict})
+        return verdict
+
+    def _screen(
+        self,
+        stimulus: Sequence[Sequence[Value]],
+        faults: Sequence[Fault],
+    ) -> bool:
         for start in range(0, len(faults), GROUP_FAULTS):
             group = faults[start : start + GROUP_FAULTS]
             sim = _GroupSim(self.comp, self._flop_pos, group)
@@ -374,6 +542,55 @@ class FaultSimulator:
                 if sim.step(pattern):
                     return True
         return False
+
+    def detects_any_batch(
+        self,
+        stimuli: Sequence[Sequence[Sequence[Value]]],
+        faults: Sequence[Fault],
+    ) -> List[bool]:
+        """Screen several stimuli against one fault sample.
+
+        Verdict ``i`` is exactly ``detects_any(stimuli[i], faults)``;
+        with a multi-worker runtime the uncached screens run on the
+        pool concurrently (cached ones are answered locally).
+        """
+        stimuli = list(stimuli)
+        ctx = self._ctx()
+        if ctx is None or ctx.executor.jobs <= 1 or len(stimuli) <= 1:
+            return [self.detects_any(s, faults) for s in stimuli]
+        for fault in faults:
+            validate_fault(self.circuit, fault)
+        verdicts: List[Optional[bool]] = [None] * len(stimuli)
+        keys: Optional[List[str]] = None
+        if ctx.cache is not None:
+            keys = [
+                self._artifact_key(s, faults, {"kind": "screen"})
+                for s in stimuli
+            ]
+            pending: List[int] = []
+            for i, key in enumerate(keys):
+                payload = ctx.cache.get(key)
+                if payload is not None and isinstance(payload.get("detects"), bool):
+                    verdicts[i] = payload["detects"]
+                    ctx.stats.screen_hits += 1
+                else:
+                    ctx.stats.cache_misses += 1
+                    pending.append(i)
+        else:
+            pending = list(range(len(stimuli)))
+        if pending:
+            _, bench_text = self._cache_ids()
+            outcomes = ctx.executor.screen_batch(
+                bench_text,
+                [tuple(tuple(p) for p in stimuli[i]) for i in pending],
+                list(faults),
+            )
+            for i, verdict in zip(pending, outcomes):
+                verdicts[i] = verdict
+                ctx.stats.screen_simulations += 1
+                if keys is not None:
+                    ctx.cache.put(keys[i], {"detects": verdict})
+        return verdicts  # type: ignore[return-value] — every slot is filled
 
 
 class IncrementalFaultSimulator:
@@ -528,6 +745,47 @@ def _eval_with_pin_forces(
     if opcode == OP_XNOR:
         return z, o
     return o, z
+
+
+def _result_payload(result: FaultSimResult, record_lines: bool) -> dict:
+    """JSON-serializable cache payload for a :class:`FaultSimResult`."""
+    payload: dict = {
+        "n_faults": result.n_faults,
+        "detection": sorted(
+            ([fault_name(f), u] for f, u in result.detection_time.items()),
+        ),
+    }
+    if record_lines:
+        payload["lines"] = {
+            fault_name(f): sorted(nets) for f, nets in result.lines.items()
+        }
+    return payload
+
+
+def _result_from_payload(
+    payload: dict, faults: Sequence[Fault], record_lines: bool
+) -> Optional[FaultSimResult]:
+    """Rebuild a result from a cache payload against the caller's fault
+    objects; None when the payload does not fit (treated as a miss)."""
+    by_name = {fault_name(f): f for f in faults}
+    try:
+        if payload["n_faults"] != len(faults):
+            return None
+        detection = {by_name[name]: int(u) for name, u in payload["detection"]}
+        lines: Dict[Fault, Set[str]] = {}
+        if record_lines:
+            lines = {f: set() for f in faults}
+            for name, nets in payload["lines"].items():
+                lines[by_name[name]] = set(nets)
+    except (KeyError, TypeError, ValueError):
+        return None
+    undetected = tuple(f for f in faults if f not in detection)
+    return FaultSimResult(
+        detection_time=detection,
+        undetected=undetected,
+        n_faults=len(faults),
+        lines=lines,
+    )
 
 
 def detection_times(

@@ -58,6 +58,7 @@ def compact_sequence(
     target_faults: Sequence[Fault],
     max_simulations: int = 200,
     compiled: CompiledCircuit | None = None,
+    runtime=None,
 ) -> CompactionResult:
     """Statically compact ``sequence`` while preserving detection of
     every fault in ``target_faults``.
@@ -75,9 +76,12 @@ def compact_sequence(
         it is exhausted (the current best sequence is returned).
     compiled:
         Optional pre-compiled circuit to reuse.
+    runtime:
+        Optional :class:`~repro.runtime.context.RuntimeContext` for
+        cached / parallel fault simulation.
     """
     comp = compiled or compile_circuit(circuit)
-    sim = FaultSimulator(circuit, comp)
+    sim = FaultSimulator(circuit, comp, runtime=runtime)
     faults = list(target_faults)
     checks = 0
 

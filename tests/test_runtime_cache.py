@@ -1,0 +1,202 @@
+"""The content-addressed artifact cache: keys, hygiene, end-to-end.
+
+Three layers are covered: key sensitivity (a key must change whenever
+anything that influences the result changes), entry hygiene (corrupted
+or version-mismatched entries are discarded, never trusted), and the
+flow-level guarantee (a warm rerun skips nearly all full simulations
+and still reproduces the cold results exactly).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit import load_circuit
+from repro.flows import flow_config_for
+from repro.flows.full_flow import run_full_flow
+from repro.runtime import (
+    CACHE_FORMAT,
+    ArtifactCache,
+    RuntimeContext,
+    circuit_fingerprint,
+    faults_fingerprint,
+    simulation_key,
+    stimulus_fingerprint,
+)
+from repro.sim import FaultSimulator, collapse_faults
+from repro.tgen import generate_test_sequence
+
+
+# -- key sensitivity --------------------------------------------------------
+
+
+def test_key_changes_with_each_ingredient(s27, g208, s27_faults, paper_t):
+    base = dict(
+        circuit_fp=circuit_fingerprint(s27),
+        stimulus_fp=stimulus_fingerprint(paper_t.patterns),
+        faults_fp=faults_fingerprint(s27_faults),
+        config={"kind": "run", "record_lines": False},
+    )
+
+    def key(**overrides):
+        merged = {**base, **overrides}
+        return simulation_key(
+            merged["circuit_fp"],
+            merged["stimulus_fp"],
+            merged["faults_fp"],
+            merged["config"],
+        )
+
+    reference = key()
+    assert key() == reference, "key must be deterministic"
+    assert key(circuit_fp=circuit_fingerprint(g208)) != reference
+    assert (
+        key(stimulus_fp=stimulus_fingerprint(paper_t.patterns[:-1]))
+        != reference
+    )
+    assert key(faults_fp=faults_fingerprint(s27_faults[:-1])) != reference
+    assert (
+        key(config={"kind": "run", "record_lines": True}) != reference
+    )
+
+
+def test_faults_fingerprint_is_order_insensitive(s27_faults):
+    forward = faults_fingerprint(s27_faults)
+    assert faults_fingerprint(list(reversed(s27_faults))) == forward
+
+
+# -- entry hygiene ----------------------------------------------------------
+
+
+def test_roundtrip_and_len(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    assert cache.get("k" * 8) is None
+    cache.put("k" * 8, {"detects": True})
+    assert cache.get("k" * 8) == {"detects": True}
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get("k" * 8) is None
+
+
+def test_corrupted_entry_discarded(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("abc", {"x": 1})
+    path = tmp_path / "abc.json"
+    path.write_text("{ not json")
+    assert cache.get("abc") is None
+    assert not path.exists(), "corrupted entry must be deleted"
+    assert cache.stats.cache_discards == 1
+
+
+def test_version_mismatch_discarded(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    path = tmp_path / "abc.json"
+    path.write_text(
+        json.dumps(
+            {"format": CACHE_FORMAT + 1, "key": "abc", "payload": {"x": 1}}
+        )
+    )
+    assert cache.get("abc") is None
+    assert not path.exists()
+
+
+def test_key_mismatch_discarded(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    path = tmp_path / "abc.json"
+    path.write_text(
+        json.dumps({"format": CACHE_FORMAT, "key": "OTHER", "payload": {}})
+    )
+    assert cache.get("abc") is None
+    assert not path.exists()
+
+
+def test_unusable_cache_root_degrades_gracefully(tmp_path):
+    """A cache root that is an existing file (e.g. a mistyped
+    ``--cache-dir``) must not raise — stores are skipped, gets miss."""
+    root = tmp_path / "actually-a-file"
+    root.write_text("not a directory")
+    cache = ArtifactCache(root)
+    cache.put("abc", {"x": 1})  # must not raise
+    assert cache.get("abc") is None
+    assert cache.stats.cache_stores == 0
+
+
+def test_lru_eviction(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=200)
+    for i in range(6):
+        cache.put(f"key{i}", {"blob": "x" * 40})
+    assert cache.stats.cache_evictions > 0
+    assert len(cache) < 6
+    # Survivors are the most recently written.
+    assert cache.get("key5") is not None
+
+
+def test_corrupted_cache_resimulates_correctly(tmp_path, s27, s27_faults, paper_t):
+    expected = FaultSimulator(s27).run(paper_t.patterns, s27_faults)
+    with RuntimeContext(cache_dir=tmp_path) as rt:
+        sim = FaultSimulator(s27, runtime=rt)
+        sim.run(paper_t.patterns, s27_faults)
+    for path in tmp_path.glob("*.json"):
+        path.write_text("garbage")
+    with RuntimeContext(cache_dir=tmp_path) as rt:
+        sim = FaultSimulator(s27, runtime=rt)
+        result = sim.run(paper_t.patterns, s27_faults)
+        assert rt.stats.full_sim_hits == 0
+        assert rt.stats.full_simulations == 1
+    assert result.detection_time == expected.detection_time
+    assert result.undetected == expected.undetected
+
+
+def test_tampered_payload_treated_as_miss(tmp_path, s27, s27_faults, paper_t):
+    """A well-formed entry whose payload does not fit the request is
+    never trusted: the simulator falls back to re-simulation."""
+    with RuntimeContext(cache_dir=tmp_path) as rt:
+        FaultSimulator(s27, runtime=rt).run(paper_t.patterns, s27_faults)
+    for path in tmp_path.glob("*.json"):
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"n_faults": 99999, "detection": []}
+        path.write_text(json.dumps(entry))
+    expected = FaultSimulator(s27).run(paper_t.patterns, s27_faults)
+    with RuntimeContext(cache_dir=tmp_path) as rt:
+        result = FaultSimulator(s27, runtime=rt).run(
+            paper_t.patterns, s27_faults
+        )
+        assert rt.stats.full_simulations == 1
+    assert result.detection_time == expected.detection_time
+
+
+# -- flow-level guarantee ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["s27", "g208"])
+def test_warm_cache_skips_full_simulations(tmp_path, name):
+    cfg = flow_config_for(name, l_g=64 if name != "s27" else 128)
+    with RuntimeContext(cache_dir=tmp_path) as rt_cold:
+        cold = run_full_flow(name, cfg, runtime=rt_cold)
+    with RuntimeContext(cache_dir=tmp_path) as rt_warm:
+        warm = run_full_flow(name, cfg, runtime=rt_warm)
+
+    assert warm.table6 == cold.table6
+    assert [e.assignment for e in warm.procedure.omega] == [
+        e.assignment for e in cold.procedure.omega
+    ]
+    assert warm.procedure.detection_time == cold.procedure.detection_time
+    assert warm.reverse_order.kept == cold.reverse_order.kept
+
+    stats = rt_warm.stats
+    assert stats.full_sim_hits + stats.full_simulations > 0
+    assert stats.full_sim_skip_rate >= 0.9, (
+        f"warm rerun skipped only {stats.full_sim_skip_rate:.0%} of full "
+        "simulations"
+    )
+
+
+def test_cold_vs_no_cache_identical(tmp_path):
+    cfg = flow_config_for("s27", l_g=128)
+    plain = run_full_flow("s27", cfg)
+    with RuntimeContext(cache_dir=tmp_path) as rt:
+        cached = run_full_flow("s27", cfg, runtime=rt)
+    assert cached.table6 == plain.table6
+    assert cached.procedure.detection_time == plain.procedure.detection_time

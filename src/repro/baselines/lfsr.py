@@ -11,7 +11,6 @@ polynomials (maximum-length sequences) for every width up to 32.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit

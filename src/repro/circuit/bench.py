@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from repro.circuit.gates import GateType
+from typing import Dict, List, Tuple
+
+from repro.circuit.gates import Gate, GateType
 from repro.circuit.netlist import Circuit
 from repro.circuit.builder import CircuitBuilder
 from repro.errors import BenchParseError
@@ -43,6 +45,64 @@ _TYPE_ALIASES = {
     "CONST0": GateType.CONST0,
     "CONST1": GateType.CONST1,
 }
+
+
+def parse_bench_gates(
+    text: str,
+) -> Tuple[List[Gate], List[str], Dict[str, int]]:
+    """Parse ``.bench`` source into raw gates, without netlist validation.
+
+    This is the low-level entry the lint subsystem uses: a structurally
+    defective netlist (duplicate drivers, undriven nets, combinational
+    cycles) still parses, so every defect can be *reported* instead of
+    aborting on the first one.  :func:`parse_bench_text` remains the
+    strict path that builds a validated :class:`Circuit`.
+
+    Returns
+    -------
+    ``(gates, outputs, lines)`` where ``gates`` are in declaration order
+    (duplicates preserved), ``outputs`` are the ``OUTPUT`` nets in order,
+    and ``lines`` maps each net to the 1-based source line that first
+    declared it.
+
+    Raises
+    ------
+    BenchParseError
+        On a malformed line, unknown gate type, or a fanin count the
+        gate type cannot accept — defects below the structural level.
+    """
+    gates: List[Gate] = []
+    outputs: List[str] = []
+    lines: Dict[str, int] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                gates.append(Gate(net, GateType.INPUT, ()))
+                lines.setdefault(net, line_no)
+            else:
+                outputs.append(net)
+                lines.setdefault(net, line_no)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            net, type_name, arg_text = gate_match.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchParseError(f"unknown gate type {type_name!r}", line_no)
+            fanins = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+            try:
+                gates.append(Gate(net, gtype, fanins))
+            except ValueError as exc:  # arity violation
+                raise BenchParseError(str(exc), line_no) from exc
+            lines[net] = line_no
+            continue
+        raise BenchParseError(f"unparseable line: {line!r}", line_no)
+    return gates, outputs, lines
 
 
 def parse_bench_text(text: str, name: str = "bench") -> Circuit:

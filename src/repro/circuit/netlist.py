@@ -19,10 +19,109 @@ helpers.  It is immutable after construction (build with
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
 
 from repro.circuit.gates import Gate, GateType
 from repro.errors import NetlistError
+
+#: Net names shown per strongly connected component in cycle errors
+#: before falling back to an explicit "… and N more" tail.
+MAX_SCC_NETS_IN_ERROR = 64
+
+
+def combinational_sccs(gates: Mapping[str, Gate]) -> List[Tuple[str, ...]]:
+    """Strongly connected components of the combinational subgraph.
+
+    Only components that actually form cycles are returned: size >= 2,
+    or a single gate feeding back into itself.  Members are sorted
+    within each component and components are sorted among themselves,
+    so the result is deterministic regardless of mapping order.
+
+    Iterative Tarjan — combinational loops produced by generators or
+    malformed netlists can be far deeper than Python's recursion limit.
+    """
+    comb = {n: g for n, g in gates.items() if g.gtype.is_combinational}
+
+    def successors(name: str) -> List[str]:
+        return [f for f in comb[name].fanins if f in comb]
+
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    counter = 0
+    for root in sorted(comb):
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work: List[Tuple[str, Iterator[str]]] = [(root, iter(successors(root)))]
+        while work:
+            node, edges = work[-1]
+            pushed = False
+            for succ in edges:
+                if succ not in index:
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors(succ))))
+                    pushed = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if pushed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in successors(node):
+                    sccs.append(tuple(sorted(component)))
+    sccs.sort()
+    return sccs
+
+
+def format_cycle_error(
+    sccs: Sequence[Tuple[str, ...]], fallback_nets: Sequence[str]
+) -> str:
+    """Render a combinational-cycle error listing whole SCCs.
+
+    Every component is reported with its full membership up to
+    :data:`MAX_SCC_NETS_IN_ERROR` names, then an explicit
+    ``… and N more`` tail — large loops stay debuggable instead of
+    being silently truncated.  ``fallback_nets`` is used when no SCC
+    was isolated (it should not happen, but an error message must
+    never come out empty).
+    """
+    if not sccs:
+        return (
+            "combinational cycle involving nets: "
+            + ", ".join(fallback_nets)
+        )
+    parts = []
+    for component in sccs:
+        shown = component[:MAX_SCC_NETS_IN_ERROR]
+        text = ", ".join(shown)
+        if len(component) > len(shown):
+            text += f", … and {len(component) - len(shown)} more"
+        parts.append(f"[{len(component)} nets: {text}]")
+    noun = "component" if len(sccs) == 1 else "components"
+    return (
+        f"combinational cycle: {len(sccs)} strongly connected "
+        f"{noun}: " + "; ".join(parts)
+    )
 
 
 class Circuit:
@@ -124,9 +223,10 @@ class Circuit:
             ready.extend(sorted(next_ready))
         if len(order) != len(pending):
             stuck = sorted(set(pending) - set(order))
-            raise NetlistError(
-                f"combinational cycle involving nets: {', '.join(stuck[:8])}"
+            sccs = combinational_sccs(
+                {name: self._gates[name] for name in stuck}
             )
+            raise NetlistError(format_cycle_error(sccs, stuck))
         return tuple(order)
 
     def _compute_levels(self) -> Dict[str, int]:

@@ -5,10 +5,13 @@ Usage (after ``pip install -e .``)::
     python -m repro circuits
     python -m repro flow s27 --lg 256 --verilog tpg.v --bench tpg.bench
     python -m repro flow g1488 --jobs 4 --stats
+    python -m repro flow s27 --save-tpg design.json --lint strict
     python -m repro table6 s27 g208
     python -m repro tradeoff g208
     python -m repro atpg s27
     python -m repro bench-info path/to/design.bench
+    python -m repro lint s27 design.json --format sarif --output lint.sarif
+    python -m repro lint --all-circuits --self --fail-on error
 
 Every command prints plain text; files are written only when an output
 path is given explicitly.
@@ -16,9 +19,11 @@ path is given explicitly.
 The simulation-heavy commands (``flow``, ``table6``, ``tradeoff``)
 accept runtime flags: ``--jobs N`` fans fault simulation out over N
 worker processes, ``--cache-dir PATH`` / ``--no-cache`` control the
-on-disk artifact cache (on by default, under ``~/.cache/repro``), and
-``--stats`` prints the runtime counters after the command.  Results are
-bit-identical regardless of worker count or cache state.
+on-disk artifact cache (on by default, under ``~/.cache/repro``),
+``--stats`` prints the runtime counters after the command, and
+``--lint [warn|strict]`` runs the static diagnostics gate on circuits
+and synthesized TPGs as they flow through.  Results are bit-identical
+regardless of worker count or cache state.
 """
 
 from __future__ import annotations
@@ -88,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="write the synthesized TPG as .bench")
     p.add_argument("--save-seq", type=Path, default=None,
                    help="write the deterministic test sequence T")
+    p.add_argument("--save-tpg", type=Path, default=None,
+                   help="write the full TPG design (netlist + Ω + L_G) as "
+                        "JSON, reloadable by `repro lint`")
     _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_flow)
 
@@ -113,6 +121,35 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", type=Path)
     p.set_defaults(handler=_cmd_bench_info)
 
+    p = sub.add_parser(
+        "lint",
+        help="static diagnostics for circuits, TPG designs and Python code",
+        description=(
+            "Lint targets may be library circuit names (s27), .bench "
+            "netlists, saved TPG designs (.json from `flow --save-tpg`), "
+            "Python files, or directories of Python files."
+        ),
+    )
+    p.add_argument("targets", nargs="*",
+                   help="circuit name, .bench / .json / .py path, or directory")
+    p.add_argument("--self", dest="lint_self", action="store_true",
+                   help="lint the repro package's own sources "
+                        "(determinism rules)")
+    p.add_argument("--all-circuits", action="store_true",
+                   help="lint every embedded library circuit")
+    p.add_argument("--format", dest="fmt", default="text",
+                   choices=("text", "json", "sarif"),
+                   help="output format (default: text)")
+    p.add_argument("--output", type=Path, default=None, metavar="PATH",
+                   help="write the report to PATH instead of stdout")
+    p.add_argument("--fail-on", default="error",
+                   choices=("note", "warning", "error", "never"),
+                   help="exit non-zero when findings at or above this "
+                        "severity exist (default: error)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(handler=_cmd_lint)
+
     p = sub.add_parser("report", help="render benchmarks/results/ as an HTML report")
     p.add_argument("--results", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--output", type=Path, default=Path("report.html"))
@@ -132,6 +169,12 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
                    help="disable the on-disk artifact cache")
     g.add_argument("--stats", action="store_true",
                    help="print runtime statistics after the command")
+    g.add_argument("--lint", nargs="?", const="warn", default="off",
+                   choices=("warn", "strict"), metavar="POLICY",
+                   help="lint circuits and TPG designs as they flow through: "
+                        "'warn' records findings in --stats, 'strict' "
+                        "aborts on error-severity findings "
+                        "(default policy when the flag is bare: warn)")
 
 
 def _make_runtime(args: argparse.Namespace):
@@ -141,6 +184,7 @@ def _make_runtime(args: argparse.Namespace):
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         enable_cache=not args.no_cache,
+        lint=args.lint,
     )
 
 
@@ -180,6 +224,11 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         if args.bench is not None:
             args.bench.write_text(write_bench(flow.tpg.circuit))
             print(f"wrote {args.bench}")
+        if args.save_tpg is not None:
+            from repro.hw.design_io import save_design
+
+            save_design(flow.tpg, args.save_tpg)
+            print(f"wrote {args.save_tpg}")
     if args.save_seq is not None:
         from repro.tgen.io import save_sequence
 
@@ -269,6 +318,75 @@ def _cmd_bench_info(args: argparse.Namespace) -> int:
     print(circuit_stats(circuit).describe())
     print(f"fault universe: {len(all_faults(circuit))} "
           f"({len(collapse_faults(circuit))} collapsed)")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import LintError
+    from repro.lint import (
+        FORMATTERS,
+        LintReport,
+        Severity,
+        all_rules,
+        lint_bench_path,
+        lint_circuit,
+        lint_design_path,
+        lint_package,
+        lint_python_path,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {str(rule.severity):<7} "
+                  f"{rule.name:<26} {rule.summary}")
+        return 0
+
+    if not args.targets and not args.lint_self and not args.all_circuits:
+        raise LintError(
+            "nothing to lint: give a target, --self or --all-circuits "
+            "(see `repro lint --help`)"
+        )
+
+    report = LintReport()
+    for target in args.targets:
+        path = Path(target)
+        if target.endswith(".bench"):
+            report = report.merge(lint_bench_path(path))
+        elif target.endswith(".json"):
+            report = report.merge(lint_design_path(path))
+        elif target.endswith(".py"):
+            try:
+                report = report.merge(lint_python_path(path))
+            except SyntaxError as exc:
+                raise LintError(f"{path}: not parseable: {exc}") from exc
+        elif path.is_dir():
+            report = report.merge(lint_package(path))
+        elif target in available_circuits():
+            report = report.merge(
+                lint_circuit(load_circuit(target), artifact=target)
+            )
+        else:
+            raise LintError(
+                f"cannot lint {target!r}: not a library circuit, .bench, "
+                ".json design, .py file or directory"
+            )
+    if args.all_circuits:
+        for name in available_circuits():
+            report = report.merge(
+                lint_circuit(load_circuit(name), artifact=name)
+            )
+    if args.lint_self:
+        report = report.merge(lint_package())
+
+    rendered = FORMATTERS[args.fmt](report)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n")
+        print(f"wrote {args.output} ({len(report)} findings)")
+    else:
+        print(rendered)
+
+    if args.fail_on != "never" and report.at_least(Severity.parse(args.fail_on)):
+        return 1
     return 0
 
 

@@ -20,7 +20,6 @@ from typing import List, Sequence, Tuple
 
 from repro.core.weight import Weight
 from repro.core.weight_set import WeightSet
-from repro.sim.values import Value
 from repro.tgen.sequence import TestSequence
 
 

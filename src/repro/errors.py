@@ -43,3 +43,7 @@ class ProcedureError(ReproError):
 
 class HardwareError(ReproError):
     """Hardware (FSM / TPG) synthesis failed or was misconfigured."""
+
+
+class LintError(ReproError):
+    """The lint subsystem was misused, or a strict lint gate failed."""

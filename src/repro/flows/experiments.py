@@ -47,7 +47,8 @@ _FLOW_CACHE: Dict[Tuple, FlowResult] = {}
 
 def active_suite() -> Tuple[str, ...]:
     """The benchmark suite, honouring ``REPRO_FULL_SUITE``."""
-    if os.environ.get("REPRO_FULL_SUITE"):
+    # Selects *which* circuits run, never their results.
+    if os.environ.get("REPRO_FULL_SUITE"):  # lint: ignore[D104]
         return FULL_SUITE
     return DEFAULT_SUITE
 

@@ -135,6 +135,11 @@ def run_full_flow(
     cfg = config or FlowConfig()
     if isinstance(circuit, str):
         circuit = load_circuit(circuit)
+    if runtime is not None:
+        # Static gate before any simulation: under a "warn"/"strict"
+        # lint policy a structurally suspect circuit is reported (or
+        # rejected) here, in milliseconds, not after the flow.
+        runtime.lint_circuit(circuit)
     comp = compile_circuit(circuit)
     faults = collapse_faults(circuit)
     timings: Dict[str, float] = {}
@@ -199,6 +204,8 @@ def run_full_flow(
         tpg = synthesize_tpg(
             list(reverse_order.kept), procedure.l_g, circuit.inputs
         )
+        if runtime is not None:
+            runtime.lint_design(tpg)
         verified = verify_tpg(tpg).ok
         timings["hardware"] = time.perf_counter() - t0
 

@@ -13,11 +13,14 @@
 * :mod:`repro.hw.verify` — replay equivalence: the synthesized TPG is
   simulated and checked cycle-exact against the software-generated
   weighted sequences.
+* :mod:`repro.hw.design_io` — JSON save/reload of a full design
+  (netlist + Ω + L_G + LFSR), the artifact ``repro lint`` checks.
 """
 
 from repro.hw.fsm import WeightFsm, FsmSummary, build_weight_fsms, fsm_summary
 from repro.hw.qm import Cube, minimize
 from repro.hw.tpg import LfsrSpec, TpgDesign, synthesize_tpg
+from repro.hw.design_io import load_design, save_design
 from repro.hw.cost import TpgCost, tpg_cost, rom_bits_equivalent
 from repro.hw.verify import verify_tpg
 from repro.hw.misr import Misr, SignatureCoverage, signature_coverage, synthesize_misr
@@ -32,6 +35,8 @@ __all__ = [
     "LfsrSpec",
     "TpgDesign",
     "synthesize_tpg",
+    "load_design",
+    "save_design",
     "TpgCost",
     "tpg_cost",
     "rom_bits_equivalent",

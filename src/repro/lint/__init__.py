@@ -1,0 +1,85 @@
+"""Static diagnostics for circuits, TPG hardware and the package itself.
+
+The lint subsystem moves whole error classes from "wrong Table-6
+numbers after minutes of fault simulation" to "one-second failure
+before anything runs":
+
+* **Circuit rules (C…)** — structural defects beyond the netlist's
+  hard build errors: dead nets, unused inputs, constant-driven flops,
+  and (on raw gate lists) undriven nets, duplicate drivers and
+  combinational cycles with *full* SCC membership reported.
+* **TPG rules (T…)** — consistency of a synthesized or reloaded
+  :class:`~repro.hw.tpg.TpgDesign`: Ω coverage, FSM output columns
+  (dead / reducible / duplicate), phase- and mux-select counter
+  widths, LFSR presence.
+* **Determinism rules (D…)** — a Python AST pass over
+  :mod:`repro` enforcing the runtime's bit-identical contract: no set
+  iteration, no unseeded randomness, no wall-clock or environment
+  dependence in result paths, no mutable default arguments.
+
+Reports render as text, JSON or SARIF 2.1.0 (:mod:`repro.lint.emit`),
+and the ``repro lint`` CLI command plus the CI gate wire it all
+together.  Rule IDs are stable; suppress per artifact via
+:class:`Suppressions` or inline with ``# lint: ignore[D104]``.
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    REGISTRY,
+    Rule,
+    Severity,
+    Suppressions,
+    all_rules,
+    get_rule,
+    make_diagnostic,
+    register,
+)
+from repro.lint.circuit_rules import (
+    lint_bench_path,
+    lint_bench_text,
+    lint_circuit,
+    lint_gates,
+)
+from repro.lint.tpg_rules import lint_design, lint_design_path
+from repro.lint.pyast import (
+    lint_package,
+    lint_python_path,
+    lint_python_source,
+)
+from repro.lint.emit import (
+    FORMATTERS,
+    format_json,
+    format_sarif,
+    format_text,
+    to_json_dict,
+    to_sarif_dict,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "make_diagnostic",
+    "register",
+    "lint_bench_path",
+    "lint_bench_text",
+    "lint_circuit",
+    "lint_gates",
+    "lint_design",
+    "lint_design_path",
+    "lint_package",
+    "lint_python_path",
+    "lint_python_source",
+    "FORMATTERS",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "to_json_dict",
+    "to_sarif_dict",
+]

@@ -1,0 +1,290 @@
+"""Circuit structural lint rules (the ``C`` family).
+
+Two entry points:
+
+* :func:`lint_circuit` — rules that apply to a *valid* (already built)
+  :class:`~repro.circuit.netlist.Circuit`: dead nets, unused inputs,
+  constant-driven flip-flops.  These go beyond what construction
+  enforces — the netlist builds fine, the structure is just wasteful or
+  suspicious.
+* :func:`lint_gates` / :func:`lint_bench_text` /
+  :func:`lint_bench_path` — the same rules over a *raw* gate list, plus
+  the hard structural defects (undriven nets, duplicate drivers,
+  undriven or duplicated outputs, combinational cycles with full SCC
+  membership) reported as diagnostics instead of a single thrown
+  exception, so one lint pass surfaces every problem at once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.circuit.bench import parse_bench_gates
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import (
+    MAX_SCC_NETS_IN_ERROR,
+    Circuit,
+    combinational_sccs,
+)
+from repro.errors import BenchParseError
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    make_diagnostic,
+    register,
+)
+
+UNDRIVEN_NET = register(Rule(
+    "C001", "undriven-net", Severity.ERROR,
+    "A gate fanin references a net that no gate drives.",
+))
+DUPLICATE_DRIVER = register(Rule(
+    "C002", "duplicate-driver", Severity.ERROR,
+    "Two or more gates drive the same net.",
+))
+UNDRIVEN_OUTPUT = register(Rule(
+    "C003", "undriven-output", Severity.ERROR,
+    "A primary output names a net that no gate drives.",
+))
+DUPLICATE_OUTPUT = register(Rule(
+    "C004", "duplicate-output", Severity.ERROR,
+    "The same net is listed as a primary output more than once.",
+))
+COMBINATIONAL_CYCLE = register(Rule(
+    "C005", "combinational-cycle", Severity.ERROR,
+    "The combinational core contains a cycle (full SCC reported).",
+))
+DEAD_NET = register(Rule(
+    "C006", "dead-net", Severity.WARNING,
+    "A non-input net drives nothing and is not a primary output.",
+))
+UNUSED_INPUT = register(Rule(
+    "C007", "unused-input", Severity.WARNING,
+    "A primary input drives nothing and is not a primary output.",
+))
+CONSTANT_FLOP = register(Rule(
+    "C008", "constant-flop", Severity.WARNING,
+    "A flip-flop's next-state cone contains no input or flip-flop, so "
+    "its value is constant after the first cycle.",
+))
+PARSE_ERROR = register(Rule(
+    "C009", "parse-error", Severity.ERROR,
+    "The .bench source could not be parsed at all.",
+))
+
+
+def lint_circuit(circuit: Circuit, artifact: Optional[str] = None) -> LintReport:
+    """Lint a valid circuit for wasteful or suspicious structure.
+
+    Construction already rules out C001–C005, so only the soft rules
+    (C006–C008) can fire here.
+    """
+    where = artifact if artifact is not None else circuit.name
+    outputs = set(circuit.outputs)
+    diagnostics: List[Diagnostic] = []
+    for name in circuit.nets:
+        gate = circuit.gate(name)
+        if circuit.fanout_count(name) or name in outputs:
+            continue
+        if gate.gtype is GateType.INPUT:
+            diagnostics.append(make_diagnostic(
+                UNUSED_INPUT,
+                f"primary input {name!r} drives nothing and is not a "
+                f"primary output",
+                where, location=name,
+            ))
+        else:
+            diagnostics.append(make_diagnostic(
+                DEAD_NET,
+                f"net {name!r} ({gate.gtype.value}) drives nothing and is "
+                f"not a primary output",
+                where, location=name,
+            ))
+    diagnostics.extend(_constant_flops(circuit.gates, where, None))
+    return LintReport.from_iterable(diagnostics)
+
+
+def lint_gates(
+    gates: Sequence[Gate],
+    outputs: Sequence[str],
+    artifact: str,
+    lines: Optional[Mapping[str, int]] = None,
+) -> LintReport:
+    """Lint a raw gate list: hard structural rules plus the soft ones.
+
+    Unlike :class:`Circuit` construction, this never raises on a
+    structural defect — every violation becomes a diagnostic, so a
+    netlist with three independent problems reports all three.
+    """
+    lines = lines or {}
+
+    def at(net: str) -> Optional[int]:
+        return lines.get(net)
+
+    diagnostics: List[Diagnostic] = []
+    by_name: Dict[str, Gate] = {}
+    counts: Dict[str, int] = {}
+    for gate in gates:
+        by_name.setdefault(gate.name, gate)
+        counts[gate.name] = counts.get(gate.name, 0) + 1
+    for name, n in counts.items():
+        if n > 1:
+            diagnostics.append(make_diagnostic(
+                DUPLICATE_DRIVER,
+                f"net {name!r} has {n} drivers",
+                artifact, location=name, line=at(name),
+            ))
+
+    missing: Dict[str, List[str]] = {}
+    for gate in gates:
+        for fanin in gate.fanins:
+            if fanin not in by_name:
+                missing.setdefault(fanin, []).append(gate.name)
+    for net in sorted(missing):
+        sinks = ", ".join(sorted(set(missing[net])))
+        diagnostics.append(make_diagnostic(
+            UNDRIVEN_NET,
+            f"net {net!r} is referenced by {sinks} but never driven",
+            artifact, location=net, line=at(net),
+        ))
+
+    seen_outputs: Set[str] = set()
+    for out in outputs:
+        if out in seen_outputs:
+            diagnostics.append(make_diagnostic(
+                DUPLICATE_OUTPUT,
+                f"primary output {out!r} is listed more than once",
+                artifact, location=out, line=at(out),
+            ))
+            continue
+        seen_outputs.add(out)
+        if out not in by_name:
+            diagnostics.append(make_diagnostic(
+                UNDRIVEN_OUTPUT,
+                f"primary output {out!r} is not driven by any gate",
+                artifact, location=out, line=at(out),
+            ))
+
+    resolvable = {
+        name: gate
+        for name, gate in by_name.items()
+        if all(f in by_name for f in gate.fanins)
+    }
+    for component in combinational_sccs(resolvable):
+        shown = component[:MAX_SCC_NETS_IN_ERROR]
+        text = ", ".join(shown)
+        if len(component) > len(shown):
+            text += f", … and {len(component) - len(shown)} more"
+        diagnostics.append(make_diagnostic(
+            COMBINATIONAL_CYCLE,
+            f"combinational cycle through {len(component)} nets: {text}",
+            artifact, location=component[0], line=at(component[0]),
+        ))
+
+    # Soft rules on whatever structure is sound enough to inspect.
+    fanout: Dict[str, int] = {name: 0 for name in by_name}
+    for gate in gates:
+        for fanin in gate.fanins:
+            if fanin in fanout:
+                fanout[fanin] += 1
+    outputs_set = set(outputs)
+    for name in sorted(by_name):
+        gate = by_name[name]
+        if fanout[name] or name in outputs_set:
+            continue
+        if gate.gtype is GateType.INPUT:
+            diagnostics.append(make_diagnostic(
+                UNUSED_INPUT,
+                f"primary input {name!r} drives nothing and is not a "
+                f"primary output",
+                artifact, location=name, line=at(name),
+            ))
+        else:
+            diagnostics.append(make_diagnostic(
+                DEAD_NET,
+                f"net {name!r} ({gate.gtype.value}) drives nothing and is "
+                f"not a primary output",
+                artifact, location=name, line=at(name),
+            ))
+    diagnostics.extend(_constant_flops(by_name, artifact, lines))
+    return LintReport.from_iterable(diagnostics)
+
+
+def lint_bench_text(text: str, artifact: str) -> LintReport:
+    """Lint ``.bench`` source; a parse failure becomes one C009 error."""
+    try:
+        gates, outputs, lines = parse_bench_gates(text)
+    except BenchParseError as exc:
+        return LintReport.from_iterable([make_diagnostic(
+            PARSE_ERROR, str(exc), artifact, line=exc.line_no,
+        )])
+    return lint_gates(gates, outputs, artifact, lines)
+
+
+def lint_bench_path(path: str | Path) -> LintReport:
+    """Lint a ``.bench`` file from disk."""
+    path = Path(path)
+    return lint_bench_text(path.read_text(), str(path))
+
+
+def _constant_flops(
+    gates: Mapping[str, Gate],
+    artifact: str,
+    lines: Optional[Mapping[str, int]],
+) -> List[Diagnostic]:
+    """Find flip-flops whose next-state value cannot ever vary.
+
+    A flop is constant-driven when the transitive fanin cone of its D
+    pin contains no primary input and no flip-flop — only gates and
+    constants.  After the power-up X settles, such a flop holds one
+    value forever; it contributes state bits but no behaviour.
+
+    Computed by forward propagation: inputs, flip-flop outputs and
+    undriven nets (already an error, not re-reported here) seed the
+    "can vary" set, which then flows through combinational sinks.
+    """
+    fanout: Dict[str, List[str]] = {}
+    for gate in gates.values():
+        for fanin in gate.fanins:
+            fanout.setdefault(fanin, []).append(gate.name)
+
+    varying: Set[str] = {
+        name
+        for name, gate in gates.items()
+        if gate.gtype in (GateType.INPUT, GateType.DFF)
+    }
+    varying.update(
+        fanin
+        for gate in gates.values()
+        for fanin in gate.fanins
+        if fanin not in gates
+    )
+    work = list(varying)
+    while work:
+        net = work.pop()
+        for sink in fanout.get(net, ()):
+            gate = gates.get(sink)
+            if gate is None or not gate.gtype.is_combinational:
+                continue
+            if sink not in varying:
+                varying.add(sink)
+                work.append(sink)
+
+    diagnostics = []
+    for name in sorted(gates):
+        gate = gates[name]
+        if gate.gtype is not GateType.DFF or not gate.fanins:
+            continue
+        d_net = gate.fanins[0]
+        if d_net in gates and d_net not in varying:
+            diagnostics.append(make_diagnostic(
+                CONSTANT_FLOP,
+                f"flip-flop {name!r} is driven by a constant cone "
+                f"(via net {d_net!r}); it holds one value after cycle 1",
+                artifact, location=name,
+                line=lines.get(name) if lines else None,
+            ))
+    return diagnostics

@@ -1,0 +1,280 @@
+"""Shared diagnostics core of the lint subsystem.
+
+Every analyzer family (circuit structural rules, TPG hardware rules,
+the Python-AST determinism rules) reports through the same vocabulary:
+
+* a :class:`Rule` — a stable ID (``C006``), a kebab-case name
+  (``dead-net``), a default :class:`Severity` and a one-line summary,
+  registered once in the module-level :data:`REGISTRY`;
+* a :class:`Diagnostic` — one finding of one rule against one artifact
+  (a circuit net, a TPG design, a source line);
+* a :class:`LintReport` — an ordered, immutable collection of
+  diagnostics with severity roll-ups;
+* :class:`Suppressions` — per-artifact / per-rule silencing, both from
+  configuration (fnmatch patterns) and from inline
+  ``# lint: ignore[D104]`` comments (handled by the AST analyzer).
+
+Rule IDs are **stable contracts**: tests, suppression files and SARIF
+consumers key on them, so an ID is never reused for a different check.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally.
+
+    ``NOTE`` is informational (never gates anything), ``WARNING`` marks
+    questionable-but-functional structure, ``ERROR`` marks defects that
+    invalidate results or hardware.
+    """
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"note"`` / ``"warning"`` / ``"error"`` (any case)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise LintError(
+                f"unknown severity {text!r}; expected note, warning or error"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint check.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``C006``, ``T004``, ``D101``).  The prefix
+        names the family: ``C`` circuit structure, ``T`` TPG hardware,
+        ``D`` Python determinism.
+    name:
+        Kebab-case human name (``dead-net``).
+    severity:
+        Default severity of every diagnostic the rule emits.
+    summary:
+        One-line description for catalogues and SARIF rule metadata.
+    """
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: Every known rule, keyed by ID, in registration order.
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry; IDs and names must be unique."""
+    if rule.rule_id in REGISTRY:
+        raise LintError(f"duplicate rule ID {rule.rule_id!r}")
+    if any(r.name == rule.name for r in REGISTRY.values()):
+        raise LintError(f"duplicate rule name {rule.name!r}")
+    REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in registration order."""
+    return tuple(REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by ID."""
+    try:
+        return REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(f"unknown rule ID {rule_id!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated by one artifact location.
+
+    Attributes
+    ----------
+    rule_id:
+        The violated rule.
+    severity:
+        Effective severity (usually the rule's default).
+    message:
+        Human-readable description with the concrete names/values.
+    artifact:
+        What was linted: a circuit name, a file path, a design name.
+    location:
+        Logical location inside the artifact (a net, an FSM output,
+        a function name); empty when the artifact itself is the
+        location.
+    line:
+        1-based source line for file artifacts (None otherwise).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    artifact: str
+    location: str = ""
+    line: Optional[int] = None
+
+    def format(self) -> str:
+        """Render as ``artifact[:line]: severity[RULE] message``."""
+        where = self.artifact
+        if self.line is not None:
+            where += f":{self.line}"
+        return f"{where}: {self.severity}[{self.rule_id}] {self.message}"
+
+
+def make_diagnostic(
+    rule: Rule,
+    message: str,
+    artifact: str,
+    location: str = "",
+    line: Optional[int] = None,
+) -> Diagnostic:
+    """Build a diagnostic carrying ``rule``'s default severity."""
+    return Diagnostic(
+        rule_id=rule.rule_id,
+        severity=rule.severity,
+        message=message,
+        artifact=artifact,
+        location=location,
+        line=line,
+    )
+
+
+class Suppressions:
+    """Per-artifact, per-rule silencing.
+
+    A mapping from fnmatch pattern (matched against the diagnostic's
+    ``artifact``) to the rule IDs silenced there; ``"*"`` as a rule ID
+    silences every rule for matching artifacts.
+
+    >>> s = Suppressions({"*/cache.py": ["D104"], "legacy_*": ["*"]})
+    >>> s.is_suppressed("src/repro/runtime/cache.py", "D104")
+    True
+    >>> s.is_suppressed("src/repro/runtime/cache.py", "D101")
+    False
+    """
+
+    def __init__(
+        self, rules_by_pattern: Optional[Mapping[str, Sequence[str]]] = None
+    ) -> None:
+        self._patterns: Tuple[Tuple[str, FrozenSet[str]], ...] = tuple(
+            (pattern, frozenset(rule_ids))
+            for pattern, rule_ids in (rules_by_pattern or {}).items()
+        )
+
+    def is_suppressed(self, artifact: str, rule_id: str) -> bool:
+        """True if ``rule_id`` findings on ``artifact`` are silenced."""
+        for pattern, rule_ids in self._patterns:
+            if not fnmatch.fnmatch(artifact, pattern):
+                continue
+            if "*" in rule_ids or rule_id in rule_ids:
+                return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self._patterns)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """An immutable, ordered collection of diagnostics.
+
+    Attributes
+    ----------
+    diagnostics:
+        Findings in discovery order.
+    suppressed_count:
+        Findings removed by :meth:`apply_suppressions` (kept so a
+        clean report can still show work was silenced, not absent).
+    """
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    suppressed_count: int = 0
+
+    @classmethod
+    def from_iterable(cls, diagnostics: Iterable[Diagnostic]) -> "LintReport":
+        """Build a report from any diagnostic iterable."""
+        return cls(diagnostics=tuple(diagnostics))
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """Concatenate two reports (diagnostics and suppression counts)."""
+        return LintReport(
+            diagnostics=self.diagnostics + other.diagnostics,
+            suppressed_count=self.suppressed_count + other.suppressed_count,
+        )
+
+    def apply_suppressions(self, suppressions: Suppressions) -> "LintReport":
+        """Drop silenced findings, counting them in ``suppressed_count``."""
+        if not suppressions:
+            return self
+        kept = tuple(
+            d
+            for d in self.diagnostics
+            if not suppressions.is_suppressed(d.artifact, d.rule_id)
+        )
+        return LintReport(
+            diagnostics=kept,
+            suppressed_count=self.suppressed_count
+            + len(self.diagnostics)
+            - len(kept),
+        )
+
+    # -- roll-ups -----------------------------------------------------------
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def error_count(self) -> int:
+        """Findings at ERROR severity."""
+        return self.count(Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        """Findings at WARNING severity."""
+        return self.count(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The worst severity present, or None for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_least(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        """Findings at or above ``severity``."""
+        return tuple(d for d in self.diagnostics if d.severity >= severity)
+
+    def by_rule(self) -> Dict[str, List[Diagnostic]]:
+        """Findings grouped by rule ID, in first-seen order."""
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for d in self.diagnostics:
+            grouped.setdefault(d.rule_id, []).append(d)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)

@@ -1,0 +1,144 @@
+"""Rendering lint reports: plain text, JSON, and SARIF 2.1.0.
+
+The SARIF output follows the OASIS *Static Analysis Results Interchange
+Format* 2.1.0 layout (one run, one tool driver, rule metadata inlined,
+results referencing rules by index) so it can be uploaded to code
+scanning services as-is.  Severities map onto SARIF levels:
+``NOTE → note``, ``WARNING → warning``, ``ERROR → error``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro import __version__
+from repro.lint.core import REGISTRY, Diagnostic, LintReport, Severity
+
+TOOL_NAME = "repro-lint"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable listing with a one-line summary footer."""
+    lines = [d.format() for d in report.diagnostics]
+    summary = (
+        f"{len(report)} finding{'s' if len(report) != 1 else ''} "
+        f"({report.error_count} error, {report.warning_count} warning, "
+        f"{report.count(Severity.NOTE)} note)"
+    )
+    if report.suppressed_count:
+        summary += f", {report.suppressed_count} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json_dict(report: LintReport) -> Dict[str, object]:
+    """A stable JSON-ready rendering (diagnostics + counters)."""
+    return {
+        "tool": TOOL_NAME,
+        "version": __version__,
+        "diagnostics": [
+            {
+                "rule_id": d.rule_id,
+                "rule_name": REGISTRY[d.rule_id].name,
+                "severity": str(d.severity),
+                "message": d.message,
+                "artifact": d.artifact,
+                "location": d.location,
+                "line": d.line,
+            }
+            for d in report.diagnostics
+        ],
+        "summary": {
+            "errors": report.error_count,
+            "warnings": report.warning_count,
+            "notes": report.count(Severity.NOTE),
+            "suppressed": report.suppressed_count,
+        },
+    }
+
+
+def format_json(report: LintReport) -> str:
+    """The :func:`to_json_dict` rendering, pretty-printed."""
+    return json.dumps(to_json_dict(report), indent=2, sort_keys=True)
+
+
+def _sarif_location(diagnostic: Diagnostic) -> Dict[str, object]:
+    physical: Dict[str, object] = {
+        "artifactLocation": {"uri": diagnostic.artifact}
+    }
+    if diagnostic.line is not None:
+        physical["region"] = {"startLine": diagnostic.line}
+    location: Dict[str, object] = {"physicalLocation": physical}
+    if diagnostic.location:
+        location["logicalLocations"] = [{"name": diagnostic.location}]
+    return location
+
+
+def to_sarif_dict(report: LintReport) -> Dict[str, object]:
+    """Render ``report`` as a SARIF 2.1.0 log object.
+
+    Every registered rule is described in the driver metadata (not just
+    the violated ones), so a clean run still documents what was
+    checked.
+    """
+    rule_ids = list(REGISTRY)
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        for rule in REGISTRY.values()
+    ]
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": d.rule_id,
+            "ruleIndex": rule_ids.index(d.rule_id),
+            "level": _SARIF_LEVELS[d.severity],
+            "message": {"text": d.message},
+            "locations": [_sarif_location(d)],
+        }
+        for d in report.diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": __version__,
+                        "informationUri": (
+                            "https://github.com/repro/repro#lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(report: LintReport) -> str:
+    """The :func:`to_sarif_dict` rendering, pretty-printed."""
+    return json.dumps(to_sarif_dict(report), indent=2)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "sarif": format_sarif,
+}
+"""Formatter registry used by the ``repro lint`` CLI."""

@@ -1,0 +1,430 @@
+"""Python AST determinism rules (the ``D`` family).
+
+The runtime layer promises bit-identical results for any worker count
+and any cache state.  That contract is only as strong as the code it
+covers: one ``for fault in some_set`` in a result-producing path makes
+output order depend on hash seeds, one bare ``random.random()`` makes
+it depend on interpreter state.  These rules flag the constructions
+that historically break determinism:
+
+* **D101** — iterating directly over a set literal, set comprehension
+  or ``set()``/``frozenset()`` call (including ``list(...)``/
+  ``tuple(...)`` conversions): the order is unspecified; sort first.
+* **D102** — drawing from the process-global ``random`` module or from
+  ``numpy.random`` without an explicit seed.  All randomness must
+  funnel through :mod:`repro.util.rng`.
+* **D103** — wall-clock reads (``time.time``, ``datetime.now``, …) —
+  fine for metrics, never for anything that feeds a result.
+  (``time.perf_counter`` / ``monotonic`` are duration measurements and
+  are deliberately not flagged.)
+* **D104** — ``os.environ`` / ``os.getenv`` dependence: results must
+  not change with the caller's environment.
+* **D105** — mutable default arguments: state shared across calls is
+  ordering-dependent state.
+
+Findings are silenced inline with ``# lint: ignore[D104]`` on the
+flagged line, or for a whole file with ``# lint: ignore-file[D104]``
+on any line.  Both accept a comma-separated ID list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    Suppressions,
+    make_diagnostic,
+    register,
+)
+
+SET_ITERATION = register(Rule(
+    "D101", "set-iteration", Severity.ERROR,
+    "Iteration over an unordered set; order depends on hash seeds.",
+))
+UNSEEDED_RANDOM = register(Rule(
+    "D102", "unseeded-random", Severity.ERROR,
+    "Unseeded random/numpy.random use outside repro.util.rng.",
+))
+WALL_CLOCK = register(Rule(
+    "D103", "wall-clock", Severity.ERROR,
+    "Wall-clock read in code that may feed a result.",
+))
+ENVIRON_DEPENDENCE = register(Rule(
+    "D104", "environ-dependence", Severity.WARNING,
+    "os.environ / os.getenv dependence; results must not change with "
+    "the caller's environment.",
+))
+MUTABLE_DEFAULT = register(Rule(
+    "D105", "mutable-default", Severity.ERROR,
+    "Mutable default argument; state is shared across calls.",
+))
+
+_IGNORE_LINE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_IGNORE_FILE_RE = re.compile(r"#\s*lint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+
+#: Seedable constructors: allowed when called with at least one argument.
+_SEEDABLE = {"Random", "SystemRandom", "default_rng", "RandomState",
+             "Generator", "SeedSequence"}
+
+#: ``time`` module attributes that read the wall clock unconditionally.
+_CLOCK_ALWAYS = {"time", "time_ns", "ctime"}
+#: ``time`` module attributes that read the clock only when called bare.
+_CLOCK_NO_ARGS = {"localtime", "gmtime"}
+#: Methods that read the clock on datetime/date classes.
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Single-pass collector for every D rule."""
+
+    def __init__(self, artifact: str) -> None:
+        self.artifact = artifact
+        self.diagnostics: List[Diagnostic] = []
+        self.random_modules: Set[str] = set()
+        self.numpy_modules: Set[str] = set()
+        self.time_modules: Set[str] = set()
+        self.os_modules: Set[str] = set()
+        self.datetime_like: Set[str] = set()
+        self.random_funcs: Set[str] = set()
+        self.seedable_names: Set[str] = set()
+        self.time_funcs: Set[str] = set()
+        self.environ_names: Set[str] = set()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _emit(self, rule: Rule, message: str, node: ast.AST,
+              location: str = "") -> None:
+        self.diagnostics.append(make_diagnostic(
+            rule, message, self.artifact,
+            location=location, line=getattr(node, "lineno", None),
+        ))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_modules.add(bound)
+            elif alias.name.split(".")[0] == "numpy":
+                self.numpy_modules.add(bound)
+            elif alias.name == "time":
+                self.time_modules.add(bound)
+            elif alias.name == "os":
+                self.os_modules.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_like.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "random":
+                if alias.name in _SEEDABLE:
+                    self.seedable_names.add(bound)
+                else:
+                    self.random_funcs.add(bound)
+            elif node.module == "numpy":
+                if alias.name == "random":
+                    self.numpy_modules.add(bound)
+            elif node.module == "numpy.random":
+                if alias.name in _SEEDABLE:
+                    self.seedable_names.add(bound)
+                else:
+                    self.random_funcs.add(bound)
+            elif node.module == "time":
+                if alias.name in _CLOCK_ALWAYS | _CLOCK_NO_ARGS:
+                    self.time_funcs.add(bound)
+            elif node.module == "os":
+                if alias.name in ("environ", "getenv"):
+                    self.environ_names.add(bound)
+            elif node.module == "datetime":
+                if alias.name in ("datetime", "date"):
+                    self.datetime_like.add(bound)
+        self.generic_visit(node)
+
+    # -- D101: set iteration ------------------------------------------------
+
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        if _is_set_expr(iterable):
+            self._emit(
+                SET_ITERATION,
+                "iteration over an unordered set; wrap in sorted(...) to "
+                "fix the order",
+                iterable,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST,
+                             generators: Sequence[ast.comprehension]) -> None:
+        for generator in generators:
+            self._check_iterable(generator.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    # -- D105: mutable defaults ---------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (
+                ast.List, ast.Dict, ast.Set,
+                ast.ListComp, ast.DictComp, ast.SetComp,
+            )) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                self._emit(
+                    MUTABLE_DEFAULT,
+                    f"function {node.name!r} has a mutable default "
+                    f"argument; use None and create inside",
+                    default, location=node.name,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- D102 / D103 / D104: calls and attributes ---------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        has_args = bool(node.args or node.keywords)
+
+        if isinstance(func, ast.Name):
+            if func.id in ("list", "tuple") and len(node.args) == 1:
+                if _is_set_expr(node.args[0]):
+                    self._emit(
+                        SET_ITERATION,
+                        f"{func.id}(...) over an unordered set; use "
+                        f"sorted(...) instead",
+                        node,
+                    )
+            if func.id in self.random_funcs:
+                self._emit(
+                    UNSEEDED_RANDOM,
+                    f"call to unseeded random function {func.id!r}; use "
+                    f"repro.util.rng.DeterministicRng",
+                    node,
+                )
+            elif func.id in self.seedable_names and not has_args:
+                self._emit(
+                    UNSEEDED_RANDOM,
+                    f"{func.id}() constructed without a seed",
+                    node,
+                )
+            elif func.id in self.environ_names:
+                self._emit(
+                    ENVIRON_DEPENDENCE,
+                    f"environment read via {func.id!r}",
+                    node,
+                )
+            elif func.id in self.time_funcs:
+                self._emit(
+                    WALL_CLOCK,
+                    f"wall-clock read via {func.id!r}",
+                    node,
+                )
+
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in self.random_modules:
+                    if func.attr in _SEEDABLE or func.attr == "seed":
+                        if not has_args:
+                            self._emit(
+                                UNSEEDED_RANDOM,
+                                f"{base.id}.{func.attr}() called without "
+                                f"a seed",
+                                node,
+                            )
+                    else:
+                        self._emit(
+                            UNSEEDED_RANDOM,
+                            f"call to process-global {base.id}."
+                            f"{func.attr}(); use "
+                            f"repro.util.rng.DeterministicRng",
+                            node,
+                        )
+                elif base.id in self.time_modules:
+                    if func.attr in _CLOCK_ALWAYS or (
+                        func.attr in _CLOCK_NO_ARGS and not has_args
+                    ):
+                        self._emit(
+                            WALL_CLOCK,
+                            f"wall-clock read via {base.id}.{func.attr}()",
+                            node,
+                        )
+                elif base.id in self.os_modules and func.attr == "getenv":
+                    self._emit(
+                        ENVIRON_DEPENDENCE,
+                        f"environment read via {base.id}.getenv()",
+                        node,
+                    )
+                elif (
+                    base.id in self.datetime_like
+                    and func.attr in _DATETIME_NOW
+                ):
+                    self._emit(
+                        WALL_CLOCK,
+                        f"wall-clock read via {base.id}.{func.attr}()",
+                        node,
+                    )
+            elif isinstance(base, ast.Attribute):
+                root = base.value
+                if isinstance(root, ast.Name):
+                    if (
+                        root.id in self.numpy_modules
+                        and base.attr == "random"
+                    ):
+                        if func.attr in _SEEDABLE:
+                            if not has_args:
+                                self._emit(
+                                    UNSEEDED_RANDOM,
+                                    f"{root.id}.random.{func.attr}() "
+                                    f"constructed without a seed",
+                                    node,
+                                )
+                        else:
+                            self._emit(
+                                UNSEEDED_RANDOM,
+                                f"call to global {root.id}.random."
+                                f"{func.attr}(); seed an explicit "
+                                f"generator instead",
+                                node,
+                            )
+                    elif (
+                        root.id in self.datetime_like
+                        and func.attr in _DATETIME_NOW
+                    ):
+                        self._emit(
+                            WALL_CLOCK,
+                            f"wall-clock read via {root.id}.{base.attr}."
+                            f"{func.attr}()",
+                            node,
+                        )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.os_modules
+            and node.attr == "environ"
+        ):
+            self._emit(
+                ENVIRON_DEPENDENCE,
+                f"environment read via {node.value.id}.environ",
+                node,
+            )
+        self.generic_visit(node)
+
+
+def _inline_suppressions(source: str) -> Dict[Optional[int], Set[str]]:
+    """Per-line (and file-level, keyed by ``None``) ignored rule IDs."""
+    ignored: Dict[Optional[int], Set[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_LINE_RE.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            ignored.setdefault(line_no, set()).update(i for i in ids if i)
+        match = _IGNORE_FILE_RE.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            ignored.setdefault(None, set()).update(i for i in ids if i)
+    return ignored
+
+
+def lint_python_source(source: str, artifact: str) -> LintReport:
+    """Run every D rule over one Python source text.
+
+    Inline ``# lint: ignore[...]`` comments on the flagged line (or
+    ``# lint: ignore-file[...]`` anywhere) silence findings; silenced
+    findings are counted in the report's ``suppressed_count``.  A
+    syntactically invalid file raises :class:`SyntaxError` to the
+    caller — it cannot be analyzed at all.
+    """
+    tree = ast.parse(source, filename=artifact)
+    visitor = _DeterminismVisitor(artifact)
+    visitor.visit(tree)
+    ignored = _inline_suppressions(source)
+    file_level = ignored.get(None, set())
+    kept = []
+    suppressed = 0
+    for diagnostic in visitor.diagnostics:
+        line_ids = ignored.get(diagnostic.line, set())
+        if diagnostic.rule_id in line_ids or diagnostic.rule_id in file_level:
+            suppressed += 1
+            continue
+        kept.append(diagnostic)
+    return LintReport(diagnostics=tuple(kept), suppressed_count=suppressed)
+
+
+def lint_python_path(path: str | Path) -> LintReport:
+    """Lint one Python file from disk."""
+    path = Path(path)
+    return lint_python_source(path.read_text(), str(path))
+
+
+def package_root() -> Path:
+    """The installed :mod:`repro` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_package(
+    root: Optional[str | Path] = None,
+    suppressions: Optional[Suppressions] = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under ``root`` (default: the installed
+    :mod:`repro` package), enforcing the determinism contract
+    package-wide.
+
+    Artifacts are recorded relative to ``root``'s parent (e.g.
+    ``repro/runtime/cache.py``) so reports are stable across machines.
+    """
+    base = Path(root) if root is not None else package_root()
+    report = LintReport()
+    for path in sorted(base.rglob("*.py")):
+        artifact = str(path.relative_to(base.parent))
+        report = report.merge(lint_python_source(path.read_text(), artifact))
+    if suppressions is not None:
+        report = report.apply_suppressions(suppressions)
+    return report

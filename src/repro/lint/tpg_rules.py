@@ -1,0 +1,242 @@
+"""TPG hardware lint rules (the ``T`` family).
+
+These check a :class:`~repro.hw.tpg.TpgDesign` — synthesized in-process
+or reloaded from disk — for the consistency invariants the Figure-1
+construction promises:
+
+* the weight-assignment set ``Ω`` covers every CUT input exactly once
+  per assignment (T001/T002) and every deterministic weight has an FSM
+  generator (T003);
+* the mined modulo-``L_S`` FSM bank carries no dead output columns
+  (T004), no reducible columns that should have been merged to a
+  shorter period (T005) and no duplicate columns (T006) — the
+  Section-5 merging rules, enforced statically;
+* the phase (cycle) counter and the mux-select (assignment) counter in
+  the netlist have exactly the widths ``ceil(log2 L_G)`` and
+  ``ceil(log2 m)`` the selection logic decodes (T007);
+* pseudo-random weights have an on-chip LFSR to draw from (T008).
+
+T009 is informational: it reports each FSM's unreachable binary-encoded
+states — the don't-cares the QM minimizer exploits (the paper's
+Section 3, observation 2).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import HardwareError, LintError
+from repro.hw.design_io import design_from_dict, validate_design_dict
+from repro.hw.fsm import find_output
+from repro.hw.tpg import TpgDesign
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    make_diagnostic,
+    register,
+)
+
+MIXED_WIDTH = register(Rule(
+    "T001", "mixed-assignment-width", Severity.ERROR,
+    "Weight assignments in Ω cover different numbers of inputs.",
+))
+PORT_WIDTH_MISMATCH = register(Rule(
+    "T002", "port-width-mismatch", Severity.ERROR,
+    "The TPG's output port count differs from the assignment width, so "
+    "some CUT input is uncovered or doubly covered.",
+))
+MISSING_FSM_OUTPUT = register(Rule(
+    "T003", "missing-fsm-output", Severity.ERROR,
+    "A deterministic weight in Ω has no generating FSM output column.",
+))
+DEAD_FSM_OUTPUT = register(Rule(
+    "T004", "dead-fsm-output", Severity.WARNING,
+    "An FSM output column is not referenced by any weight assignment.",
+))
+REDUCIBLE_FSM_OUTPUT = register(Rule(
+    "T005", "reducible-fsm-output", Severity.WARNING,
+    "An FSM output column has a period shorter than the FSM's state "
+    "count; the subsequence should have been canonicalized.",
+))
+DUPLICATE_FSM_OUTPUT = register(Rule(
+    "T006", "duplicate-fsm-output", Severity.WARNING,
+    "Two FSM output columns expand to the same infinite sequence; they "
+    "should have been merged (Section 5).",
+))
+COUNTER_WIDTH_MISMATCH = register(Rule(
+    "T007", "counter-width-mismatch", Severity.ERROR,
+    "The phase or mux-select counter register width in the netlist "
+    "does not match what the decode logic expects.",
+))
+MISSING_LFSR = register(Rule(
+    "T008", "missing-lfsr", Severity.ERROR,
+    "Ω contains pseudo-random weights but the design carries no LFSR "
+    "specification.",
+))
+UNREACHABLE_STATES = register(Rule(
+    "T009", "fsm-unreachable-states", Severity.NOTE,
+    "An FSM's binary state encoding leaves states unreachable; they "
+    "are don't-cares for the output logic.",
+))
+
+
+def lint_design(design: TpgDesign, artifact: Optional[str] = None) -> LintReport:
+    """Lint a TPG design for Ω / FSM-bank / counter consistency."""
+    where = artifact if artifact is not None else f"tpg:{design.circuit.name}"
+    diagnostics: List[Diagnostic] = []
+
+    widths = sorted({a.width for a in design.assignments})
+    if len(widths) > 1:
+        diagnostics.append(make_diagnostic(
+            MIXED_WIDTH,
+            f"assignments cover {widths} inputs; every assignment must "
+            f"cover each CUT input exactly once",
+            where,
+        ))
+    elif widths and widths[0] != len(design.output_ports):
+        diagnostics.append(make_diagnostic(
+            PORT_WIDTH_MISMATCH,
+            f"design exposes {len(design.output_ports)} output ports for "
+            f"width-{widths[0]} assignments",
+            where,
+        ))
+
+    used: Set[Tuple[int, int]] = set()
+    needs_lfsr = False
+    for j, assignment in enumerate(design.assignments):
+        for i, weight in enumerate(assignment.weights):
+            if weight.is_random:
+                needs_lfsr = True
+                continue
+            try:
+                used.add(find_output(design.fsms, weight))
+            except HardwareError:
+                diagnostics.append(make_diagnostic(
+                    MISSING_FSM_OUTPUT,
+                    f"assignment {j}, input {i}: weight {weight} has no "
+                    f"FSM output column",
+                    where, location=f"assignment{j}/input{i}",
+                ))
+    if needs_lfsr and design.lfsr is None:
+        diagnostics.append(make_diagnostic(
+            MISSING_LFSR,
+            "assignments contain pseudo-random weights but the design "
+            "has no LfsrSpec",
+            where,
+        ))
+
+    seen: Dict[Tuple[int, ...], str] = {}
+    for fsm_index, fsm in enumerate(design.fsms):
+        for out_index, weight in enumerate(fsm.outputs):
+            column = f"fsm{fsm_index}/z{out_index}"
+            if (fsm_index, out_index) not in used:
+                diagnostics.append(make_diagnostic(
+                    DEAD_FSM_OUTPUT,
+                    f"output column {column} ({weight}) is not used by "
+                    f"any assignment",
+                    where, location=column,
+                ))
+            canonical = weight.canonical()
+            if canonical.length < fsm.length:
+                diagnostics.append(make_diagnostic(
+                    REDUCIBLE_FSM_OUTPUT,
+                    f"output column {column} ({weight}) has period "
+                    f"{canonical.length} < {fsm.length} states; it "
+                    f"reduces to {canonical}",
+                    where, location=column,
+                ))
+            key = canonical.bits
+            if key in seen:
+                diagnostics.append(make_diagnostic(
+                    DUPLICATE_FSM_OUTPUT,
+                    f"output columns {seen[key]} and {column} expand to "
+                    f"the same sequence ({canonical})",
+                    where, location=column,
+                ))
+            else:
+                seen[key] = column
+        if fsm.n_unreachable_states:
+            diagnostics.append(make_diagnostic(
+                UNREACHABLE_STATES,
+                f"fsm{fsm_index} (L_S={fsm.length}) leaves "
+                f"{fsm.n_unreachable_states} of {1 << fsm.n_state_bits} "
+                f"encoded states unreachable (don't-cares)",
+                where, location=f"fsm{fsm_index}",
+            ))
+
+    diagnostics.extend(_counter_widths(design, where))
+    return LintReport.from_iterable(diagnostics)
+
+
+def lint_design_path(path: str | Path) -> LintReport:
+    """Lint a saved TPG design (:mod:`repro.hw.design_io` JSON).
+
+    The embedded netlist is linted first with the raw-gates circuit
+    rules (so a hand-corrupted ``.bench`` section reports its defects
+    instead of crashing the loader); only a buildable netlist proceeds
+    to the design-level T rules.
+
+    Raises
+    ------
+    LintError
+        If the file is not valid JSON or not a saved TPG design at all
+        — there is nothing meaningful to lint then.
+    """
+    from repro.lint.circuit_rules import lint_bench_text
+
+    path = Path(path)
+    try:
+        payload = validate_design_dict(json.loads(path.read_text()))
+    except ValueError as exc:
+        raise LintError(f"{path}: not valid JSON: {exc}") from exc
+    except HardwareError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    report = lint_bench_text(str(payload["bench"]), str(path))
+    if report.error_count:
+        return report
+    design = design_from_dict(payload)
+    return report.merge(lint_design(design, artifact=str(path)))
+
+
+def _counter_widths(design: TpgDesign, where: str) -> List[Diagnostic]:
+    """Check phase/select register widths against the decode logic.
+
+    :func:`~repro.hw.tpg.synthesize_tpg` names the cycle-counter bits
+    ``cyc_q*`` and the assignment-counter bits ``sel_q*``; the decoders
+    assume exactly ``ceil(log2 L_G)`` and ``ceil(log2 m)`` of them.  A
+    design whose netlist was edited or reloaded against different
+    parameters trips this before any simulation would.
+    """
+    expected = {
+        "cyc": (design.l_g - 1).bit_length() if design.l_g > 1 else 0,
+        "sel": (
+            (design.n_assignments - 1).bit_length()
+            if design.n_assignments > 1
+            else 0
+        ),
+    }
+    actual = {"cyc": 0, "sel": 0}
+    for flop in design.circuit.flops:
+        for prefix in actual:
+            if flop.startswith(f"{prefix}_q"):
+                actual[prefix] += 1
+    labels = {"cyc": "phase (cycle) counter", "sel": "mux-select counter"}
+    params = {
+        "cyc": f"L_G={design.l_g}",
+        "sel": f"{design.n_assignments} assignments",
+    }
+    diagnostics = []
+    for prefix in ("cyc", "sel"):
+        if actual[prefix] != expected[prefix]:
+            diagnostics.append(make_diagnostic(
+                COUNTER_WIDTH_MISMATCH,
+                f"{labels[prefix]} has {actual[prefix]} register bits "
+                f"({prefix}_q*), expected {expected[prefix]} for "
+                f"{params[prefix]}",
+                where, location=prefix,
+            ))
+    return diagnostics

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 #: Display order and headings; artifacts not listed are appended last.
 _SECTIONS: Tuple[Tuple[str, str], ...] = (

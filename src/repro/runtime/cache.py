@@ -35,7 +35,8 @@ _SUFFIX = ".json"
 
 def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    # Cache *location* never affects results.
+    env = os.environ.get("REPRO_CACHE_DIR")  # lint: ignore[D104]
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"

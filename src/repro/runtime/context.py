@@ -16,11 +16,20 @@ they are obtained.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.errors import LintError
 from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache
 from repro.runtime.executor import make_executor
 from repro.runtime.metrics import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuit.netlist import Circuit
+    from repro.hw.tpg import TpgDesign
+    from repro.lint.core import LintReport
+
+LINT_POLICIES = ("off", "warn", "strict")
+"""Accepted values for :class:`RuntimeContext`'s ``lint`` parameter."""
 
 
 class RuntimeContext:
@@ -42,6 +51,14 @@ class RuntimeContext:
     stats:
         An existing stats object to record into (a fresh one is
         created otherwise).
+    lint:
+        Static-diagnostics policy for artifacts flowing through this
+        context: ``"off"`` (default) skips linting entirely,
+        ``"warn"`` lints circuits and TPG designs on use and records
+        the findings in :attr:`stats`, ``"strict"`` additionally
+        raises :class:`~repro.errors.LintError` on any error-severity
+        finding — the "fail in one second, not after minutes of fault
+        simulation" gate.
     """
 
     def __init__(
@@ -51,7 +68,14 @@ class RuntimeContext:
         enable_cache: bool = False,
         max_cache_bytes: int = DEFAULT_MAX_BYTES,
         stats: RuntimeStats | None = None,
+        lint: str = "off",
     ) -> None:
+        if lint not in LINT_POLICIES:
+            raise LintError(
+                f"unknown lint policy {lint!r}; expected one of "
+                f"{', '.join(LINT_POLICIES)}"
+            )
+        self.lint_policy = lint
         self.stats = stats if stats is not None else RuntimeStats()
         self.executor = make_executor(jobs, self.stats)
         self.stats.jobs = self.executor.jobs
@@ -60,6 +84,49 @@ class RuntimeContext:
             self.cache = ArtifactCache(
                 cache_dir, max_bytes=max_cache_bytes, stats=self.stats
             )
+
+    # -- lint gate ----------------------------------------------------------
+
+    def lint_circuit(
+        self, circuit: "Circuit", artifact: Optional[str] = None
+    ) -> Optional["LintReport"]:
+        """Lint ``circuit`` under this context's policy.
+
+        Returns the report (None when the policy is ``off``), records
+        its counts into :attr:`stats`, and in ``strict`` mode raises
+        :class:`LintError` on any error-severity finding.
+        """
+        if self.lint_policy == "off":
+            return None
+        from repro.lint.circuit_rules import lint_circuit as run_lint
+
+        return self._gate(run_lint(circuit, artifact))
+
+    def lint_design(
+        self, design: "TpgDesign", artifact: Optional[str] = None
+    ) -> Optional["LintReport"]:
+        """Lint a TPG design under this context's policy (see
+        :meth:`lint_circuit`)."""
+        if self.lint_policy == "off":
+            return None
+        from repro.lint.tpg_rules import lint_design as run_lint
+
+        return self._gate(run_lint(design, artifact))
+
+    def _gate(self, report: "LintReport") -> "LintReport":
+        self.stats.lint_diagnostics += len(report)
+        self.stats.lint_errors += report.error_count
+        if self.lint_policy == "strict" and report.error_count:
+            from repro.lint.core import Severity
+
+            details = "; ".join(
+                d.format() for d in report.at_least(Severity.ERROR)
+            )
+            raise LintError(
+                f"strict lint gate: {report.error_count} error-severity "
+                f"finding(s): {details}"
+            )
+        return report
 
     @property
     def jobs(self) -> int:
@@ -78,4 +145,7 @@ class RuntimeContext:
 
     def __repr__(self) -> str:
         cache = self.cache.root if self.cache is not None else None
-        return f"RuntimeContext(jobs={self.jobs}, cache={cache})"
+        return (
+            f"RuntimeContext(jobs={self.jobs}, cache={cache}, "
+            f"lint={self.lint_policy})"
+        )

@@ -42,6 +42,10 @@ class RuntimeStats:
         Batched screening verdicts thrown away because an earlier row
         of the batch changed the procedure state (the serial-equivalence
         rule; see :mod:`repro.core.procedure`).
+    lint_diagnostics / lint_errors:
+        Findings recorded by the context's lint gate (total, and the
+        error-severity subset); see
+        :meth:`~repro.runtime.context.RuntimeContext.lint_circuit`.
     parallel_wall_s / worker_busy_s:
         Wall-clock seconds spent inside executor fan-outs and the
         summed busy seconds of the workers during them.
@@ -60,6 +64,8 @@ class RuntimeStats:
     cache_evictions: int = 0
     tasks_dispatched: int = 0
     speculative_discards: int = 0
+    lint_diagnostics: int = 0
+    lint_errors: int = 0
     parallel_wall_s: float = 0.0
     worker_busy_s: float = 0.0
     timers: Dict[str, float] = field(default_factory=dict)
@@ -134,6 +140,11 @@ class RuntimeStats:
             f"{100.0 * self.utilization():.0f}% utilization, "
             f"{self.speculative_discards} speculative verdicts discarded",
         ]
+        if self.lint_diagnostics:
+            lines.append(
+                f"  lint                 {self.lint_diagnostics} "
+                f"diagnostics ({self.lint_errors} errors)"
+            )
         if self.timers:
             lines.append("  timers")
             for name in sorted(self.timers):

@@ -46,7 +46,6 @@ from repro.sim.compile import (
     OP_NOT,
     OP_OR,
     OP_XNOR,
-    OP_XOR,
     compile_circuit,
 )
 from repro.sim.faults import Fault, fault_name, validate_fault

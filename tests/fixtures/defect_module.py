@@ -1,0 +1,31 @@
+"""Deliberately nondeterministic module for the lint tests.
+
+Each construct below violates exactly one D rule; the tests pin the
+rule ID, line and message of every finding.  Never import this module.
+"""
+
+import os
+import random
+import time
+
+
+def pick(options):
+    for option in {1, 2, 3}:
+        options.append(option)
+    return options
+
+
+def draw():
+    return random.random()
+
+
+def stamp():
+    return time.time()
+
+
+def env_mode():
+    return os.getenv("REPRO_MODE")
+
+
+def collect(acc=[]):
+    return acc

@@ -30,7 +30,7 @@ from repro.atpg.dualsim import (
     is_discrepant,
 )
 from repro.circuit import CircuitBuilder
-from repro.sim import FaultSimulator, all_faults, collapse_faults
+from repro.sim import FaultSimulator, all_faults
 from repro.sim.compile import (
     OP_AND,
     OP_NAND,

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.atpg.dualsim import Pair
 from repro.atpg.unroll import unroll
 from repro.circuit.synth import SynthSpec, synthesize
 from repro.sim import LogicSimulator, collapse_faults

@@ -48,6 +48,56 @@ class TestConstruction:
         with pytest.raises(NetlistError, match="cycle"):
             b.build()
 
+    def test_cycle_error_reports_full_scc(self):
+        # A 12-net loop: the error must name every member, not a
+        # truncated prefix.
+        b = CircuitBuilder("ring")
+        b.input("a")
+        names = [f"n{i:02d}" for i in range(12)]
+        b.and_("n00", "a", "n11")
+        for prev, cur in zip(names, names[1:]):
+            b.not_(cur, prev)
+        b.output("n00")
+        with pytest.raises(NetlistError) as excinfo:
+            b.build()
+        message = str(excinfo.value)
+        assert "1 strongly connected component" in message
+        assert "[12 nets:" in message
+        for name in names:
+            assert name in message
+
+    def test_cycle_error_truncates_past_cap(self):
+        from repro.circuit.netlist import MAX_SCC_NETS_IN_ERROR
+
+        n = MAX_SCC_NETS_IN_ERROR + 25
+        b = CircuitBuilder("bigring")
+        b.input("a")
+        b.and_("m000", "a", f"m{n - 1:03d}")
+        for i in range(1, n):
+            b.not_(f"m{i:03d}", f"m{i - 1:03d}")
+        b.output("m000")
+        with pytest.raises(NetlistError) as excinfo:
+            b.build()
+        message = str(excinfo.value)
+        assert f"[{n} nets:" in message
+        assert "… and 25 more" in message
+
+    def test_two_cycles_both_reported(self):
+        b = CircuitBuilder("twins")
+        b.input("a")
+        b.not_("p", "q")
+        b.not_("q", "p")
+        b.not_("r", "s")
+        b.not_("s", "r")
+        b.and_("z", "q", "s")
+        b.output("z")
+        with pytest.raises(NetlistError) as excinfo:
+            b.build()
+        message = str(excinfo.value)
+        assert "2 strongly connected components" in message
+        assert "[2 nets: p, q]" in message
+        assert "[2 nets: r, s]" in message
+
     def test_sequential_loop_is_fine(self):
         # Feedback through a flip-flop is not a combinational cycle.
         b = CircuitBuilder("seq")

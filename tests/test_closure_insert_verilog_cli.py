@@ -18,7 +18,7 @@ from repro.errors import HardwareError, NetlistError
 from repro.flows import compose_bist
 from repro.hw import LfsrSpec, synthesize_tpg, verify_tpg
 from repro.obs import insert_observation_points
-from repro.sim import FaultSimulator, LogicSimulator, V0, V1
+from repro.sim import FaultSimulator
 
 
 @pytest.fixture(scope="module")

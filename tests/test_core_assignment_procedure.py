@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import (
     ProcedureConfig,
-    RandomWeight,
     Weight,
     WeightAssignment,
     build_table6_row,

@@ -8,7 +8,7 @@ import pytest
 from repro.core import ProcedureConfig, select_weight_assignments
 from repro.errors import HardwareError
 from repro.hw import Misr, signature_coverage, synthesize_misr
-from repro.sim import LogicSimulator, V0, V1, collapse_faults
+from repro.sim import LogicSimulator, V0, V1
 from repro.util.rng import DeterministicRng
 
 

@@ -3,8 +3,6 @@ correctness checks against truth tables."""
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
 
 from repro.hw.qm import Cube, evaluate_cubes, minimize, total_literals

@@ -1,0 +1,125 @@
+"""Negative-path tests for :func:`repro.hw.verify.verify_tpg`.
+
+The replay check's value is in what it reports when the hardware is
+*wrong*, so these tests corrupt synthesized designs on purpose — an
+inverted FSM output column, swapped output ports, software/hardware Ω
+drift — and pin the mismatch records (assignment, cycle, port, values)
+that come back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuit import Circuit, Gate, GateType
+from repro.core import WeightAssignment
+from repro.hw import synthesize_tpg, verify_tpg
+
+#: Inverting counterpart of each gate function (same arity).
+_INVERT = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+}
+
+
+def _invert_port(design, port_index):
+    """Rebuild the TPG netlist with one output column's driver inverted."""
+    po_net = design.output_ports[port_index]
+    gates = []
+    for gate in design.circuit.gates.values():
+        if gate.name == po_net:
+            gate = Gate(gate.name, _INVERT[gate.gtype], gate.fanins)
+        gates.append(gate)
+    corrupted = Circuit(
+        design.circuit.name, gates, design.circuit.outputs
+    )
+    return dataclasses.replace(design, circuit=corrupted)
+
+
+class TestCorruptedColumn:
+    def test_inverted_fsm_column_reports_every_cycle(self):
+        # Input 0 follows the period-2 subsequence 01; input 1 is held
+        # at 1.  Inverting port 0's driver flips every emitted value of
+        # that column, so all l_g cycles of the single assignment must
+        # be reported, and only on port 0.
+        wa = WeightAssignment.from_strings(["01", "1"])
+        design = _invert_port(synthesize_tpg([wa], l_g=8), 0)
+
+        result = verify_tpg(design)
+        assert not result.ok
+        assert result.cycles_checked == design.total_cycles
+        assert {m.port for m in result.mismatches} == {0}
+        assert {m.assignment_index for m in result.mismatches} == {0}
+        assert sorted(m.time for m in result.mismatches) == list(range(8))
+        for m in result.mismatches:
+            assert m.expected != m.actual
+
+    def test_mismatch_localizes_assignment_window(self):
+        # Two assignments differ only in input 1's weight; breaking
+        # port 1 breaks both windows, and the mismatch records must
+        # name each window separately.
+        a0 = WeightAssignment.from_strings(["01", "1"])
+        a1 = WeightAssignment.from_strings(["01", "0"])
+        design = _invert_port(synthesize_tpg([a0, a1], l_g=4), 1)
+
+        result = verify_tpg(design, max_mismatches=64)
+        assert not result.ok
+        assert {m.port for m in result.mismatches} == {1}
+        assert {m.assignment_index for m in result.mismatches} == {0, 1}
+        by_assignment = {}
+        for m in result.mismatches:
+            by_assignment.setdefault(m.assignment_index, []).append(m.time)
+        assert sorted(by_assignment[0]) == list(range(4))
+        assert sorted(by_assignment[1]) == list(range(4))
+
+    def test_mismatch_value_fields(self):
+        # Weight "1" holds the column at 1; the inverted hardware
+        # emits 0, so every record reads expected=1, actual=0.
+        wa = WeightAssignment.from_strings(["1"])
+        design = _invert_port(synthesize_tpg([wa], l_g=4), 0)
+
+        result = verify_tpg(design)
+        assert len(result.mismatches) == 4
+        for m in result.mismatches:
+            assert (m.expected, m.actual) == (1, 0)
+
+
+class TestTruncationAndDrift:
+    def test_max_mismatches_truncates(self):
+        wa = WeightAssignment.from_strings(["1", "0"])
+        design = _invert_port(
+            _invert_port(synthesize_tpg([wa], l_g=8), 0), 1
+        )
+        result = verify_tpg(design, max_mismatches=5)
+        assert not result.ok
+        assert len(result.mismatches) == 5
+        full = verify_tpg(design, max_mismatches=1000)
+        assert len(full.mismatches) == 16
+
+    def test_omega_drift_detected(self):
+        # Software/hardware drift: the netlist was built for weight 0
+        # on input 1, but the design claims weight 1 — exactly the kind
+        # of stale-artifact corruption a reloaded design can carry.
+        built = WeightAssignment.from_strings(["01", "0"])
+        claimed = WeightAssignment.from_strings(["01", "1"])
+        design = synthesize_tpg([built], l_g=6)
+        drifted = dataclasses.replace(design, assignments=(claimed,))
+
+        result = verify_tpg(drifted)
+        assert not result.ok
+        assert {m.port for m in result.mismatches} == {1}
+        assert all(m.expected == 1 and m.actual == 0
+                   for m in result.mismatches)
+
+    def test_clean_design_has_no_mismatches(self):
+        wa = WeightAssignment.from_strings(["01", "1", "100"])
+        result = verify_tpg(synthesize_tpg([wa], l_g=12))
+        assert result.ok
+        assert result.mismatches == ()
+        assert result.cycles_checked == 12

@@ -4,8 +4,6 @@ round trips, and the CLI's hybrid flow path."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.circuit import CircuitBuilder, parse_bench_text, write_bench
 from repro.core import WeightAssignment
 from repro.flows import compose_bist

@@ -1,0 +1,177 @@
+"""Circuit structural rules (C family) against the defect fixtures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import Gate, GateType, load_circuit, parse_bench
+from repro.lint import (
+    Severity,
+    lint_bench_path,
+    lint_bench_text,
+    lint_circuit,
+    lint_gates,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSoftRules:
+    """defects.bench builds fine; the linter still has things to say."""
+
+    def test_fixture_is_a_valid_circuit(self):
+        circuit = parse_bench(FIXTURES / "defects.bench")
+        assert "q" in circuit.flops
+
+    def test_one_finding_per_rule(self):
+        report = lint_bench_path(FIXTURES / "defects.bench")
+        assert sorted(report.by_rule()) == ["C006", "C007", "C008"]
+        assert all(len(v) == 1 for v in report.by_rule().values())
+        assert report.error_count == 0
+        assert report.warning_count == 3
+
+    def test_messages_and_locations(self):
+        report = lint_bench_path(FIXTURES / "defects.bench")
+        by_rule = {d.rule_id: d for d in report}
+        assert by_rule["C006"].location == "dead"
+        assert "'dead' (NOT) drives nothing" in by_rule["C006"].message
+        assert by_rule["C007"].location == "unused"
+        assert "primary input 'unused'" in by_rule["C007"].message
+        assert by_rule["C008"].location == "q"
+        assert "constant cone (via net 'dcone')" in by_rule["C008"].message
+
+    def test_valid_circuit_path_agrees_with_raw_path(self):
+        circuit = parse_bench(FIXTURES / "defects.bench")
+        from_circuit = lint_circuit(circuit, artifact="defects")
+        assert sorted(from_circuit.by_rule()) == ["C006", "C007", "C008"]
+
+    def test_library_circuits_have_no_errors(self):
+        for name in ("s27", "g208"):
+            report = lint_circuit(load_circuit(name))
+            assert report.error_count == 0
+
+    def test_s27_is_clean(self):
+        assert len(lint_circuit(load_circuit("s27"))) == 0
+
+
+class TestHardRules:
+    """broken.bench would not build; the linter reports every defect."""
+
+    def test_all_four_defects_reported(self):
+        report = lint_bench_path(FIXTURES / "broken.bench")
+        assert sorted(report.by_rule()) == ["C001", "C002", "C003", "C004"]
+        assert all(len(v) == 1 for v in report.by_rule().values())
+        assert report.error_count == 4
+
+    def test_messages(self):
+        report = lint_bench_path(FIXTURES / "broken.bench")
+        by_rule = {d.rule_id: d for d in report}
+        assert "'phantom' is referenced by z" in by_rule["C001"].message
+        assert "'dup' has 2 drivers" in by_rule["C002"].message
+        assert "'ghost_out' is not driven" in by_rule["C003"].message
+        assert "'z' is listed more than once" in by_rule["C004"].message
+
+    def test_never_raises_on_structural_defects(self):
+        # Even a netlist broken in several independent ways produces a
+        # report, not an exception.
+        report = lint_bench_text(
+            "OUTPUT(x)\nOUTPUT(x)\ny = NOT(ghost)\ny = NOT(ghost)\n",
+            "inline",
+        )
+        assert report.error_count >= 3
+
+
+class TestCycleRule:
+    def test_full_scc_membership_reported(self):
+        report = lint_bench_path(FIXTURES / "cycle.bench")
+        cycles = report.by_rule()["C005"]
+        assert len(cycles) == 1
+        message = cycles[0].message
+        assert "combinational cycle through 12 nets" in message
+        # every member, not a truncated prefix
+        for i in range(1, 13):
+            assert f"n{i:02d}" in message
+
+    def test_large_scc_truncates_with_count(self):
+        n = 100
+        gates = [Gate("n000", GateType.NOT, (f"n{n - 1:03d}",))]
+        gates += [
+            Gate(f"n{i:03d}", GateType.NOT, (f"n{i - 1:03d}",))
+            for i in range(1, n)
+        ]
+        report = lint_gates(gates, [], "big")
+        cycles = report.by_rule()["C005"]
+        assert len(cycles) == 1
+        assert f"cycle through {n} nets" in cycles[0].message
+        assert "… and 36 more" in cycles[0].message
+
+    def test_two_disjoint_cycles_are_two_findings(self):
+        gates = [
+            Gate("a", GateType.NOT, ("b",)),
+            Gate("b", GateType.NOT, ("a",)),
+            Gate("c", GateType.NOT, ("d",)),
+            Gate("d", GateType.NOT, ("c",)),
+        ]
+        report = lint_gates(gates, [], "pair")
+        assert len(report.by_rule()["C005"]) == 2
+
+    def test_self_loop_is_a_cycle(self):
+        report = lint_gates([Gate("a", GateType.BUF, ("a",))], [], "loop")
+        assert "C005" in report.by_rule()
+
+    def test_dff_breaks_the_cycle(self):
+        # Feedback through a flip-flop is sequential, not combinational.
+        gates = [
+            Gate("q", GateType.DFF, ("d",)),
+            Gate("d", GateType.NOT, ("q",)),
+        ]
+        report = lint_gates(gates, ["q"], "seq")
+        assert "C005" not in report.by_rule()
+
+
+class TestParseRule:
+    def test_unparseable_text_is_one_c009(self):
+        report = lint_bench_text("z = FROB(a)\n", "inline")
+        assert [d.rule_id for d in report] == ["C009"]
+        assert report.diagnostics[0].line == 1
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_arity_violation_is_c009(self):
+        report = lint_bench_text("z = NOT(a, b)\n", "inline")
+        assert [d.rule_id for d in report] == ["C009"]
+
+
+class TestConstantFlopEdges:
+    def test_self_looped_flop_is_not_constant(self):
+        gates = [
+            Gate("a", GateType.INPUT, ()),
+            Gate("q", GateType.DFF, ("nq",)),
+            Gate("nq", GateType.NOT, ("q",)),
+        ]
+        report = lint_gates(gates, ["q"], "osc")
+        assert "C008" not in report.by_rule()
+
+    def test_flop_fed_by_input_is_not_constant(self):
+        gates = [
+            Gate("a", GateType.INPUT, ()),
+            Gate("q", GateType.DFF, ("a",)),
+        ]
+        report = lint_gates(gates, ["q"], "ok")
+        assert "C008" not in report.by_rule()
+
+    def test_flop_fed_by_constant_chain_is_flagged(self):
+        gates = [
+            Gate("one", GateType.CONST1, ()),
+            Gate("inv", GateType.NOT, ("one",)),
+            Gate("q", GateType.DFF, ("inv",)),
+        ]
+        report = lint_gates(gates, ["q"], "const")
+        assert [d.rule_id for d in report] == ["C008"]
+
+
+@pytest.mark.parametrize("name", ["s27", "g208", "g298", "g344"])
+def test_shipped_circuits_lint_without_errors(name):
+    report = lint_circuit(load_circuit(name))
+    assert report.error_count == 0, [d.format() for d in report]

@@ -1,0 +1,188 @@
+"""The ``repro lint`` command and the runtime lint gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import REGISTRY
+from repro.runtime import RuntimeContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLintCommand:
+    def test_clean_library_circuit_exits_zero(self, capsys):
+        rc = main(["lint", "s27"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_broken_bench_exits_one(self, capsys):
+        rc = main(["lint", str(FIXTURES / "broken.bench")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[C001]" in out
+        assert "4 error" in out
+
+    def test_warnings_do_not_gate_by_default(self, capsys):
+        rc = main(["lint", str(FIXTURES / "defects.bench")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warning[C008]" in out
+
+    def test_fail_on_warning(self):
+        rc = main(["lint", str(FIXTURES / "defects.bench"),
+                   "--fail-on", "warning"])
+        assert rc == 1
+
+    def test_fail_on_never(self):
+        rc = main(["lint", str(FIXTURES / "broken.bench"),
+                   "--fail-on", "never"])
+        assert rc == 0
+
+    def test_python_target(self, capsys):
+        rc = main(["lint", str(FIXTURES / "defect_module.py")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[D101]" in out
+
+    def test_directory_target(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("x = 1\n")
+        rc = main(["lint", str(pkg)])
+        assert rc == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_unknown_target_is_clean_error(self, capsys):
+        rc = main(["lint", "nosuchthing"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert err.startswith("repro: error:")
+        assert "nosuchthing" in err
+
+    def test_no_target_is_clean_error(self, capsys):
+        rc = main(["lint"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "nothing to lint" in err
+
+    def test_unparseable_python_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        rc = main(["lint", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "not parseable" in err
+        assert "Traceback" not in err
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rule_id in REGISTRY:
+            assert rule_id in out
+
+    def test_all_circuits_and_self_are_error_free(self, capsys):
+        # The shipped library and the package itself must pass the
+        # same gate CI enforces.
+        rc = main(["lint", "--all-circuits", "--self"])
+        assert rc == 0
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        rc = main(["lint", str(FIXTURES / "defects.bench"),
+                   "--format", "sarif", "--output", str(out_path)])
+        assert rc == 0
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert len(log["runs"][0]["results"]) == 3
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+    def test_json_format_stdout(self, capsys):
+        rc = main(["lint", str(FIXTURES / "defects.bench"),
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["warnings"] == 3
+
+
+class TestSaveTpgAndLintDesign:
+    def test_flow_save_tpg_then_lint(self, tmp_path, capsys):
+        design_path = tmp_path / "design.json"
+        rc = main(["flow", "s27", "--lg", "16", "--no-cache",
+                   "--save-tpg", str(design_path)])
+        assert rc == 0
+        assert design_path.exists()
+        capsys.readouterr()
+        rc = main(["lint", str(design_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error" in out
+
+
+def _defective_circuit():
+    builder = CircuitBuilder("defective")
+    builder.input("a")
+    builder.input("unused")
+    builder.gate("one", GateType.CONST1, )
+    builder.gate("inv", GateType.NOT, "one")
+    builder.gate("q", GateType.DFF, "inv")
+    builder.gate("z", GateType.AND, "a", "q")
+    builder.output("z")
+    return builder.build()
+
+
+class TestRuntimeGate:
+    def test_off_by_default(self):
+        with RuntimeContext() as rt:
+            assert rt.lint_policy == "off"
+            assert rt.lint_circuit(_defective_circuit()) is None
+            assert rt.stats.lint_diagnostics == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(LintError, match="unknown lint policy"):
+            RuntimeContext(lint="loose")
+
+    def test_warn_records_stats(self):
+        with RuntimeContext(lint="warn") as rt:
+            report = rt.lint_circuit(_defective_circuit())
+            assert report is not None
+            assert len(report) == 2  # unused input + constant flop
+            assert rt.stats.lint_diagnostics == 2
+            assert rt.stats.lint_errors == 0
+            assert "lint" in rt.stats.format()
+
+    def test_strict_passes_warnings(self):
+        # Warnings never trip the strict gate; only errors do.
+        with RuntimeContext(lint="strict") as rt:
+            report = rt.lint_circuit(_defective_circuit())
+            assert report is not None
+
+    def test_strict_raises_on_error_findings(self, tmp_path):
+        import dataclasses
+
+        from repro.core import WeightAssignment
+        from repro.hw import synthesize_tpg
+
+        design = synthesize_tpg(
+            [WeightAssignment.from_strings(["01", "1"])], 8
+        )
+        bad = dataclasses.replace(design, l_g=16)
+        with RuntimeContext(lint="strict") as rt:
+            with pytest.raises(LintError, match="strict lint gate"):
+                rt.lint_design(bad)
+            assert rt.stats.lint_errors == 1
+
+    def test_flow_cli_lint_flag(self, capsys):
+        rc = main(["flow", "s27", "--lg", "16", "--no-cache",
+                   "--lint", "strict", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lint" in out

@@ -1,0 +1,148 @@
+"""Tests for the shared diagnostics core (registry, report, suppressions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    REGISTRY,
+    Rule,
+    Severity,
+    Suppressions,
+    all_rules,
+    get_rule,
+    make_diagnostic,
+    register,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse("NOTE") is Severity.NOTE
+
+    def test_parse_unknown(self):
+        with pytest.raises(LintError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestRegistry:
+    def test_ids_are_stable_families(self):
+        for rule in all_rules():
+            assert rule.rule_id[0] in "CTD"
+            assert rule.rule_id[1:].isdigit()
+
+    def test_registry_keyed_by_id(self):
+        for rule_id, rule in REGISTRY.items():
+            assert rule.rule_id == rule_id
+
+    def test_get_rule(self):
+        assert get_rule("C001").name == "undriven-net"
+        with pytest.raises(LintError, match="unknown rule ID"):
+            get_rule("Z999")
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(LintError, match="duplicate rule ID"):
+            register(Rule("C001", "something-else", Severity.NOTE, "dup"))
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(LintError, match="duplicate rule name"):
+            register(Rule("C999", "undriven-net", Severity.NOTE, "dup"))
+
+
+class TestDiagnostic:
+    def test_format_with_line(self):
+        d = Diagnostic("C006", Severity.WARNING, "net 'x' is dead",
+                       "a.bench", location="x", line=7)
+        assert d.format() == "a.bench:7: warning[C006] net 'x' is dead"
+
+    def test_format_without_line(self):
+        d = Diagnostic("T001", Severity.ERROR, "mixed widths", "tpg:s27")
+        assert d.format() == "tpg:s27: error[T001] mixed widths"
+
+    def test_make_diagnostic_carries_rule_severity(self):
+        d = make_diagnostic(get_rule("C006"), "m", "a")
+        assert d.severity is Severity.WARNING
+        assert d.rule_id == "C006"
+
+
+def _report(*specs):
+    return LintReport.from_iterable(
+        Diagnostic(rule_id, severity, "m", artifact)
+        for rule_id, severity, artifact in specs
+    )
+
+
+class TestLintReport:
+    def test_counts(self):
+        r = _report(("C001", Severity.ERROR, "a"),
+                    ("C006", Severity.WARNING, "a"),
+                    ("T009", Severity.NOTE, "a"),
+                    ("C001", Severity.ERROR, "b"))
+        assert len(r) == 4
+        assert r.error_count == 2
+        assert r.warning_count == 1
+        assert r.count(Severity.NOTE) == 1
+        assert r.max_severity is Severity.ERROR
+
+    def test_empty_report(self):
+        r = LintReport()
+        assert len(r) == 0
+        assert r.max_severity is None
+        assert r.at_least(Severity.NOTE) == ()
+
+    def test_at_least(self):
+        r = _report(("C001", Severity.ERROR, "a"),
+                    ("C006", Severity.WARNING, "a"),
+                    ("T009", Severity.NOTE, "a"))
+        assert [d.rule_id for d in r.at_least(Severity.WARNING)] == [
+            "C001", "C006"
+        ]
+
+    def test_merge_keeps_order_and_counts(self):
+        a = _report(("C001", Severity.ERROR, "a"))
+        b = LintReport(diagnostics=_report(
+            ("C006", Severity.WARNING, "b")).diagnostics,
+            suppressed_count=2)
+        merged = a.merge(b)
+        assert [d.rule_id for d in merged] == ["C001", "C006"]
+        assert merged.suppressed_count == 2
+
+    def test_by_rule_groups_in_first_seen_order(self):
+        r = _report(("C006", Severity.WARNING, "a"),
+                    ("C001", Severity.ERROR, "a"),
+                    ("C006", Severity.WARNING, "b"))
+        grouped = r.by_rule()
+        assert list(grouped) == ["C006", "C001"]
+        assert len(grouped["C006"]) == 2
+
+    def test_apply_suppressions(self):
+        r = _report(("D104", Severity.WARNING, "repro/runtime/cache.py"),
+                    ("D101", Severity.ERROR, "repro/runtime/cache.py"),
+                    ("D104", Severity.WARNING, "repro/flows/experiments.py"))
+        filtered = r.apply_suppressions(
+            Suppressions({"repro/runtime/*": ["D104"]})
+        )
+        assert [d.rule_id for d in filtered] == ["D101", "D104"]
+        assert filtered.suppressed_count == 1
+
+    def test_wildcard_rule_suppression(self):
+        r = _report(("C001", Severity.ERROR, "legacy_x"),
+                    ("C006", Severity.WARNING, "legacy_x"))
+        filtered = r.apply_suppressions(Suppressions({"legacy_*": ["*"]}))
+        assert len(filtered) == 0
+        assert filtered.suppressed_count == 2
+
+    def test_empty_suppressions_are_noop(self):
+        r = _report(("C001", Severity.ERROR, "a"))
+        assert r.apply_suppressions(Suppressions()) is r

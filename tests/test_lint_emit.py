@@ -1,0 +1,252 @@
+"""Report rendering: text, JSON, and SARIF 2.1.0 (schema-validated)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    REGISTRY,
+    FORMATTERS,
+    format_json,
+    format_sarif,
+    format_text,
+    lint_bench_path,
+    lint_python_path,
+    to_sarif_dict,
+)
+from repro.lint.core import LintReport
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# A trimmed but structurally faithful subset of the official SARIF
+# 2.1.0 schema (json.schemastore.org/sarif-2.1.0.json): the properties
+# our emitter produces, with the same types, requirements and enums.
+# Embedded because tests must run without network access.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string", "format": "uri"
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type":
+                                                                "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "name": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _fixture_report():
+    return lint_bench_path(FIXTURES / "defects.bench").merge(
+        lint_python_path(FIXTURES / "defect_module.py")
+    )
+
+
+class TestText:
+    def test_listing_plus_summary(self):
+        text = format_text(_fixture_report())
+        lines = text.splitlines()
+        assert len(lines) == 9
+        assert lines[-1] == "8 findings (4 error, 4 warning, 0 note)"
+        assert any("warning[C006]" in line for line in lines)
+
+    def test_empty_report(self):
+        assert format_text(LintReport()) == (
+            "0 findings (0 error, 0 warning, 0 note)"
+        )
+
+    def test_suppressed_count_shown(self):
+        report = LintReport(suppressed_count=2)
+        assert format_text(report).endswith(", 2 suppressed")
+
+
+class TestJson:
+    def test_round_trips_and_counts(self):
+        payload = json.loads(format_json(_fixture_report()))
+        assert payload["tool"] == "repro-lint"
+        assert len(payload["diagnostics"]) == 8
+        assert payload["summary"] == {
+            "errors": 4, "warnings": 4, "notes": 0, "suppressed": 0
+        }
+
+    def test_diagnostics_carry_rule_names(self):
+        payload = json.loads(format_json(_fixture_report()))
+        for entry in payload["diagnostics"]:
+            assert entry["rule_name"] == REGISTRY[entry["rule_id"]].name
+
+
+class TestSarif:
+    def test_validates_against_schema_subset(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        log = to_sarif_dict(_fixture_report())
+        jsonschema.validate(
+            log, SARIF_SUBSET_SCHEMA,
+            format_checker=jsonschema.FormatChecker(),
+        )
+
+    def test_empty_report_also_validates(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(to_sarif_dict(LintReport()), SARIF_SUBSET_SCHEMA)
+
+    def test_version_and_tool(self):
+        log = to_sarif_dict(LintReport())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_all_rules_in_driver_metadata(self):
+        # A clean run still documents every check that was performed.
+        log = to_sarif_dict(LintReport())
+        ids = [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == list(REGISTRY)
+
+    def test_results_reference_rules_by_index(self):
+        log = to_sarif_dict(_fixture_report())
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        for result in log["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_line_becomes_start_line(self):
+        log = to_sarif_dict(lint_python_path(FIXTURES / "defect_module.py"))
+        regions = [
+            r["locations"][0]["physicalLocation"].get("region")
+            for r in log["runs"][0]["results"]
+        ]
+        assert all(region and region["startLine"] >= 1 for region in regions)
+
+    def test_parses_as_json_text(self):
+        parsed = json.loads(format_sarif(_fixture_report()))
+        assert parsed["version"] == "2.1.0"
+
+
+def test_formatter_registry():
+    assert sorted(FORMATTERS) == ["json", "sarif", "text"]
+    report = LintReport()
+    for formatter in FORMATTERS.values():
+        assert isinstance(formatter(report), str)

@@ -1,0 +1,206 @@
+"""Python AST determinism rules (D family)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Suppressions,
+    lint_package,
+    lint_python_path,
+    lint_python_source,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "defect_module.py"
+
+
+def _rules(source):
+    return [d.rule_id for d in lint_python_source(source, "inline.py")]
+
+
+class TestFixtureModule:
+    def test_one_finding_per_rule(self):
+        report = lint_python_path(FIXTURE)
+        assert sorted(report.by_rule()) == [
+            "D101", "D102", "D103", "D104", "D105"
+        ]
+        assert all(len(v) == 1 for v in report.by_rule().values())
+
+    def test_lines_and_messages(self):
+        by_rule = {d.rule_id: d for d in lint_python_path(FIXTURE)}
+        assert by_rule["D101"].line == 13
+        assert "unordered set" in by_rule["D101"].message
+        assert by_rule["D102"].line == 19
+        assert "random.random()" in by_rule["D102"].message
+        assert by_rule["D103"].line == 23
+        assert "time.time()" in by_rule["D103"].message
+        assert by_rule["D104"].line == 27
+        assert "os.getenv()" in by_rule["D104"].message
+        assert by_rule["D105"].line == 30
+        assert "'collect'" in by_rule["D105"].message
+
+
+class TestSetIteration:
+    def test_for_over_set_literal(self):
+        assert _rules("for x in {1, 2}:\n    pass\n") == ["D101"]
+
+    def test_comprehension_over_set_call(self):
+        assert _rules("y = [x for x in set(items)]\n") == ["D101"]
+
+    def test_list_of_set(self):
+        assert _rules("y = list({1, 2})\n") == ["D101"]
+
+    def test_sorted_set_is_fine(self):
+        assert _rules("for x in sorted({1, 2}):\n    pass\n") == []
+
+    def test_list_iteration_is_fine(self):
+        assert _rules("for x in [1, 2]:\n    pass\n") == []
+
+
+class TestUnseededRandom:
+    def test_module_function_flagged(self):
+        assert _rules("import random\nrandom.choice(xs)\n") == ["D102"]
+
+    def test_aliased_module_flagged(self):
+        assert _rules("import random as rnd\nrnd.random()\n") == ["D102"]
+
+    def test_seeded_rng_instance_is_fine(self):
+        assert _rules("import random\nr = random.Random(7)\n") == []
+
+    def test_unseeded_rng_instance_flagged(self):
+        assert _rules("import random\nr = random.Random()\n") == ["D102"]
+
+    def test_from_import_flagged(self):
+        assert _rules("from random import choice\nchoice(xs)\n") == ["D102"]
+
+    def test_numpy_global_flagged(self):
+        assert _rules("import numpy as np\nnp.random.rand(3)\n") == ["D102"]
+
+    def test_numpy_seeded_generator_is_fine(self):
+        assert _rules(
+            "import numpy as np\nrng = np.random.default_rng(5)\n"
+        ) == []
+
+    def test_numpy_unseeded_generator_flagged(self):
+        assert _rules(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        ) == ["D102"]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert _rules("import time\nt = time.time()\n") == ["D103"]
+
+    def test_perf_counter_is_fine(self):
+        # Duration measurement, not wall clock — deliberately allowed.
+        assert _rules("import time\nt = time.perf_counter()\n") == []
+
+    def test_monotonic_is_fine(self):
+        assert _rules("import time\nt = time.monotonic()\n") == []
+
+    def test_datetime_now_flagged(self):
+        assert _rules(
+            "from datetime import datetime\nd = datetime.now()\n"
+        ) == ["D103"]
+
+    def test_datetime_module_now_flagged(self):
+        assert _rules(
+            "import datetime\nd = datetime.datetime.now()\n"
+        ) == ["D103"]
+
+
+class TestEnviron:
+    def test_environ_attribute_flagged(self):
+        assert _rules("import os\nv = os.environ['HOME']\n") == ["D104"]
+
+    def test_getenv_flagged(self):
+        assert _rules("import os\nv = os.getenv('HOME')\n") == ["D104"]
+
+    def test_os_path_is_fine(self):
+        assert _rules("import os\np = os.path.join('a', 'b')\n") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert _rules("def f(x=[]):\n    pass\n") == ["D105"]
+
+    def test_dict_call_default_flagged(self):
+        assert _rules("def f(x=dict()):\n    pass\n") == ["D105"]
+
+    def test_kwonly_default_flagged(self):
+        assert _rules("def f(*, x={}):\n    pass\n") == ["D105"]
+
+    def test_none_default_is_fine(self):
+        assert _rules("def f(x=None):\n    pass\n") == []
+
+    def test_tuple_default_is_fine(self):
+        assert _rules("def f(x=()):\n    pass\n") == []
+
+
+class TestInlineSuppressions:
+    def test_same_line_ignore(self):
+        report = lint_python_source(
+            "import os\nv = os.getenv('X')  # lint: ignore[D104]\n", "a.py"
+        )
+        assert len(report) == 0
+        assert report.suppressed_count == 1
+
+    def test_ignore_only_matches_named_rule(self):
+        report = lint_python_source(
+            "import os\nv = os.getenv('X')  # lint: ignore[D101]\n", "a.py"
+        )
+        assert [d.rule_id for d in report] == ["D104"]
+
+    def test_file_level_ignore(self):
+        source = (
+            "# lint: ignore-file[D104]\n"
+            "import os\n"
+            "a = os.getenv('X')\n"
+            "b = os.getenv('Y')\n"
+        )
+        report = lint_python_source(source, "a.py")
+        assert len(report) == 0
+        assert report.suppressed_count == 2
+
+    def test_comma_separated_ids(self):
+        source = (
+            "import os, time\n"
+            "v = os.getenv('X') if time.time() else 0"
+            "  # lint: ignore[D103, D104]\n"
+        )
+        report = lint_python_source(source, "a.py")
+        assert len(report) == 0
+        assert report.suppressed_count == 2
+
+
+class TestSyntaxErrors:
+    def test_unparseable_source_raises(self):
+        with pytest.raises(SyntaxError):
+            lint_python_source("def broken(:\n", "bad.py")
+
+
+class TestPackageSelfLint:
+    def test_package_has_no_error_findings(self):
+        report = lint_package()
+        errors = [d.format() for d in report
+                  if d.severity.name == "ERROR"]
+        assert errors == []
+
+    def test_artifacts_are_repo_relative(self):
+        report = lint_package()
+        for d in report:
+            assert d.artifact.startswith("repro/")
+
+    def test_suppressions_parameter(self):
+        report = lint_package(suppressions=Suppressions({"*": ["*"]}))
+        assert len(report) == 0
+
+    def test_custom_root(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import os\nv = os.getenv('X')\n")
+        report = lint_package(root=pkg)
+        assert [d.rule_id for d in report] == ["D104"]
+        assert report.diagnostics[0].artifact == "pkg/mod.py"

@@ -1,0 +1,109 @@
+"""Every registered rule has a defect fixture that fires it exactly once.
+
+This is the contract test for the rule catalogue: adding a rule without
+a fixture, or a fixture that trips a rule twice, fails here.  The
+fixtures are the `tests/fixtures/*.bench` / `defect_module.py` files
+plus per-rule corrupted TPG designs built in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.core import WeightAssignment
+from repro.core.weight import Weight
+from repro.hw import synthesize_tpg
+from repro.hw.fsm import WeightFsm
+from repro.lint import (
+    REGISTRY,
+    lint_bench_path,
+    lint_bench_text,
+    lint_design,
+    lint_python_path,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _design(strings, l_g=8):
+    return synthesize_tpg([WeightAssignment.from_strings(strings)], l_g)
+
+
+def _replaced(base_strings, **changes):
+    return dataclasses.replace(_design(base_strings), **changes)
+
+
+def _tpg_defect(rule_id):
+    """A TpgDesign corrupted so that exactly ``rule_id`` fires."""
+    if rule_id == "T001":
+        return _replaced(["01", "1"], assignments=(
+            WeightAssignment.from_strings(["01", "1"]),
+            WeightAssignment.from_strings(["1"]),
+        ))
+    if rule_id == "T002":
+        return _replaced(["01", "01"], assignments=(
+            WeightAssignment.from_strings(["01"]),
+        ))
+    if rule_id == "T003":
+        return _replaced(["01", "01"], assignments=(
+            WeightAssignment.from_strings(["01", "100"]),
+        ))
+    if rule_id == "T004":
+        return _replaced(["01", "1"], assignments=(
+            WeightAssignment.from_strings(["01", "01"]),
+        ))
+    if rule_id == "T005":
+        w = Weight.from_string("0101")
+        return _replaced(
+            ["0101"],
+            assignments=(WeightAssignment((w,)),),
+            fsms=(WeightFsm(length=4, outputs=(w,)),),
+        )
+    if rule_id == "T006":
+        w = Weight.from_string("01")
+        return _replaced(["01"], fsms=(WeightFsm(length=2, outputs=(w, w)),))
+    if rule_id == "T007":
+        return _replaced(["01", "1"], l_g=16)
+    if rule_id == "T008":
+        return _replaced(["1", "1"], assignments=(
+            WeightAssignment.from_strings(["R", "1"]),
+        ))
+    if rule_id == "T009":
+        return _design(["100"])
+    raise AssertionError(rule_id)
+
+
+def _fixture_report(rule_id):
+    family = rule_id[0]
+    if family == "C":
+        if rule_id == "C009":
+            return lint_bench_text("z = FROB(a)\n", "inline")
+        if rule_id == "C005":
+            return lint_bench_path(FIXTURES / "cycle.bench")
+        if rule_id in ("C001", "C002", "C003", "C004"):
+            return lint_bench_path(FIXTURES / "broken.bench")
+        return lint_bench_path(FIXTURES / "defects.bench")
+    if family == "T":
+        return lint_design(_tpg_defect(rule_id))
+    return lint_python_path(FIXTURES / "defect_module.py")
+
+
+@pytest.mark.parametrize("rule_id", sorted(REGISTRY))
+def test_every_rule_fires_exactly_once_on_its_fixture(rule_id):
+    report = _fixture_report(rule_id)
+    findings = report.by_rule().get(rule_id, [])
+    assert len(findings) == 1, (
+        f"{rule_id} fired {len(findings)} times: "
+        f"{[d.format() for d in findings]}"
+    )
+    assert findings[0].severity is REGISTRY[rule_id].severity
+    assert findings[0].message
+
+
+def test_registry_covers_all_three_families():
+    families = {rule_id[0] for rule_id in REGISTRY}
+    assert families == {"C", "T", "D"}
+    assert len(REGISTRY) >= 20

@@ -13,7 +13,6 @@ import json
 
 import pytest
 
-from repro.circuit import load_circuit
 from repro.flows import flow_config_for
 from repro.flows.full_flow import run_full_flow
 from repro.runtime import (
@@ -25,8 +24,7 @@ from repro.runtime import (
     simulation_key,
     stimulus_fingerprint,
 )
-from repro.sim import FaultSimulator, collapse_faults
-from repro.tgen import generate_test_sequence
+from repro.sim import FaultSimulator
 
 
 # -- key sensitivity --------------------------------------------------------

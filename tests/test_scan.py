@@ -15,7 +15,7 @@ from repro.scan import (
 )
 from repro.scan.atpg import scan_equivalent_model
 from repro.scan.session import capture_cycle_indices
-from repro.sim import FaultSimulator, LogicSimulator, V0, V1, collapse_faults
+from repro.sim import LogicSimulator, V0, V1
 
 
 class TestInsertion:

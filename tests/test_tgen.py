@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import FaultSimulator, V0, V1, VX, collapse_faults
+from repro.sim import FaultSimulator, VX, collapse_faults
 from repro.tgen import TestSequence, compact_sequence, generate_test_sequence
 
 

@@ -25,6 +25,7 @@ Packages
 ``repro.baselines`` LFSR BIST and the 3-weight method of [10]
 ``repro.flows``     end-to-end pipelines and experiment drivers
 ``repro.runtime``   parallel execution, artifact caching, run metrics
+``repro.resilience`` retry/timeout policies, chaos injection, checkpoints
 ``repro.lint``      static diagnostics: circuit / TPG / determinism rules
 """
 

@@ -24,6 +24,15 @@ on-disk artifact cache (on by default, under ``~/.cache/repro``),
 ``--lint [warn|strict]`` runs the static diagnostics gate on circuits
 and synthesized TPGs as they flow through.  Results are bit-identical
 regardless of worker count or cache state.
+
+They also accept the resilience flags: ``--task-timeout SECONDS`` and
+``--retries N`` govern recovery from hung or crashed workers (failing
+tasks are ultimately replayed serially, so results never change),
+``--resume`` lets a sweep skip circuits already checkpointed by an
+earlier — possibly interrupted — run, and ``--chaos SPEC`` turns on
+the deterministic fault-injection harness (for testing the recovery
+paths).  SIGINT/SIGTERM stop a sweep cleanly: completed circuits stay
+checkpointed and the command exits with status 130.
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ from repro.circuit import (
 from repro.circuit.verilog import write_verilog
 from repro.core import ProcedureConfig
 from repro.core.report import format_table6
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.flows import FlowConfig, run_full_flow
 from repro.obs import format_tradeoff, observation_point_tradeoff
 from repro.sim import all_faults, collapse_faults
@@ -60,6 +69,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         return handler(args)
+    except SweepInterrupted as exc:
+        print(f"repro: interrupted: {exc}", file=sys.stderr)
+        return 130
     except (ReproError, FileNotFoundError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1
@@ -175,6 +187,24 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
                         "'warn' records findings in --stats, 'strict' "
                         "aborts on error-severity findings "
                         "(default policy when the flag is bare: warn)")
+    r = p.add_argument_group("resilience")
+    r.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task timeout for pool workers; a hung worker "
+                        "is abandoned, the pool rebuilt and the task "
+                        "retried (default: no timeout)")
+    r.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="pool retries per failed/hung/corrupted task "
+                        "before it is replayed serially (default: 2)")
+    r.add_argument("--resume", action="store_true",
+                   help="skip circuits already checkpointed under the "
+                        "cache dir by an earlier (possibly interrupted) "
+                        "run; results are identical either way")
+    r.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic fault injection for exercising the "
+                        "recovery paths, e.g. "
+                        "'crash=0.2,hang=0.1,corrupt=0.1,cache=0.3,seed=7' "
+                        "(results are still bit-identical)")
 
 
 def _make_runtime(args: argparse.Namespace):
@@ -185,6 +215,10 @@ def _make_runtime(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         enable_cache=not args.no_cache,
         lint=args.lint,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        chaos=args.chaos,
+        resume=args.resume,
     )
 
 
@@ -208,11 +242,10 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         procedure=ProcedureConfig(l_g=args.lg),
         synthesize_hardware=True,
     )
-    runtime = _make_runtime(args)
-    try:
+    from repro.resilience import handle_termination
+
+    with _make_runtime(args) as runtime, handle_termination():
         flow = run_full_flow(circuit, config, runtime=runtime)
-    finally:
-        runtime.close()
     print(format_table6([flow.table6]))
     print(f"\nT: {len(flow.sequence)} cycles, coverage "
           f"{100 * flow.generated.coverage:.1f}% of the collapsed fault list")
@@ -247,13 +280,11 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 def _cmd_table6(args: argparse.Namespace) -> int:
     from repro.flows import table6_rows
+    from repro.resilience import handle_termination
 
     names = tuple(args.circuits) or None
-    runtime = _make_runtime(args)
-    try:
+    with _make_runtime(args) as runtime, handle_termination():
         rows = table6_rows(names, runtime=runtime)
-    finally:
-        runtime.close()
     print(format_table6(rows))
     if args.stats:
         print()
@@ -263,15 +294,13 @@ def _cmd_table6(args: argparse.Namespace) -> int:
 
 def _cmd_tradeoff(args: argparse.Namespace) -> int:
     from repro.flows import flow_for
+    from repro.resilience import handle_termination
 
-    runtime = _make_runtime(args)
-    try:
+    with _make_runtime(args) as runtime, handle_termination():
         flow = flow_for(args.circuit, runtime=runtime)
         rows = observation_point_tradeoff(
             flow.circuit, flow.procedure, runtime=runtime
         )
-    finally:
-        runtime.close()
     print(format_tradeoff(args.circuit, rows))
     if args.stats:
         print()

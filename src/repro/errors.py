@@ -47,3 +47,29 @@ class HardwareError(ReproError):
 
 class LintError(ReproError):
     """The lint subsystem was misused, or a strict lint gate failed."""
+
+
+class ResilienceError(ReproError):
+    """The fault-tolerant runtime was misconfigured (retry policy,
+    chaos specification, checkpoint journal)."""
+
+
+class ChaosError(ResilienceError):
+    """A chaos-injection specification could not be parsed."""
+
+
+class SweepInterrupted(ReproError):
+    """A termination signal stopped a sweep.
+
+    Raised from the :func:`repro.resilience.handle_termination` signal
+    handlers.  By the time it propagates, every completed circuit is
+    already checkpointed (journal writes are atomic, per circuit), so
+    the run can be continued with ``--resume``.
+    """
+
+    def __init__(self, signame: str) -> None:
+        super().__init__(
+            f"received {signame}; completed circuits are checkpointed — "
+            "rerun with --resume to continue"
+        )
+        self.signame = signame

@@ -21,12 +21,14 @@ used.  Override per call if desired.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Tuple
+from dataclasses import asdict, fields
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.procedure import ProcedureConfig
 from repro.core.report import Table6Row
 from repro.flows.full_flow import FlowConfig, FlowResult, run_full_flow
 from repro.obs.tradeoff import TradeoffRow, observation_point_tradeoff
+from repro.resilience.journal import flow_journal_key
 
 DEFAULT_SUITE: Tuple[str, ...] = ("s27", "g208", "g298", "g344", "g386")
 FULL_SUITE: Tuple[str, ...] = DEFAULT_SUITE + (
@@ -81,12 +83,56 @@ def flow_for(
     return _FLOW_CACHE[key]
 
 
+def _checkpointed_row(circuit_name: str, runtime) -> Optional[Table6Row]:
+    """The circuit's journaled Table-6 row, if resumable.
+
+    Only consulted when ``runtime`` carries a checkpoint journal *and*
+    was built with ``resume=True``.  The payload is validated field by
+    field — a stale, corrupt or foreign checkpoint is ignored and the
+    circuit recomputed.
+    """
+    if runtime is None or not getattr(runtime, "resume", False):
+        return None
+    journal = getattr(runtime, "journal", None)
+    if journal is None:
+        return None
+    cfg = flow_config_for(circuit_name)
+    payload = journal.get(flow_journal_key(circuit_name, asdict(cfg)))
+    if not isinstance(payload, dict) or payload.get("kind") != "flow":
+        return None
+    raw = payload.get("table6")
+    if not isinstance(raw, dict):
+        return None
+    expected = [f.name for f in fields(Table6Row)]
+    if sorted(raw) != sorted(expected):
+        return None
+    row = Table6Row(**raw)
+    if row.circuit != circuit_name:
+        return None
+    return row
+
+
 def table6_rows(
     circuit_names: Tuple[str, ...] | None = None, runtime=None
 ) -> List[Table6Row]:
-    """Regenerate the paper's Table 6 over ``circuit_names``."""
+    """Regenerate the paper's Table 6 over ``circuit_names``.
+
+    With a resuming runtime (``RuntimeContext(resume=True)`` / the
+    CLI's ``--resume``), circuits already checkpointed by an earlier —
+    possibly interrupted — sweep are skipped and their journaled rows
+    returned as-is; the final table is identical to an uninterrupted
+    run because each checkpoint is the completed row itself.
+    """
     names = circuit_names or active_suite()
-    return [flow_for(name, runtime=runtime).table6 for name in names]
+    rows: List[Table6Row] = []
+    for name in names:
+        row = _checkpointed_row(name, runtime)
+        if row is not None:
+            runtime.stats.journal_skips += 1
+            rows.append(row)
+            continue
+        rows.append(flow_for(name, runtime=runtime).table6)
+    return rows
 
 
 def tradeoff_for(

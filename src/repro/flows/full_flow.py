@@ -15,7 +15,7 @@ everything the paper reports for it:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,6 +38,9 @@ from repro.sim.collapse import collapse_faults
 from repro.tgen.compaction import CompactionResult, compact_sequence
 from repro.tgen.random_tgen import GeneratedTest, generate_test_sequence
 from repro.tgen.sequence import TestSequence
+
+TGEN_MODES = ("random", "hybrid")
+"""Accepted values for :attr:`FlowConfig.tgen_mode`."""
 
 
 @dataclass(frozen=True)
@@ -133,6 +136,14 @@ def run_full_flow(
     cache.  Results are bit-identical with or without it.
     """
     cfg = config or FlowConfig()
+    # Reject a bad configuration up front — before circuit loading and
+    # compilation, not minutes into the flow when test generation
+    # finally dispatches on the mode.
+    if cfg.tgen_mode not in TGEN_MODES:
+        raise ReproError(
+            f"unknown tgen_mode {cfg.tgen_mode!r}; expected one of "
+            f"{', '.join(TGEN_MODES)}"
+        )
     if isinstance(circuit, str):
         circuit = load_circuit(circuit)
     if runtime is not None:
@@ -213,6 +224,21 @@ def run_full_flow(
         for stage, seconds in timings.items():
             runtime.stats.timers[stage] = (
                 runtime.stats.timers.get(stage, 0.0) + seconds
+            )
+        journal = getattr(runtime, "journal", None)
+        if journal is not None:
+            # Checkpoint the finished circuit atomically: an
+            # interrupted multi-circuit sweep resumes past it with
+            # --resume (see repro.flows.experiments).
+            from repro.resilience.journal import flow_journal_key
+
+            journal.record(
+                flow_journal_key(circuit.name, asdict(cfg)),
+                {
+                    "kind": "flow",
+                    "table6": asdict(table6),
+                    "timings": dict(timings),
+                },
             )
 
     return FlowResult(

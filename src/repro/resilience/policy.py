@@ -1,0 +1,83 @@
+"""Retry/timeout policy for the fault-tolerant executor.
+
+A :class:`RetryPolicy` bundles every knob the hardened
+:class:`~repro.runtime.executor.ProcessExecutor` consults when a worker
+crashes, hangs past its deadline, or returns a corrupted payload:
+
+* ``task_timeout`` — how long to wait for one task's result before the
+  worker is declared hung, the pool retired and the task retried;
+* ``retries`` — how many times a failing task is re-dispatched to the
+  pool before it is replayed serially in the parent process (the
+  replay runs the very same worker function, so the result is
+  identical by construction);
+* ``backoff_s`` / ``backoff_cap_s`` — exponential backoff between
+  retry rounds;
+* ``max_pool_rebuilds`` — after this many pool failures the executor
+  degrades gracefully to serial in-process execution for the rest of
+  its life.
+
+None of these knobs can change a result — only how (and how fast) it
+is obtained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ResilienceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs for the process-pool executor.
+
+    Attributes
+    ----------
+    task_timeout:
+        Seconds to wait for one task before treating its worker as
+        hung (``None``, the default, waits forever).
+    retries:
+        Pool re-dispatch attempts per failed task before the task is
+        replayed serially in the parent process.
+    backoff_s:
+        Base delay between retry rounds; round ``k`` sleeps
+        ``backoff_s * 2**(k-1)`` seconds, capped at ``backoff_cap_s``.
+        ``0`` disables backoff (what the tests use).
+    backoff_cap_s:
+        Upper bound for one backoff sleep.
+    max_pool_rebuilds:
+        Pool failures (crash or hang) tolerated before the executor
+        degrades to serial execution for all remaining work.
+    """
+
+    task_timeout: Optional[float] = None
+    retries: int = 2
+    backoff_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ResilienceError(
+                f"task_timeout must be positive, got {self.task_timeout!r}"
+            )
+        if self.retries < 0:
+            raise ResilienceError(
+                f"retries must be >= 0, got {self.retries!r}"
+            )
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ResilienceError("backoff seconds must be >= 0")
+        if self.max_pool_rebuilds < 1:
+            raise ResilienceError(
+                f"max_pool_rebuilds must be >= 1, got "
+                f"{self.max_pool_rebuilds!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry round ``attempt`` (1-based)."""
+        if self.backoff_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_s * (2 ** max(attempt - 1, 0)), self.backoff_cap_s
+        )

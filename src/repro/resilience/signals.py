@@ -1,0 +1,57 @@
+"""Graceful shutdown on SIGINT/SIGTERM.
+
+Sweep-running CLI commands install these handlers so that an operator
+interrupt (Ctrl-C) or a scheduler kill (SIGTERM from a batch system)
+stops the sweep *between* simulation steps with a
+:class:`~repro.errors.SweepInterrupted` — unwinding through the
+``with RuntimeContext(...)`` block, shutting worker pools down and
+leaving an atomic, valid checkpoint journal behind.  Nothing needs to
+be flushed at signal time: the journal is rewritten atomically after
+every completed circuit, so the strongest guarantee is already
+standing before the signal arrives.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from types import FrameType
+from typing import Dict, Iterator, Optional
+
+from repro.errors import SweepInterrupted
+
+_HANDLED = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextmanager
+def handle_termination() -> Iterator[None]:
+    """Convert SIGINT/SIGTERM into :class:`SweepInterrupted`.
+
+    Installs handlers on entry and restores the previous ones on exit.
+    Outside the main thread (where ``signal.signal`` is unavailable)
+    this is a no-op — the default KeyboardInterrupt behaviour applies.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def raise_interrupt(signum: int, frame: Optional[FrameType]) -> None:
+        raise SweepInterrupted(signal.Signals(signum).name)
+
+    previous: Dict[int, object] = {}
+    try:
+        for sig in _HANDLED:
+            previous[sig] = signal.getsignal(sig)
+            signal.signal(sig, raise_interrupt)
+    except (OSError, ValueError):
+        # Exotic embedding (no signal support): run unprotected.
+        for sig, old in previous.items():
+            signal.signal(sig, old)  # type: ignore[arg-type]
+        yield
+        return
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)  # type: ignore[arg-type]

@@ -13,17 +13,29 @@ result:
   set, stimulus, config), with versioned keys, atomic writes and an
   LRU size cap.  Corrupt or stale entries are discarded, never trusted.
 * :mod:`repro.runtime.metrics` — :class:`RuntimeStats` counters/timers
-  (simulations run vs. served from cache, worker utilization), printed
-  by ``repro flow --stats``.
+  (simulations run vs. served from cache, worker utilization, recovery
+  events), printed by ``repro flow --stats``.
+* :mod:`repro.resilience` (re-exported here) — fault tolerance: retry
+  policies for crashed/hung workers, graceful degradation to serial
+  execution, atomic checkpoint journals for ``--resume``, and the
+  deterministic chaos-injection harness that tests all of it.
 
 Entry point: build a :class:`RuntimeContext` and pass it down —
 ``run_full_flow(circuit, runtime=rt)``, ``FaultSimulator(circuit,
 runtime=rt)``, ``select_weight_assignments(..., runtime=rt)``.
 """
 
+from repro.resilience import (
+    ChaosSpec,
+    CheckpointJournal,
+    RetryPolicy,
+    flow_journal_key,
+    handle_termination,
+)
 from repro.runtime.cache import (
     DEFAULT_MAX_BYTES,
     ArtifactCache,
+    CacheIntegrityWarning,
     default_cache_dir,
 )
 from repro.runtime.context import RuntimeContext
@@ -46,11 +58,17 @@ from repro.runtime.metrics import RuntimeStats
 __all__ = [
     "ArtifactCache",
     "CACHE_FORMAT",
+    "CacheIntegrityWarning",
+    "ChaosSpec",
+    "CheckpointJournal",
     "DEFAULT_MAX_BYTES",
     "ProcessExecutor",
+    "RetryPolicy",
     "RuntimeContext",
     "RuntimeStats",
     "SerialExecutor",
+    "flow_journal_key",
+    "handle_termination",
     "circuit_fingerprint",
     "config_fingerprint",
     "default_cache_dir",

@@ -6,8 +6,9 @@ One JSON file per artifact under a cache root (default
 
 * **Versioned, never trusted.**  Every entry records the cache format
   version and its own key; a corrupted, unreadable or
-  version-mismatched entry is deleted and reported as a miss — the
-  caller re-simulates.
+  version-mismatched entry is deleted — with a
+  :class:`CacheIntegrityWarning` — and reported as a miss; the caller
+  re-simulates.  A wiped cache directory is an ordinary miss.
 * **Atomic writes.**  Entries are written to a temporary file in the
   same directory and ``os.replace``-d into place, so a crashed or
   concurrent writer can never leave a half-written entry behind under
@@ -15,15 +16,22 @@ One JSON file per artifact under a cache root (default
 * **LRU size cap.**  Reads refresh an entry's mtime; when the cache
   grows past ``max_bytes`` after a write, least-recently-used entries
   are evicted until it fits.
+* **Chaos-testable.**  An optional
+  :class:`~repro.resilience.chaos.ChaosSpec` deterministically
+  truncates entries right after they are written, so the
+  discard-and-recompute path is exercised by tests instead of trusted
+  on faith.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Optional
 
+from repro.resilience.chaos import ChaosSpec
 from repro.runtime.keys import CACHE_FORMAT
 from repro.runtime.metrics import RuntimeStats
 
@@ -31,6 +39,11 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 """Default cache size cap (256 MiB)."""
 
 _SUFFIX = ".json"
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry was corrupt/stale and has been discarded; the
+    artifact will be recomputed."""
 
 
 def default_cache_dir() -> Path:
@@ -54,6 +67,11 @@ class ArtifactCache:
         Size cap enforced after each write.
     stats:
         Counters to report stores/discards/evictions into.
+    chaos:
+        Optional fault-injection spec; when its ``cache`` rate is
+        non-zero, freshly written entries are deterministically
+        truncated (seeded on the entry key) to exercise the
+        discard-and-recompute path.
     """
 
     def __init__(
@@ -61,10 +79,12 @@ class ArtifactCache:
         root: str | Path | None = None,
         max_bytes: int = DEFAULT_MAX_BYTES,
         stats: RuntimeStats | None = None,
+        chaos: ChaosSpec | None = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.max_bytes = max_bytes
         self.stats = stats if stats is not None else RuntimeStats()
+        self.chaos = chaos
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
@@ -76,7 +96,8 @@ class ArtifactCache:
 
         Any defect — unreadable file, invalid JSON, wrong format
         version, key mismatch, missing payload — deletes the entry and
-        returns None.
+        returns None.  A missing file (e.g. a cache dir wiped mid-run)
+        is an ordinary, silent miss.
         """
         path = self._path(key)
         try:
@@ -84,7 +105,7 @@ class ArtifactCache:
         except FileNotFoundError:
             return None
         except (OSError, ValueError):
-            self._discard(path)
+            self._discard(path, "unreadable or not valid JSON")
             return None
         if (
             not isinstance(entry, dict)
@@ -92,7 +113,7 @@ class ArtifactCache:
             or entry.get("key") != key
             or not isinstance(entry.get("payload"), dict)
         ):
-            self._discard(path)
+            self._discard(path, "wrong format version or mismatched key")
             return None
         try:
             os.utime(path)  # refresh LRU recency
@@ -123,11 +144,32 @@ class ArtifactCache:
                 pass
             return
         self.stats.cache_stores += 1
+        self._vandalize(path, key)
         self._enforce_cap()
+
+    # -- chaos --------------------------------------------------------------
+
+    def _vandalize(self, path: Path, key: str) -> None:
+        """Deterministically truncate the entry we just wrote (chaos
+        harness only — exercises the discard-and-recompute path)."""
+        if self.chaos is None or not self.chaos.decide("cache", key):
+            return
+        try:
+            data = path.read_bytes()
+            path.write_bytes(data[: max(len(data) // 2, 1)])
+        except OSError:
+            return
+        self.stats.chaos_injections += 1
 
     # -- maintenance --------------------------------------------------------
 
-    def _discard(self, path: Path) -> None:
+    def _discard(self, path: Path, reason: str) -> None:
+        warnings.warn(
+            f"discarding corrupt cache entry {path.name} ({reason}); "
+            "the artifact will be recomputed",
+            CacheIntegrityWarning,
+            stacklevel=3,
+        )
         try:
             path.unlink(missing_ok=True)
         except OSError:

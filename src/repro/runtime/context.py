@@ -16,10 +16,17 @@ they are obtained.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import LintError
-from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache
+from repro.resilience.chaos import ChaosSpec
+from repro.resilience.journal import CheckpointJournal
+from repro.resilience.policy import RetryPolicy
+from repro.runtime.cache import (
+    DEFAULT_MAX_BYTES,
+    ArtifactCache,
+    default_cache_dir,
+)
 from repro.runtime.executor import make_executor
 from repro.runtime.metrics import RuntimeStats
 
@@ -59,6 +66,31 @@ class RuntimeContext:
         raises :class:`~repro.errors.LintError` on any error-severity
         finding — the "fail in one second, not after minutes of fault
         simulation" gate.
+    task_timeout:
+        Per-task timeout for pool workers (seconds); a hung worker is
+        abandoned with its pool and the task retried.  ``None``
+        (default) waits forever.
+    retries:
+        Pool re-dispatch attempts per failed/hung/corrupted task
+        before the task is replayed serially.
+    backoff_s:
+        Base exponential-backoff delay between retry rounds.
+    max_pool_rebuilds:
+        Pool failures tolerated before the executor degrades to
+        serial execution.
+    chaos:
+        Deterministic fault injection: a
+        :class:`~repro.resilience.chaos.ChaosSpec` or its string form
+        (``"crash=0.2,hang=0.1,corrupt=0.1,cache=0.3,seed=7"``).
+        Injections are recovered from, never change results, and only
+        exist to exercise the recovery paths.
+    resume:
+        Consult the checkpoint journal and let multi-circuit sweeps
+        skip circuits whose results are already journaled.  The
+        journal is *written* whenever a cache directory is in play
+        (every completed flow checkpoints its Table-6 row atomically),
+        so an interrupted sweep is resumable even if it was not
+        started with ``resume=True``.
     """
 
     def __init__(
@@ -69,21 +101,62 @@ class RuntimeContext:
         max_cache_bytes: int = DEFAULT_MAX_BYTES,
         stats: RuntimeStats | None = None,
         lint: str = "off",
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        max_pool_rebuilds: int = 3,
+        chaos: Union[ChaosSpec, str, None] = None,
+        resume: bool = False,
     ) -> None:
+        # Validate every knob *before* any worker pool exists, so a
+        # configuration error can never leak a ProcessPoolExecutor.
         if lint not in LINT_POLICIES:
             raise LintError(
                 f"unknown lint policy {lint!r}; expected one of "
                 f"{', '.join(LINT_POLICIES)}"
             )
+        if isinstance(chaos, str):
+            chaos = ChaosSpec.parse(chaos)
+        self.chaos = chaos
+        self.policy = RetryPolicy(
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff_s=backoff_s,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
         self.lint_policy = lint
+        self.resume = resume
         self.stats = stats if stats is not None else RuntimeStats()
-        self.executor = make_executor(jobs, self.stats)
+        self.executor = make_executor(
+            jobs, self.stats, policy=self.policy, chaos=chaos
+        )
         self.stats.jobs = self.executor.jobs
-        self.cache: Optional[ArtifactCache] = None
-        if enable_cache or cache_dir is not None:
-            self.cache = ArtifactCache(
-                cache_dir, max_bytes=max_cache_bytes, stats=self.stats
-            )
+        try:
+            self.cache: Optional[ArtifactCache] = None
+            if enable_cache or cache_dir is not None:
+                self.cache = ArtifactCache(
+                    cache_dir,
+                    max_bytes=max_cache_bytes,
+                    stats=self.stats,
+                    chaos=chaos,
+                )
+            self.journal: Optional[CheckpointJournal] = None
+            if self.cache is not None or resume:
+                root = (
+                    self.cache.root
+                    if self.cache is not None
+                    else (
+                        Path(cache_dir)
+                        if cache_dir is not None
+                        else default_cache_dir()
+                    )
+                )
+                self.journal = CheckpointJournal(
+                    root / "checkpoints" / "journal.json", stats=self.stats
+                )
+        except BaseException:
+            self.executor.close()
+            raise
 
     # -- lint gate ----------------------------------------------------------
 
@@ -147,5 +220,6 @@ class RuntimeContext:
         cache = self.cache.root if self.cache is not None else None
         return (
             f"RuntimeContext(jobs={self.jobs}, cache={cache}, "
-            f"lint={self.lint_policy})"
+            f"lint={self.lint_policy}, retries={self.policy.retries}, "
+            f"resume={self.resume})"
         )

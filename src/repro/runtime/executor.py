@@ -17,20 +17,63 @@ per circuit, so repeated calls on the same circuit pay compilation once
 per worker process.  Results are returned in task order — parallel
 execution is *deterministic by construction*; worker count never
 changes any result.
+
+Fault tolerance
+---------------
+:class:`ProcessExecutor` survives the failure modes a long sweep
+actually meets, under the knobs of a
+:class:`~repro.resilience.policy.RetryPolicy`:
+
+* a **crashed worker** (``BrokenProcessPool``) retires the pool,
+  rebuilds it, and re-dispatches the unfinished tasks;
+* a **hung worker** (no result within ``task_timeout``) is abandoned
+  with its pool and the victim task retried;
+* a **corrupted payload** (a result that fails shape validation, e.g.
+  injected by the chaos harness) is discarded and the task retried;
+* a task that keeps failing past ``retries`` attempts is **replayed
+  serially** in the parent process — the same worker function on the
+  same payload, so the result is identical by construction;
+* after ``max_pool_rebuilds`` pool failures the executor **degrades to
+  serial execution** for all remaining work.
+
+Every path re-runs pure functions of immutable task payloads, so the
+bit-identical-results-for-any-worker-count invariant survives any
+combination of failures.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+from concurrent.futures import Future
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.resilience.chaos import ChaosSpec, chaos_call
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.metrics import RuntimeStats
 
 #: Per-worker-process memo of compiled fault simulators, keyed by a
 #: digest of the circuit's ``.bench`` text.
 _WORKER_SIMS: Dict[str, object] = {}
+
+#: A task function maps one payload to ``(result, busy_seconds)``.
+TaskFn = Callable[[Any], Tuple[Any, float]]
+
+#: A validator decides whether a worker's payload is structurally sound.
+Validator = Callable[[Any], bool]
+
+_UNSET = object()
 
 
 def _worker_sim(bench_text: str):
@@ -68,6 +111,20 @@ def _screen_task(task) -> Tuple[bool, float]:
     t0 = time.perf_counter()
     sim = _worker_sim(bench_text)
     return sim.detects_any(stimulus, sample), time.perf_counter() - t0
+
+
+def _valid_group_result(result: Any) -> bool:
+    """A fault-group payload must look like a ``FaultSimResult``."""
+    return (
+        hasattr(result, "detection_time")
+        and hasattr(result, "undetected")
+        and hasattr(result, "n_faults")
+    )
+
+
+def _valid_screen_result(result: Any) -> bool:
+    """A screening payload must be a plain verdict."""
+    return isinstance(result, bool)
 
 
 class SerialExecutor:
@@ -111,35 +168,255 @@ class SerialExecutor:
     def close(self) -> None:
         """Nothing to release."""
 
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 class ProcessExecutor:
     """``concurrent.futures.ProcessPoolExecutor``-backed executor.
 
     The pool is created lazily on first use and reused across calls;
-    workers keep their compiled circuits between tasks.  ``map``
-    preserves task order, so merged results are identical to the
+    workers keep their compiled circuits between tasks.  Results are
+    collected in task order, so merged results are identical to the
     serial executor's.
+
+    ``policy`` governs recovery from crashed/hung workers and
+    corrupted payloads (see the module docstring); ``chaos`` wires in
+    the deterministic fault-injection harness — pool dispatches only,
+    never serial replays, so exhausted retries always converge on the
+    correct result.
     """
 
-    def __init__(self, jobs: int, stats: RuntimeStats | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        stats: RuntimeStats | None = None,
+        policy: RetryPolicy | None = None,
+        chaos: ChaosSpec | None = None,
+    ) -> None:
         if jobs < 2:
             raise ValueError(f"ProcessExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
         self.stats = stats if stats is not None else RuntimeStats()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.chaos = chaos
         self._pool: Optional[_ProcessPool] = None
+        self._rebuilds = 0
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated pool failures forced serial execution."""
+        return self._degraded
 
     def _pool_instance(self) -> _ProcessPool:
         if self._pool is None:
             self._pool = _ProcessPool(max_workers=self.jobs)
         return self._pool
 
-    def _map(self, fn, tasks: list) -> list:
+    def _submit(
+        self, pool: _ProcessPool, fn: TaskFn, task: Any, attempt: int
+    ) -> "Future[Tuple[Any, float]]":
+        if self.chaos is not None and self.chaos.affects_workers:
+            return pool.submit(chaos_call, (self.chaos, fn, attempt, task))
+        return pool.submit(fn, task)
+
+    def _retire_pool(self) -> None:
+        """Throw the current pool away; degrade after repeated failures."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        self.stats.pool_rebuilds += 1
+        self._rebuilds += 1
+        if (
+            self._rebuilds >= self.policy.max_pool_rebuilds
+            and not self._degraded
+        ):
+            self._degraded = True
+            self.stats.executor_degradations += 1
+
+    # -- the fault-tolerant fan-out -----------------------------------------
+
+    def _map(
+        self, fn: TaskFn, tasks: List[Any], validate: Validator
+    ) -> List[Any]:
+        """Run every task; results in task order, whatever fails."""
+        results: List[Any] = [_UNSET] * len(tasks)
+        busy = [0.0]
         t0 = time.perf_counter()
-        outcomes = list(self._pool_instance().map(fn, tasks))
-        wall = time.perf_counter() - t0
-        busy = sum(elapsed for _, elapsed in outcomes)
-        self.stats.record_fanout(wall, busy, len(tasks))
-        return [result for result, _ in outcomes]
+        try:
+            self._run_all(fn, tasks, results, busy, validate)
+        finally:
+            # Fan-out accounting must survive task exceptions — a
+            # failed batch still dispatched work and burnt wall time.
+            self.stats.record_fanout(
+                time.perf_counter() - t0, busy[0], len(tasks)
+            )
+        return results
+
+    def _run_all(
+        self,
+        fn: TaskFn,
+        tasks: List[Any],
+        results: List[Any],
+        busy: List[float],
+        validate: Validator,
+    ) -> None:
+        pending = list(range(len(tasks)))
+        attempts = [0] * len(tasks)
+        while pending:
+            if self._degraded:
+                for i in pending:
+                    self._run_inline(fn, tasks[i], results, busy, i)
+                return
+            blamed, innocent = self._pool_round(
+                fn, tasks, results, busy, validate, pending, attempts
+            )
+            pending = self._settle(
+                fn, tasks, results, busy, blamed, innocent, attempts
+            )
+
+    def _pool_round(
+        self,
+        fn: TaskFn,
+        tasks: List[Any],
+        results: List[Any],
+        busy: List[float],
+        validate: Validator,
+        pending: List[int],
+        attempts: List[int],
+    ) -> Tuple[List[int], List[int]]:
+        """One dispatch round.
+
+        Returns ``(blamed, innocent)``: tasks whose failure consumes a
+        retry attempt, and tasks merely displaced by someone else's
+        failure (resubmitted free of charge).
+        """
+        try:
+            pool = self._pool_instance()
+            futures = [
+                (i, self._submit(pool, fn, tasks[i], attempts[i]))
+                for i in pending
+            ]
+        except BrokenProcessPool:
+            self.stats.worker_crashes += 1
+            self._retire_pool()
+            return list(pending), []
+
+        blamed: List[int] = []
+        innocent: List[int] = []
+        broken = False
+        for i, fut in futures:
+            if broken:
+                # The pool is gone; harvest whatever already finished
+                # and resubmit the rest without blame.
+                if fut.cancelled():
+                    innocent.append(i)
+                elif fut.done():
+                    try:
+                        result, elapsed = fut.result()
+                    except BaseException:
+                        blamed.append(i)
+                        continue
+                    self._accept(
+                        result, elapsed, results, busy, validate, i, blamed
+                    )
+                else:
+                    fut.cancel()
+                    innocent.append(i)
+                continue
+            try:
+                result, elapsed = fut.result(
+                    timeout=self.policy.task_timeout
+                )
+            except _FuturesTimeout:
+                # Hung worker: abandon the pool (the only way to
+                # reclaim the process) and retry the victim.
+                self.stats.task_timeouts += 1
+                blamed.append(i)
+                broken = True
+                self._retire_pool()
+                continue
+            except BrokenProcessPool:
+                # A worker died; every unfinished task is suspect.
+                self.stats.worker_crashes += 1
+                blamed.append(i)
+                broken = True
+                self._retire_pool()
+                continue
+            # Any other exception is a deterministic error raised by
+            # the task itself (bad circuit, invalid fault, ...) —
+            # retrying cannot change it, so it propagates.  The
+            # enclosing finally still records the fan-out.
+            self._accept(result, elapsed, results, busy, validate, i, blamed)
+        return blamed, innocent
+
+    def _accept(
+        self,
+        result: Any,
+        elapsed: float,
+        results: List[Any],
+        busy: List[float],
+        validate: Validator,
+        i: int,
+        blamed: List[int],
+    ) -> None:
+        if validate(result):
+            results[i] = result
+            busy[0] += elapsed
+        else:
+            self.stats.corrupt_results += 1
+            blamed.append(i)
+
+    def _settle(
+        self,
+        fn: TaskFn,
+        tasks: List[Any],
+        results: List[Any],
+        busy: List[float],
+        blamed: List[int],
+        innocent: List[int],
+        attempts: List[int],
+    ) -> List[int]:
+        """Charge retry attempts; replay exhausted tasks serially."""
+        still = list(innocent)
+        worst = 0
+        for i in blamed:
+            attempts[i] += 1
+            if attempts[i] > self.policy.retries:
+                self._run_inline(fn, tasks[i], results, busy, i)
+            else:
+                self.stats.task_retries += 1
+                still.append(i)
+                worst = max(worst, attempts[i])
+        if still and worst:
+            delay = self.policy.backoff(worst)
+            if delay > 0:
+                time.sleep(delay)
+        return sorted(still)
+
+    def _run_inline(
+        self,
+        fn: TaskFn,
+        task: Any,
+        results: List[Any],
+        busy: List[float],
+        i: int,
+    ) -> None:
+        """Serial replay: the same pure function on the same payload —
+        the result is what the pool would have produced."""
+        result, elapsed = fn(task)
+        results[i] = result
+        busy[0] += elapsed
+        self.stats.serial_fallback_tasks += 1
+
+    # -- the work shapes ----------------------------------------------------
 
     def run_fault_groups(
         self,
@@ -154,14 +431,14 @@ class ProcessExecutor:
             (bench_text, stimulus, group, record_lines, stop_when_all_detected)
             for group in groups
         ]
-        return self._map(_run_group_task, tasks)
+        return self._map(_run_group_task, tasks, _valid_group_result)
 
     def screen_batch(
         self, bench_text: str, stimuli: Sequence, sample: Sequence
     ) -> List[bool]:
         """Screen stimuli on the pool; verdicts in task order."""
         tasks = [(bench_text, stimulus, sample) for stimulus in stimuli]
-        return self._map(_screen_task, tasks)
+        return self._map(_screen_task, tasks, _valid_screen_result)
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -169,10 +446,22 @@ class ProcessExecutor:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def __enter__(self) -> "ProcessExecutor":
+        return self
 
-def make_executor(jobs: int, stats: RuntimeStats | None = None):
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def make_executor(
+    jobs: int,
+    stats: RuntimeStats | None = None,
+    policy: RetryPolicy | None = None,
+    chaos: ChaosSpec | None = None,
+):
     """A :class:`SerialExecutor` for ``jobs <= 1``, else a
-    :class:`ProcessExecutor`."""
+    :class:`ProcessExecutor` under ``policy`` (and, for tests of the
+    recovery paths, ``chaos``)."""
     if jobs <= 1:
         return SerialExecutor(stats)
-    return ProcessExecutor(jobs, stats)
+    return ProcessExecutor(jobs, stats, policy=policy, chaos=chaos)

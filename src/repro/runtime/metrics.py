@@ -42,6 +42,31 @@ class RuntimeStats:
         Batched screening verdicts thrown away because an earlier row
         of the batch changed the procedure state (the serial-equivalence
         rule; see :mod:`repro.core.procedure`).
+    task_retries:
+        Tasks re-dispatched to the pool after a crash, hang or
+        corrupted payload.
+    task_timeouts:
+        Tasks whose worker exceeded the per-task timeout and was
+        abandoned with its pool.
+    worker_crashes:
+        ``BrokenProcessPool`` events (a worker process died).
+    pool_rebuilds:
+        Worker pools retired and rebuilt after a crash or hang.
+    serial_fallback_tasks:
+        Tasks replayed serially in the parent process — either after
+        exhausting their retries or after the executor degraded.
+    corrupt_results:
+        Worker payloads that failed shape validation and were
+        discarded (then retried).
+    executor_degradations:
+        Times an executor gave up on its pool entirely and fell back
+        to serial execution for the rest of its life.
+    chaos_injections:
+        Cache entries deterministically vandalized by an active
+        :class:`~repro.resilience.chaos.ChaosSpec`.
+    journal_records / journal_skips:
+        Circuits checkpointed to the resume journal, and circuits
+        skipped on ``--resume`` because a checkpoint already existed.
     lint_diagnostics / lint_errors:
         Findings recorded by the context's lint gate (total, and the
         error-severity subset); see
@@ -64,6 +89,16 @@ class RuntimeStats:
     cache_evictions: int = 0
     tasks_dispatched: int = 0
     speculative_discards: int = 0
+    task_retries: int = 0
+    task_timeouts: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback_tasks: int = 0
+    corrupt_results: int = 0
+    executor_degradations: int = 0
+    chaos_injections: int = 0
+    journal_records: int = 0
+    journal_skips: int = 0
     lint_diagnostics: int = 0
     lint_errors: int = 0
     parallel_wall_s: float = 0.0
@@ -140,6 +175,40 @@ class RuntimeStats:
             f"{100.0 * self.utilization():.0f}% utilization, "
             f"{self.speculative_discards} speculative verdicts discarded",
         ]
+        recoveries = (
+            self.task_retries
+            + self.task_timeouts
+            + self.worker_crashes
+            + self.pool_rebuilds
+            + self.serial_fallback_tasks
+            + self.corrupt_results
+            + self.executor_degradations
+            + self.chaos_injections
+        )
+        if recoveries:
+            lines.append(
+                f"  resilience           {self.task_retries} retries, "
+                f"{self.task_timeouts} timeouts, "
+                f"{self.worker_crashes} crashes, "
+                f"{self.pool_rebuilds} pool rebuilds, "
+                f"{self.serial_fallback_tasks} serial replays, "
+                f"{self.corrupt_results} corrupt payloads"
+                + (
+                    f", {self.chaos_injections} cache chaos injections"
+                    if self.chaos_injections
+                    else ""
+                )
+                + (
+                    " (degraded to serial)"
+                    if self.executor_degradations
+                    else ""
+                )
+            )
+        if self.journal_records or self.journal_skips:
+            lines.append(
+                f"  checkpoints          {self.journal_records} recorded, "
+                f"{self.journal_skips} resumed"
+            )
         if self.lint_diagnostics:
             lines.append(
                 f"  lint                 {self.lint_diagnostics} "

@@ -1,0 +1,124 @@
+"""Cache-corruption recovery: discard, warn, recompute — never crash.
+
+Every way an on-disk cache entry can go bad (truncated payload, stale
+format version, mismatched key, unreadable path, a cache directory
+wiped mid-run) must degrade to a cache miss with a
+:class:`CacheIntegrityWarning` at worst, and the artifact must be
+recomputed to the identical value.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import warnings
+
+import pytest
+
+from repro.resilience import ChaosSpec
+from repro.runtime import (
+    ArtifactCache,
+    CACHE_FORMAT,
+    CacheIntegrityWarning,
+    RuntimeContext,
+    RuntimeStats,
+)
+from repro.sim import FaultSimulator
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache", stats=RuntimeStats())
+
+
+def _entry_path(cache, key):
+    return cache.root / f"{key}.json"
+
+
+def test_truncated_entry_is_discarded_with_warning(cache):
+    cache.put("k", {"v": 1})
+    path = _entry_path(cache, "k")
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    with pytest.warns(CacheIntegrityWarning, match="not valid JSON"):
+        assert cache.get("k") is None
+    assert not path.exists()
+    assert cache.stats.cache_discards == 1
+    # The follow-up lookup is an ordinary silent miss.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert cache.get("k") is None
+
+
+def test_stale_format_version_is_discarded(cache):
+    path = _entry_path(cache, "k")
+    cache.root.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"format": CACHE_FORMAT + 1, "key": "k", "payload": {}})
+    )
+    with pytest.warns(CacheIntegrityWarning, match="format version"):
+        assert cache.get("k") is None
+    assert not path.exists()
+
+
+def test_mismatched_key_is_discarded(cache):
+    cache.put("original", {"v": 1})
+    # Simulate an entry that ended up under the wrong name (e.g. a
+    # buggy sync tool renamed files in the cache dir).
+    shutil.copy(_entry_path(cache, "original"), _entry_path(cache, "other"))
+    with pytest.warns(CacheIntegrityWarning, match="mismatched key"):
+        assert cache.get("other") is None
+    assert cache.get("original") == {"v": 1}
+
+
+def test_unreadable_entry_warns_and_misses(cache):
+    # A directory squatting on the entry path: read_text raises
+    # OSError, and so does the unlink — neither may crash the lookup.
+    cache.root.mkdir(parents=True, exist_ok=True)
+    _entry_path(cache, "k").mkdir()
+    with pytest.warns(CacheIntegrityWarning, match="unreadable"):
+        assert cache.get("k") is None
+    assert cache.stats.cache_discards == 0, "discard failed, only warned"
+
+
+def test_cache_dir_wiped_mid_run_is_a_silent_miss(cache):
+    cache.put("k", {"v": 1})
+    shutil.rmtree(cache.root)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert cache.get("k") is None
+    # And the next store transparently recreates the directory.
+    cache.put("k", {"v": 2})
+    assert cache.get("k") == {"v": 2}
+
+
+def test_chaos_vandalism_is_deterministic_and_recovered(tmp_path):
+    stats = RuntimeStats()
+    vandal = ArtifactCache(
+        tmp_path / "cache", stats=stats, chaos=ChaosSpec(cache=1.0, seed=1)
+    )
+    vandal.put("k", {"v": 1})
+    assert stats.chaos_injections == 1
+    with pytest.warns(CacheIntegrityWarning):
+        assert vandal.get("k") is None
+
+
+def test_corrupt_entries_recomputed_end_to_end(
+    s27, s27_faults, paper_t, tmp_path
+):
+    reference = FaultSimulator(s27).run(paper_t.patterns, s27_faults)
+    cache_dir = tmp_path / "cache"
+    with RuntimeContext(cache_dir=cache_dir) as rt:
+        FaultSimulator(s27, runtime=rt).run(paper_t.patterns, s27_faults)
+        assert rt.stats.cache_stores >= 1
+    # Vandalize every entry on disk, then rerun against the same cache.
+    for path in cache_dir.glob("*.json"):
+        path.write_text(path.read_text()[:10])
+    with RuntimeContext(cache_dir=cache_dir) as rt2:
+        with pytest.warns(CacheIntegrityWarning):
+            again = FaultSimulator(s27, runtime=rt2).run(
+                paper_t.patterns, s27_faults
+            )
+    assert rt2.stats.cache_discards >= 1
+    assert rt2.stats.full_sim_hits == 0
+    assert again.detection_time == reference.detection_time
+    assert again.undetected == reference.undetected

@@ -1,0 +1,142 @@
+"""The deterministic chaos-injection harness itself.
+
+The whole point of :mod:`repro.resilience.chaos` is that injections
+are a pure function of (seed, site): the same spec against the same
+workload always injects the same faults.  These tests pin the spec
+parser, the decision function's determinism and statistics, and the
+worker-side wrapper's corrupt/hang behaviours.  (Crash injection calls
+``os._exit`` and is exercised through a real process pool in
+``test_resilience_executor.py``.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ChaosError
+from repro.resilience import CORRUPT_PAYLOAD, ChaosSpec, chaos_call, task_digest
+
+
+def test_parse_full_spec_round_trip():
+    spec = ChaosSpec.parse(
+        "crash=0.2,hang=0.1,corrupt=0.1,cache=0.3,seed=7,hang_s=2.0"
+    )
+    assert spec == ChaosSpec(
+        crash=0.2, hang=0.1, corrupt=0.1, cache=0.3, seed=7, hang_s=2.0
+    )
+
+
+def test_parse_accepts_semicolons_spaces_and_blanks():
+    spec = ChaosSpec.parse(" crash=0.5 ; seed=3 ,, ")
+    assert spec.crash == 0.5
+    assert spec.seed == 3
+    assert spec.hang == spec.corrupt == spec.cache == 0.0
+
+
+def test_parse_rejects_unknown_key():
+    with pytest.raises(ChaosError, match="unknown chaos key"):
+        ChaosSpec.parse("bogus=1")
+
+
+def test_parse_rejects_non_numeric_value():
+    with pytest.raises(ChaosError, match="not a number"):
+        ChaosSpec.parse("crash=banana")
+
+
+def test_parse_rejects_bare_word():
+    with pytest.raises(ChaosError, match="not key=value"):
+        ChaosSpec.parse("crash")
+
+
+@pytest.mark.parametrize("field", ["crash", "hang", "corrupt", "cache"])
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_rates_must_be_probabilities(field, rate):
+    with pytest.raises(ChaosError, match="must be in"):
+        ChaosSpec(**{field: rate})
+
+
+def test_hang_duration_must_be_positive():
+    with pytest.raises(ChaosError, match="hang_s"):
+        ChaosSpec(hang_s=0.0)
+
+
+def test_affects_workers():
+    assert not ChaosSpec().affects_workers
+    assert not ChaosSpec(cache=1.0).affects_workers
+    assert ChaosSpec(crash=0.1).affects_workers
+    assert ChaosSpec(hang=0.1).affects_workers
+    assert ChaosSpec(corrupt=0.1).affects_workers
+
+
+def test_decide_is_deterministic():
+    spec = ChaosSpec(crash=0.5, seed=11)
+    sites = [("fn", task_digest(("task", i)), attempt)
+             for i in range(50) for attempt in range(3)]
+    first = [spec.decide("crash", *site) for site in sites]
+    second = [spec.decide("crash", *site) for site in sites]
+    assert first == second
+    assert any(first) and not all(first)
+
+
+def test_decide_edge_rates():
+    always = ChaosSpec(crash=1.0)
+    never = ChaosSpec(crash=0.0)
+    for i in range(20):
+        assert always.decide("crash", "fn", i)
+        assert not never.decide("crash", "fn", i)
+
+
+def test_decide_rate_statistics():
+    spec = ChaosSpec(crash=0.3, seed=5)
+    n = 4000
+    hits = sum(spec.decide("crash", "fn", i, 0) for i in range(n))
+    assert 0.25 < hits / n < 0.35
+
+
+def test_seed_changes_injection_pattern():
+    sites = [("fn", task_digest(("t", i)), 0) for i in range(200)]
+    a = [ChaosSpec(crash=0.5, seed=1).decide("crash", *s) for s in sites]
+    b = [ChaosSpec(crash=0.5, seed=2).decide("crash", *s) for s in sites]
+    assert a != b
+
+
+def test_attempt_number_rerolls_the_dice():
+    # Retries must not be doomed to repeat the injection forever (at
+    # rates < 1): the attempt number is part of the decision site.
+    spec = ChaosSpec(corrupt=0.5, seed=3)
+    digest = task_digest(("some", "task"))
+    verdicts = {spec.decide("corrupt", "fn", digest, a) for a in range(64)}
+    assert verdicts == {True, False}
+
+
+def test_task_digest_is_stable_and_discriminating():
+    task = ("bench text", ((0, 1), (1, 0)), 5)
+    assert task_digest(task) == task_digest(("bench text", ((0, 1), (1, 0)), 5))
+    assert task_digest(task) != task_digest(("bench text", ((0, 1),), 5))
+    assert len(task_digest(task)) == 16
+
+
+def _echo_task(task):
+    return ("result", 0.25)
+
+
+def test_chaos_call_passthrough_when_inactive():
+    spec = ChaosSpec(seed=1)
+    assert chaos_call((spec, _echo_task, 0, ("t",))) == ("result", 0.25)
+
+
+def test_chaos_call_corrupts_payload():
+    spec = ChaosSpec(corrupt=1.0, seed=1)
+    result, elapsed = chaos_call((spec, _echo_task, 0, ("t",)))
+    assert result == CORRUPT_PAYLOAD
+    assert elapsed == 0.25
+
+
+def test_chaos_call_hang_sleeps_then_answers():
+    spec = ChaosSpec(hang=1.0, seed=1, hang_s=0.05)
+    t0 = time.perf_counter()
+    result, _ = chaos_call((spec, _echo_task, 0, ("t",)))
+    assert time.perf_counter() - t0 >= 0.05
+    assert result == "result"

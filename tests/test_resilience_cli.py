@@ -1,0 +1,112 @@
+"""CLI behaviour of the resilience features: the new flags, resume,
+chaos-spec validation, interrupt exit codes, and the early tgen_mode
+configuration gate."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.flows
+from repro.cli import main
+from repro.errors import ReproError, SweepInterrupted
+from repro.flows import clear_cache
+from repro.flows.full_flow import FlowConfig, run_full_flow
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_resilience_flags_smoke(tmp_path, capsys):
+    rc = main(
+        [
+            "table6",
+            "s27",
+            "--cache-dir",
+            str(tmp_path),
+            "--task-timeout",
+            "60",
+            "--retries",
+            "1",
+            "--stats",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Table 6" in out
+    assert "checkpoints          1 recorded" in out
+
+
+def test_chaos_flag_smoke(capsys):
+    rc = main(
+        [
+            "flow",
+            "s27",
+            "--no-cache",
+            "--jobs",
+            "2",
+            "--chaos",
+            "corrupt=1.0,seed=1",
+            "--retries",
+            "1",
+        ]
+    )
+    assert rc == 0
+    assert "s27" in capsys.readouterr().out
+
+
+def test_resume_reproduces_the_identical_table(tmp_path, capsys):
+    argv = ["table6", "s27", "--cache-dir", str(tmp_path), "--stats"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    clear_cache()
+    assert main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    # The table block is byte-identical; the stats differ (the resumed
+    # run shows the skip instead of fresh simulation work).
+    assert first.split("runtime stats")[0] == second.split("runtime stats")[0]
+    assert "1 resumed" in second
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["bogus=1", "crash=banana", "crash=2.0", "crash"],
+)
+def test_bad_chaos_spec_is_clean_one_line_error(spec, capsys):
+    rc = main(["table6", "s27", "--no-cache", "--chaos", spec])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "Traceback" not in captured.err
+    err_lines = [line for line in captured.err.splitlines() if line]
+    assert len(err_lines) == 1
+    assert err_lines[0].startswith("repro: error:")
+
+
+def test_sweep_interrupt_exits_130(monkeypatch, capsys):
+    def interrupted(*args, **kwargs):
+        raise SweepInterrupted("SIGINT")
+
+    monkeypatch.setattr(repro.flows, "table6_rows", interrupted)
+    rc = main(["table6", "s27", "--no-cache"])
+    captured = capsys.readouterr()
+    assert rc == 130
+    assert "interrupted" in captured.err
+    assert "--resume" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_tgen_mode_is_validated_before_any_compilation():
+    # The circuit name does not even exist: with the early gate the
+    # configuration error wins, proving validation runs before circuit
+    # loading/compilation.
+    with pytest.raises(ReproError, match="unknown tgen_mode"):
+        run_full_flow("no-such-circuit", FlowConfig(tgen_mode="bogus"))
+
+
+def test_tgen_mode_error_lists_valid_modes():
+    with pytest.raises(ReproError, match="random") as excinfo:
+        run_full_flow("s27", FlowConfig(tgen_mode="typo"))
+    assert "hybrid" in str(excinfo.value)

@@ -18,6 +18,7 @@ from repro.flows.full_flow import run_full_flow
 from repro.runtime import (
     CACHE_FORMAT,
     ArtifactCache,
+    CacheIntegrityWarning,
     RuntimeContext,
     circuit_fingerprint,
     faults_fingerprint,
@@ -83,7 +84,8 @@ def test_corrupted_entry_discarded(tmp_path):
     cache.put("abc", {"x": 1})
     path = tmp_path / "abc.json"
     path.write_text("{ not json")
-    assert cache.get("abc") is None
+    with pytest.warns(CacheIntegrityWarning):
+        assert cache.get("abc") is None
     assert not path.exists(), "corrupted entry must be deleted"
     assert cache.stats.cache_discards == 1
 
@@ -96,7 +98,8 @@ def test_version_mismatch_discarded(tmp_path):
             {"format": CACHE_FORMAT + 1, "key": "abc", "payload": {"x": 1}}
         )
     )
-    assert cache.get("abc") is None
+    with pytest.warns(CacheIntegrityWarning):
+        assert cache.get("abc") is None
     assert not path.exists()
 
 
@@ -106,7 +109,8 @@ def test_key_mismatch_discarded(tmp_path):
     path.write_text(
         json.dumps({"format": CACHE_FORMAT, "key": "OTHER", "payload": {}})
     )
-    assert cache.get("abc") is None
+    with pytest.warns(CacheIntegrityWarning):
+        assert cache.get("abc") is None
     assert not path.exists()
 
 
@@ -117,7 +121,8 @@ def test_unusable_cache_root_degrades_gracefully(tmp_path):
     root.write_text("not a directory")
     cache = ArtifactCache(root)
     cache.put("abc", {"x": 1})  # must not raise
-    assert cache.get("abc") is None
+    with pytest.warns(CacheIntegrityWarning):
+        assert cache.get("abc") is None
     assert cache.stats.cache_stores == 0
 
 
@@ -140,7 +145,8 @@ def test_corrupted_cache_resimulates_correctly(tmp_path, s27, s27_faults, paper_
         path.write_text("garbage")
     with RuntimeContext(cache_dir=tmp_path) as rt:
         sim = FaultSimulator(s27, runtime=rt)
-        result = sim.run(paper_t.patterns, s27_faults)
+        with pytest.warns(CacheIntegrityWarning):
+            result = sim.run(paper_t.patterns, s27_faults)
         assert rt.stats.full_sim_hits == 0
         assert rt.stats.full_simulations == 1
     assert result.detection_time == expected.detection_time

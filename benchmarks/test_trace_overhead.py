@@ -1,0 +1,113 @@
+"""Tracing overhead and per-phase perf-regression gate.
+
+Two checks:
+
+* **Overhead** — the same flow runs with tracing off and on
+  (best-of-N to suppress scheduler noise); tracing must cost less
+  than 5% wall time (plus a small absolute allowance for very fast
+  flows, where a millisecond of span bookkeeping would otherwise
+  dominate the ratio).
+* **Phase regression** — the traced run's per-phase wall times are
+  written to ``benchmarks/results/trace_overhead.json`` (the
+  ``phases`` table :func:`repro.trace.compare.load_phases` reads); if
+  a previous artifact exists, the run is compared against it with
+  :func:`compare_phases` and fails on any flagged regression — the
+  same gate as ``repro trace compare``.
+
+Not a paper artifact — an implementation benchmark for the trace
+subsystem.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.procedure import ProcedureConfig
+from repro.flows.full_flow import FlowConfig, run_full_flow
+from repro.runtime import RuntimeContext
+from repro.trace.compare import (
+    compare_phases,
+    load_phases,
+    phase_durations,
+    regressions,
+)
+from repro.util.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ARTIFACT = RESULTS_DIR / "trace_overhead.json"
+
+CIRCUIT = "g208"
+CFG = FlowConfig(
+    seed=1,
+    tgen_max_len=500,
+    compaction_sims=30,
+    procedure=ProcedureConfig(l_g=128),
+)
+REPEATS = 3
+MAX_OVERHEAD = 0.05
+ABS_ALLOWANCE_S = 0.02
+
+
+def _timed_flow(trace: bool):
+    best = float("inf")
+    tracer = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        with RuntimeContext(trace=trace) as rt:
+            run_full_flow(CIRCUIT, CFG, runtime=rt)
+            wall = time.perf_counter() - t0
+            if wall < best:
+                best = wall
+                tracer = rt.tracer
+    return best, tracer
+
+
+def test_trace_overhead_and_phase_regression(record_table):
+    t_off, _ = _timed_flow(trace=False)
+    t_on, tracer = _timed_flow(trace=True)
+
+    overhead = (t_on - t_off) / t_off if t_off else 0.0
+    assert t_on <= t_off * (1.0 + MAX_OVERHEAD) + ABS_ALLOWANCE_S, (
+        f"tracing overhead {overhead:+.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(off={t_off:.3f}s on={t_on:.3f}s)"
+    )
+
+    root = tracer.finish()
+    phases = phase_durations(root)
+
+    # Gate against the previous artifact before overwriting it.
+    deltas = []
+    if ARTIFACT.exists():
+        baseline = load_phases(ARTIFACT)
+        deltas = compare_phases(baseline, phases, tolerance=1.0)
+        regressed = regressions(deltas)
+        assert not regressed, "phase regression vs previous artifact:\n" + (
+            "\n".join(d.format() for d in regressed)
+        )
+
+    rows = [
+        {"phase": name, "wall_s": round(phases[name], 3)}
+        for name in sorted(phases)
+    ]
+    text = format_table(
+        ["phase", "wall (s)"],
+        [[r["phase"], r["wall_s"]] for r in rows],
+        title=(
+            f"Tracing overhead on {CIRCUIT}: off={t_off:.3f}s "
+            f"on={t_on:.3f}s ({overhead:+.1%})"
+        ),
+    )
+    record_table(
+        "trace_overhead",
+        text,
+        rows=rows,
+        extra={
+            "circuit": CIRCUIT,
+            "wall_off_s": round(t_off, 3),
+            "wall_on_s": round(t_on, 3),
+            "overhead": round(overhead, 4),
+            "phases": {name: round(v, 4) for name, v in phases.items()},
+            "compared_against_previous": bool(deltas),
+        },
+    )

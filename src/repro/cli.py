@@ -33,6 +33,13 @@ earlier — possibly interrupted — run, and ``--chaos SPEC`` turns on
 the deterministic fault-injection harness (for testing the recovery
 paths).  SIGINT/SIGTERM stop a sweep cleanly: completed circuits stay
 checkpointed and the command exits with status 130.
+
+And the tracing flags: ``--trace PATH`` records a hierarchical span
+trace of the run (wall/CPU time and runtime-counter deltas per phase)
+and ``--trace-format text|json|chrome`` selects the export — ``chrome``
+loads directly into Perfetto.  ``repro trace show|convert|compare``
+works with the written artifacts; ``compare`` gates per-phase timings
+against a baseline.
 """
 
 from __future__ import annotations
@@ -53,10 +60,12 @@ from repro.circuit import (
 from repro.circuit.verilog import write_verilog
 from repro.core import ProcedureConfig
 from repro.core.report import format_table6
-from repro.errors import ReproError, SweepInterrupted
+from repro.errors import ReproError, SweepInterrupted, TraceError
 from repro.flows import FlowConfig, run_full_flow
 from repro.obs import format_tradeoff, observation_point_tradeoff
 from repro.sim import all_faults, collapse_faults
+from repro.trace.compare import DEFAULT_MIN_SECONDS, DEFAULT_TOLERANCE
+from repro.trace.export import EXPORT_FORMATS
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -162,6 +171,58 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalogue and exit")
     p.set_defaults(handler=_cmd_lint)
 
+    p = sub.add_parser(
+        "trace",
+        help="inspect, convert and compare trace artifacts",
+        description=(
+            "Work with traces written by `repro flow/table6/tradeoff "
+            "--trace PATH`: print the span tree, re-export to another "
+            "format (chrome opens in Perfetto / chrome://tracing), or "
+            "compare per-phase timings against a baseline artifact."
+        ),
+    )
+    tsub = p.add_subparsers()
+
+    ts = tsub.add_parser("show", help="print a JSON trace as a text tree")
+    ts.add_argument("path", type=Path, help="JSON trace artifact")
+    ts.set_defaults(handler=_cmd_trace_show)
+
+    tc = tsub.add_parser("convert", help="re-export a JSON trace")
+    tc.add_argument("path", type=Path, help="JSON trace artifact")
+    tc.add_argument("--to", dest="fmt", default="chrome",
+                    choices=EXPORT_FORMATS,
+                    help="target format (default: chrome)")
+    tc.add_argument("--output", type=Path, required=True, metavar="PATH")
+    tc.set_defaults(handler=_cmd_trace_convert)
+
+    tp = tsub.add_parser(
+        "compare",
+        help="compare per-phase timings against a baseline",
+        description=(
+            "Both arguments may be JSON trace artifacts or the "
+            "benchmark harness's phase-timing artifacts "
+            "(benchmarks/results/*.json with a 'phases' table).  Exits "
+            "1 when any phase regressed beyond the tolerance."
+        ),
+    )
+    tp.add_argument("baseline", type=Path)
+    tp.add_argument("current", type=Path)
+    tp.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    metavar="FRACTION",
+                    help="allowed fractional growth per phase "
+                         f"(default: {DEFAULT_TOLERANCE})")
+    tp.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                    metavar="SECONDS",
+                    help="absolute growth below this is never a regression "
+                         f"(default: {DEFAULT_MIN_SECONDS})")
+    tp.set_defaults(handler=_cmd_trace_compare)
+
+    def _trace_help(args: argparse.Namespace) -> int:
+        p.print_help()
+        return 2
+
+    p.set_defaults(handler=_trace_help)
+
     p = sub.add_parser("report", help="render benchmarks/results/ as an HTML report")
     p.add_argument("--results", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--output", type=Path, default=Path("report.html"))
@@ -205,11 +266,46 @@ def _add_runtime_flags(p: argparse.ArgumentParser) -> None:
                         "recovery paths, e.g. "
                         "'crash=0.2,hang=0.1,corrupt=0.1,cache=0.3,seed=7' "
                         "(results are still bit-identical)")
+    t = p.add_argument_group("tracing")
+    t.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                   help="record a hierarchical span trace of the run and "
+                        "write it to PATH (see `repro trace --help`)")
+    t.add_argument("--trace-format", default="json", choices=EXPORT_FORMATS,
+                   help="trace output format: human text tree, JSON "
+                        "artifact, or Chrome trace events for Perfetto "
+                        "(default: json)")
+
+
+def _check_trace_output(args: argparse.Namespace) -> None:
+    """Reject an unwritable ``--trace`` destination *before* the run —
+    the clean one-line error beats losing minutes of simulation."""
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        return
+    parent = trace.parent
+    if not parent.is_dir():
+        raise TraceError(
+            f"cannot write trace {trace}: directory {parent} does not exist"
+        )
+    if trace.is_dir():
+        raise TraceError(f"cannot write trace {trace}: it is a directory")
+
+
+def _write_trace(runtime, args: argparse.Namespace) -> None:
+    """Seal the runtime's tracer and export it to ``--trace``."""
+    if getattr(args, "trace", None) is None or runtime.tracer is None:
+        return
+    from repro.trace import export_trace
+
+    root = runtime.tracer.finish()
+    export_trace(root, runtime.tracer.events, args.trace, args.trace_format)
+    print(f"wrote {args.trace} ({args.trace_format} trace)")
 
 
 def _make_runtime(args: argparse.Namespace):
     from repro.runtime import RuntimeContext
 
+    _check_trace_output(args)
     return RuntimeContext(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -219,6 +315,7 @@ def _make_runtime(args: argparse.Namespace):
         retries=args.retries,
         chaos=args.chaos,
         resume=args.resume,
+        trace=getattr(args, "trace", None) is not None,
     )
 
 
@@ -275,6 +372,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(runtime.stats.format())
+    _write_trace(runtime, args)
     return 0
 
 
@@ -289,6 +387,7 @@ def _cmd_table6(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(runtime.stats.format())
+    _write_trace(runtime, args)
     return 0
 
 
@@ -305,6 +404,7 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(runtime.stats.format())
+    _write_trace(runtime, args)
     return 0
 
 
@@ -416,6 +516,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.fail_on != "never" and report.at_least(Severity.parse(args.fail_on)):
         return 1
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.trace import load_trace, render_text
+
+    root, events = load_trace(args.path)
+    print(render_text(root, events), end="")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.trace import export_trace, load_trace
+
+    root, events = load_trace(args.path)
+    export_trace(root, events, args.output, args.fmt)
+    print(f"wrote {args.output} ({args.fmt} trace)")
+    return 0
+
+
+def _cmd_trace_compare(args: argparse.Namespace) -> int:
+    from repro.trace import compare_phases, load_phases, regressions
+
+    deltas = compare_phases(
+        load_phases(args.baseline),
+        load_phases(args.current),
+        tolerance=args.tolerance,
+        min_seconds=args.min_seconds,
+    )
+    for delta in deltas:
+        print(delta.format())
+    bad = regressions(deltas)
+    if bad:
+        print(
+            f"{len(bad)} phase(s) regressed beyond the "
+            f"{100 * args.tolerance:.0f}% tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print("no phase regressions")
     return 0
 
 

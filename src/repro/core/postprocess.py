@@ -20,6 +20,7 @@ from repro.errors import ProcedureError
 from repro.sim.compile import CompiledCircuit, compile_circuit
 from repro.sim.faults import Fault
 from repro.sim.faultsim import FaultSimulator
+from repro.trace import trace_event, traced
 
 
 @dataclass(frozen=True)
@@ -78,23 +79,34 @@ def reverse_order_simulation(
     credited_rev: List[Tuple[Fault, ...]] = []
     dropped: List[WeightAssignment] = []
 
-    for index in range(len(result.omega) - 1, -1, -1):
-        entry = result.omega[index]
-        assignment = entry.assignment
-        if not pending:
-            dropped.append(assignment)
-            continue
-        rng = (
-            result.generation_rng(index) if assignment.has_random else None
-        )
-        t_g = assignment.generate(result.l_g, rng)
-        detections = sim.run(t_g.patterns, sorted(pending)).detection_time
-        if detections:
-            kept_rev.append(assignment)
-            credited_rev.append(tuple(sorted(detections)))
-            pending.difference_update(detections)
-        else:
-            dropped.append(assignment)
+    with traced(runtime, "reverse_order_sim", entries=len(result.omega)):
+        for index in range(len(result.omega) - 1, -1, -1):
+            entry = result.omega[index]
+            assignment = entry.assignment
+            if not pending:
+                dropped.append(assignment)
+                trace_event(
+                    runtime, "reverse", index=index, kept=False, detected=0
+                )
+                continue
+            rng = (
+                result.generation_rng(index) if assignment.has_random else None
+            )
+            t_g = assignment.generate(result.l_g, rng)
+            detections = sim.run(t_g.patterns, sorted(pending)).detection_time
+            if detections:
+                kept_rev.append(assignment)
+                credited_rev.append(tuple(sorted(detections)))
+                pending.difference_update(detections)
+            else:
+                dropped.append(assignment)
+            trace_event(
+                runtime,
+                "reverse",
+                index=index,
+                kept=bool(detections),
+                detected=len(detections),
+            )
 
     if pending:
         raise ProcedureError(

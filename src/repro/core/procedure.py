@@ -65,6 +65,7 @@ from repro.sim.collapse import collapse_faults
 from repro.sim.faults import Fault
 from repro.sim.faultsim import FaultSimulator
 from repro.tgen.sequence import TestSequence
+from repro.trace import trace_event, traced
 from repro.util.rng import DeterministicRng
 
 
@@ -297,7 +298,10 @@ def select_weight_assignments(
         batch_size = runtime.executor.jobs * 2
 
     l_g = max(cfg.l_g, len(sequence))
-    detection_time = sim.run(sequence.patterns, list(faults)).detection_time
+    with traced(runtime, "initial_simulation", faults=len(faults)):
+        detection_time = sim.run(
+            sequence.patterns, list(faults)
+        ).detection_time
     targets: Tuple[Fault, ...] = tuple(sorted(detection_time))
     remaining: Set[Fault] = set(targets)
 
@@ -312,141 +316,190 @@ def select_weight_assignments(
         u = max(detection_time[f] for f in remaining)
         at_u = {f for f in remaining if detection_time[f] == u}
 
-        for l_s in _ls_lengths(u, cfg.ls_schedule):
-            if not at_u:
-                break
-            weight_set.extend_from(sequence, u, l_s)
-            cands = candidate_sets(
-                sequence, u, weight_set, l_s, sort_by_matches=cfg.sort_by_matches
-            )
-            if cfg.promote:
-                cands = promote_full_length(cands, l_s)
-            if cfg.allow_random_weight:
-                cands = [list(a_i) + [random_candidate] for a_i in cands]
-
-            row_limit = max_rows(cands)
-            if cfg.max_rows_per_length is not None:
-                row_limit = min(row_limit, cfg.max_rows_per_length)
-
-            j = 0
-            while j < row_limit and at_u:
-                # Gather the next batch of candidate rows.  Row filters
-                # here are either pure (length rule) or speculative
-                # (the fully-simulated check is re-run at consume time);
-                # T_G generation uses the current Ω size for the random
-                # weight's rng fork — valid for every row up to and
-                # including the first state change, after which the
-                # batch is discarded and re-gathered anyway.
-                batch: List[_RowCandidate] = []
-                while j < row_limit and len(batch) < batch_size:
-                    row = assignment_row(cands, j)
-                    j += 1
-                    if not any(
-                        (not w.is_random) and w.length == l_s for w in row
-                    ):
-                        continue
-                    assignment = WeightAssignment(row)
-                    if assignment in fully_simulated:
-                        batch.append(_RowCandidate(j - 1, assignment, None))
-                        continue
-                    rng = (
-                        rng_root.fork(len(omega))
-                        if assignment.has_random
-                        else None
+        with traced(runtime, "target_time", u=u, pending=len(remaining)):
+            for l_s in _ls_lengths(u, cfg.ls_schedule):
+                if not at_u:
+                    break
+                with traced(runtime, "mine_candidates", u=u, l_s=l_s):
+                    weight_set.extend_from(sequence, u, l_s)
+                    cands = candidate_sets(
+                        sequence,
+                        u,
+                        weight_set,
+                        l_s,
+                        sort_by_matches=cfg.sort_by_matches,
                     )
-                    batch.append(
-                        _RowCandidate(j - 1, assignment, assignment.generate(l_g, rng))
-                    )
-                if not batch:
-                    continue
+                    if cfg.promote:
+                        cands = promote_full_length(cands, l_s)
+                    if cfg.allow_random_weight:
+                        cands = [
+                            list(a_i) + [random_candidate] for a_i in cands
+                        ]
 
-                # Screening shortcut: a sample including the target fault.
-                target = max(at_u)  # deterministic pick among ties
-                sample = _fault_sample(target, remaining, cfg.sample_size)
-                to_screen = [c for c in batch if c.t_g is not None]
-                if batch_size > 1 and len(to_screen) > 1:
-                    verdicts = sim.detects_any_batch(
-                        [c.t_g.patterns for c in to_screen], sample
-                    )
-                else:
-                    verdicts = [
-                        sim.detects_any(c.t_g.patterns, sample)
-                        for c in to_screen
-                    ]
-                verdict_of = dict(zip((id(c) for c in to_screen), verdicts))
+                    row_limit = max_rows(cands)
+                    if cfg.max_rows_per_length is not None:
+                        row_limit = min(row_limit, cfg.max_rows_per_length)
 
-                # Consume strictly in row order — serial semantics.
-                for pos, cand in enumerate(batch):
-                    stats.assignments_tried += 1
-                    if cand.assignment in fully_simulated:
-                        stats.duplicate_skips += 1
-                        continue
-                    stats.sample_screens += 1
-                    if not verdict_of[id(cand)]:
-                        stats.sample_skips += 1
-                        continue
-
-                    stats.full_simulations += 1
-                    fully_simulated.add(cand.assignment)
-                    result = sim.run(cand.t_g.patterns, sorted(remaining))
-                    if result.detection_time:
-                        detected = tuple(sorted(result.detection_time))
-                        omega.append(
-                            OmegaEntry(
-                                assignment=cand.assignment,
-                                detected=detected,
-                                u=u,
-                                l_s=l_s,
-                                row=cand.row,
+                with traced(
+                    runtime, "screen_rows", u=u, l_s=l_s, rows=row_limit
+                ):
+                    j = 0
+                    while j < row_limit and at_u:
+                        # Gather the next batch of candidate rows.  Row
+                        # filters here are either pure (length rule) or
+                        # speculative (the fully-simulated check is re-run
+                        # at consume time); T_G generation uses the current
+                        # Ω size for the random weight's rng fork — valid
+                        # for every row up to and including the first state
+                        # change, after which the batch is discarded and
+                        # re-gathered anyway.
+                        batch: List[_RowCandidate] = []
+                        while j < row_limit and len(batch) < batch_size:
+                            row = assignment_row(cands, j)
+                            j += 1
+                            if not any(
+                                (not w.is_random) and w.length == l_s
+                                for w in row
+                            ):
+                                continue
+                            assignment = WeightAssignment(row)
+                            if assignment in fully_simulated:
+                                batch.append(
+                                    _RowCandidate(j - 1, assignment, None)
+                                )
+                                continue
+                            rng = (
+                                rng_root.fork(len(omega))
+                                if assignment.has_random
+                                else None
                             )
-                        )
-                        remaining.difference_update(detected)
-                        at_u.difference_update(detected)
-                        # The state changed: every later speculative
-                        # verdict is stale.  Rewind and re-gather.
-                        discarded = len(batch) - pos - 1
-                        if discarded and runtime is not None:
-                            runtime.stats.speculative_discards += discarded
-                        j = cand.row + 1
-                        break
+                            batch.append(
+                                _RowCandidate(
+                                    j - 1,
+                                    assignment,
+                                    assignment.generate(l_g, rng),
+                                )
+                            )
+                        if not batch:
+                            continue
 
-            if at_u and l_s == u + 1:
-                # Safety net for ablation configurations (promotion off,
-                # row caps): the assignment of the mined length-(u+1)
-                # weights reproduces T exactly through time u, so it is
-                # guaranteed to detect everything still pending at u.
-                # With the paper's default configuration the promoted
-                # row 0 is this assignment and this branch never fires.
-                guarantee = WeightAssignment(
-                    [
-                        mine_weight(sequence.restrict(i), u, u + 1)
-                        for i in range(sequence.width)
-                    ]
-                )
-                stats.assignments_tried += 1
-                if guarantee not in fully_simulated:
-                    t_g = guarantee.generate(l_g)
-                    stats.full_simulations += 1
-                    fully_simulated.add(guarantee)
-                    result = sim.run(t_g.patterns, sorted(remaining))
-                    if result.detection_time:
-                        detected = tuple(sorted(result.detection_time))
-                        omega.append(
-                            OmegaEntry(
-                                assignment=guarantee,
-                                detected=detected,
+                        # Screening shortcut: a sample including the
+                        # target fault.
+                        target = max(at_u)  # deterministic pick among ties
+                        sample = _fault_sample(
+                            target, remaining, cfg.sample_size
+                        )
+                        to_screen = [c for c in batch if c.t_g is not None]
+                        if batch_size > 1 and len(to_screen) > 1:
+                            verdicts = sim.detects_any_batch(
+                                [c.t_g.patterns for c in to_screen], sample
+                            )
+                        else:
+                            verdicts = [
+                                sim.detects_any(c.t_g.patterns, sample)
+                                for c in to_screen
+                            ]
+                        verdict_of = dict(
+                            zip((id(c) for c in to_screen), verdicts)
+                        )
+
+                        # Consume strictly in row order — serial semantics.
+                        for pos, cand in enumerate(batch):
+                            stats.assignments_tried += 1
+                            if cand.assignment in fully_simulated:
+                                stats.duplicate_skips += 1
+                                continue
+                            stats.sample_screens += 1
+                            if not verdict_of[id(cand)]:
+                                stats.sample_skips += 1
+                                continue
+
+                            stats.full_simulations += 1
+                            fully_simulated.add(cand.assignment)
+                            result = sim.run(
+                                cand.t_g.patterns, sorted(remaining)
+                            )
+                            if result.detection_time:
+                                detected = tuple(
+                                    sorted(result.detection_time)
+                                )
+                                omega.append(
+                                    OmegaEntry(
+                                        assignment=cand.assignment,
+                                        detected=detected,
+                                        u=u,
+                                        l_s=l_s,
+                                        row=cand.row,
+                                    )
+                                )
+                                trace_event(
+                                    runtime,
+                                    "omega",
+                                    u=u,
+                                    l_s=l_s,
+                                    row=cand.row,
+                                    detected=len(detected),
+                                )
+                                remaining.difference_update(detected)
+                                at_u.difference_update(detected)
+                                # The state changed: every later
+                                # speculative verdict is stale.  Rewind
+                                # and re-gather.
+                                discarded = len(batch) - pos - 1
+                                if discarded and runtime is not None:
+                                    runtime.stats.speculative_discards += (
+                                        discarded
+                                    )
+                                j = cand.row + 1
+                                break
+
+                if at_u and l_s == u + 1:
+                    # Safety net for ablation configurations (promotion
+                    # off, row caps): the assignment of the mined
+                    # length-(u+1) weights reproduces T exactly through
+                    # time u, so it is guaranteed to detect everything
+                    # still pending at u.  With the paper's default
+                    # configuration the promoted row 0 is this assignment
+                    # and this branch never fires.
+                    guarantee = WeightAssignment(
+                        [
+                            mine_weight(sequence.restrict(i), u, u + 1)
+                            for i in range(sequence.width)
+                        ]
+                    )
+                    stats.assignments_tried += 1
+                    if guarantee not in fully_simulated:
+                        t_g = guarantee.generate(l_g)
+                        stats.full_simulations += 1
+                        fully_simulated.add(guarantee)
+                        result = sim.run(t_g.patterns, sorted(remaining))
+                        if result.detection_time:
+                            detected = tuple(sorted(result.detection_time))
+                            omega.append(
+                                OmegaEntry(
+                                    assignment=guarantee,
+                                    detected=detected,
+                                    u=u,
+                                    l_s=u + 1,
+                                    row=-1,
+                                )
+                            )
+                            trace_event(
+                                runtime,
+                                "omega",
                                 u=u,
                                 l_s=u + 1,
                                 row=-1,
+                                detected=len(detected),
                             )
+                            remaining.difference_update(detected)
+                            at_u.difference_update(detected)
+                    if at_u:
+                        raise ProcedureError(
+                            f"faults at detection time {u} survived the "
+                            f"exact replay of T[0..{u}]; simulator "
+                            "inconsistency"
                         )
-                        remaining.difference_update(detected)
-                        at_u.difference_update(detected)
-                if at_u:
-                    raise ProcedureError(
-                        f"faults at detection time {u} survived the exact "
-                        f"replay of T[0..{u}]; simulator inconsistency"
-                    )
 
     return ProcedureResult(
         omega=omega,

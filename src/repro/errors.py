@@ -49,6 +49,11 @@ class LintError(ReproError):
     """The lint subsystem was misused, or a strict lint gate failed."""
 
 
+class TraceError(ReproError):
+    """The trace subsystem was misused (unbalanced spans, malformed or
+    unreadable trace artifacts, unwritable output paths)."""
+
+
 class ResilienceError(ReproError):
     """The fault-tolerant runtime was misconfigured (retry policy,
     chaos specification, checkpoint journal)."""

@@ -29,6 +29,7 @@ from repro.core.report import Table6Row
 from repro.flows.full_flow import FlowConfig, FlowResult, run_full_flow
 from repro.obs.tradeoff import TradeoffRow, observation_point_tradeoff
 from repro.resilience.journal import flow_journal_key
+from repro.trace import trace_event, traced
 
 DEFAULT_SUITE: Tuple[str, ...] = ("s27", "g208", "g298", "g344", "g386")
 FULL_SUITE: Tuple[str, ...] = DEFAULT_SUITE + (
@@ -125,13 +126,15 @@ def table6_rows(
     """
     names = circuit_names or active_suite()
     rows: List[Table6Row] = []
-    for name in names:
-        row = _checkpointed_row(name, runtime)
-        if row is not None:
-            runtime.stats.journal_skips += 1
-            rows.append(row)
-            continue
-        rows.append(flow_for(name, runtime=runtime).table6)
+    with traced(runtime, "table6_sweep", circuits=len(names)):
+        for name in names:
+            row = _checkpointed_row(name, runtime)
+            if row is not None:
+                runtime.stats.journal_skips += 1
+                trace_event(runtime, "journal_skip", circuit=name)
+                rows.append(row)
+                continue
+            rows.append(flow_for(name, runtime=runtime).table6)
     return rows
 
 

@@ -38,6 +38,7 @@ from repro.sim.collapse import collapse_faults
 from repro.tgen.compaction import CompactionResult, compact_sequence
 from repro.tgen.random_tgen import GeneratedTest, generate_test_sequence
 from repro.tgen.sequence import TestSequence
+from repro.trace import trace_event, traced
 
 TGEN_MODES = ("random", "hybrid")
 """Accepted values for :attr:`FlowConfig.tgen_mode`."""
@@ -146,6 +147,16 @@ def run_full_flow(
         )
     if isinstance(circuit, str):
         circuit = load_circuit(circuit)
+    with traced(
+        runtime, "full_flow", circuit=circuit.name, tgen_mode=cfg.tgen_mode
+    ):
+        return _run_stages(circuit, cfg, runtime)
+
+
+def _run_stages(
+    circuit: Circuit, cfg: FlowConfig, runtime
+) -> FlowResult:
+    """The flow body, stage by stage (span-per-stage when traced)."""
     if runtime is not None:
         # Static gate before any simulation: under a "warn"/"strict"
         # lint policy a structurally suspect circuit is reported (or
@@ -156,23 +167,29 @@ def run_full_flow(
     timings: Dict[str, float] = {}
 
     t0 = time.perf_counter()
-    if cfg.tgen_mode == "hybrid":
-        from repro.atpg.driver import hybrid_test_sequence
+    with traced(runtime, "test_generation", mode=cfg.tgen_mode):
+        if cfg.tgen_mode == "hybrid":
+            from repro.atpg.driver import hybrid_test_sequence
 
-        generated = hybrid_test_sequence(
-            circuit,
-            faults,
-            seed=cfg.seed,
-            random_max_len=cfg.tgen_max_len,
-            compiled=comp,
-        )
-    elif cfg.tgen_mode == "random":
-        generated = generate_test_sequence(
-            circuit, faults, seed=cfg.seed, max_len=cfg.tgen_max_len, compiled=comp
-        )
-    else:
-        raise ReproError(f"unknown tgen_mode {cfg.tgen_mode!r}")
+            generated = hybrid_test_sequence(
+                circuit,
+                faults,
+                seed=cfg.seed,
+                random_max_len=cfg.tgen_max_len,
+                compiled=comp,
+            )
+        elif cfg.tgen_mode == "random":
+            generated = generate_test_sequence(
+                circuit, faults, seed=cfg.seed, max_len=cfg.tgen_max_len,
+                compiled=comp,
+            )
+        else:
+            raise ReproError(f"unknown tgen_mode {cfg.tgen_mode!r}")
     timings["test_generation"] = time.perf_counter() - t0
+    trace_event(
+        runtime, "stage", name="test_generation",
+        length=len(generated.sequence), detected=len(generated.detected),
+    )
     if not generated.detected:
         raise ReproError(
             f"test generation detected no faults on {circuit.name}; "
@@ -183,28 +200,41 @@ def run_full_flow(
     sequence = generated.sequence
     if cfg.compaction_sims > 0:
         t0 = time.perf_counter()
-        compaction = compact_sequence(
-            circuit,
-            sequence,
-            generated.detected,
-            max_simulations=cfg.compaction_sims,
-            compiled=comp,
-            runtime=runtime,
-        )
+        with traced(runtime, "compaction", budget=cfg.compaction_sims):
+            compaction = compact_sequence(
+                circuit,
+                sequence,
+                generated.detected,
+                max_simulations=cfg.compaction_sims,
+                compiled=comp,
+                runtime=runtime,
+            )
         sequence = compaction.sequence
         timings["compaction"] = time.perf_counter() - t0
+        trace_event(
+            runtime, "stage", name="compaction", length=len(sequence)
+        )
 
     t0 = time.perf_counter()
-    procedure = select_weight_assignments(
-        circuit, sequence, faults, cfg.procedure, compiled=comp, runtime=runtime
-    )
+    with traced(runtime, "procedure", l_g=cfg.procedure.l_g):
+        procedure = select_weight_assignments(
+            circuit, sequence, faults, cfg.procedure, compiled=comp,
+            runtime=runtime,
+        )
     timings["procedure"] = time.perf_counter() - t0
+    trace_event(
+        runtime, "stage", name="procedure", omega=len(procedure.omega)
+    )
 
     t0 = time.perf_counter()
-    reverse_order = reverse_order_simulation(
-        circuit, procedure, comp, runtime=runtime
-    )
+    with traced(runtime, "reverse_order"):
+        reverse_order = reverse_order_simulation(
+            circuit, procedure, comp, runtime=runtime
+        )
     timings["reverse_order"] = time.perf_counter() - t0
+    trace_event(
+        runtime, "stage", name="reverse_order", kept=len(reverse_order.kept)
+    )
 
     table6 = build_table6_row(circuit.name, sequence, procedure, reverse_order)
 
@@ -212,13 +242,17 @@ def run_full_flow(
     verified: Optional[bool] = None
     if cfg.synthesize_hardware and reverse_order.kept:
         t0 = time.perf_counter()
-        tpg = synthesize_tpg(
-            list(reverse_order.kept), procedure.l_g, circuit.inputs
-        )
-        if runtime is not None:
-            runtime.lint_design(tpg)
-        verified = verify_tpg(tpg).ok
+        with traced(runtime, "hardware"):
+            tpg = synthesize_tpg(
+                list(reverse_order.kept), procedure.l_g, circuit.inputs
+            )
+            if runtime is not None:
+                runtime.lint_design(tpg)
+            verified = verify_tpg(tpg).ok
         timings["hardware"] = time.perf_counter() - t0
+        trace_event(
+            runtime, "stage", name="hardware", verified=bool(verified)
+        )
 
     if runtime is not None:
         for stage, seconds in timings.items():

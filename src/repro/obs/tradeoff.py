@@ -24,6 +24,7 @@ from repro.obs.oppoints import compute_op_sets
 from repro.obs.selection import greedy_select
 from repro.sim.compile import CompiledCircuit, compile_circuit
 from repro.sim.faults import Fault
+from repro.trace import traced
 from repro.util.tables import format_table
 
 
@@ -86,7 +87,8 @@ def observation_point_tradeoff(
         cached / parallel fault simulation.
     """
     comp = compiled or compile_circuit(circuit)
-    picks = greedy_select(circuit, procedure, comp, runtime=runtime)
+    with traced(runtime, "greedy_select", circuit=circuit.name):
+        picks = greedy_select(circuit, procedure, comp, runtime=runtime)
     if max_prefix is not None:
         picks = picks[:max_prefix]
     n_targets = len(procedure.target_faults)
@@ -101,39 +103,43 @@ def observation_point_tradeoff(
         undetected = [f for f in procedure.target_faults if f not in covered]
         fe = 100.0 * len(covered) / n_targets
 
-        if undetected:
-            op_sets = compute_op_sets(
-                circuit,
-                assignments,
-                undetected,
-                procedure.l_g,
-                compiled=comp,
-                runtime=runtime,
-            )
-            cover = greedy_cover(op_sets)
-            n_obs = len(cover.lines)
-            fe_obs = 100.0 * (len(covered) + len(cover.covered)) / n_targets
-            obs_lines = cover.lines
-        else:
-            n_obs = 0
-            fe_obs = 100.0
-            obs_lines = ()
+        with traced(runtime, "tradeoff_row", k=k, undetected=len(undetected)):
+            if undetected:
+                with traced(runtime, "op_sets", k=k):
+                    op_sets = compute_op_sets(
+                        circuit,
+                        assignments,
+                        undetected,
+                        procedure.l_g,
+                        compiled=comp,
+                        runtime=runtime,
+                    )
+                cover = greedy_cover(op_sets)
+                n_obs = len(cover.lines)
+                fe_obs = (
+                    100.0 * (len(covered) + len(cover.covered)) / n_targets
+                )
+                obs_lines = cover.lines
+            else:
+                n_obs = 0
+                fe_obs = 100.0
+                obs_lines = ()
 
-        distinct: Set[Weight] = set()
-        for assignment in assignments:
-            distinct.update(assignment.deterministic_weights())
+            distinct: Set[Weight] = set()
+            for assignment in assignments:
+                distinct.update(assignment.deterministic_weights())
 
-        rows.append(
-            TradeoffRow(
-                n_sequences=k,
-                n_subsequences=len(distinct),
-                max_length=max((w.length for w in distinct), default=0),
-                fault_efficiency=fe,
-                n_observation_points=n_obs,
-                fault_efficiency_with_obs=fe_obs,
-                observation_points=obs_lines,
+            rows.append(
+                TradeoffRow(
+                    n_sequences=k,
+                    n_subsequences=len(distinct),
+                    max_length=max((w.length for w in distinct), default=0),
+                    fault_efficiency=fe,
+                    n_observation_points=n_obs,
+                    fault_efficiency_with_obs=fe_obs,
+                    observation_points=obs_lines,
+                )
             )
-        )
         if stop_at_full and not undetected:
             break
     return rows

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.metrics import RuntimeStats
+    from repro.trace.span import Tracer
 
 JOURNAL_FORMAT = 1
 """Version of the journal layout.  Journals written under a different
@@ -64,15 +65,20 @@ class CheckpointJournal:
     stats:
         Optional :class:`~repro.runtime.metrics.RuntimeStats` to count
         ``journal_records`` into.
+    tracer:
+        Optional :class:`~repro.trace.span.Tracer`; successful
+        checkpoint writes then fire a ``checkpoint`` trace event.
     """
 
     def __init__(
         self,
         path: str | Path,
         stats: Optional["RuntimeStats"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.path = Path(path)
         self.stats = stats
+        self.tracer = tracer
         self._entries: Optional[Dict[str, dict]] = None
 
     # -- disk ---------------------------------------------------------------
@@ -147,8 +153,11 @@ class CheckpointJournal:
             merged.update(self._entries)
         merged[key] = payload
         self._entries = merged
-        if self._write(merged) and self.stats is not None:
-            self.stats.journal_records += 1
+        if self._write(merged):
+            if self.stats is not None:
+                self.stats.journal_records += 1
+            if self.tracer is not None:
+                self.tracer.event("checkpoint", key=key)
 
     def keys(self) -> List[str]:
         """Checkpointed keys, sorted."""

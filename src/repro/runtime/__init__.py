@@ -19,6 +19,10 @@ result:
   policies for crashed/hung workers, graceful degradation to serial
   execution, atomic checkpoint journals for ``--resume``, and the
   deterministic chaos-injection harness that tests all of it.
+* :mod:`repro.trace` (``Tracer`` re-exported here) — hierarchical span
+  tracing and the structured event log; pass ``trace=True`` to the
+  context and every phase of a flow is attributed wall/CPU time and
+  counter deltas.
 
 Entry point: build a :class:`RuntimeContext` and pass it down —
 ``run_full_flow(circuit, runtime=rt)``, ``FaultSimulator(circuit,
@@ -54,8 +58,10 @@ from repro.runtime.keys import (
     stimulus_fingerprint,
 )
 from repro.runtime.metrics import RuntimeStats
+from repro.trace.span import Tracer
 
 __all__ = [
+    "Tracer",
     "ArtifactCache",
     "CACHE_FORMAT",
     "CacheIntegrityWarning",

@@ -29,11 +29,14 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.resilience.chaos import ChaosSpec
 from repro.runtime.keys import CACHE_FORMAT
 from repro.runtime.metrics import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.span import Tracer
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 """Default cache size cap (256 MiB)."""
@@ -72,6 +75,11 @@ class ArtifactCache:
         non-zero, freshly written entries are deterministically
         truncated (seeded on the entry key) to exercise the
         discard-and-recompute path.
+    tracer:
+        Optional :class:`~repro.trace.span.Tracer`; cache stores,
+        discards, evictions and chaos injections then fire runtime
+        trace events.  (Hit/miss events are fired by the simulator
+        callers, which know what a lookup *means*.)
     """
 
     def __init__(
@@ -80,11 +88,17 @@ class ArtifactCache:
         max_bytes: int = DEFAULT_MAX_BYTES,
         stats: RuntimeStats | None = None,
         chaos: ChaosSpec | None = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.max_bytes = max_bytes
         self.stats = stats if stats is not None else RuntimeStats()
         self.chaos = chaos
+        self.tracer = tracer
+
+    def _event(self, kind: str, **attrs: object) -> None:
+        if self.tracer is not None:
+            self.tracer.event(kind, **attrs)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
@@ -144,6 +158,7 @@ class ArtifactCache:
                 pass
             return
         self.stats.cache_stores += 1
+        self._event("cache_store", key=key)
         self._vandalize(path, key)
         self._enforce_cap()
 
@@ -160,6 +175,7 @@ class ArtifactCache:
         except OSError:
             return
         self.stats.chaos_injections += 1
+        self._event("cache_chaos", key=key)
 
     # -- maintenance --------------------------------------------------------
 
@@ -175,6 +191,7 @@ class ArtifactCache:
         except OSError:
             return
         self.stats.cache_discards += 1
+        self._event("cache_discard", entry=path.name, reason=reason)
 
     def _enforce_cap(self) -> None:
         try:
@@ -193,6 +210,7 @@ class ArtifactCache:
             except OSError:
                 continue
             self.stats.cache_evictions += 1
+            self._event("cache_evict", entry=path.name)
             total -= size
             if total <= self.max_bytes:
                 break

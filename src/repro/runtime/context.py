@@ -29,6 +29,7 @@ from repro.runtime.cache import (
 )
 from repro.runtime.executor import make_executor
 from repro.runtime.metrics import RuntimeStats
+from repro.trace.span import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuit.netlist import Circuit
@@ -91,6 +92,16 @@ class RuntimeContext:
         (every completed flow checkpoints its Table-6 row atomically),
         so an interrupted sweep is resumable even if it was not
         started with ``resume=True``.
+    trace:
+        Attach a fresh :class:`~repro.trace.span.Tracer` to this
+        context.  Everything runtime-aware then attributes its work to
+        hierarchical spans and fires structured events (cache traffic,
+        executor recovery, checkpoint writes); read the result from
+        :attr:`tracer` after the flow and export it with
+        :mod:`repro.trace.export`.  Tracing never changes results.
+    tracer:
+        Use an existing tracer instead of creating one (implies
+        tracing; ``trace`` is then ignored).
     """
 
     def __init__(
@@ -107,6 +118,8 @@ class RuntimeContext:
         max_pool_rebuilds: int = 3,
         chaos: Union[ChaosSpec, str, None] = None,
         resume: bool = False,
+        trace: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         # Validate every knob *before* any worker pool exists, so a
         # configuration error can never leak a ProcessPoolExecutor.
@@ -127,8 +140,12 @@ class RuntimeContext:
         self.lint_policy = lint
         self.resume = resume
         self.stats = stats if stats is not None else RuntimeStats()
+        self.tracer: Optional[Tracer] = tracer
+        if trace and self.tracer is None:
+            self.tracer = Tracer(stats=self.stats)
         self.executor = make_executor(
-            jobs, self.stats, policy=self.policy, chaos=chaos
+            jobs, self.stats, policy=self.policy, chaos=chaos,
+            tracer=self.tracer,
         )
         self.stats.jobs = self.executor.jobs
         try:
@@ -139,6 +156,7 @@ class RuntimeContext:
                     max_bytes=max_cache_bytes,
                     stats=self.stats,
                     chaos=chaos,
+                    tracer=self.tracer,
                 )
             self.journal: Optional[CheckpointJournal] = None
             if self.cache is not None or resume:
@@ -152,7 +170,9 @@ class RuntimeContext:
                     )
                 )
                 self.journal = CheckpointJournal(
-                    root / "checkpoints" / "journal.json", stats=self.stats
+                    root / "checkpoints" / "journal.json",
+                    stats=self.stats,
+                    tracer=self.tracer,
                 )
         except BaseException:
             self.executor.close()

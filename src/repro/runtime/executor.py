@@ -50,6 +50,7 @@ from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -59,9 +60,12 @@ from typing import (
     Tuple,
 )
 
-from repro.resilience.chaos import ChaosSpec, chaos_call
+from repro.resilience.chaos import ChaosSpec, chaos_call, task_digest
 from repro.resilience.policy import RetryPolicy
 from repro.runtime.metrics import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.span import Tracer
 
 #: Per-worker-process memo of compiled fault simulators, keyed by a
 #: digest of the circuit's ``.bench`` text.
@@ -136,8 +140,17 @@ class SerialExecutor:
 
     jobs = 1
 
-    def __init__(self, stats: RuntimeStats | None = None) -> None:
+    def __init__(
+        self,
+        stats: RuntimeStats | None = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
         self.stats = stats if stats is not None else RuntimeStats()
+        self.tracer = tracer
+
+    def _add_task_span(self, label: str, task: Any, busy_s: float) -> None:
+        if self.tracer is not None:
+            self.tracer.add_task_span(label, task_digest(task), busy_s)
 
     def run_fault_groups(
         self,
@@ -150,9 +163,11 @@ class SerialExecutor:
         """Simulate each fault group; per-group results in group order."""
         out = []
         for group in groups:
-            result, _ = _run_group_task(
-                (bench_text, stimulus, group, record_lines, stop_when_all_detected)
+            task = (
+                bench_text, stimulus, group, record_lines, stop_when_all_detected
             )
+            result, elapsed = _run_group_task(task)
+            self._add_task_span("fault_group", task, elapsed)
             out.append(result)
         return out
 
@@ -160,10 +175,13 @@ class SerialExecutor:
         self, bench_text: str, stimuli: Sequence, sample: Sequence
     ) -> List[bool]:
         """Screen each stimulus against ``sample``; verdicts in order."""
-        return [
-            _screen_task((bench_text, stimulus, sample))[0]
-            for stimulus in stimuli
-        ]
+        out = []
+        for stimulus in stimuli:
+            task = (bench_text, stimulus, sample)
+            verdict, elapsed = _screen_task(task)
+            self._add_task_span("screen", task, elapsed)
+            out.append(verdict)
+        return out
 
     def close(self) -> None:
         """Nothing to release."""
@@ -196,6 +214,7 @@ class ProcessExecutor:
         stats: RuntimeStats | None = None,
         policy: RetryPolicy | None = None,
         chaos: ChaosSpec | None = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if jobs < 2:
             raise ValueError(f"ProcessExecutor needs jobs >= 2, got {jobs}")
@@ -203,9 +222,14 @@ class ProcessExecutor:
         self.stats = stats if stats is not None else RuntimeStats()
         self.policy = policy if policy is not None else RetryPolicy()
         self.chaos = chaos
+        self.tracer = tracer
         self._pool: Optional[_ProcessPool] = None
         self._rebuilds = 0
         self._degraded = False
+
+    def _event(self, kind: str, **attrs: object) -> None:
+        if self.tracer is not None:
+            self.tracer.event(kind, **attrs)
 
     @property
     def degraded(self) -> bool:
@@ -234,21 +258,23 @@ class ProcessExecutor:
                 pass
         self.stats.pool_rebuilds += 1
         self._rebuilds += 1
+        self._event("pool_rebuild", rebuilds=self._rebuilds)
         if (
             self._rebuilds >= self.policy.max_pool_rebuilds
             and not self._degraded
         ):
             self._degraded = True
             self.stats.executor_degradations += 1
+            self._event("executor_degraded", rebuilds=self._rebuilds)
 
     # -- the fault-tolerant fan-out -----------------------------------------
 
     def _map(
-        self, fn: TaskFn, tasks: List[Any], validate: Validator
+        self, fn: TaskFn, tasks: List[Any], validate: Validator, label: str
     ) -> List[Any]:
         """Run every task; results in task order, whatever fails."""
         results: List[Any] = [_UNSET] * len(tasks)
-        busy = [0.0]
+        busy = [0.0] * len(tasks)
         t0 = time.perf_counter()
         try:
             self._run_all(fn, tasks, results, busy, validate)
@@ -256,8 +282,13 @@ class ProcessExecutor:
             # Fan-out accounting must survive task exceptions — a
             # failed batch still dispatched work and burnt wall time.
             self.stats.record_fanout(
-                time.perf_counter() - t0, busy[0], len(tasks)
+                time.perf_counter() - t0, sum(busy), len(tasks)
             )
+            # Task spans are merged in *task order* with stable keys,
+            # so the trace is independent of scheduling and PIDs.
+            if self.tracer is not None:
+                for task, task_busy in zip(tasks, busy):
+                    self.tracer.add_task_span(label, task_digest(task), task_busy)
         return results
 
     def _run_all(
@@ -306,6 +337,7 @@ class ProcessExecutor:
             ]
         except BrokenProcessPool:
             self.stats.worker_crashes += 1
+            self._event("worker_crash", at="dispatch")
             self._retire_pool()
             return list(pending), []
 
@@ -339,6 +371,7 @@ class ProcessExecutor:
                 # Hung worker: abandon the pool (the only way to
                 # reclaim the process) and retry the victim.
                 self.stats.task_timeouts += 1
+                self._event("task_timeout", task=task_digest(tasks[i]))
                 blamed.append(i)
                 broken = True
                 self._retire_pool()
@@ -346,6 +379,7 @@ class ProcessExecutor:
             except BrokenProcessPool:
                 # A worker died; every unfinished task is suspect.
                 self.stats.worker_crashes += 1
+                self._event("worker_crash", task=task_digest(tasks[i]))
                 blamed.append(i)
                 broken = True
                 self._retire_pool()
@@ -369,9 +403,10 @@ class ProcessExecutor:
     ) -> None:
         if validate(result):
             results[i] = result
-            busy[0] += elapsed
+            busy[i] = elapsed
         else:
             self.stats.corrupt_results += 1
+            self._event("corrupt_result", index=i)
             blamed.append(i)
 
     def _settle(
@@ -393,6 +428,11 @@ class ProcessExecutor:
                 self._run_inline(fn, tasks[i], results, busy, i)
             else:
                 self.stats.task_retries += 1
+                self._event(
+                    "task_retry",
+                    task=task_digest(tasks[i]),
+                    attempt=attempts[i],
+                )
                 still.append(i)
                 worst = max(worst, attempts[i])
         if still and worst:
@@ -411,9 +451,10 @@ class ProcessExecutor:
     ) -> None:
         """Serial replay: the same pure function on the same payload —
         the result is what the pool would have produced."""
+        self._event("serial_replay", task=task_digest(task))
         result, elapsed = fn(task)
         results[i] = result
-        busy[0] += elapsed
+        busy[i] = elapsed
         self.stats.serial_fallback_tasks += 1
 
     # -- the work shapes ----------------------------------------------------
@@ -431,14 +472,16 @@ class ProcessExecutor:
             (bench_text, stimulus, group, record_lines, stop_when_all_detected)
             for group in groups
         ]
-        return self._map(_run_group_task, tasks, _valid_group_result)
+        return self._map(
+            _run_group_task, tasks, _valid_group_result, "fault_group"
+        )
 
     def screen_batch(
         self, bench_text: str, stimuli: Sequence, sample: Sequence
     ) -> List[bool]:
         """Screen stimuli on the pool; verdicts in task order."""
         tasks = [(bench_text, stimulus, sample) for stimulus in stimuli]
-        return self._map(_screen_task, tasks, _valid_screen_result)
+        return self._map(_screen_task, tasks, _valid_screen_result, "screen")
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -458,10 +501,11 @@ def make_executor(
     stats: RuntimeStats | None = None,
     policy: RetryPolicy | None = None,
     chaos: ChaosSpec | None = None,
+    tracer: Optional["Tracer"] = None,
 ):
     """A :class:`SerialExecutor` for ``jobs <= 1``, else a
     :class:`ProcessExecutor` under ``policy`` (and, for tests of the
     recovery paths, ``chaos``)."""
     if jobs <= 1:
-        return SerialExecutor(stats)
-    return ProcessExecutor(jobs, stats, policy=policy, chaos=chaos)
+        return SerialExecutor(stats, tracer=tracer)
+    return ProcessExecutor(jobs, stats, policy=policy, chaos=chaos, tracer=tracer)

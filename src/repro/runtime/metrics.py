@@ -156,6 +156,20 @@ class RuntimeStats:
         self.worker_busy_s += busy_s
         self.tasks_dispatched += tasks
 
+    def snapshot(self) -> Dict[str, float]:
+        """The current value of every counter, for span delta accounting.
+
+        Configuration (``jobs``) and the named timers are excluded —
+        they are not monotonic work counters, so a delta of them means
+        nothing.
+        """
+        out: Dict[str, float] = {}
+        for name, value in vars(self).items():
+            if name in ("jobs", "timers"):
+                continue
+            out[name] = float(value)
+        return out
+
     # -- rendering ----------------------------------------------------------
 
     def format(self) -> str:

@@ -50,6 +50,7 @@ from repro.sim.compile import (
 )
 from repro.sim.faults import Fault, fault_name, validate_fault
 from repro.sim.values import V0, V1, VX, Value
+from repro.trace import trace_event
 
 GROUP_FAULTS = 63
 """Faulty machines per simulation word (bit 0 is the good machine)."""
@@ -405,8 +406,10 @@ class FaultSimulator:
                 result = _result_from_payload(payload, faults, record_lines)
                 if result is not None:
                     ctx.stats.full_sim_hits += 1
+                    trace_event(ctx, "cache_hit", op="run", key=key)
                     return result
             ctx.stats.cache_misses += 1
+            trace_event(ctx, "cache_miss", op="run", key=key)
         result = self._simulate(
             stimulus, faults, record_lines, stop_when_all_detected, ctx
         )
@@ -520,8 +523,10 @@ class FaultSimulator:
             payload = ctx.cache.get(key)
             if payload is not None and isinstance(payload.get("detects"), bool):
                 ctx.stats.screen_hits += 1
+                trace_event(ctx, "cache_hit", op="screen", key=key)
                 return payload["detects"]
             ctx.stats.cache_misses += 1
+            trace_event(ctx, "cache_miss", op="screen", key=key)
         verdict = self._screen(stimulus, faults)
         if ctx is not None:
             ctx.stats.screen_simulations += 1
@@ -572,8 +577,10 @@ class FaultSimulator:
                 if payload is not None and isinstance(payload.get("detects"), bool):
                     verdicts[i] = payload["detects"]
                     ctx.stats.screen_hits += 1
+                    trace_event(ctx, "cache_hit", op="screen", key=key)
                 else:
                     ctx.stats.cache_misses += 1
+                    trace_event(ctx, "cache_miss", op="screen", key=key)
                     pending.append(i)
         else:
             pending = list(range(len(stimuli)))

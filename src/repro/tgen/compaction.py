@@ -23,6 +23,7 @@ from repro.sim.compile import CompiledCircuit, compile_circuit
 from repro.sim.faults import Fault
 from repro.sim.faultsim import FaultSimulator
 from repro.tgen.sequence import TestSequence
+from repro.trace import traced
 
 
 @dataclass(frozen=True)
@@ -95,33 +96,40 @@ def compact_sequence(
     if not faults or not len(sequence):
         return CompactionResult(sequence, original_length, len(sequence), 0)
 
-    # Free truncation: nothing after the last detection time is useful.
-    result = sim.run(sequence.patterns, faults)
-    checks += 1
-    if result.undetected:
-        raise ValueError(
-            f"sequence does not detect {len(result.undetected)} of the target faults"
-        )
-    last_needed = max(result.detection_time.values())
-    current = sequence.prefix(last_needed + 1)
-
-    block = max(1, len(current) // 2)
-    while block >= 1 and checks < max_simulations:
-        start = len(current) - block
-        progressed = False
-        while start >= 0 and checks < max_simulations:
-            candidate = TestSequence(
-                current.patterns[:start] + current.patterns[start + block :]
+    with traced(
+        runtime,
+        "static_compaction",
+        length=original_length,
+        budget=max_simulations,
+    ):
+        # Free truncation: nothing after the last detection time is useful.
+        result = sim.run(sequence.patterns, faults)
+        checks += 1
+        if result.undetected:
+            raise ValueError(
+                f"sequence does not detect {len(result.undetected)} of the "
+                "target faults"
             )
-            if len(candidate) and detects_all(candidate):
-                current = candidate
-                progressed = True
-                start -= block
-            else:
-                start -= max(1, block // 2) if block > 1 else 1
-        if block == 1 and not progressed:
-            break
-        block //= 2
+        last_needed = max(result.detection_time.values())
+        current = sequence.prefix(last_needed + 1)
+
+        block = max(1, len(current) // 2)
+        while block >= 1 and checks < max_simulations:
+            start = len(current) - block
+            progressed = False
+            while start >= 0 and checks < max_simulations:
+                candidate = TestSequence(
+                    current.patterns[:start] + current.patterns[start + block :]
+                )
+                if len(candidate) and detects_all(candidate):
+                    current = candidate
+                    progressed = True
+                    start -= block
+                else:
+                    start -= max(1, block // 2) if block > 1 else 1
+            if block == 1 and not progressed:
+                break
+            block //= 2
 
     return CompactionResult(
         sequence=current,

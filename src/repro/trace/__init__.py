@@ -1,0 +1,119 @@
+"""Trace-driven observability for the repro flows.
+
+The package records *where* a run spent its effort: a hierarchical
+span tree (:class:`~repro.trace.span.Tracer`) attributing wall time,
+CPU time and runtime-counter deltas to each phase of the Section-4
+flow, plus a structured event log capturing cache traffic, executor
+recovery, chaos injections and checkpoint writes.
+
+Instrumented code never talks to a tracer directly — it goes through
+the two helpers below, which are no-ops when tracing is off:
+
+>>> with traced(runtime, "mine_candidates", u=u, l_s=l_s):
+...     candidates = ...
+>>> trace_event(runtime, "omega", u=u, row=row)
+
+``runtime`` here is anything with an optional ``tracer`` attribute
+(a :class:`~repro.runtime.context.RuntimeContext`) — or ``None``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Optional
+
+from repro.trace.compare import (
+    PhaseDelta,
+    compare_phases,
+    load_phases,
+    phase_durations,
+    regressions,
+    write_phases,
+)
+from repro.trace.events import (
+    DETERMINISTIC_KINDS,
+    EVENT_KINDS,
+    RUNTIME_KINDS,
+    TRACE_FORMAT,
+    TraceEvent,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.trace.export import (
+    EXPORT_FORMATS,
+    chrome_trace,
+    export_trace,
+    load_trace,
+    render_text,
+    trace_payload,
+)
+from repro.trace.normalize import (
+    normalize_events,
+    normalize_span,
+    normalize_trace,
+    normalized_json,
+)
+from repro.trace.span import ROOT_SPAN_ID, Span, Tracer, span_id_for
+
+__all__ = [
+    "DETERMINISTIC_KINDS",
+    "EVENT_KINDS",
+    "EXPORT_FORMATS",
+    "PhaseDelta",
+    "ROOT_SPAN_ID",
+    "RUNTIME_KINDS",
+    "Span",
+    "TRACE_FORMAT",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "compare_phases",
+    "export_trace",
+    "load_phases",
+    "load_trace",
+    "normalize_events",
+    "normalize_span",
+    "normalize_trace",
+    "normalized_json",
+    "phase_durations",
+    "read_events_jsonl",
+    "regressions",
+    "render_text",
+    "span_id_for",
+    "trace_event",
+    "trace_payload",
+    "traced",
+    "tracer_of",
+    "write_events_jsonl",
+    "write_phases",
+]
+
+
+def tracer_of(runtime: object) -> Optional[Tracer]:
+    """The tracer attached to ``runtime``, if any (``runtime`` may be None)."""
+    return getattr(runtime, "tracer", None)
+
+
+def traced(
+    runtime: object,
+    name: str,
+    **attrs: object,
+) -> ContextManager[Optional[Span]]:
+    """A flow span under ``runtime``'s tracer, or a no-op without one."""
+    tracer = tracer_of(runtime)
+    if tracer is None:
+        return nullcontext(None)
+
+    @contextmanager
+    def _span() -> Iterator[Optional[Span]]:
+        with tracer.span(name, **attrs) as span:
+            yield span
+
+    return _span()
+
+
+def trace_event(runtime: object, kind: str, **attrs: object) -> None:
+    """Fire a trace event under ``runtime``'s tracer; no-op without one."""
+    tracer = tracer_of(runtime)
+    if tracer is not None:
+        tracer.event(kind, **attrs)

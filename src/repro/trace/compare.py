@@ -1,0 +1,142 @@
+"""Per-phase timing comparison for the perf-regression harness.
+
+The benchmark harness stores, per run, the wall seconds of each flow
+phase (``{"phases": {"procedure": 12.3, ...}}``).  A later run compares
+against that artifact with :func:`compare_phases`: a phase *regresses*
+when its duration grows beyond ``tolerance`` (a fraction, default 25%)
+**and** the growth is at least ``min_seconds`` — tiny phases jitter by
+large ratios without meaning anything.
+
+Phase durations come from the trace itself via
+:func:`phase_durations`, which aggregates ``flow``-category spans by
+name (many ``mine_candidates`` spans, one total).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import TraceError
+from repro.trace.span import Span
+
+DEFAULT_TOLERANCE = 0.25
+"""Allowed fractional growth of a phase before it counts as a regression."""
+
+DEFAULT_MIN_SECONDS = 0.05
+"""Absolute growth floor: smaller deltas are noise, never regressions."""
+
+
+def phase_durations(root: Span) -> Dict[str, float]:
+    """Total wall seconds per ``flow``-span name across the tree."""
+    totals: Dict[str, float] = {}
+    for span in root.walk():
+        if span.category != "flow":
+            continue
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration_s
+    return totals
+
+
+def load_phases(path: Union[str, Path]) -> Dict[str, float]:
+    """Read a per-phase timing artifact.
+
+    Accepts both the benchmark artifact form (``{"phases": {...}}``,
+    possibly with extra bookkeeping keys) and a full JSON trace
+    artifact (``{"format": 1, "spans": ...}``), so ``repro trace
+    compare`` works against either.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"baseline not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise TraceError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise TraceError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceError(f"{path} is not a timing artifact (not an object)")
+    if "spans" in payload:
+        from repro.trace.export import load_trace
+
+        root, _ = load_trace(path)
+        return phase_durations(root)
+    phases = payload.get("phases")
+    if not isinstance(phases, dict):
+        raise TraceError(
+            f"{path} has no 'phases' table and is not a trace artifact"
+        )
+    try:
+        return {str(name): float(value) for name, value in phases.items()}
+    except (TypeError, ValueError) as exc:
+        raise TraceError(f"{path}: malformed phase table: {exc}") from exc
+
+
+def write_phases(
+    phases: Dict[str, float], path: Union[str, Path], **extra: object
+) -> None:
+    """Write a per-phase timing artifact for later comparison."""
+    payload: Dict[str, object] = {"phases": dict(phases)}
+    payload.update(extra)
+    try:
+        Path(path).write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+    except OSError as exc:
+        raise TraceError(f"cannot write {path}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's baseline-vs-current comparison."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (``inf`` for a phase new in current)."""
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.current_s > 0.0 else 1.0
+        return self.current_s / self.baseline_s
+
+    def format(self) -> str:
+        """One human-readable comparison line."""
+        flag = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name:<24} {self.baseline_s:>9.3f}s -> "
+            f"{self.current_s:>9.3f}s  x{self.ratio:5.2f}  {flag}"
+        )
+
+
+def compare_phases(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[PhaseDelta]:
+    """Compare two phase tables; sorted by name, regressions flagged.
+
+    A phase present only in ``current`` is compared against a zero
+    baseline (it regresses only if it alone exceeds ``min_seconds``);
+    a phase present only in ``baseline`` shows as dropping to zero.
+    """
+    if tolerance < 0.0:
+        raise TraceError(f"tolerance must be >= 0, got {tolerance}")
+    deltas: List[PhaseDelta] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = float(baseline.get(name, 0.0))
+        cur = float(current.get(name, 0.0))
+        grew = cur - base
+        regressed = grew > max(base * tolerance, min_seconds)
+        deltas.append(
+            PhaseDelta(name=name, baseline_s=base, current_s=cur, regressed=regressed)
+        )
+    return deltas
+
+
+def regressions(deltas: List[PhaseDelta]) -> List[PhaseDelta]:
+    """The flagged subset of :func:`compare_phases` output."""
+    return [d for d in deltas if d.regressed]

@@ -1,0 +1,200 @@
+"""Trace exporters: human text tree, JSON payload, Chrome trace events.
+
+Three views of the same trace:
+
+* :func:`render_text` — indented tree with wall/CPU seconds and the
+  per-span counter deltas; what ``repro trace show`` prints.
+* :func:`trace_payload` / :func:`write_trace` — the canonical JSON
+  artifact (versioned with
+  :data:`~repro.trace.events.TRACE_FORMAT`); round-trips through
+  :func:`load_trace`.
+* :func:`chrome_trace` — the Chrome trace-event format (`Trace Event
+  Format`_, the JSON object form with a ``traceEvents`` array) that
+  Perfetto and ``chrome://tracing`` load directly.  Spans become
+  complete (``"ph": "X"``) events with microsecond timestamps; trace
+  events become instants (``"ph": "i"``).
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.errors import TraceError
+from repro.trace.events import TRACE_FORMAT, TraceEvent
+from repro.trace.span import Span
+
+EXPORT_FORMATS = ("text", "json", "chrome")
+"""Accepted values for ``--trace-format``."""
+
+
+# -- canonical JSON artifact ------------------------------------------------
+
+
+def trace_payload(
+    root: Span, events: Iterable[TraceEvent]
+) -> Dict[str, object]:
+    """The canonical JSON-serializable trace artifact."""
+    return {
+        "format": TRACE_FORMAT,
+        "spans": root.to_dict(),
+        "events": [e.to_dict() for e in events],
+    }
+
+
+def load_trace(path: Union[str, Path]) -> Tuple[Span, List[TraceEvent]]:
+    """Read a JSON trace artifact back into a span tree and events."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    except ValueError as exc:
+        raise TraceError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceError(f"{path} is not a trace artifact (not an object)")
+    fmt = payload.get("format")
+    if fmt != TRACE_FORMAT:
+        raise TraceError(
+            f"{path} has trace format {fmt!r}; this build reads format "
+            f"{TRACE_FORMAT} (regenerate the trace)"
+        )
+    root = Span.from_dict(payload.get("spans"))
+    raw_events = payload.get("events", [])
+    if not isinstance(raw_events, list):
+        raise TraceError(f"{path}: events is not a list")
+    events = [TraceEvent.from_dict(e) for e in raw_events]
+    return root, events
+
+
+# -- human text tree --------------------------------------------------------
+
+
+def _format_counters(deltas: Dict[str, float]) -> str:
+    if not deltas:
+        return ""
+    parts = []
+    for name in sorted(deltas):
+        value = deltas[name]
+        if value == int(value):
+            parts.append(f"{name}=+{int(value)}")
+        else:
+            parts.append(f"{name}=+{value:.3f}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    return " (" + ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + ")"
+
+
+def render_text(root: Span, events: Sequence[TraceEvent] = ()) -> str:
+    """Indented span tree with timings, counters, and an event count."""
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        marker = "*" if span.category == "task" else "-"
+        lines.append(
+            f"{'  ' * depth}{marker} {span.name}{_format_attrs(dict(span.attrs))}"
+            f"  wall={span.duration_s:.3f}s cpu={span.cpu_s:.3f}s"
+            f"{_format_counters(span.counter_deltas)}"
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    if events:
+        kinds: Dict[str, int] = {}
+        for event in events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        summary = ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds))
+        lines.append(f"events: {len(events)} ({summary})")
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+
+def chrome_trace(
+    root: Span, events: Iterable[TraceEvent]
+) -> Dict[str, object]:
+    """The trace as a Chrome trace-event JSON object.
+
+    Uses the JSON *object* form (``{"traceEvents": [...]}``) so
+    metadata can ride along; Perfetto accepts both forms.  All spans
+    land on pid 1 / tid 1 — the trace models one logical flow, with
+    worker busy time already merged in as ``task`` spans.
+    """
+    trace_events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for span in root.walk():
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "name": span.name,
+                "cat": span.category,
+                "ts": round(span.t_start_s * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "args": {
+                    "id": span.span_id,
+                    **dict(span.attrs),
+                    **{f"+{k}": v for k, v in span.counter_deltas.items()},
+                },
+            }
+        )
+    for event in events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "pid": 1,
+                "tid": 1,
+                "name": event.kind,
+                "cat": "deterministic" if event.deterministic else "runtime",
+                "ts": round(event.t_s * 1e6, 3),
+                "s": "t",
+                "args": {"span": event.span_id, **dict(event.attrs)},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# -- unified writer ---------------------------------------------------------
+
+
+def export_trace(
+    root: Span,
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    fmt: str = "json",
+) -> None:
+    """Write the trace to ``path`` in ``fmt`` (text, json, or chrome)."""
+    if fmt == "text":
+        text = render_text(root, events)
+    elif fmt == "json":
+        text = json.dumps(trace_payload(root, events), sort_keys=True, indent=1)
+        text += "\n"
+    elif fmt == "chrome":
+        text = json.dumps(chrome_trace(root, events), sort_keys=True)
+        text += "\n"
+    else:
+        raise TraceError(
+            f"unknown trace format {fmt!r}; expected one of "
+            f"{', '.join(EXPORT_FORMATS)}"
+        )
+    try:
+        Path(path).write_text(text)
+    except OSError as exc:
+        raise TraceError(f"cannot write trace {path}: {exc}") from exc

@@ -1,0 +1,83 @@
+"""Trace normalization for golden-trace comparison.
+
+A raw trace mixes two kinds of information: *what* the flow computed
+(phase structure, Ω acceptances, reverse-order decisions) and *how*
+the run executed it (timings, worker tasks, cache traffic, chaos
+recovery).  The first is a pure function of the workload and must be
+identical for a serial run, a ``--jobs 4`` run, a warm-cache rerun,
+and a chaos-injected run; the second legitimately varies.
+
+:func:`normalize_trace` keeps only the deterministic projection:
+
+* ``flow``-category spans (IDs, names, attributes, child order) —
+  ``task`` spans are dropped;
+* events whose kind is in
+  :data:`~repro.trace.events.DETERMINISTIC_KINDS`, renumbered densely
+  — runtime kinds are dropped;
+* no timestamps, durations, CPU times, or counter deltas.
+
+:func:`normalized_json` renders that projection as canonical compact
+JSON, so the golden-trace tests can compare runs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.trace.events import TraceEvent
+from repro.trace.span import Span
+
+
+def normalize_span(span: Span) -> Optional[Dict[str, object]]:
+    """The deterministic projection of one span subtree.
+
+    Returns ``None`` for ``task`` spans (and anything beneath them).
+    """
+    if span.category != "flow":
+        return None
+    children = [normalize_span(c) for c in span.children]
+    return {
+        "id": span.span_id,
+        "name": span.name,
+        "attrs": {k: span.attrs[k] for k in sorted(span.attrs)},
+        "children": [c for c in children if c is not None],
+    }
+
+
+def normalize_events(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
+    """Deterministic events only, densely renumbered, timestamps gone."""
+    out: List[Dict[str, object]] = []
+    for event in events:
+        if not event.deterministic:
+            continue
+        out.append(
+            {
+                "seq": len(out),
+                "kind": event.kind,
+                "span": event.span_id,
+                "attrs": {k: event.attrs[k] for k in sorted(event.attrs)},
+            }
+        )
+    return out
+
+
+def normalize_trace(
+    root: Span, events: Iterable[TraceEvent]
+) -> Dict[str, object]:
+    """The full deterministic projection of a trace."""
+    span_tree = normalize_span(root)
+    if span_tree is None:
+        # The root is always a flow span; a task root means the caller
+        # normalized a subtree it should not have.
+        span_tree = {"id": root.span_id, "name": root.name, "attrs": {}, "children": []}
+    return {"spans": span_tree, "events": normalize_events(events)}
+
+
+def normalized_json(root: Span, events: Iterable[TraceEvent]) -> str:
+    """Canonical compact JSON of the normalized trace (byte-comparable)."""
+    return json.dumps(
+        normalize_trace(root, events),
+        sort_keys=True,
+        separators=(",", ":"),
+    )

@@ -1,0 +1,47 @@
+"""Smoke-execute every script in ``examples/``.
+
+Each example is run as a real subprocess (fresh interpreter, no pytest
+state) from a scratch working directory, so examples that write output
+files cannot pollute the repository.  A script passes when it exits 0
+without a traceback; stdout is also sanity-checked to be non-empty —
+every example prints what it demonstrates.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_discovered():
+    assert len(EXAMPLES) >= 8, "examples/ went missing or was emptied"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert "Traceback" not in result.stderr, result.stderr
+    assert result.stdout.strip(), f"{script.name} printed nothing"

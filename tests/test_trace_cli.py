@@ -1,0 +1,228 @@
+"""CLI coverage for ``--trace`` and the ``repro trace`` subcommand:
+happy paths plus the one-line error contract for every failure mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.flows import clear_cache
+from repro.trace import load_trace, normalized_json
+
+
+def _one_error_line(captured):
+    assert "Traceback" not in captured.err
+    err_lines = [line for line in captured.err.splitlines() if line]
+    assert len(err_lines) == 1
+    assert err_lines[0].startswith("repro: error:")
+    return err_lines[0]
+
+
+@pytest.fixture(scope="module")
+def flow_trace(tmp_path_factory):
+    """One traced flow run, shared by the read-only CLI tests."""
+    clear_cache()
+    path = tmp_path_factory.mktemp("trace") / "s27.trace.json"
+    rc = main(
+        ["flow", "s27", "--lg", "100", "--no-cache", "--trace", str(path)]
+    )
+    assert rc == 0
+    return path
+
+
+class TestTraceFlag:
+    def test_flow_writes_trace_artifact(self, flow_trace, capsys):
+        root, events = load_trace(flow_trace)
+        names = {span.name for span in root.walk()}
+        assert {"full_flow", "procedure", "reverse_order"} <= names
+        assert any(e.kind == "stage" for e in events)
+
+    def test_trace_format_text(self, tmp_path, capsys):
+        clear_cache()
+        path = tmp_path / "s27.trace.txt"
+        rc = main(
+            [
+                "flow",
+                "s27",
+                "--lg",
+                "100",
+                "--no-cache",
+                "--trace",
+                str(path),
+                "--trace-format",
+                "text",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"wrote {path} (text trace)" in out
+        assert path.read_text().startswith("- trace")
+
+    def test_unwritable_trace_path_fails_before_the_flow(self, capsys):
+        rc = main(
+            ["flow", "s27", "--trace", "/nonexistent/dir/t.json"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        line = _one_error_line(captured)
+        assert "cannot write trace" in line
+        assert "/nonexistent/dir" in line
+        # fail-fast contract: no flow output was produced first
+        assert "s27" not in captured.out
+
+    def test_trace_path_that_is_a_directory_fails(self, tmp_path, capsys):
+        rc = main(["flow", "s27", "--trace", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "is a directory" in _one_error_line(captured)
+
+    def test_unknown_trace_format_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["flow", "s27", "--trace", "t.json", "--trace-format", "xml"])
+        assert excinfo.value.code == 2
+        assert "--trace-format" in capsys.readouterr().err
+
+
+class TestTraceShow:
+    def test_show(self, flow_trace, capsys):
+        rc = main(["trace", "show", str(flow_trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("- trace")
+        assert "full_flow" in out
+        assert "events:" in out
+
+    def test_show_missing_file(self, tmp_path, capsys):
+        rc = main(["trace", "show", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot read trace" in _one_error_line(captured)
+
+    def test_show_garbage_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{nope")
+        rc = main(["trace", "show", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "not valid JSON" in _one_error_line(captured)
+
+    def test_bare_trace_prints_help(self, capsys):
+        rc = main(["trace"])
+        assert rc == 2
+        assert "show" in capsys.readouterr().out
+
+
+class TestTraceConvert:
+    def test_convert_to_chrome(self, flow_trace, tmp_path, capsys):
+        out_path = tmp_path / "s27.chrome.json"
+        rc = main(
+            [
+                "trace",
+                "convert",
+                str(flow_trace),
+                "--to",
+                "chrome",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_convert_round_trips_normalized_content(
+        self, flow_trace, tmp_path, capsys
+    ):
+        out_path = tmp_path / "copy.json"
+        rc = main(
+            [
+                "trace",
+                "convert",
+                str(flow_trace),
+                "--to",
+                "json",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        r1, e1 = load_trace(flow_trace)
+        r2, e2 = load_trace(out_path)
+        assert normalized_json(r1, e1) == normalized_json(r2, e2)
+
+    def test_convert_unwritable_output(self, flow_trace, tmp_path, capsys):
+        rc = main(
+            [
+                "trace",
+                "convert",
+                str(flow_trace),
+                "--output",
+                str(tmp_path / "no" / "dir" / "out.json"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot write trace" in _one_error_line(captured)
+
+
+class TestTraceCompare:
+    def test_no_regressions(self, flow_trace, capsys):
+        rc = main(["trace", "compare", str(flow_trace), str(flow_trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no phase regressions" in out
+        assert "procedure" in out
+
+    def test_regression_exits_nonzero(self, flow_trace, tmp_path, capsys):
+        slow = tmp_path / "slow.json"
+        slow.write_text(
+            json.dumps({"phases": {"procedure": 3600.0, "compaction": 0.01}})
+        )
+        rc = main(["trace", "compare", str(flow_trace), str(slow)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSED" in captured.out
+        assert "regressed beyond" in captured.err
+
+    def test_tolerance_flag_suppresses_regression(
+        self, flow_trace, tmp_path, capsys
+    ):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"phases": {"procedure": 0.2}}))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"phases": {"procedure": 0.1}}))
+        assert (
+            main(["trace", "compare", str(baseline), str(current)]) == 1
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "trace",
+                    "compare",
+                    str(baseline),
+                    str(current),
+                    "--tolerance",
+                    "2.0",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_missing_baseline(self, flow_trace, tmp_path, capsys):
+        rc = main(
+            [
+                "trace",
+                "compare",
+                str(tmp_path / "missing-baseline.json"),
+                str(flow_trace),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "baseline not found" in _one_error_line(captured)

@@ -1,0 +1,314 @@
+"""Tests for trace exporters, normalization, and phase comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.runtime.metrics import RuntimeStats
+from repro.trace import (
+    TRACE_FORMAT,
+    PhaseDelta,
+    TraceEvent,
+    Tracer,
+    chrome_trace,
+    compare_phases,
+    export_trace,
+    load_phases,
+    load_trace,
+    normalize_trace,
+    normalized_json,
+    phase_durations,
+    read_events_jsonl,
+    regressions,
+    render_text,
+    trace_payload,
+    write_events_jsonl,
+    write_phases,
+)
+
+
+@pytest.fixture()
+def sample_trace():
+    """A small trace exercising flow spans, task spans, both event tiers."""
+    stats = RuntimeStats()
+    tracer = Tracer(stats=stats)
+    with tracer.span("full_flow", circuit="s27"):
+        with tracer.span("procedure", l_g=100):
+            tracer.event("omega", u=3, l_s=1, row=2, detected=5)
+            stats.cache_misses += 1
+            tracer.event("cache_miss", op="run", key="k0")
+            tracer.add_task_span("fault_group", "t0", 0.02, faults=4)
+        with tracer.span("reverse_order"):
+            tracer.event("reverse", index=0, kept=True, detected=5)
+    root = tracer.finish()
+    return root, tracer.events
+
+
+class TestJsonArtifact:
+    def test_round_trip_through_file(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        path = tmp_path / "trace.json"
+        export_trace(root, events, path, "json")
+        back_root, back_events = load_trace(path)
+        assert normalized_json(back_root, back_events) == normalized_json(
+            root, events
+        )
+        assert [e.to_dict() for e in back_events] == [
+            e.to_dict() for e in events
+        ]
+        assert json.loads(path.read_text())["format"] == TRACE_FORMAT
+
+    def test_payload_shape(self, sample_trace):
+        root, events = sample_trace
+        payload = trace_payload(root, events)
+        assert set(payload) == {"format", "spans", "events"}
+        assert payload["format"] == TRACE_FORMAT
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read trace"):
+            load_trace(tmp_path / "nope.json")
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            load_trace(path)
+
+    def test_load_rejects_wrong_format_version(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        payload = trace_payload(root, events)
+        payload["format"] = TRACE_FORMAT + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TraceError, match="trace format"):
+            load_trace(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(TraceError, match="not a trace artifact"):
+            load_trace(path)
+
+    def test_export_unknown_format(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        with pytest.raises(TraceError, match="unknown trace format"):
+            export_trace(root, events, tmp_path / "t", "xml")
+
+    def test_export_unwritable_path(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        with pytest.raises(TraceError, match="cannot write trace"):
+            export_trace(root, events, tmp_path / "no" / "dir" / "t.json")
+
+
+class TestTextRender:
+    def test_tree_markers_timings_counters_events(self, sample_trace):
+        root, events = sample_trace
+        text = render_text(root, events)
+        lines = text.splitlines()
+        assert lines[0].startswith("- trace")
+        assert "  - full_flow (circuit=s27)" in text
+        assert "    - procedure (l_g=100)" in text
+        assert "    * fault_group" not in text.splitlines()[0]
+        assert any(
+            line.strip().startswith("* fault_group") for line in lines
+        )
+        assert "wall=" in lines[1] and "cpu=" in lines[1]
+        assert "[cache_misses=+1]" in text
+        assert lines[-1].startswith("events: 3 (")
+        assert "cache_miss=1" in lines[-1]
+        assert text.endswith("\n")
+
+    def test_render_without_events_has_no_summary_line(self, sample_trace):
+        root, _ = sample_trace
+        assert "events:" not in render_text(root)
+
+
+class TestChromeExport:
+    """Validate the Chrome trace-event schema Perfetto expects."""
+
+    def test_document_shape(self, sample_trace):
+        root, events = sample_trace
+        doc = chrome_trace(root, events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_metadata_event(self, sample_trace):
+        root, events = sample_trace
+        first = chrome_trace(root, events)["traceEvents"][0]
+        assert first == {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+
+    def test_complete_events_cover_every_span(self, sample_trace):
+        root, events = sample_trace
+        complete = [
+            e
+            for e in chrome_trace(root, events)["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert len(complete) == len(list(root.walk()))
+        by_id = {e["args"]["id"]: e for e in complete}
+        for span in root.walk():
+            entry = by_id[span.span_id]
+            assert entry["name"] == span.name
+            assert entry["cat"] == span.category
+            assert entry["pid"] == 1 and entry["tid"] == 1
+            assert entry["ts"] == pytest.approx(span.t_start_s * 1e6, abs=1e-2)
+            assert entry["dur"] == pytest.approx(
+                span.duration_s * 1e6, abs=1e-2
+            )
+            assert entry["ts"] >= 0 and entry["dur"] >= 0
+
+    def test_counter_deltas_ride_in_args(self, sample_trace):
+        root, events = sample_trace
+        complete = [
+            e
+            for e in chrome_trace(root, events)["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "procedure"
+        ]
+        assert complete[0]["args"]["+cache_misses"] == 1.0
+        assert complete[0]["args"]["l_g"] == 100
+
+    def test_instant_events(self, sample_trace):
+        root, events = sample_trace
+        instants = [
+            e
+            for e in chrome_trace(root, events)["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert len(instants) == len(events)
+        kinds = {e["name"]: e for e in instants}
+        assert kinds["omega"]["cat"] == "deterministic"
+        assert kinds["cache_miss"]["cat"] == "runtime"
+        for instant in instants:
+            assert instant["s"] == "t"
+            assert "span" in instant["args"]
+
+    def test_chrome_file_is_json_serializable(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        path = tmp_path / "trace.chrome.json"
+        export_trace(root, events, path, "chrome")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+
+
+class TestNormalization:
+    def test_task_spans_and_runtime_events_dropped(self, sample_trace):
+        root, events = sample_trace
+        norm = normalize_trace(root, events)
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(norm["spans"])
+        assert "fault_group" not in names
+        assert {"trace", "full_flow", "procedure", "reverse_order"} <= names
+        kinds = [e["kind"] for e in norm["events"]]
+        assert kinds == ["omega", "reverse"]
+        assert [e["seq"] for e in norm["events"]] == [0, 1]
+
+    def test_no_timings_in_normalized_output(self, sample_trace):
+        root, events = sample_trace
+        blob = normalized_json(root, events)
+        for forbidden in ("t_s", "duration", "cpu", "wall", "counter"):
+            assert forbidden not in blob
+
+    def test_normalized_json_is_canonical(self, sample_trace):
+        root, events = sample_trace
+        a = normalized_json(root, events)
+        b = normalized_json(root, events)
+        assert a == b
+        assert " " not in a.split('"note"')[0][:2]  # compact separators
+
+
+class TestEventsJsonl:
+    def test_round_trip(self, sample_trace, tmp_path):
+        _, events = sample_trace
+        path = tmp_path / "events.jsonl"
+        count = write_events_jsonl(events, path)
+        assert count == len(events)
+        back = read_events_jsonl(path)
+        assert [e.to_dict() for e in back] == [e.to_dict() for e in events]
+
+    def test_read_rejects_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(TraceError):
+            read_events_jsonl(path)
+
+
+class TestCompare:
+    def test_phase_durations_aggregate_flow_spans_by_name(self, sample_trace):
+        root, _ = sample_trace
+        phases = phase_durations(root)
+        assert set(phases) == {
+            "trace",
+            "full_flow",
+            "procedure",
+            "reverse_order",
+        }
+        assert all(v >= 0.0 for v in phases.values())
+
+    def test_artifact_round_trip(self, tmp_path):
+        path = tmp_path / "phases.json"
+        write_phases({"procedure": 1.5, "compaction": 0.2}, path, jobs=4)
+        assert load_phases(path) == {"procedure": 1.5, "compaction": 0.2}
+
+    def test_load_phases_accepts_full_trace(self, sample_trace, tmp_path):
+        root, events = sample_trace
+        path = tmp_path / "trace.json"
+        export_trace(root, events, path, "json")
+        assert load_phases(path) == pytest.approx(phase_durations(root))
+
+    def test_load_phases_missing_baseline(self, tmp_path):
+        with pytest.raises(TraceError, match="baseline not found"):
+            load_phases(tmp_path / "absent.json")
+
+    def test_load_phases_rejects_malformed(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text('{"other": 1}')
+        with pytest.raises(TraceError, match="no 'phases' table"):
+            load_phases(path)
+
+    def test_regression_needs_both_ratio_and_absolute_growth(self):
+        deltas = compare_phases(
+            {"big": 10.0, "tiny": 0.001, "steady": 5.0},
+            {"big": 14.0, "tiny": 0.004, "steady": 5.1},
+            tolerance=0.25,
+            min_seconds=0.05,
+        )
+        by_name = {d.name: d for d in deltas}
+        assert by_name["big"].regressed  # +40% and +4s
+        assert not by_name["tiny"].regressed  # x4 but below min_seconds
+        assert not by_name["steady"].regressed  # +2% within tolerance
+        assert regressions(deltas) == [by_name["big"]]
+
+    def test_new_and_vanished_phases(self):
+        deltas = compare_phases({"old": 1.0}, {"new": 1.0})
+        by_name = {d.name: d for d in deltas}
+        assert by_name["new"].regressed
+        assert by_name["new"].ratio == float("inf")
+        assert not by_name["old"].regressed
+        assert by_name["old"].current_s == 0.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(TraceError, match="tolerance"):
+            compare_phases({}, {}, tolerance=-0.1)
+
+    def test_format_line(self):
+        delta = PhaseDelta("procedure", 2.0, 3.0, True)
+        line = delta.format()
+        assert line.startswith("procedure")
+        assert "2.000s" in line and "3.000s" in line
+        assert "x 1.50" in line and line.endswith("REGRESSED")

@@ -1,0 +1,131 @@
+"""Property-based tests for trace structural invariants.
+
+Random span programs are generated as nested trees of operations
+(open a child span, bump a stats counter, fire an event) and executed
+against a :class:`~repro.trace.span.Tracer`; the invariants below must
+hold for every program:
+
+* every span and event belongs to the tree (no orphans);
+* every child's interval nests inside its parent's;
+* counter deltas are conservative — each parent's delta equals its
+  self-delta plus its children's, so everything sums to the root;
+* events round-trip byte-exactly through the JSONL log.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.metrics import RuntimeStats
+from repro.trace import (
+    Tracer,
+    normalized_json,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+
+COUNTERS = ("full_simulations", "cache_misses", "tasks_dispatched")
+EVENT_KINDS = ("note", "omega", "cache_hit", "task_retry")
+
+# One node of a span program: (name, counter bumps, event kinds, children)
+_names = st.sampled_from(("phase", "mine", "screen", "row"))
+_bumps = st.lists(st.sampled_from(COUNTERS), max_size=3)
+_kinds = st.lists(st.sampled_from(EVENT_KINDS), max_size=3)
+program_nodes = st.recursive(
+    st.tuples(_names, _bumps, _kinds, st.just([])),
+    lambda children: st.tuples(
+        _names, _bumps, _kinds, st.lists(children, max_size=3)
+    ),
+    max_leaves=10,
+)
+programs = st.lists(program_nodes, min_size=1, max_size=4)
+
+
+def run_program(program, stats):
+    tracer = Tracer(stats=stats)
+
+    def execute(node):
+        name, bumps, kinds, children = node
+        with tracer.span(name):
+            for counter in bumps:
+                setattr(stats, counter, getattr(stats, counter) + 1)
+            for kind in kinds:
+                tracer.event(kind, tag=name)
+            for child in children:
+                execute(child)
+
+    for node in program:
+        execute(node)
+    root = tracer.finish()
+    return tracer, root
+
+
+@given(programs)
+@settings(max_examples=30, deadline=None)
+def test_no_orphan_spans_or_events(program):
+    tracer, root = run_program(program, RuntimeStats())
+    ids = {span.span_id for span in root.walk()}
+    assert len(ids) == len(list(root.walk()))  # IDs unique
+    parents = {root.span_id: None}
+    for span in root.walk():
+        for child in span.children:
+            assert child.parent_id == span.span_id
+            parents[child.span_id] = span.span_id
+    assert set(parents) == ids  # every span reachable exactly once
+    for event in tracer.events:
+        assert event.span_id in ids  # every event anchored to a span
+
+
+@given(programs)
+@settings(max_examples=30, deadline=None)
+def test_child_intervals_nest_inside_parents(program):
+    _, root = run_program(program, RuntimeStats())
+    for span in root.walk():
+        assert span.t_end_s is not None
+        assert span.t_end_s >= span.t_start_s
+        for child in span.children:
+            assert child.t_start_s >= span.t_start_s
+            assert child.t_end_s <= span.t_end_s
+
+
+@given(programs)
+@settings(max_examples=30, deadline=None)
+def test_counter_deltas_sum_to_root(program):
+    stats = RuntimeStats()
+    _, root = run_program(program, stats)
+    for span in root.walk():
+        if not span.children:
+            continue
+        total = dict(span.self_counter_deltas())
+        for child in span.children:
+            for name, value in child.counter_deltas.items():
+                total[name] = total.get(name, 0.0) + value
+        assert {k: v for k, v in total.items() if v} == span.counter_deltas
+    expected_root = {
+        name: float(value)
+        for name, value in stats.snapshot().items()
+        if value
+    }
+    assert root.counter_deltas == expected_root
+
+
+@given(programs)
+@settings(max_examples=20, deadline=None)
+def test_events_round_trip_through_jsonl(tmp_path_factory, program):
+    tracer, _ = run_program(program, RuntimeStats())
+    path = tmp_path_factory.mktemp("jsonl") / "events.jsonl"
+    count = write_events_jsonl(tracer.events, path)
+    assert count == len(tracer.events)
+    back = read_events_jsonl(path)
+    assert [e.to_dict() for e in back] == [e.to_dict() for e in tracer.events]
+    assert [e.seq for e in back] == list(range(len(back)))
+
+
+@given(programs)
+@settings(max_examples=20, deadline=None)
+def test_normalization_is_timing_independent(program):
+    """Running the same program twice normalizes identically even
+    though raw timestamps differ."""
+    t1, r1 = run_program(program, RuntimeStats())
+    t2, r2 = run_program(program, RuntimeStats())
+    assert normalized_json(r1, t1.events) == normalized_json(r2, t2.events)

@@ -1,0 +1,107 @@
+"""Load-generator benchmark for the campaign server.
+
+An in-process server is driven the way CI drives it: a burst of
+distinct-seed jobs submitted over real HTTP, polled to completion,
+then the server's own latency histograms are read back from
+``/metrics``.  The run fails when the p50 submit→complete latency or
+the end-to-end throughput regresses past a (deliberately generous)
+gate, and leaves ``benchmarks/results/serve_throughput.json`` as the
+artifact CI uploads.
+
+Not a paper artifact — an implementation benchmark for the serve
+subsystem.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve import ServeClient, ServerConfig, ServerThread
+from repro.serve.job import JobSpec
+from repro.util.tables import format_table
+
+N_JOBS = 12
+#: Generous regression gates — CI machines are noisy; these only trip
+#: on an order-of-magnitude regression, not scheduler jitter.
+MAX_P50_LATENCY_S = 30.0
+MIN_JOBS_PER_S = 0.4
+
+
+def campaign_specs():
+    # Distinct seeds: content-addressed dedup would otherwise collapse
+    # the whole load into one job.
+    return [
+        JobSpec(
+            circuit="s27",
+            seed=1000 + i,
+            tgen_max_len=256,
+            compaction_sims=4,
+            l_g=64,
+            priority=i % 10,
+            client=f"loadgen-{i % 3}",
+        )
+        for i in range(N_JOBS)
+    ]
+
+
+def test_serve_throughput(record_table, tmp_path):
+    config = ServerConfig(
+        state_dir=tmp_path / "state",
+        port=0,
+        rate_per_s=1000.0,
+        burst=N_JOBS + 1,
+    )
+    t0 = time.perf_counter()
+    with ServerThread(config) as url:
+        client = ServeClient(url, timeout_s=30.0)
+        keys = []
+        for spec in campaign_specs():
+            record = client.submit_with_backoff(spec, max_wait_s=30.0)
+            keys.append(str(record["key"]))
+        assert len(set(keys)) == N_JOBS
+
+        records = client.wait_all(keys, timeout_s=240.0)
+        wall = time.perf_counter() - t0
+        assert {r["state"] for r in records.values()} == {"done"}
+
+        metrics = client.metrics()
+    latency = metrics["latency"]["submit_to_complete"]
+    queue_wait = metrics["latency"]["queue_wait"]
+    run_latency = metrics["latency"]["run"]
+    jobs_per_s = N_JOBS / wall
+
+    rows = [
+        {"metric": "jobs", "value": N_JOBS},
+        {"metric": "wall (s)", "value": round(wall, 3)},
+        {"metric": "jobs/s", "value": round(jobs_per_s, 2)},
+        {"metric": "p50 submit→complete (s)", "value": latency["p50_s"]},
+        {"metric": "p99 submit→complete (s)", "value": latency["p99_s"]},
+        {"metric": "p50 queue wait (s)", "value": queue_wait["p50_s"]},
+        {"metric": "p50 run (s)", "value": run_latency["p50_s"]},
+        {"metric": "completed", "value": metrics["counters"]["completed"]},
+    ]
+    text = format_table(
+        ["metric", "value"],
+        [[r["metric"], r["value"]] for r in rows],
+        title=f"serve throughput ({N_JOBS} jobs over HTTP)",
+    )
+    record_table(
+        "serve_throughput",
+        text,
+        rows=rows,
+        extra={
+            "gates": {
+                "max_p50_latency_s": MAX_P50_LATENCY_S,
+                "min_jobs_per_s": MIN_JOBS_PER_S,
+            },
+            "latency": metrics["latency"],
+            "counters": metrics["counters"],
+        },
+    )
+
+    assert metrics["counters"]["completed"] == N_JOBS
+    assert latency["count"] == N_JOBS
+    assert latency["p50_s"] is not None and latency["p50_s"] <= MAX_P50_LATENCY_S
+    assert jobs_per_s >= MIN_JOBS_PER_S, (
+        f"throughput regressed: {jobs_per_s:.2f} jobs/s over {wall:.1f}s"
+    )

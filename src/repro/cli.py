@@ -223,6 +223,94 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p.set_defaults(handler=_trace_help)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the BIST-campaign job server",
+        description=(
+            "Serve the job API over HTTP: durable priority queue, "
+            "per-client rate limits, load shedding, graceful drain on "
+            "SIGINT/SIGTERM.  All state (queue journal, results, "
+            "artifact cache) lives under --state-dir; restarting on "
+            "the same directory resumes every acknowledged job."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8037,
+                   help="TCP port (0 binds an ephemeral port; the bound "
+                        "address is printed on startup)")
+    p.add_argument("--state-dir", type=Path, default=None, metavar="PATH",
+                   help="server state root (default: "
+                        "$REPRO_CACHE_DIR/serve or ~/.cache/repro/serve)")
+    p.add_argument("--queue-cap", type=int, default=None, metavar="N",
+                   help="bounded queue depth; beyond it submissions shed "
+                        "lower-priority work or get 503 (default: 64)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="per-client admission rate, jobs/second "
+                        "(default: 20)")
+    p.add_argument("--burst", type=int, default=None, metavar="B",
+                   help="per-client burst allowance (default: 20)")
+    p.add_argument("--drain-grace", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="seconds to wait for the in-flight job on drain "
+                        "(default: 60)")
+    p.add_argument("--cache-dir", type=Path, default=None, metavar="PATH",
+                   help="artifact cache root (default: inside --state-dir)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache (reruns recompute)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic fault injection for the job "
+                        "runtimes (results are still bit-identical)")
+    p.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                   help="write the server's span trace (job lifecycle "
+                        "events included) on drain")
+    p.add_argument("--trace-format", default="json", choices=EXPORT_FORMATS)
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a campaign job to a running server",
+    )
+    p.add_argument("circuit", help="library circuit name (e.g. s27)")
+    p.add_argument("--server", default="http://127.0.0.1:8037",
+                   metavar="URL", help="server base URL")
+    p.add_argument("--priority", type=int, default=None, metavar="0-9",
+                   help="dispatch priority, higher first (default: 4)")
+    p.add_argument("--client", default=None, metavar="NAME",
+                   help="client identity for rate limiting/fair share "
+                        "(default: submit-<user>)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--lg", type=int, default=512,
+                   help="weighted sequence length L_G")
+    p.add_argument("--hybrid", action="store_true",
+                   help="random + deterministic ATPG test generation")
+    p.add_argument("--synthesize", action="store_true",
+                   help="also synthesize and verify the TPG")
+    p.add_argument("--job-workers", type=int, default=1, metavar="N",
+                   help="worker processes the job may use (default: 1)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print the result")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                   help="max seconds to wait with --wait (default: 300)")
+    p.set_defaults(handler=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list, inspect, cancel or fetch jobs on a running server",
+    )
+    p.add_argument("key", nargs="?", default=None,
+                   help="job key (omit to list every job)")
+    p.add_argument("--server", default="http://127.0.0.1:8037",
+                   metavar="URL", help="server base URL")
+    p.add_argument("--cancel", action="store_true",
+                   help="cancel the queued job KEY")
+    p.add_argument("--result", action="store_true",
+                   help="print the job's canonical result JSON")
+    p.add_argument("--job-trace", action="store_true",
+                   help="print the job's normalized trace JSON")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the server's /metrics payload")
+    p.set_defaults(handler=_cmd_jobs)
+
     p = sub.add_parser("report", help="render benchmarks/results/ as an HTML report")
     p.add_argument("--results", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--output", type=Path, default=Path("report.html"))
@@ -556,6 +644,135 @@ def _cmd_trace_compare(args: argparse.Namespace) -> int:
         )
         return 1
     print("no phase regressions")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import default_cache_dir
+    from repro.serve import CampaignServer, ServerConfig
+
+    state_dir = args.state_dir
+    if state_dir is None:
+        state_dir = default_cache_dir() / "serve"
+    _check_trace_output(args)
+    kwargs = {}
+    if args.queue_cap is not None:
+        kwargs["queue_capacity"] = args.queue_cap
+    if args.rate is not None:
+        kwargs["rate_per_s"] = args.rate
+    if args.burst is not None:
+        kwargs["burst"] = args.burst
+    server = CampaignServer(ServerConfig(
+        state_dir=state_dir,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        enable_cache=not args.no_cache,
+        chaos=args.chaos,
+        drain_grace_s=args.drain_grace,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
+        **kwargs,
+    ))
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro-serve: listening on http://{host}:{port} "
+              f"(state: {state_dir})", flush=True)
+
+    code = server.run(ready=ready)
+    print("repro-serve: drained cleanly", flush=True)
+    if args.trace is not None:
+        print(f"wrote {args.trace} ({args.trace_format} trace)")
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import getpass
+
+    from repro.serve import JobSpec, ServeClient
+
+    client_id = args.client
+    if client_id is None:
+        # Client identity only routes rate limiting, never results.
+        client_id = f"submit-{getpass.getuser()}"  # lint: ignore[D104]
+    spec_kwargs = dict(
+        circuit=args.circuit,
+        seed=args.seed,
+        l_g=args.lg,
+        tgen_mode="hybrid" if args.hybrid else "random",
+        synthesize_hardware=args.synthesize,
+        client=client_id,
+        jobs=args.job_workers,
+    )
+    if args.priority is not None:
+        spec_kwargs["priority"] = args.priority
+    spec = JobSpec(**spec_kwargs)
+    client = ServeClient(args.server, client_id=client_id)
+    record = client.submit(spec)
+    key = record.get("key")
+    verb = "submitted" if record.get("created") else "deduplicated onto"
+    print(f"{verb} job {key} ({args.circuit}, "
+          f"priority {spec.priority}, state {record.get('state')})")
+    if record.get("shed"):
+        print(f"note: shed lower-priority job {record['shed']} to make room")
+    if not args.wait:
+        return 0
+    final = client.wait(str(key), timeout_s=args.timeout)
+    state = final.get("state")
+    print(f"job {key} finished: {state}")
+    if state == "done":
+        result = client.result(str(key))
+        table6 = result.get("table6", {})
+        print(f"  sequence: {len(result.get('sequence', []))} cycles, "
+              f"omega: {result.get('omega_size')}, "
+              f"kept: {result.get('kept_assignments')}")
+        if isinstance(table6, dict) and table6:
+            row = ", ".join(f"{k}={v}" for k, v in sorted(table6.items()))
+            print(f"  table6: {row}")
+        return 0
+    if state == "failed":
+        print(f"  error: {final.get('error')}", file=sys.stderr)
+    return 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ServeError
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.server)
+    if args.metrics:
+        print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    if args.key is None:
+        if args.cancel or args.result or args.job_trace:
+            raise ServeError("give a job key to cancel or fetch")
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            spec = job.get("spec", {})
+            circuit = spec.get("circuit") if isinstance(spec, dict) else "?"
+            priority = spec.get("priority") if isinstance(spec, dict) else "?"
+            line = (f"{job.get('key')}  {str(job.get('state')):<10} "
+                    f"p{priority} {circuit}")
+            if job.get("error"):
+                line += f"  ({job['error']})"
+            print(line)
+        return 0
+    if args.cancel:
+        record = client.cancel(args.key)
+        print(f"cancelled job {record.get('key')}")
+        return 0
+    if args.result:
+        sys.stdout.write(client.result_bytes(args.key).decode("utf-8"))
+        return 0
+    if args.job_trace:
+        sys.stdout.write(client.trace_bytes(args.key).decode("utf-8") + "\n")
+        return 0
+    print(_json.dumps(client.job(args.key), indent=2, sort_keys=True))
     return 0
 
 

@@ -63,6 +63,27 @@ class ChaosError(ResilienceError):
     """A chaos-injection specification could not be parsed."""
 
 
+class ServeError(ReproError):
+    """The job service was misused or is unavailable (malformed job
+    specifications, unreachable server, protocol violations)."""
+
+
+class RateLimited(ServeError):
+    """The server refused a request under admission control.
+
+    Carries the HTTP status it was refused with (429 for a rate-limited
+    client, 503 for a saturated or draining server) and the server's
+    suggested ``Retry-After`` delay in seconds.
+    """
+
+    def __init__(
+        self, message: str, status: int, retry_after_s: float
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
 class SweepInterrupted(ReproError):
     """A termination signal stopped a sweep.
 

@@ -194,23 +194,35 @@ class ArtifactCache:
         self._event("cache_discard", entry=path.name, reason=reason)
 
     def _enforce_cap(self) -> None:
+        # Several processes may share one cache root (``--cache-dir``),
+        # so any entry listed here can vanish at any moment — evicted
+        # by a sibling's cap enforcement or discarded as corrupt.  A
+        # missing file is therefore tolerated *per entry* (it already
+        # stopped occupying space, which is all the cap cares about);
+        # one racing unlink must not abort the whole enforcement pass.
+        entries = []
         try:
-            entries = [
-                (p.stat().st_mtime, p.stat().st_size, p)
-                for p in self.root.glob(f"*{_SUFFIX}")
-            ]
+            paths = list(self.root.glob(f"*{_SUFFIX}"))
         except OSError:
             return
+        for p in paths:
+            try:
+                st = p.stat()
+            except OSError:
+                continue  # vanished under a concurrent writer
+            entries.append((st.st_mtime, st.st_size, p))
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
             return
         for _, size, path in sorted(entries):  # oldest mtime first
             try:
+                existed = path.exists()
                 path.unlink(missing_ok=True)
             except OSError:
                 continue
-            self.stats.cache_evictions += 1
-            self._event("cache_evict", entry=path.name)
+            if existed:
+                self.stats.cache_evictions += 1
+                self._event("cache_evict", entry=path.name)
             total -= size
             if total <= self.max_bytes:
                 break

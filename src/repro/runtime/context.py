@@ -221,6 +221,38 @@ class RuntimeContext:
             )
         return report
 
+    # -- reuse across flows -------------------------------------------------
+
+    def reset_stats(self) -> RuntimeStats:
+        """Zero the counters in place so the *same* context (and its
+        warm worker pool) can serve another flow with separated stats.
+
+        The executor, cache and journal all keep a reference to
+        :attr:`stats`, so the reset happens in place rather than by
+        replacement; :attr:`stats` stays the same object before and
+        after.  Results are unaffected — only the accounting restarts.
+        Returns :attr:`stats` for convenience.
+        """
+        self.stats.reset()
+        self.stats.jobs = self.executor.jobs
+        return self.stats
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach ``tracer`` (or detach with ``None``) on a live context.
+
+        The executor, cache and journal consult :attr:`tracer` at use
+        time, so swapping it between flows gives each flow its own
+        trace without rebuilding the worker pool — the
+        :mod:`repro.serve` scheduler uses this to record one trace per
+        campaign job on a shared context.
+        """
+        self.tracer = tracer
+        self.executor.tracer = tracer
+        if self.cache is not None:
+            self.cache.tracer = tracer
+        if self.journal is not None:
+            self.journal.tracer = tracer
+
     @property
     def jobs(self) -> int:
         """Worker count of the underlying executor."""

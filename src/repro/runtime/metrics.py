@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator
 
 
@@ -136,6 +136,27 @@ class RuntimeStats:
         if capacity <= 0.0:
             return 0.0
         return min(self.worker_busy_s / capacity, 1.0)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter and timer in place, keeping ``jobs``.
+
+        In-place matters: the executor, cache and journal of a
+        :class:`~repro.runtime.context.RuntimeContext` all hold a
+        reference to *this* object, so replacing it would silently
+        detach them.  Resetting between jobs lets one long-lived
+        context (and its warm worker pool) serve many flows with
+        cleanly separated per-job statistics — see
+        :meth:`~repro.runtime.context.RuntimeContext.reset_stats`.
+        """
+        for f in fields(self):
+            if f.name == "jobs":
+                continue
+            if f.name == "timers":
+                self.timers.clear()
+            else:
+                setattr(self, f.name, type(getattr(self, f.name))())
 
     # -- recording ----------------------------------------------------------
 

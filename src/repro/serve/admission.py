@@ -1,0 +1,185 @@
+"""Admission control and backpressure.
+
+The server promises two things under load: an *accepted* job is never
+dropped, and an over-limit client finds out in milliseconds — with a
+machine-readable ``Retry-After`` — instead of queueing work the server
+cannot honour.  Three mechanisms, applied in order at submit time:
+
+1. **Drain gate.**  A draining server admits nothing (503); queued and
+   running work is still completed/persisted.
+2. **Per-client token bucket.**  Each client holds ``burst`` tokens,
+   refilled at ``rate`` per second; an empty bucket is a 429 with the
+   exact time until the next token.
+3. **Bounded queue with load shedding.**  When the queue is full, a
+   submission that outranks the lowest queued priority evicts that
+   lowest-priority job (it is marked ``shed``; its client may resubmit)
+   and is admitted in its place; otherwise the submission is refused
+   with 503 and a depth-proportional Retry-After.
+
+Clocks here are :func:`time.monotonic` — admission timing is
+operational, never part of a result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from repro.serve.job import Job, JobSpec
+
+DEFAULT_QUEUE_CAPACITY = 64
+DEFAULT_RATE_PER_S = 20.0
+DEFAULT_BURST = 20
+
+#: Retry-After suggested per queued job ahead when the queue is full.
+_RETRY_S_PER_QUEUED_JOB = 0.25
+_MIN_RETRY_S = 0.05
+
+
+class TokenBucket:
+    """The classic token bucket: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+        )
+        self._stamp = now
+
+    def take(self) -> float:
+        """Consume one token; returns 0.0, or the seconds until one
+        would be available (the Retry-After) when the bucket is empty."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        if self.rate_per_s <= 0.0:
+            return float("inf")
+        return (1.0 - self._tokens) / self.rate_per_s
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one submission attempt.
+
+    ``status`` mirrors HTTP: 202 admitted (201-ish: a new job), 200
+    deduplicated onto an existing job, 429 rate-limited, 503 saturated
+    or draining.  ``retry_after_s`` is meaningful for 429/503.
+    ``shed`` names the job evicted to make room, if any.
+    """
+
+    status: int
+    reason: str
+    retry_after_s: float = 0.0
+    job: Optional[Job] = None
+    shed: Optional[Job] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.status in (200, 202)
+
+
+class AdmissionController:
+    """Applies the drain gate, rate limits and the queue bound."""
+
+    def __init__(
+        self,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        rate_per_s: float = DEFAULT_RATE_PER_S,
+        burst: int = DEFAULT_BURST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_capacity < 1:
+            from repro.errors import ServeError
+
+            raise ServeError("queue capacity must be >= 1")
+        self.queue_capacity = queue_capacity
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.draining = False
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_s, self.burst, self._clock)
+            self._buckets[client] = bucket
+        return bucket
+
+    def admit(self, spec: JobSpec, queue: "JobQueueLike") -> AdmissionDecision:
+        """Decide one submission and, when admitted, enqueue it."""
+        with self._lock:
+            if self.draining:
+                return AdmissionDecision(
+                    status=503,
+                    reason="server is draining; resubmit to the next instance",
+                    retry_after_s=1.0,
+                )
+            retry = self._bucket(spec.client).take()
+            if retry > 0.0:
+                return AdmissionDecision(
+                    status=429,
+                    reason=f"client {spec.client!r} is over its rate limit",
+                    retry_after_s=max(retry, _MIN_RETRY_S),
+                )
+            shed: Optional[Job] = None
+            depth = queue.depth()
+            if depth >= self.queue_capacity:
+                # Full: make room by shedding strictly lower-priority
+                # work, or refuse with a depth-proportional backoff.
+                shed = queue.shed_lowest(spec.priority)
+                if shed is None:
+                    return AdmissionDecision(
+                        status=503,
+                        reason=(
+                            f"queue is full ({depth} jobs) and nothing "
+                            f"queued ranks below priority {spec.priority}"
+                        ),
+                        retry_after_s=max(
+                            depth * _RETRY_S_PER_QUEUED_JOB, _MIN_RETRY_S
+                        ),
+                    )
+            job, created = queue.submit(spec)
+            return AdmissionDecision(
+                status=202 if created else 200,
+                reason="admitted" if created else "deduplicated",
+                job=job,
+                shed=shed,
+            )
+
+    def start_draining(self) -> None:
+        """Refuse all further submissions (graceful drain)."""
+        with self._lock:
+            self.draining = True
+
+
+class JobQueueLike(Protocol):
+    """Structural interface :meth:`AdmissionController.admit` needs —
+    satisfied by :class:`~repro.serve.queue.JobQueue` and by the model
+    queues the property tests drive the controller against."""
+
+    def depth(self) -> int: ...  # pragma: no cover - protocol
+
+    def shed_lowest(
+        self, below_priority: int
+    ) -> Optional[Job]: ...  # pragma: no cover - protocol
+
+    def submit(
+        self, spec: JobSpec
+    ) -> Tuple[Job, bool]: ...  # pragma: no cover - protocol

@@ -1,0 +1,239 @@
+"""Thin HTTP client for the campaign server (stdlib only).
+
+Used by the ``repro submit`` / ``repro jobs`` CLI commands, the
+examples and the load-generator benchmark; anything it cannot reach or
+parse becomes a :class:`~repro.errors.ServeError`, so the CLI's
+one-line error contract holds end to end.  Admission refusals raise
+:class:`~repro.errors.RateLimited` carrying the HTTP status and the
+server's ``Retry-After`` — a polite load generator backs off with it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPResponse as _RawResponse
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import RateLimited, ServeError
+from repro.serve.job import TERMINAL_STATES, JobSpec
+
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_POLL_S = 0.1
+
+
+class ServeClient:
+    """Client for one server base URL (``http://host:port``)."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        client_id: Optional[str] = None,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http" or not parts.hostname:
+            raise ServeError(f"unsupported server URL: {url!r}")
+        self.host: str = parts.hostname
+        self.port: int = parts.port or 80
+        self.timeout_s = timeout_s
+        self.client_id = client_id
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload is not None
+                else {},
+            )
+            response: _RawResponse = conn.getresponse()
+            data = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, headers, data
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach server {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        status, headers, data = self._request(method, path, body)
+        try:
+            parsed = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(
+                f"server sent invalid JSON for {method} {path}: {exc}"
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise ServeError(
+                f"server sent a non-object for {method} {path}: {parsed!r}"
+            )
+        return status, headers, parsed
+
+    @staticmethod
+    def _retry_after(
+        headers: Dict[str, str], payload: Dict[str, object]
+    ) -> float:
+        value = payload.get("retry_after_s", headers.get("retry-after", 1.0))
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 1.0
+
+    def _raise_for(
+        self,
+        status: int,
+        headers: Dict[str, str],
+        payload: Dict[str, object],
+    ) -> None:
+        message = str(payload.get("error", f"HTTP {status}"))
+        if status in (429, 503):
+            raise RateLimited(
+                message, status, self._retry_after(headers, payload)
+            )
+        raise ServeError(message)
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Dict[str, object]:
+        """Submit one job; returns the server's job record (its
+        ``created`` field says new vs. deduplicated).
+
+        Raises :class:`RateLimited` on 429/503 and :class:`ServeError`
+        on anything else unexpected.
+        """
+        if self.client_id is not None and spec.client == "anonymous":
+            spec = JobSpec(**{**spec.to_dict(), "client": self.client_id})
+        status, headers, payload = self._json("POST", "/jobs", spec.to_dict())
+        if status not in (200, 202):
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def submit_with_backoff(
+        self,
+        spec: JobSpec,
+        max_wait_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Dict[str, object]:
+        """Submit, honouring 429/503 Retry-After until ``max_wait_s``."""
+        waited = 0.0
+        while True:
+            try:
+                return self.submit(spec)
+            except RateLimited as exc:
+                if waited >= max_wait_s:
+                    raise
+                delay = min(max(exc.retry_after_s, 0.01), max_wait_s - waited)
+                sleep(delay)
+                waited += delay
+
+    def jobs(self) -> List[Dict[str, object]]:
+        status, headers, payload = self._json("GET", "/jobs")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        jobs = payload.get("jobs", [])
+        return jobs if isinstance(jobs, list) else []
+
+    def job(self, key: str) -> Dict[str, object]:
+        status, headers, payload = self._json("GET", f"/jobs/{key}")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def cancel(self, key: str) -> Dict[str, object]:
+        status, headers, payload = self._json("DELETE", f"/jobs/{key}")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def result_bytes(self, key: str) -> bytes:
+        status, _headers, data = self._request("GET", f"/jobs/{key}/result")
+        if status != 200:
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except ValueError:
+                payload = {}
+            raise ServeError(
+                str(payload.get("error", f"result fetch failed ({status})"))
+            )
+        return data
+
+    def result(self, key: str) -> Dict[str, object]:
+        parsed = json.loads(self.result_bytes(key).decode("utf-8"))
+        if not isinstance(parsed, dict):
+            raise ServeError(f"malformed result payload for {key}")
+        return parsed
+
+    def trace_bytes(self, key: str) -> bytes:
+        status, _headers, data = self._request("GET", f"/jobs/{key}/trace")
+        if status != 200:
+            raise ServeError(f"trace fetch failed for {key} ({status})")
+        return data
+
+    def healthz(self) -> Dict[str, object]:
+        status, headers, payload = self._json("GET", "/healthz")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def metrics(self) -> Dict[str, object]:
+        status, headers, payload = self._json("GET", "/metrics")
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    # -- polling ------------------------------------------------------------
+
+    def wait(
+        self,
+        key: str,
+        timeout_s: float = 120.0,
+        poll_s: float = DEFAULT_POLL_S,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(key)
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {key} still {job.get('state')} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    def wait_all(
+        self,
+        keys: Iterable[str],
+        timeout_s: float = 300.0,
+        poll_s: float = DEFAULT_POLL_S,
+    ) -> Dict[str, Dict[str, object]]:
+        """Wait for every key; returns key → terminal job record."""
+        deadline = time.monotonic() + timeout_s
+        out: Dict[str, Dict[str, object]] = {}
+        for key in keys:
+            remaining = max(deadline - time.monotonic(), 0.01)
+            out[key] = self.wait(key, timeout_s=remaining, poll_s=poll_s)
+        return out

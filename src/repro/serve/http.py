@@ -1,0 +1,248 @@
+"""Minimal asyncio HTTP/1.1 layer (stdlib only).
+
+Just enough HTTP for the job API: request-line + headers parsing,
+``Content-Length`` bodies, JSON responses, ``Retry-After`` support,
+``Connection: close`` semantics.  Deliberately *not* a framework — the
+service has six resources and a hard no-new-dependencies rule, so a
+~150-line reader/writer beats dragging in an HTTP stack.
+
+The router maps ``(method, path-pattern)`` pairs to handlers; patterns
+capture one ``{name}`` segment at most (``/jobs/{key}/result``).
+Handlers return an :class:`HttpResponse`; anything they raise as
+:class:`~repro.errors.ServeError` becomes a clean 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+MAX_REQUEST_BYTES = 1 * 1024 * 1024
+"""Hard cap on header+body size; bigger requests are refused (413)."""
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes = b""
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> object:
+        """The body parsed as JSON (:class:`ServeError` on garbage)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    """One response: status, payload, extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "HttpResponse":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        message: str,
+        retry_after_s: Optional[float] = None,
+    ) -> "HttpResponse":
+        headers: Dict[str, str] = {}
+        payload: Dict[str, object] = {"error": message, "status": status}
+        if retry_after_s is not None:
+            # Retry-After is delta-seconds; ceil to stay conservative
+            # but keep sub-second precision in the JSON body.
+            headers["Retry-After"] = str(max(1, int(retry_after_s + 0.999)))
+            payload["retry_after_s"] = round(retry_after_s, 3)
+        return cls.json(status, payload, headers)
+
+    def render(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in sorted(self.headers.items()))
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + self.body
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+class Router:
+    """``(method, pattern)`` → handler dispatch with one-segment params."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), tuple(pattern.strip("/").split("/")), handler)
+        )
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Handler], Dict[str, str], bool]:
+        """Returns ``(handler, params, path_known)``; ``handler`` is
+        None for a miss — ``path_known`` then distinguishes 405 from
+        404."""
+        segments = tuple(path.strip("/").split("/"))
+        path_known = False
+        for route_method, pattern, handler in self._routes:
+            params = _match(pattern, segments)
+            if params is None:
+                continue
+            path_known = True
+            if route_method == method.upper():
+                return handler, params, True
+        return None, {}, path_known
+
+
+def _match(
+    pattern: Tuple[str, ...], segments: Tuple[str, ...]
+) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for want, got in zip(pattern, segments):
+        if want.startswith("{") and want.endswith("}"):
+            if not got:
+                return None
+            params[want[1:-1]] = got
+        elif want != got:
+            return None
+    return params
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Parse one request; None on a closed/empty connection.
+
+    Raises :class:`ServeError` on malformed framing — the connection
+    handler answers 400 and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("truncated HTTP request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServeError("HTTP request head too large") from exc
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServeError(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    path = target.split("?", 1)[0]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ServeError(f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ServeError(
+            f"bad Content-Length: {length_text!r}"
+        ) from exc
+    if length < 0 or length > MAX_REQUEST_BYTES:
+        raise ServeError(f"unacceptable Content-Length {length}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError("truncated HTTP request body") from exc
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+async def handle_connection(
+    router: Router,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one connection: one request, one response, close."""
+    try:
+        try:
+            request = await read_request(reader)
+        except ServeError as exc:
+            writer.write(HttpResponse.error(400, str(exc)).render())
+            await writer.drain()
+            return
+        if request is None:
+            return
+        handler, params, path_known = router.resolve(
+            request.method, request.path
+        )
+        if handler is None:
+            response = HttpResponse.error(
+                405 if path_known else 404,
+                f"{'method not allowed' if path_known else 'not found'}: "
+                f"{request.method} {request.path}",
+            )
+        else:
+            request.params = params
+            try:
+                response = await handler(request)
+            except ServeError as exc:
+                response = HttpResponse.error(400, str(exc))
+            except Exception as exc:  # noqa: BLE001 - boundary
+                response = HttpResponse.error(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+        writer.write(response.render())
+        await writer.drain()
+    except (ConnectionError, BrokenPipeError):  # client went away
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

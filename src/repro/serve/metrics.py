@@ -1,0 +1,124 @@
+"""Service metrics: counters, queue depth and latency histograms.
+
+What ``GET /metrics`` serves.  Three ingredients:
+
+* the service's own counters (submissions, admissions by verdict,
+  completions, failures, shed/cancelled jobs),
+* latency histograms — queue wait, run time, and the end-to-end
+  submit→complete latency — with p50/p90/p99 read-outs, and
+* a snapshot of the aggregated
+  :class:`~repro.runtime.metrics.RuntimeStats` across the scheduler's
+  runtime contexts plus the live queue depth, merged in by the server.
+
+Histograms use fixed exponential bucket bounds, so two servers'
+metrics are mergeable and the render is stable.  All clocks are
+monotonic durations; nothing here feeds a result.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds, seconds (exponential, 1 ms … ~137 s).
+_BOUNDS: Tuple[float, ...] = tuple(0.001 * (2.0**i) for i in range(18))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile read-outs."""
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * (len(_BOUNDS) + 1)
+        self._total = 0
+        self._sum_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect_left(_BOUNDS, seconds)] += 1
+        self._total += 1
+        self._sum_s += seconds
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean_s(self) -> float:
+        return self._sum_s / self._total if self._total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The upper bound of the bucket holding the ``p``-quantile
+        observation (0.0 on an empty histogram)."""
+        if not self._total:
+            return 0.0
+        rank = max(1, int(p * self._total + 0.999999))
+        seen = 0
+        for i, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                return _BOUNDS[i] if i < len(_BOUNDS) else float("inf")
+        return float("inf")  # pragma: no cover - unreachable
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self._total,
+            "mean_s": round(self.mean_s, 6),
+            "p50_s": self.percentile(0.50),
+            "p90_s": self.percentile(0.90),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+class ServeMetrics:
+    """Thread-safe counter/histogram bag for one server."""
+
+    _COUNTERS = (
+        "submissions",
+        "admitted",
+        "deduplicated",
+        "rejected_rate_limited",
+        "rejected_saturated",
+        "completed",
+        "failed",
+        "cancelled",
+        "shed",
+        "requeued",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {name: 0 for name in self._COUNTERS}
+        self.queue_wait = LatencyHistogram()
+        self.run = LatencyHistogram()
+        self.submit_to_complete = LatencyHistogram()
+
+    def count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe_job(
+        self,
+        queued_s: Optional[float],
+        run_s: Optional[float],
+        total_s: Optional[float],
+    ) -> None:
+        """Record one finished job's latencies (None = unknown, e.g. a
+        job resumed from a previous server life)."""
+        with self._lock:
+            if queued_s is not None:
+                self.queue_wait.observe(queued_s)
+            if run_s is not None:
+                self.run.observe(run_s)
+            if total_s is not None:
+                self.submit_to_complete.observe(total_s)
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "latency": {
+                    "queue_wait": self.queue_wait.to_dict(),
+                    "run": self.run.to_dict(),
+                    "submit_to_complete": self.submit_to_complete.to_dict(),
+                },
+            }

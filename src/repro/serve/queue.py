@@ -1,0 +1,257 @@
+"""Durable, crash-safe job queue.
+
+The queue is a key → :class:`~repro.serve.job.Job` map with a dispatch
+order (priority tiers, FIFO inside a tier, fair-share across clients)
+and an on-disk journal.  Persistence reuses the resilience layer's
+:class:`~repro.resilience.journal.CheckpointJournal` — atomic
+whole-file rewrites, versioned, merged, never trusted — so the
+durability guarantees are exactly the ones the checkpoint/resume path
+already proves:
+
+* **Crash-safe submit.**  A job is journaled *before* the submitter is
+  acknowledged; after any crash the journal contains every
+  acknowledged job exactly once (an unacknowledged one either made the
+  atomic rewrite or left no trace — never a torn record).
+* **Dedup by content.**  The job key is content-addressed over the
+  result-determining spec fields, so resubmitting the same computation
+  returns the existing job (whatever its state) instead of queueing a
+  duplicate.
+* **Restart = requeue.**  On restart, jobs journaled ``running`` are
+  demoted to ``queued`` (the flow they were running is deterministic
+  and its completed stages sit in the artifact cache, so the rerun is
+  cheap and byte-identical); terminal jobs stay terminal.
+
+All public methods are thread-safe — the HTTP loop submits and
+cancels while the scheduler thread claims and finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+from pathlib import Path
+
+from repro.resilience.journal import CheckpointJournal
+from repro.runtime.metrics import RuntimeStats
+from repro.trace.span import Tracer
+from repro.serve.job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    Job,
+    JobSpec,
+)
+
+
+class JobQueue:
+    """Priority/FIFO job queue with a durable journal.
+
+    Parameters
+    ----------
+    journal_path:
+        The queue journal file (atomic whole-file rewrites).  Pass the
+        same path to a restarted server to resume the queue.
+    stats / tracer:
+        Optional :class:`~repro.runtime.metrics.RuntimeStats` /
+        :class:`~repro.trace.span.Tracer` forwarded to the journal so
+        checkpoint writes are counted and traced like every other.
+    """
+
+    def __init__(
+        self,
+        journal_path: Union[str, Path],
+        stats: Optional[RuntimeStats] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._journal = CheckpointJournal(
+            journal_path, stats=stats, tracer=tracer
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._next_seq = 0
+        #: Fair-share bookkeeping: the claim round at which each client
+        #: was last served (lower = served longer ago = goes first).
+        self._last_served: Dict[str, int] = {}
+        self._claim_round = 0
+        self._restore()
+
+    # -- persistence --------------------------------------------------------
+
+    def _restore(self) -> None:
+        """Load the journal; demote ``running`` jobs back to ``queued``."""
+        for key in self._journal.keys():
+            payload = self._journal.get(key)
+            if payload is None:
+                continue
+            try:
+                job = Job.from_dict(payload)
+            except Exception:
+                continue  # foreign or stale record: recompute, never trust
+            if job.key != key:
+                continue
+            if job.state == RUNNING:
+                job.state = QUEUED
+                self._journal.record(key, job.to_dict())
+            self._jobs[key] = job
+            self._next_seq = max(self._next_seq, job.seq + 1)
+
+    def _checkpoint(self, job: Job) -> None:
+        self._journal.record(job.key, job.to_dict())
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Tuple[Job, bool]:
+        """Accept ``spec``; returns ``(job, created)``.
+
+        ``created`` is False when a job with the same content key
+        already exists (dedup) — the existing job is returned whatever
+        its state, so a client resubmitting finished work is handed
+        the finished job.  A previously cancelled or shed job *is*
+        revived (requeued under its old key): cancellation removes
+        work from the queue, it does not ban the computation.
+        """
+        key = spec.key()
+        with self._lock:
+            existing = self._jobs.get(key)
+            if existing is not None:
+                if existing.state in (CANCELLED, SHED):
+                    existing.spec = spec
+                    existing.state = QUEUED
+                    existing.error = None
+                    existing.seq = self._next_seq
+                    self._next_seq += 1
+                    self._checkpoint(existing)
+                    return existing, True
+                return existing, False
+            job = Job(spec=spec, seq=self._next_seq)
+            self._next_seq += 1
+            # Journal *before* acknowledging: an acked job survives any
+            # crash; a crash before this line leaves no trace at all.
+            self._jobs[key] = job
+            self._checkpoint(job)
+            return job, True
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _queued_jobs(self) -> List[Job]:
+        return [j for j in self._jobs.values() if j.state == QUEUED]
+
+    def claim_next(self) -> Optional[Job]:
+        """Claim the next job to run (marks it ``running``).
+
+        Order: highest priority tier first; inside the tier, the
+        *client served longest ago* goes first (fair share — one chatty
+        client cannot starve the others), and FIFO within a client.
+        """
+        with self._lock:
+            queued = self._queued_jobs()
+            if not queued:
+                return None
+            top = max(j.spec.priority for j in queued)
+            tier = [j for j in queued if j.spec.priority == top]
+            job = min(
+                tier,
+                key=lambda j: (self._last_served.get(j.spec.client, -1), j.seq),
+            )
+            self._claim_round += 1
+            self._last_served[job.spec.client] = self._claim_round
+            job.state = RUNNING
+            job.attempts += 1
+            self._checkpoint(job)
+            return job
+
+    def finish(
+        self,
+        key: str,
+        ok: bool,
+        error: Optional[str] = None,
+        stats: Optional[Dict[str, float]] = None,
+    ) -> Optional[Job]:
+        """Mark a running job ``done`` (or ``failed``)."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.state != RUNNING:
+                return None
+            job.state = DONE if ok else FAILED
+            job.error = error
+            if stats:
+                job.stats = dict(stats)
+            self._checkpoint(job)
+            return job
+
+    # -- cancellation and shedding ------------------------------------------
+
+    def cancel(self, key: str) -> Optional[Job]:
+        """Cancel a *queued* job; running or terminal jobs are left
+        alone (returns None for them)."""
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.state != QUEUED:
+                return None
+            job.state = CANCELLED
+            self._checkpoint(job)
+            return job
+
+    def shed_lowest(self, below_priority: int) -> Optional[Job]:
+        """Evict the lowest-priority queued job, if one sits strictly
+        below ``below_priority`` (admission control's load shedding).
+
+        The *youngest* job of the lowest tier goes — shedding the
+        oldest would starve work that has already waited longest.
+        """
+        with self._lock:
+            queued = self._queued_jobs()
+            if not queued:
+                return None
+            bottom = min(j.spec.priority for j in queued)
+            if bottom >= below_priority:
+                return None
+            victim = max(
+                (j for j in queued if j.spec.priority == bottom),
+                key=lambda j: j.seq,
+            )
+            victim.state = SHED
+            self._checkpoint(victim)
+            return victim
+
+    # -- inspection ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in dispatch order then terminal states."""
+        with self._lock:
+            return sorted(
+                self._jobs.values(),
+                key=lambda j: (j.terminal, j.sort_key()),
+            )
+
+    def depth(self) -> int:
+        """Number of jobs waiting to run."""
+        with self._lock:
+            return len(self._queued_jobs())
+
+    def running(self) -> List[Job]:
+        with self._lock:
+            return [j for j in self._jobs.values() if j.state == RUNNING]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (zero states omitted)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def __repr__(self) -> str:
+        return f"JobQueue({self._journal.path}, {len(self)} jobs)"

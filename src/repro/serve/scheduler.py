@@ -1,0 +1,250 @@
+"""Job scheduler: claims queued jobs and runs them on pooled runtimes.
+
+One scheduler thread drains the queue in dispatch order (the queue
+itself encodes priority, FIFO and client fair-share) and runs each job
+through :func:`~repro.flows.full_flow.run_full_flow`.
+
+**Context pooling.**  Jobs carry an execution budget — worker
+processes, per-task timeout, retry budget — and a
+:class:`~repro.runtime.context.RuntimeContext` is expensive to build
+(it owns a process pool).  The scheduler therefore keeps one context
+per distinct budget and *reuses* it across jobs:
+:meth:`RuntimeContext.reset_stats` zeroes the counters in place between
+jobs (the pool stays warm), and
+:meth:`RuntimeContext.attach_tracer` swaps in a per-job tracer, so each
+job still gets cleanly separated stats and its own span tree.  Results
+are bit-identical to a fresh context by the runtime layer's standing
+guarantee.
+
+**Per-job tracing.**  Every job runs inside a ``job`` span on its own
+tracer; the normalized projection is persisted next to the result and
+served at ``GET /jobs/<key>/trace``.  Lifecycle events
+(``job_running``, ``job_done``, ...) additionally fire on the *server*
+tracer when one is attached, so a ``repro serve --trace`` artifact
+attributes every job's lifecycle in Perfetto.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.flows.full_flow import run_full_flow
+from repro.runtime.context import RuntimeContext
+from repro.runtime.metrics import RuntimeStats
+from repro.serve.job import Job
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import JobQueue
+from repro.serve.results import ResultStore, flow_result_payload
+from repro.trace.normalize import normalized_json
+from repro.trace.span import Tracer
+
+#: Stats counters worth echoing onto the finished job record.
+_JOB_STAT_KEYS = (
+    "full_simulations",
+    "full_sim_hits",
+    "screen_simulations",
+    "screen_hits",
+    "tasks_dispatched",
+    "task_retries",
+    "serial_fallback_tasks",
+)
+
+Budget = Tuple[int, Optional[float], int]
+
+
+class ContextPool:
+    """One long-lived :class:`RuntimeContext` per execution budget."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str],
+        enable_cache: bool,
+        chaos: Optional[str] = None,
+    ) -> None:
+        self.cache_dir = cache_dir
+        self.enable_cache = enable_cache
+        self.chaos = chaos
+        self._contexts: Dict[Budget, RuntimeContext] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, budget: Budget) -> RuntimeContext:
+        """The pooled context for ``budget`` (built on first use)."""
+        with self._lock:
+            runtime = self._contexts.get(budget)
+            if runtime is None:
+                jobs, task_timeout, retries = budget
+                runtime = RuntimeContext(
+                    jobs=jobs,
+                    cache_dir=self.cache_dir,
+                    enable_cache=self.enable_cache,
+                    task_timeout=task_timeout,
+                    retries=retries,
+                    chaos=self.chaos,
+                )
+                self._contexts[budget] = runtime
+            return runtime
+
+    def aggregate_stats(self) -> RuntimeStats:
+        """Sum of every pooled context's *current* counters (the
+        `/metrics` runtime section)."""
+        total = RuntimeStats()
+        with self._lock:
+            contexts = list(self._contexts.values())
+        for runtime in contexts:
+            snap = runtime.stats.snapshot()
+            for name, value in snap.items():
+                setattr(total, name, getattr(total, name) + value)
+            total.jobs = max(total.jobs, runtime.jobs)
+        return total
+
+    def close(self) -> None:
+        with self._lock:
+            contexts = list(self._contexts.values())
+            self._contexts.clear()
+        for runtime in contexts:
+            runtime.close()
+
+
+class Scheduler:
+    """The dispatch loop, on its own daemon thread.
+
+    Parameters
+    ----------
+    queue / results / metrics / contexts:
+        The server's shared components.
+    server_tracer:
+        Optional tracer owned by the server; job lifecycle events fire
+        on it (under its currently open span) when present.
+    poll_s:
+        Idle sleep between queue polls.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        results: ResultStore,
+        metrics: ServeMetrics,
+        contexts: ContextPool,
+        server_tracer: Optional[Tracer] = None,
+        poll_s: float = 0.05,
+    ) -> None:
+        self.queue = queue
+        self.results = results
+        self.metrics = metrics
+        self.contexts = contexts
+        self.server_tracer = server_tracer
+        self.poll_s = poll_s
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-scheduler", daemon=True
+        )
+        #: Monotonic submit stamps for latency accounting, by job key
+        #: (jobs resumed from a previous life have none).
+        self.submit_stamps: Dict[str, float] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout_s: Optional[float] = None) -> bool:
+        """Ask the loop to stop after the in-flight job and join it.
+
+        Returns True when the thread exited within ``timeout_s``.  The
+        in-flight job is *finished, not abandoned* — its result and
+        checkpoint land before the thread exits, which is what makes
+        SIGTERM drain lossless.
+        """
+        self._stop.set()
+        self._thread.join(timeout_s)
+        return not self._thread.is_alive()
+
+    @property
+    def idle(self) -> bool:
+        """True when no job is being executed right now."""
+        return self._idle.is_set()
+
+    def _server_event(self, kind: str, **attrs: object) -> None:
+        if self.server_tracer is not None and not self.server_tracer.finished:
+            self.server_tracer.event(kind, **attrs)
+
+    # -- the loop -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                self._stop.wait(self.poll_s)
+                continue
+            self._idle.clear()
+            try:
+                self._run_job(job)
+            finally:
+                self._idle.set()
+
+    def _run_job(self, job: Job) -> None:
+        key = job.key
+        submitted = self.submit_stamps.get(key)
+        started = time.monotonic()
+        self._server_event(
+            "job_running", key=key, circuit=job.spec.circuit,
+            priority=job.spec.priority, attempt=job.attempts,
+        )
+        runtime = self.contexts.acquire(job.spec.budget())
+        # Fresh per-job accounting and trace on the *shared* context:
+        # the pool (and its warm workers) carries over, the counters
+        # and spans do not.
+        runtime.reset_stats()
+        tracer = Tracer(stats=runtime.stats)
+        runtime.attach_tracer(tracer)
+        try:
+            with tracer.span(
+                "job", key=key, job=key, circuit=job.spec.circuit,
+                seed=job.spec.seed, l_g=job.spec.l_g,
+            ):
+                flow = run_full_flow(
+                    job.spec.circuit,
+                    job.spec.flow_config(),
+                    runtime=runtime,
+                )
+        except ReproError as exc:
+            runtime.attach_tracer(None)
+            self.queue.finish(key, ok=False, error=str(exc))
+            self.metrics.count("failed")
+            self._server_event("job_failed", key=key, error=str(exc))
+            return
+        finally:
+            runtime.attach_tracer(None)
+        payload = flow_result_payload(flow)
+        stats = {
+            name: value
+            for name, value in runtime.stats.snapshot().items()
+            if name in _JOB_STAT_KEYS and value
+        }
+        self.results.put(key, payload)
+        self.results.put_trace(
+            key, normalized_json(tracer.finish(), tracer.events)
+        )
+        self.queue.finish(key, ok=True, stats=stats)
+        done = time.monotonic()
+        self.metrics.count("completed")
+        self.metrics.observe_job(
+            queued_s=(started - submitted) if submitted is not None else None,
+            run_s=done - started,
+            total_s=(done - submitted) if submitted is not None else None,
+        )
+        self._server_event(
+            "job_done", key=key, circuit=job.spec.circuit,
+            run_s=round(done - started, 6),
+        )
+
+    # -- hooks for the server -----------------------------------------------
+
+    def note_submitted(self, key: str) -> None:
+        """Stamp a submission time for latency accounting."""
+        self.submit_stamps[key] = time.monotonic()

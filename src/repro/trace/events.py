@@ -55,9 +55,20 @@ RUNTIME_KINDS = frozenset(
         "executor_degraded",
         "checkpoint",
         "journal_skip",
+        "job_queued",
+        "job_admitted",
+        "job_running",
+        "job_done",
+        "job_failed",
+        "job_cancelled",
+        "job_shed",
+        "job_rejected",
     }
 )
-"""Event kinds describing execution strategy, not results."""
+"""Event kinds describing execution strategy, not results.  The
+``job_*`` family marks the lifecycle of one :mod:`repro.serve` campaign
+job (queued → admitted → running → done/failed/cancelled/shed), so a
+served trace attributes every job in Perfetto."""
 
 EVENT_KINDS = DETERMINISTIC_KINDS | RUNTIME_KINDS
 

@@ -1,0 +1,91 @@
+"""Cache eviction under concurrent writers sharing one ``--cache-dir``.
+
+Multiple server/CLI processes may point at the same cache root; any
+entry one of them lists during LRU enforcement can vanish at any
+moment because a sibling evicted or discarded it.  These tests pin the
+tolerate-and-continue behaviour: a racing unlink must neither crash
+the enforcement pass nor stop it from enforcing the cap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.cache import ArtifactCache
+
+#: Entries below are ~100 bytes each; a small cap forces eviction on
+#: nearly every put, maximising collisions between the writers.
+SMALL_CAP = 600
+
+
+def entry(i: int) -> dict:
+    return {"payload": "x" * 64, "index": i}
+
+
+def cache_bytes(cache: ArtifactCache) -> int:
+    return sum(p.stat().st_size for p in cache.root.glob("*.json"))
+
+
+def test_enforce_cap_tolerates_entries_vanishing_midway(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=SMALL_CAP)
+    for i in range(8):
+        cache.put(f"key{i}", entry(i))
+    # Simulate a sibling process deleting entries between the glob and
+    # the stat/unlink of an enforcement pass: remove files behind the
+    # cache's back, then trigger enforcement with one more put.
+    for path in list(cache.root.glob("*.json"))[:3]:
+        path.unlink()
+    cache.put("straggler", entry(99))  # must not raise
+    assert cache_bytes(cache) <= SMALL_CAP
+    assert cache.get("straggler") is not None
+
+
+def test_eviction_counter_ignores_already_missing_files(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=10**9)
+    for i in range(4):
+        cache.put(f"key{i}", entry(i))
+    before = cache.stats.cache_evictions
+    # Shrink the cap so everything must go, but delete some files
+    # first — those evaporate without counting as evictions.
+    for path in list(cache.root.glob("*.json"))[:2]:
+        path.unlink()
+    cache.max_bytes = 1
+    cache.put("trigger", entry(0))
+    evicted = cache.stats.cache_evictions - before
+    assert 1 <= evicted <= 3  # never counts the files it didn't remove
+
+
+def test_concurrent_writers_sharing_a_root_never_crash(tmp_path):
+    """Four threads × two ArtifactCache instances hammer one root with
+    a cap small enough that every put evicts; no exception may escape
+    and the cap must hold once the dust settles."""
+    caches = [
+        ArtifactCache(tmp_path, max_bytes=SMALL_CAP) for _ in range(2)
+    ]
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def writer(worker: int) -> None:
+        cache = caches[worker % len(caches)]
+        try:
+            barrier.wait(timeout=10)
+            for i in range(120):
+                key = f"w{worker}-{i % 10}"
+                cache.put(key, entry(i))
+                cache.get(key)  # may race an eviction: None is fine
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(n,)) for n in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert all(not t.is_alive() for t in threads)
+
+    # One final put enforces the cap over whatever survived the melee.
+    caches[0].put("final", entry(0))
+    assert cache_bytes(caches[0]) <= SMALL_CAP

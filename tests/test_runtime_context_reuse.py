@@ -1,0 +1,102 @@
+"""A RuntimeContext is reusable across flows in one process.
+
+The serve scheduler keeps one warm context per execution budget and
+runs many jobs through it; these are the regression tests for that
+contract: two sequential ``run_full_flow`` calls under a single
+context produce bit-identical results, and ``reset_stats`` separates
+their accounting without rebuilding the worker pool.
+"""
+
+from __future__ import annotations
+
+from repro.flows.full_flow import FlowConfig, run_full_flow
+from repro.runtime import RuntimeContext
+from repro.trace.span import Tracer
+
+def small_cfg():
+    from repro.core.procedure import ProcedureConfig
+
+    return FlowConfig(
+        seed=1,
+        tgen_max_len=256,
+        compaction_sims=8,
+        procedure=ProcedureConfig(l_g=64),
+    )
+
+
+def summarize(flow):
+    # The serve layer's canonical projection: everything a client
+    # consumes, nothing machine-dependent — ideal for bit-comparison.
+    from repro.serve.results import flow_result_payload
+
+    return flow_result_payload(flow)
+
+
+def test_two_sequential_flows_bit_identical_with_separated_stats():
+    cfg = small_cfg()
+    with RuntimeContext(jobs=2) as runtime:
+        first = run_full_flow("s27", cfg, runtime=runtime)
+        first_stats = runtime.stats.snapshot()
+        assert first_stats["full_simulations"] > 0
+
+        stats = runtime.reset_stats()
+        assert stats is runtime.stats  # reset in place, not replaced
+        assert runtime.stats.snapshot()["full_simulations"] == 0
+        assert runtime.stats.jobs == runtime.executor.jobs
+
+        second = run_full_flow("s27", cfg, runtime=runtime)
+        second_stats = runtime.stats.snapshot()
+
+    assert summarize(first) == summarize(second)
+    # Same work, separately accounted: the second flow's counters are
+    # its own, not a continuation of the first flow's.
+    assert second_stats["full_simulations"] == first_stats["full_simulations"]
+
+    # And both match a plain direct run — the context never changes
+    # results, whether fresh or reused.
+    direct = run_full_flow("s27", small_cfg())
+    assert summarize(direct) == summarize(first)
+
+
+def test_reset_stats_keeps_executor_cache_journal_wired(tmp_path):
+    with RuntimeContext(jobs=1, cache_dir=tmp_path / "cache") as runtime:
+        stats = runtime.stats
+        assert runtime.executor.stats is stats
+        assert runtime.cache.stats is stats
+        assert runtime.journal.stats is stats
+        run_full_flow("s27", small_cfg(), runtime=runtime)
+        assert stats.cache_stores > 0
+
+        runtime.reset_stats()
+        # The same objects still feed the same (now zeroed) stats.
+        assert runtime.executor.stats is stats
+        assert runtime.cache.stats is stats
+        assert runtime.journal.stats is stats
+
+        run_full_flow("s27", small_cfg(), runtime=runtime)
+        # Second run is served from cache: hits counted post-reset.
+        assert stats.full_sim_hits > 0 or stats.cache_stores > 0
+
+
+def test_attach_tracer_swaps_per_flow_traces():
+    with RuntimeContext(jobs=1) as runtime:
+        first_tracer = Tracer(stats=runtime.stats)
+        runtime.attach_tracer(first_tracer)
+        assert runtime.executor.tracer is first_tracer
+        with first_tracer.span("job"):
+            run_full_flow("s27", small_cfg(), runtime=runtime)
+        first_root = first_tracer.finish()
+
+        runtime.reset_stats()
+        second_tracer = Tracer(stats=runtime.stats)
+        runtime.attach_tracer(second_tracer)
+        with second_tracer.span("job"):
+            run_full_flow("s27", small_cfg(), runtime=runtime)
+        second_root = second_tracer.finish()
+
+        runtime.attach_tracer(None)
+        assert runtime.tracer is None and runtime.executor.tracer is None
+
+    # Each flow got its own complete trace.
+    assert first_root.children and second_root.children
+    assert first_root is not second_root

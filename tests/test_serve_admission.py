@@ -1,0 +1,157 @@
+"""Admission control: token bucket, drain gate, bounded queue, shedding.
+
+Everything here runs on an injected fake clock, so rate-limit timing
+is exact and the tests never sleep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.job import QUEUED, SHED, JobSpec
+from repro.serve.queue import JobQueue
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def spec(seed=1, priority=4, client="alice"):
+    return JobSpec(
+        circuit="s27",
+        seed=seed,
+        tgen_max_len=64,
+        compaction_sims=0,
+        l_g=32,
+        priority=priority,
+        client=client,
+    )
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+def test_bucket_burst_then_exact_retry_after():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=2.0, burst=2, clock=clock)
+    assert bucket.take() == 0.0
+    assert bucket.take() == 0.0
+    retry = bucket.take()
+    assert retry == pytest.approx(0.5)  # one token at 2/s
+    clock.advance(0.25)
+    assert bucket.take() == pytest.approx(0.25)  # still half a token short
+    clock.advance(0.5)
+    assert bucket.take() == 0.0  # refilled
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_s=10.0, burst=3, clock=clock)
+    clock.advance(1000.0)
+    for _ in range(3):
+        assert bucket.take() == 0.0
+    assert bucket.take() > 0.0
+
+
+def test_bucket_with_zero_rate_never_refills():
+    bucket = TokenBucket(rate_per_s=0.0, burst=1, clock=FakeClock())
+    assert bucket.take() == 0.0
+    assert bucket.take() == float("inf")
+
+
+# -- controller --------------------------------------------------------------
+
+
+def make_controller(clock, capacity=8, rate=1000.0, burst=100):
+    return AdmissionController(
+        queue_capacity=capacity, rate_per_s=rate, burst=burst, clock=clock
+    )
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ServeError):
+        AdmissionController(queue_capacity=0)
+
+
+def test_drain_gate_refuses_everything(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    controller = make_controller(FakeClock())
+    controller.start_draining()
+    decision = controller.admit(spec(), queue)
+    assert decision.status == 503 and not decision.admitted
+    assert decision.retry_after_s > 0.0
+    assert len(queue) == 0  # nothing reached the queue
+
+
+def test_rate_limit_is_per_client(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    clock = FakeClock()
+    controller = make_controller(clock, rate=1.0, burst=1)
+
+    first = controller.admit(spec(seed=1, client="alice"), queue)
+    assert first.status == 202
+    limited = controller.admit(spec(seed=2, client="alice"), queue)
+    assert limited.status == 429
+    assert limited.retry_after_s == pytest.approx(1.0, abs=0.05)
+    # Another client has its own bucket.
+    other = controller.admit(spec(seed=3, client="bob"), queue)
+    assert other.status == 202
+    # alice recovers once a token accrues.
+    clock.advance(1.0)
+    again = controller.admit(spec(seed=4, client="alice"), queue)
+    assert again.status == 202
+
+
+def test_dedup_is_200_not_202(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    controller = make_controller(FakeClock())
+    assert controller.admit(spec(seed=1), queue).status == 202
+    decision = controller.admit(spec(seed=1, priority=9), queue)
+    assert decision.status == 200 and decision.admitted
+    assert len(queue) == 1
+
+
+def test_full_queue_sheds_strictly_lower_priority(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    controller = make_controller(FakeClock(), capacity=1)
+    low = controller.admit(spec(seed=1, priority=2), queue)
+    assert low.status == 202
+
+    urgent = controller.admit(spec(seed=2, priority=8), queue)
+    assert urgent.status == 202
+    assert urgent.shed is not None and urgent.shed.key == low.job.key
+    assert queue.get(low.job.key).state == SHED
+    assert queue.get(urgent.job.key).state == QUEUED
+
+
+def test_full_queue_refuses_equal_or_lower_priority(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    controller = make_controller(FakeClock(), capacity=1)
+    assert controller.admit(spec(seed=1, priority=5), queue).status == 202
+
+    refused = controller.admit(spec(seed=2, priority=5), queue)
+    assert refused.status == 503 and refused.shed is None
+    assert refused.retry_after_s > 0.0
+    assert queue.depth() == 1  # nothing displaced, nothing enqueued
+
+
+def test_shed_victim_may_resubmit_when_room_returns(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    controller = make_controller(FakeClock(), capacity=1)
+    low = controller.admit(spec(seed=1, priority=1), queue)
+    controller.admit(spec(seed=2, priority=9), queue)  # sheds the low job
+    # The high job starts running; the slot frees up.
+    queue.claim_next()
+    revived = controller.admit(spec(seed=1, priority=1), queue)
+    assert revived.status == 202
+    assert revived.job.key == low.job.key  # same computation, same key
+    assert queue.get(low.job.key).state == QUEUED

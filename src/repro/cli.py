@@ -58,7 +58,7 @@ from repro.circuit import (
     write_bench,
 )
 from repro.circuit.verilog import write_verilog
-from repro.core import ProcedureConfig
+from repro.core import ProcedureConfig, WeightAssignment
 from repro.core.report import format_table6
 from repro.errors import ReproError, SweepInterrupted, TraceError
 from repro.flows import FlowConfig, run_full_flow
@@ -129,6 +129,41 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("circuit")
     _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_tradeoff)
+
+    p = sub.add_parser(
+        "optimize",
+        help="multi-objective search over weight assignments",
+        description=(
+            "Seeded NSGA-II search over weight assignments drawn from "
+            "the quantized hardware alphabet, reporting the Pareto "
+            "front over (fault coverage, TPG area, test length) "
+            "against the paper's greedy Ω baseline.  Fully "
+            "deterministic: the front is byte-identical for any "
+            "--jobs value and across an interrupted run rerun with "
+            "--resume."
+        ),
+    )
+    p.add_argument("circuit", help="library name (e.g. s27) or .bench path")
+    p.add_argument("--population", type=int, default=16, metavar="N",
+                   help="population size μ (default: 16)")
+    p.add_argument("--generations", type=int, default=8, metavar="N",
+                   help="offspring generations after the seeded "
+                        "generation 0 (default: 8)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="search (and baseline flow) seed")
+    p.add_argument("--lg", type=int, default=512,
+                   help="baseline weighted sequence length L_G")
+    p.add_argument("--tgen-max-len", type=int, default=2000, metavar="N",
+                   help="baseline test-generation length cap")
+    p.add_argument("--compaction-sims", type=int, default=60, metavar="N",
+                   help="baseline compaction budget (0 disables)")
+    p.add_argument("--output", type=Path, default=None, metavar="PATH",
+                   help="write the canonical front JSON to PATH")
+    p.add_argument("--save-tpg", type=Path, default=None, metavar="PATH",
+                   help="save the best-coverage front point as a TPG "
+                        "design carrying the full weight alphabet")
+    _add_runtime_flags(p)
+    p.set_defaults(handler=_cmd_optimize)
 
     p = sub.add_parser("atpg", help="run deterministic ATPG on a circuit")
     p.add_argument("circuit")
@@ -285,6 +320,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="random + deterministic ATPG test generation")
     p.add_argument("--synthesize", action="store_true",
                    help="also synthesize and verify the TPG")
+    p.add_argument("--task", default="flow", choices=("flow", "optimize"),
+                   help="job type: the greedy flow or the multi-objective "
+                        "weight search (default: flow)")
+    p.add_argument("--population", type=int, default=8, metavar="N",
+                   help="optimize-task population size (default: 8)")
+    p.add_argument("--generations", type=int, default=2, metavar="N",
+                   help="optimize-task generation count (default: 2)")
     p.add_argument("--job-workers", type=int, default=1, metavar="N",
                    help="worker processes the job may use (default: 1)")
     p.add_argument("--wait", action="store_true",
@@ -496,6 +538,52 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.optimize import (
+        OptimizeConfig,
+        render_front,
+        render_front_table,
+        run_optimize,
+    )
+    from repro.resilience import handle_termination
+
+    circuit = _load(args.circuit)
+    config = OptimizeConfig(
+        seed=args.seed,
+        population=args.population,
+        generations=args.generations,
+        l_g=args.lg,
+        tgen_max_len=args.tgen_max_len,
+        compaction_sims=args.compaction_sims,
+    )
+    with _make_runtime(args) as runtime, handle_termination():
+        result = run_optimize(circuit, config, runtime=runtime)
+    print(render_front_table(result))
+    if args.output is not None:
+        args.output.write_text(render_front(result))
+        print(f"wrote {args.output}")
+    if args.save_tpg is not None:
+        from repro.hw.design_io import save_design
+        from repro.hw.tpg import synthesize_tpg
+
+        best = max(result.front, key=lambda p: (p.detected, -p.area))
+        design = synthesize_tpg(
+            [WeightAssignment.from_strings(list(a)) for a in best.assignments],
+            max(best.windows),
+            circuit.inputs,
+            alphabet=result.alphabet,
+        )
+        if runtime is not None:
+            runtime.lint_design(design)
+        save_design(design, args.save_tpg)
+        print(f"wrote {args.save_tpg}")
+    if args.stats:
+        print()
+        print(runtime.stats.format())
+    _write_trace(runtime, args)
+    return 0
+
+
 def _cmd_atpg(args: argparse.Namespace) -> int:
     from repro.atpg import deterministic_atpg
 
@@ -697,10 +785,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         client_id = f"submit-{getpass.getuser()}"  # lint: ignore[D104]
     spec_kwargs = dict(
         circuit=args.circuit,
+        task=args.task,
         seed=args.seed,
         l_g=args.lg,
         tgen_mode="hybrid" if args.hybrid else "random",
         synthesize_hardware=args.synthesize,
+        population=args.population,
+        generations=args.generations,
         client=client_id,
         jobs=args.job_workers,
     )
@@ -722,6 +813,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"job {key} finished: {state}")
     if state == "done":
         result = client.result(str(key))
+        if result.get("kind") == "optimize-front":
+            front = result.get("front", [])
+            comparison = result.get("comparison", {})
+            verdict = comparison.get("dominates_or_matches_baseline")
+            print(f"  Pareto front: {len(front)} points over "
+                  f"{result.get('evaluations')} evaluated genomes; "
+                  f"dominates-or-matches greedy baseline: {verdict}")
+            return 0
         table6 = result.get("table6", {})
         print(f"  sequence: {len(result.get('sequence', []))} cycles, "
               f"omega: {result.get('omega_size')}, "

@@ -63,6 +63,11 @@ class ChaosError(ResilienceError):
     """A chaos-injection specification could not be parsed."""
 
 
+class OptimizeError(ReproError):
+    """The multi-objective optimizer was misconfigured (bad budgets,
+    empty weight alphabet, incompatible resume checkpoint)."""
+
+
 class ServeError(ReproError):
     """The job service was misused or is unavailable (malformed job
     specifications, unreachable server, protocol violations)."""

@@ -9,8 +9,12 @@ JSON layout written here keeps all of it together:
 
     {"format": 1, "kind": "tpg-design", "name": "tpg",
      "l_g": 512, "assignments": [["01", "0", "100", "1"]],
-     "output_ports": ["out_G0", "..."], "lfsr": null,
+     "output_ports": ["out_G0", "..."], "alphabet": null, "lfsr": null,
      "bench": "# tpg\\nINPUT(reset)\\n..."}
+
+Designs synthesized for a quantized weight alphabet (the optimizer's)
+carry it as a list of weight strings; the FSM bank is rebuilt from the
+assignments *and* the alphabet on load, exactly as synthesis built it.
 
 The netlist is embedded as canonical ``.bench`` text, so a saved design
 round-trips bit-exactly and remains inspectable with any bench tool.
@@ -52,6 +56,11 @@ def design_to_dict(design: TpgDesign) -> Dict[str, object]:
             for assignment in design.assignments
         ],
         "output_ports": list(design.output_ports),
+        "alphabet": (
+            [str(w) for w in design.alphabet]
+            if design.alphabet is not None
+            else None
+        ),
         "lfsr": (
             {"width": design.lfsr.width, "seed": design.lfsr.seed}
             if design.lfsr is not None
@@ -116,9 +125,17 @@ def design_from_dict(payload: Dict[str, object]) -> TpgDesign:
         if not isinstance(lfsr_raw, dict):
             raise HardwareError("saved design field 'lfsr' must be an object")
         lfsr = LfsrSpec(width=int(lfsr_raw["width"]), seed=int(lfsr_raw["seed"]))
+    alphabet_raw = payload.get("alphabet")
+    alphabet = None
+    if alphabet_raw is not None:
+        if not isinstance(alphabet_raw, list):
+            raise HardwareError("saved design field 'alphabet' must be a list")
+        alphabet = tuple(Weight.from_string(str(t)) for t in alphabet_raw)
     weights: List[Weight] = []
     for assignment in assignments:
         weights.extend(assignment.deterministic_weights())
+    if alphabet is not None:
+        weights.extend(alphabet)
     circuit = parse_bench_text(
         str(payload["bench"]), str(payload.get("name", "tpg"))
     )
@@ -129,6 +146,7 @@ def design_from_dict(payload: Dict[str, object]) -> TpgDesign:
         fsms=tuple(build_weight_fsms(weights)),
         output_ports=tuple(str(p) for p in payload["output_ports"]),  # type: ignore[union-attr]
         lfsr=lfsr,
+        alphabet=alphabet,
     )
 
 

@@ -90,6 +90,13 @@ class TpgDesign:
         The weight FSM bank.
     output_ports:
         PO names, one per CUT input.
+    alphabet:
+        The quantized weight alphabet the hardware supports, when the
+        design was synthesized for one (e.g. by the optimizer).  The
+        FSM bank then covers every alphabet weight — including ones no
+        current assignment references — so the same silicon can realize
+        any assignment drawn from the alphabet.  ``None`` for designs
+        synthesized from their assignments alone.
     """
 
     circuit: Circuit
@@ -98,6 +105,7 @@ class TpgDesign:
     fsms: Tuple[WeightFsm, ...]
     output_ports: Tuple[str, ...]
     lfsr: Optional[LfsrSpec] = None
+    alphabet: Optional[Tuple[Weight, ...]] = None
 
     @property
     def n_assignments(self) -> int:
@@ -254,6 +262,7 @@ def synthesize_tpg(
     input_names: Sequence[str] | None = None,
     name: str = "tpg",
     lfsr: Optional[LfsrSpec] = None,
+    alphabet: Sequence[Weight] | None = None,
 ) -> TpgDesign:
     """Synthesize the Figure-1 generator for ``assignments``.
 
@@ -272,6 +281,12 @@ def synthesize_tpg(
         Circuit name.
     lfsr:
         Optional on-chip LFSR parameters for pseudo-random weights.
+    alphabet:
+        Optional quantized weight alphabet to build the FSM bank for.
+        The bank then realizes *every* alphabet weight, not only the
+        ones the current assignments use; the extra outputs are
+        declared on the design so the linter knows they are
+        intentional.  Deterministic weights only.
 
     Returns
     -------
@@ -360,13 +375,35 @@ def synthesize_tpg(
     all_weights: List[Weight] = []
     for assignment in assignments:
         all_weights.extend(assignment.deterministic_weights())
+    if alphabet is not None:
+        for weight in alphabet:
+            if weight.is_random:
+                raise HardwareError(
+                    "the weight alphabet must contain deterministic "
+                    "weights only (pseudo-random weights come from the "
+                    "LFSR, not the FSM bank)"
+                )
+        all_weights.extend(alphabet)
     fsms = build_weight_fsms(all_weights)
 
+    # Output logic is materialized only for the columns Ω references:
+    # alphabet-only columns are declared capacity (their FSM counters
+    # exist, and the bank metadata records them for lint/design reuse),
+    # but emitting their SOPs would leave dangling nets in the netlist.
+    used_columns = {
+        find_output(fsms, w)
+        for a in assignments
+        for w in a.weights
+        if not w.is_random
+    }
     weight_nets: Dict[Tuple[int, int], str] = {}
     for fsm_index, fsm in enumerate(fsms):
         if fsm.length == 1:
             for out_index, weight in enumerate(fsm.outputs):
-                weight_nets[(fsm_index, out_index)] = net.const(weight.bits[0])
+                if (fsm_index, out_index) in used_columns:
+                    weight_nets[(fsm_index, out_index)] = net.const(
+                        weight.bits[0]
+                    )
             continue
         prefix = f"fsm{fsm_index}"
         n_state = fsm.n_state_bits
@@ -376,6 +413,8 @@ def synthesize_tpg(
         _counter(net, prefix, n_state, reset, None, clear)
         unreachable = list(range(fsm.length, 1 << n_state))
         for out_index, weight in enumerate(fsm.outputs):
+            if (fsm_index, out_index) not in used_columns:
+                continue
             minterms = [s for s in range(fsm.length) if weight.bits[s] == 1]
             cubes = minimize(n_state, minterms, unreachable)
             weight_nets[(fsm_index, out_index)] = _sop(net, state_names, cubes)
@@ -412,4 +451,5 @@ def synthesize_tpg(
         fsms=tuple(fsms),
         output_ports=tuple(output_ports),
         lfsr=lfsr if needs_lfsr else None,
+        alphabet=tuple(alphabet) if alphabet is not None else None,
     )

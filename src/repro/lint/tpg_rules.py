@@ -55,7 +55,8 @@ MISSING_FSM_OUTPUT = register(Rule(
 ))
 DEAD_FSM_OUTPUT = register(Rule(
     "T004", "dead-fsm-output", Severity.WARNING,
-    "An FSM output column is not referenced by any weight assignment.",
+    "An FSM output column is not referenced by any weight assignment "
+    "or by the design's declared weight alphabet.",
 ))
 REDUCIBLE_FSM_OUTPUT = register(Rule(
     "T005", "reducible-fsm-output", Severity.WARNING,
@@ -129,6 +130,19 @@ def lint_design(design: TpgDesign, artifact: Optional[str] = None) -> LintReport
             where,
         ))
 
+    # Columns backing a declared quantized alphabet are intentional
+    # capacity, not dead logic: the hardware must realize *any*
+    # assignment over the alphabet, so an optimizer-produced design
+    # with currently-unreferenced alphabet weights lints clean.
+    if design.alphabet is not None:
+        for weight in design.alphabet:
+            if weight.is_random:
+                continue
+            try:
+                used.add(find_output(design.fsms, weight))
+            except HardwareError:
+                pass  # T003 territory only when Ω references it
+
     seen: Dict[Tuple[int, ...], str] = {}
     for fsm_index, fsm in enumerate(design.fsms):
         for out_index, weight in enumerate(fsm.outputs):
@@ -137,7 +151,7 @@ def lint_design(design: TpgDesign, artifact: Optional[str] = None) -> LintReport
                 diagnostics.append(make_diagnostic(
                     DEAD_FSM_OUTPUT,
                     f"output column {column} ({weight}) is not used by "
-                    f"any assignment",
+                    f"any assignment or the declared alphabet",
                     where, location=column,
                 ))
             canonical = weight.canonical()

@@ -1,0 +1,77 @@
+"""Seeded multi-objective search over weight assignments.
+
+The paper's Section-4 procedure mines ``Ω`` greedily, one assignment at
+a time, optimizing fault coverage alone.  This package goes beyond it
+(ROADMAP item 3, in the style of the evolutionary functional-BIST line
+of work): a fully deterministic (μ+λ) genetic search whose genome is a
+*schedule* of weight assignments — per-input weight choices drawn from
+a quantized hardware alphabet, plus a per-phase window length — scored
+on three objectives at once:
+
+* **fault coverage** of the paper's target faults ``F`` (from
+  :mod:`repro.sim` fault simulation),
+* **TPG area** from the :mod:`repro.hw` FSM-sharing cost model, and
+* **test length** (the sum of the phase windows).
+
+Non-dominated sorting with crowding distance (NSGA-II) ranks the
+population; the final Pareto front is reported against the greedy ``Ω``
+baseline, which seeds the initial population — so the front always
+contains a point matching or dominating the paper's procedure.
+
+Determinism contract: given ``(circuit, config, baseline flow)`` the
+search result is byte-identical for any worker count, cache state, and
+across an interrupt-then-resume run (generation-level checkpoints in
+the resilience journal; per-generation rng forked from the root seed,
+so resumption is history-independent).
+"""
+
+from repro.optimize.alphabet import build_alphabet, derive_windows
+from repro.optimize.genome import (
+    Genome,
+    Phase,
+    crossover,
+    genome_assignments,
+    mutate,
+    random_genome,
+)
+from repro.optimize.nsga import (
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+)
+from repro.optimize.evaluate import PhaseEvaluator
+from repro.optimize.search import (
+    FrontPoint,
+    OptimizeConfig,
+    OptimizeResult,
+    run_optimize,
+)
+from repro.optimize.report import (
+    front_comparison,
+    optimize_payload,
+    render_front,
+    render_front_table,
+)
+
+__all__ = [
+    "Genome",
+    "Phase",
+    "OptimizeConfig",
+    "OptimizeResult",
+    "FrontPoint",
+    "PhaseEvaluator",
+    "build_alphabet",
+    "derive_windows",
+    "random_genome",
+    "crossover",
+    "mutate",
+    "genome_assignments",
+    "dominates",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "run_optimize",
+    "optimize_payload",
+    "render_front",
+    "render_front_table",
+    "front_comparison",
+]

@@ -1,0 +1,84 @@
+"""The quantized weight alphabet and window grid the search moves on.
+
+The optimizer never invents free-form weights: every gene indexes into
+a fixed **alphabet** of deterministic subsequence weights that the
+Figure-1 FSM bank can realize, and every phase window comes from a
+small **grid** of ``L_G`` values (so the cycle counter's terminal-count
+decode stays a constant).  Both are mined from the greedy baseline:
+
+* the alphabet starts with the weights of the kept (reverse-order
+  surviving) assignments — guaranteeing the greedy ``Ω`` is expressible
+  as a genome — and is padded with the remaining weights of the mined
+  weight set ``S`` up to a size cap;
+* the window grid quantizes down from the baseline ``L_G``
+  (``L_G/4, L_G/2, L_G``), always including ``L_G`` itself.
+
+Everything here is a pure function of its inputs; order is canonical
+(kept-assignment weights in first-appearance order, then ``S`` order),
+so the same flow always produces the same search space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.assignment import WeightAssignment
+from repro.core.weight import Weight
+from repro.core.weight_set import WeightSet
+from repro.errors import OptimizeError
+
+
+def build_alphabet(
+    kept: Sequence[WeightAssignment],
+    weight_set: WeightSet,
+    max_alphabet: int = 12,
+) -> Tuple[Weight, ...]:
+    """The deterministic weight alphabet for one search.
+
+    Kept-assignment weights come first (in first-appearance order —
+    they are never dropped, whatever the cap, because the baseline
+    genome must be expressible); the mined weight set ``S`` fills the
+    remaining slots in its insertion order.
+
+    Raises
+    ------
+    OptimizeError
+        If a kept assignment uses the pseudo-random weight (the
+        alphabet is the deterministic FSM bank) or the alphabet would
+        be empty.
+    """
+    if max_alphabet < 1:
+        raise OptimizeError(f"max_alphabet must be positive, got {max_alphabet}")
+    alphabet: List[Weight] = []
+    seen = set()
+    for assignment in kept:
+        for weight in assignment.weights:
+            if weight.is_random:
+                raise OptimizeError(
+                    "baseline assignments use the pseudo-random weight; "
+                    "the optimizer searches the deterministic alphabet only"
+                )
+            if weight not in seen:
+                seen.add(weight)
+                alphabet.append(weight)
+    for weight in weight_set:
+        if len(alphabet) >= max_alphabet:
+            break
+        if weight.is_random or weight in seen:
+            continue
+        seen.add(weight)
+        alphabet.append(weight)
+    if not alphabet:
+        raise OptimizeError(
+            "empty weight alphabet: the baseline kept no assignments and "
+            "the mined weight set is empty"
+        )
+    return tuple(alphabet)
+
+
+def derive_windows(l_g: int) -> Tuple[int, ...]:
+    """The quantized ``L_G`` grid for ``l_g`` (ascending, includes ``l_g``)."""
+    if l_g < 1:
+        raise OptimizeError(f"l_g must be positive, got {l_g}")
+    grid = sorted({max(1, l_g // 4), max(1, l_g // 2), l_g})
+    return tuple(grid)

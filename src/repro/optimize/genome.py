@@ -1,0 +1,148 @@
+"""Genome encoding and variation operators.
+
+A genome is a *schedule* of weight-assignment phases:
+
+.. code-block:: text
+
+    genome  = (phase, phase, ...)            # 1 .. max_phases entries
+    phase   = (gene_tuple, window_index)
+    gene    = index into the weight alphabet  # one per CUT input
+
+Phase ``(genes, k)`` means: apply the assignment whose input ``i``
+weight is ``alphabet[genes[i]]`` for ``windows[k]`` cycles, FSMs
+restarted at the phase boundary — exactly the hardware semantics of
+the Figure-1 generator, so a genome maps 1:1 onto a
+:class:`~repro.hw.tpg.TpgDesign`.
+
+Genomes are nested tuples of ints: hashable (evaluation dedup keys),
+totally ordered (deterministic tie-breaks), and trivially
+JSON-serializable (generation checkpoints).
+
+All operators draw exclusively from a
+:class:`~repro.util.rng.DeterministicRng`, and every structural choice
+(crossover cut, mutated gene, dropped phase) is quantized to the
+alphabet/window grid — the search can never leave the space the
+hardware supports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.assignment import WeightAssignment
+from repro.core.weight import Weight
+from repro.util.rng import DeterministicRng
+
+Phase = Tuple[Tuple[int, ...], int]
+Genome = Tuple[Phase, ...]
+
+
+def random_genome(
+    rng: DeterministicRng,
+    n_inputs: int,
+    n_alphabet: int,
+    n_windows: int,
+    max_phases: int,
+) -> Genome:
+    """Draw a uniform random genome within the quantized search space."""
+    n_phases = rng.randint(1, max_phases)
+    phases: List[Phase] = []
+    for _ in range(n_phases):
+        genes = tuple(rng.randint(0, n_alphabet - 1) for _ in range(n_inputs))
+        phases.append((genes, rng.randint(0, n_windows - 1)))
+    return tuple(phases)
+
+
+def crossover(rng: DeterministicRng, a: Genome, b: Genome) -> Genome:
+    """Phase-level one-point crossover.
+
+    The child takes a prefix of ``a``'s schedule and a suffix of
+    ``b``'s; phase boundaries are hardware-meaningful cut points (each
+    phase is a self-contained assignment window), so recombination
+    never produces an out-of-alphabet gene.
+    """
+    cut_a = rng.randint(1, len(a))
+    cut_b = rng.randint(0, len(b))
+    child = a[:cut_a] + b[cut_b:]
+    return child if child else a
+
+
+def mutate(
+    rng: DeterministicRng,
+    genome: Genome,
+    n_alphabet: int,
+    n_windows: int,
+    max_phases: int,
+    rate: float,
+) -> Genome:
+    """Mutate ``genome`` within the quantized space.
+
+    Three moves, all alphabet/grid-constrained:
+
+    * **gene**: re-draw one input's weight index (probability ``rate``
+      per gene);
+    * **window**: re-draw a phase's window index (probability ``rate``
+      per phase) — shrinking windows is how the search trades coverage
+      for test length;
+    * **schedule**: with probability ``rate``, drop a phase (if more
+      than one) or clone-and-perturb one (if below ``max_phases``) —
+      dropping phases is how it trades coverage for area.
+    """
+    phases: List[Phase] = []
+    for genes, window in genome:
+        new_genes = tuple(
+            rng.randint(0, n_alphabet - 1) if rng.random() < rate else g
+            for g in genes
+        )
+        if rng.random() < rate:
+            window = rng.randint(0, n_windows - 1)
+        phases.append((new_genes, window))
+    if rng.random() < rate:
+        if len(phases) > 1 and rng.bit():
+            del phases[rng.randint(0, len(phases) - 1)]
+        elif len(phases) < max_phases:
+            source_genes, source_window = phases[rng.randint(0, len(phases) - 1)]
+            genes = list(source_genes)
+            genes[rng.randint(0, len(genes) - 1)] = rng.randint(
+                0, n_alphabet - 1
+            )
+            phases.insert(
+                rng.randint(0, len(phases)), (tuple(genes), source_window)
+            )
+    return tuple(phases)
+
+
+def genome_assignments(
+    genome: Genome, alphabet: Sequence[Weight]
+) -> List[WeightAssignment]:
+    """The distinct weight assignments a genome schedules, in
+    first-appearance order (what :func:`~repro.hw.tpg.synthesize_tpg`
+    takes)."""
+    out: List[WeightAssignment] = []
+    seen = set()
+    for genes, _window in genome:
+        if genes in seen:
+            continue
+        seen.add(genes)
+        out.append(WeightAssignment(tuple(alphabet[g] for g in genes)))
+    return out
+
+
+def genome_to_jsonable(genome: Genome) -> List[List[object]]:
+    """Checkpoint form: nested lists of ints."""
+    return [[list(genes), window] for genes, window in genome]
+
+
+def genome_from_jsonable(payload: object) -> Genome:
+    """Rebuild a genome from :func:`genome_to_jsonable` output.
+
+    Raises ``ValueError``/``TypeError`` on malformed payloads — the
+    checkpoint loader treats those as a stale checkpoint, not a crash.
+    """
+    phases: List[Phase] = []
+    for entry in payload:  # type: ignore[union-attr]
+        genes_raw, window = entry
+        phases.append((tuple(int(g) for g in genes_raw), int(window)))
+    if not phases:
+        raise ValueError("genome has no phases")
+    return tuple(phases)

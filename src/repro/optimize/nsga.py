@@ -1,0 +1,95 @@
+"""NSGA-II machinery: Pareto dominance, fast non-dominated sorting,
+crowding distance.
+
+Objective vectors are *minimization* tuples; the search encodes
+coverage as ``-detected_count`` so all three objectives minimize
+uniformly.  Everything here is pure and deterministic: fronts preserve
+input order, crowding sums per-objective normalized gaps, and the
+caller breaks remaining ties with the genome's own total order — no
+float comparisons ever decide between equal individuals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Objectives = Tuple[float, ...]
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """True iff ``a`` Pareto-dominates ``b`` (minimization)."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def fast_non_dominated_sort(objectives: Sequence[Objectives]) -> List[List[int]]:
+    """Indices grouped into fronts: front 0 is the Pareto front of the
+    input, front 1 the Pareto front of the remainder, and so on.
+
+    Within a front, indices keep input order (deterministic).
+    """
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current = sorted(nxt)
+    return fronts
+
+
+def crowding_distance(
+    objectives: Sequence[Objectives], front: Sequence[int]
+) -> Dict[int, float]:
+    """Crowding distance of each index in ``front``.
+
+    Boundary individuals per objective get ``inf``; interior ones sum
+    the normalized gap between their neighbours.  Ties in an objective
+    are broken by index so the sort (hence the distance) is
+    deterministic.
+    """
+    distance: Dict[int, float] = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_obj = len(objectives[front[0]])
+    for k in range(n_obj):
+        ordered = sorted(front, key=lambda i: (objectives[i][k], i))
+        lo = objectives[ordered[0]][k]
+        hi = objectives[ordered[-1]][k]
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0:
+            continue
+        for pos in range(1, len(ordered) - 1):
+            i = ordered[pos]
+            if distance[i] == float("inf"):
+                continue
+            gap = (
+                objectives[ordered[pos + 1]][k]
+                - objectives[ordered[pos - 1]][k]
+            )
+            distance[i] += gap / span
+    return distance
+
+
+def pareto_front(objectives: Sequence[Objectives]) -> List[int]:
+    """Indices of the non-dominated members of ``objectives``."""
+    fronts = fast_non_dominated_sort(objectives)
+    return fronts[0] if fronts else []

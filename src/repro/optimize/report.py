@@ -1,0 +1,131 @@
+"""Pareto-front reporting and the greedy-Ω comparison.
+
+The canonical payload (:func:`optimize_payload` /
+:func:`render_front`) is what every surface emits — the CLI's
+``--output`` file, the serve layer's stored job result, and the
+benchmark's ``optimize_pareto.json`` artifact — rendered as canonical
+JSON so the CI byte-identity gate can compare a ``--jobs 1`` run
+against a ``--jobs 4`` run with ``diff``.
+
+The comparison answers the paper-facing question both ways round
+(same-budget framing):
+
+* **coverage at equal area** — the best coverage of any front point
+  whose TPG is no larger than the greedy baseline's;
+* **area at equal coverage** — the smallest TPG of any front point
+  whose coverage is no worse than the baseline's;
+
+plus the headline verdict: does some front point dominate or match the
+baseline on all three objectives at once?  (By construction it always
+should — the baseline seeds the archive — so a ``false`` here is a
+determinism bug, and the benchmark asserts on it.)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.optimize.search import FrontPoint, OptimizeResult
+
+OPTIMIZE_FORMAT = 1
+"""Version of the optimize payload layout."""
+
+
+def _point_dict(point: FrontPoint) -> Dict[str, object]:
+    return {
+        "assignments": [list(a) for a in point.assignments],
+        "windows": list(point.windows),
+        "detected": point.detected,
+        "coverage": round(point.coverage, 6),
+        "area": point.area,
+        "length": point.length,
+    }
+
+
+def front_comparison(result: OptimizeResult) -> Dict[str, object]:
+    """The same-budget comparison against the greedy baseline."""
+    base = result.baseline
+    at_area = [p for p in result.front if p.area <= base.area]
+    at_coverage = [p for p in result.front if p.detected >= base.detected]
+    best_cov: Optional[FrontPoint] = max(
+        at_area, key=lambda p: (p.detected, -p.area, -p.length), default=None
+    )
+    best_area: Optional[FrontPoint] = min(
+        at_coverage, key=lambda p: (p.area, p.length), default=None
+    )
+    dominates = any(
+        p.detected >= base.detected
+        and p.area <= base.area
+        and p.length <= base.length
+        for p in result.front
+    )
+    return {
+        "baseline": _point_dict(base),
+        "coverage_at_equal_area": (
+            _point_dict(best_cov) if best_cov is not None else None
+        ),
+        "area_at_equal_coverage": (
+            _point_dict(best_area) if best_area is not None else None
+        ),
+        "dominates_or_matches_baseline": dominates,
+    }
+
+
+def optimize_payload(result: OptimizeResult) -> Dict[str, object]:
+    """The canonical JSON-ready payload for one search result."""
+    cfg = result.config
+    return {
+        "format": OPTIMIZE_FORMAT,
+        "kind": "optimize-front",
+        "circuit": result.circuit_name,
+        "seed": cfg.seed,
+        "population": cfg.population,
+        "generations": cfg.generations,
+        "alphabet": [str(w) for w in result.alphabet],
+        "windows": list(result.windows),
+        "n_target_faults": result.n_target_faults,
+        "evaluations": result.evaluations,
+        "front": [_point_dict(p) for p in result.front],
+        "comparison": front_comparison(result),
+    }
+
+
+def render_front(result: OptimizeResult) -> str:
+    """Canonical byte-comparable rendering of the payload."""
+    return json.dumps(optimize_payload(result), sort_keys=True, indent=2) + "\n"
+
+
+def render_front_table(result: OptimizeResult) -> str:
+    """A human-readable summary table of the front vs the baseline."""
+    lines: List[str] = []
+    base = result.baseline
+    lines.append(
+        f"{result.circuit_name}: Pareto front after "
+        f"{result.generations_run} generations "
+        f"({result.evaluations} genomes evaluated, "
+        f"{result.n_target_faults} target faults)"
+    )
+    header = (
+        f"{'point':>8} {'phases':>6} {'detected':>8} {'coverage':>8} "
+        f"{'area_ge':>8} {'length':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'greedy':>8} {len(base.assignments):>6} {base.detected:>8} "
+        f"{base.coverage:>8.4f} {base.area:>8.1f} {base.length:>7}"
+    )
+    for k, point in enumerate(result.front):
+        lines.append(
+            f"{k:>8} {len(point.assignments):>6} {point.detected:>8} "
+            f"{point.coverage:>8.4f} {point.area:>8.1f} {point.length:>7}"
+        )
+    comparison = front_comparison(result)
+    verdict = (
+        "dominates or matches"
+        if comparison["dominates_or_matches_baseline"]
+        else "DOES NOT match"
+    )
+    lines.append(f"front {verdict} the greedy baseline")
+    return "\n".join(lines)

@@ -171,6 +171,21 @@ class SerialExecutor:
             out.append(result)
         return out
 
+    def run_group_tasks(self, tasks: Sequence) -> List[object]:
+        """Simulate pre-built fault-group tasks; results in task order.
+
+        Unlike :meth:`run_fault_groups`, tasks may span *different*
+        stimuli (the optimizer evaluates many candidate sequences in
+        one fan-out).  Each task is the usual 5-tuple
+        ``(bench_text, stimulus, group, record_lines, stop)``.
+        """
+        out = []
+        for task in tasks:
+            result, elapsed = _run_group_task(task)
+            self._add_task_span("fault_group", task, elapsed)
+            out.append(result)
+        return out
+
     def screen_batch(
         self, bench_text: str, stimuli: Sequence, sample: Sequence
     ) -> List[bool]:
@@ -474,6 +489,16 @@ class ProcessExecutor:
         ]
         return self._map(
             _run_group_task, tasks, _valid_group_result, "fault_group"
+        )
+
+    def run_group_tasks(self, tasks: Sequence) -> List[object]:
+        """Simulate pre-built fault-group tasks on the pool.
+
+        Results come back in task order; see
+        :meth:`SerialExecutor.run_group_tasks` for the task shape.
+        """
+        return self._map(
+            _run_group_task, list(tasks), _valid_group_result, "fault_group"
         )
 
     def screen_batch(

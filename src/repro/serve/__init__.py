@@ -34,6 +34,7 @@ from repro.serve.job import (
     RUNNING,
     SHED,
     STATES,
+    TASKS,
     TERMINAL_STATES,
     Job,
     JobSpec,
@@ -43,6 +44,7 @@ from repro.serve.queue import JobQueue
 from repro.serve.results import (
     ResultStore,
     flow_result_payload,
+    optimize_result_payload,
     render_result,
 )
 from repro.serve.scheduler import ContextPool, Scheduler
@@ -70,8 +72,10 @@ __all__ = [
     "ServerThread",
     "SHED",
     "STATES",
+    "TASKS",
     "TERMINAL_STATES",
     "TokenBucket",
     "flow_result_payload",
+    "optimize_result_payload",
     "render_result",
 ]

@@ -26,16 +26,23 @@ told so and may resubmit).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ServeError
 from repro.flows.full_flow import TGEN_MODES, FlowConfig
 from repro.runtime.keys import config_fingerprint
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimize.search import OptimizeConfig
+
 MIN_PRIORITY = 0
 MAX_PRIORITY = 9
 DEFAULT_PRIORITY = 4
 """Priorities run 0 (batch) to 9 (urgent); higher dispatches first."""
+
+TASKS = ("flow", "optimize")
+"""Job types the server runs: the greedy Section-4 flow, or the
+multi-objective weight search of :mod:`repro.optimize`."""
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -59,9 +66,16 @@ class JobSpec:
     circuit:
         Library circuit name (the server only runs embedded circuits —
         it never reads paths a remote client names).
+    task:
+        ``"flow"`` (the greedy Section-4 flow, the default) or
+        ``"optimize"`` (the multi-objective weight search seeded by
+        that flow).
     seed / tgen_mode / tgen_max_len / compaction_sims / l_g /
     synthesize_hardware:
         The :class:`~repro.flows.full_flow.FlowConfig` knobs.
+    population / generations:
+        The search budget; only meaningful (and only part of the job
+        key) when ``task == "optimize"``.
     priority:
         0–9, higher runs first; FIFO within a priority.
     client:
@@ -74,12 +88,15 @@ class JobSpec:
     """
 
     circuit: str
+    task: str = "flow"
     seed: int = 1
     tgen_mode: str = "random"
     tgen_max_len: int = 2000
     compaction_sims: int = 60
     l_g: int = 512
     synthesize_hardware: bool = False
+    population: int = 8
+    generations: int = 2
     priority: int = DEFAULT_PRIORITY
     client: str = "anonymous"
     jobs: int = 1
@@ -89,6 +106,15 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.circuit or not isinstance(self.circuit, str):
             raise ServeError("job spec needs a circuit name")
+        if self.task not in TASKS:
+            raise ServeError(
+                f"unknown task {self.task!r}; expected one of "
+                f"{', '.join(TASKS)}"
+            )
+        if self.population < 2:
+            raise ServeError("population must be >= 2")
+        if self.generations < 0:
+            raise ServeError("generations must be >= 0")
         if self.tgen_mode not in TGEN_MODES:
             raise ServeError(
                 f"unknown tgen_mode {self.tgen_mode!r}; expected one of "
@@ -116,8 +142,13 @@ class JobSpec:
     # -- identity -----------------------------------------------------------
 
     def result_fields(self) -> Dict[str, object]:
-        """The fields that determine the flow *result* (the key basis)."""
-        return {
+        """The fields that determine the *result* (the key basis).
+
+        ``"flow"`` jobs keep the exact pre-optimize field set, so every
+        flow key minted by an earlier server life still matches;
+        ``"optimize"`` jobs add the task tag and the search budget.
+        """
+        fields: Dict[str, object] = {
             "circuit": self.circuit,
             "seed": self.seed,
             "tgen_mode": self.tgen_mode,
@@ -126,6 +157,11 @@ class JobSpec:
             "l_g": self.l_g,
             "synthesize_hardware": self.synthesize_hardware,
         }
+        if self.task != "flow":
+            fields["task"] = self.task
+            fields["population"] = self.population
+            fields["generations"] = self.generations
+        return fields
 
     def key(self) -> str:
         """Content-addressed job identity.
@@ -147,6 +183,21 @@ class JobSpec:
             compaction_sims=self.compaction_sims,
             procedure=ProcedureConfig(l_g=self.l_g),
             synthesize_hardware=self.synthesize_hardware,
+        )
+
+    def optimize_config(self) -> "OptimizeConfig":
+        """The :class:`~repro.optimize.OptimizeConfig` this spec demands
+        (``task == "optimize"`` jobs only)."""
+        from repro.optimize import OptimizeConfig
+
+        return OptimizeConfig(
+            seed=self.seed,
+            population=self.population,
+            generations=self.generations,
+            l_g=self.l_g,
+            tgen_mode=self.tgen_mode,
+            tgen_max_len=self.tgen_max_len,
+            compaction_sims=self.compaction_sims,
         )
 
     def budget(self) -> Tuple[int, Optional[float], int]:

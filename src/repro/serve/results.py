@@ -20,10 +20,13 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.flows.full_flow import FlowResult
 from repro.sim.values import to_char
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimize.search import OptimizeResult
 
 RESULT_FORMAT = 1
 """Version of the result payload layout."""
@@ -48,6 +51,19 @@ def flow_result_payload(flow: FlowResult) -> Dict[str, object]:
         "omega_size": len(flow.procedure.omega),
         "tpg_verified": flow.tpg_verified,
     }
+
+
+def optimize_result_payload(result: "OptimizeResult") -> Dict[str, object]:
+    """The canonical projection of one optimize-task result.
+
+    Delegates to :func:`repro.optimize.report.optimize_payload` — the
+    same payload the CLI's ``--output`` writes — so a downloaded
+    ``task="optimize"`` result is byte-identical to a direct
+    ``repro optimize`` run of the same spec.
+    """
+    from repro.optimize.report import optimize_payload
+
+    return optimize_payload(result)
 
 
 def render_result(payload: Dict[str, object]) -> bytes:

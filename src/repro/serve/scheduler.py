@@ -37,7 +37,11 @@ from repro.runtime.metrics import RuntimeStats
 from repro.serve.job import Job
 from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import JobQueue
-from repro.serve.results import ResultStore, flow_result_payload
+from repro.serve.results import (
+    ResultStore,
+    flow_result_payload,
+    optimize_result_payload,
+)
 from repro.trace.normalize import normalized_json
 from repro.trace.span import Tracer
 
@@ -206,12 +210,26 @@ class Scheduler:
             with tracer.span(
                 "job", key=key, job=key, circuit=job.spec.circuit,
                 seed=job.spec.seed, l_g=job.spec.l_g,
+                task=job.spec.task,
             ):
-                flow = run_full_flow(
-                    job.spec.circuit,
-                    job.spec.flow_config(),
-                    runtime=runtime,
-                )
+                if job.spec.task == "optimize":
+                    from repro.optimize import run_optimize
+
+                    payload = optimize_result_payload(
+                        run_optimize(
+                            job.spec.circuit,
+                            job.spec.optimize_config(),
+                            runtime=runtime,
+                        )
+                    )
+                else:
+                    payload = flow_result_payload(
+                        run_full_flow(
+                            job.spec.circuit,
+                            job.spec.flow_config(),
+                            runtime=runtime,
+                        )
+                    )
         except ReproError as exc:
             runtime.attach_tracer(None)
             self.queue.finish(key, ok=False, error=str(exc))
@@ -220,7 +238,6 @@ class Scheduler:
             return
         finally:
             runtime.attach_tracer(None)
-        payload = flow_result_payload(flow)
         stats = {
             name: value
             for name, value in runtime.stats.snapshot().items()

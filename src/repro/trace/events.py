@@ -35,8 +35,13 @@ TRACE_FORMAT = 1
 """Version of the trace payload layout.  Exports carry it; loaders
 reject anything else (recompute, never reinterpret)."""
 
-DETERMINISTIC_KINDS = frozenset({"note", "omega", "reverse", "stage"})
-"""Event kinds that are identical for any execution strategy."""
+DETERMINISTIC_KINDS = frozenset(
+    {"note", "omega", "reverse", "stage", "generation", "front"}
+)
+"""Event kinds that are identical for any execution strategy.  The
+``generation`` / ``front`` kinds mark :mod:`repro.optimize` progress:
+one event per search generation and one for the final Pareto front —
+both pure functions of (circuit, config, seed)."""
 
 RUNTIME_KINDS = frozenset(
     {

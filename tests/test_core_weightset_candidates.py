@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import Weight, WeightSet, candidate_sets, promote_full_length
 from repro.core.candidates import assignment_row, max_rows
@@ -119,6 +120,118 @@ class TestPromotion:
 
     def test_empty_candidates_passthrough(self):
         assert promote_full_length([], 2) == []
+
+
+#: Module-level strategies (fixed structure, no runtime randomness):
+#: small binary alphabets keep collisions — the interesting case —
+#: frequent.
+_WEIGHT_STRINGS = st.lists(
+    st.text(alphabet="01", min_size=1, max_size=4), min_size=1, max_size=12
+)
+
+
+@st.composite
+def _sequences(draw):
+    width = draw(st.integers(min_value=1, max_value=4))
+    depth = draw(st.integers(min_value=2, max_value=8))
+    rows = [
+        "".join(draw(st.sampled_from("01")) for _ in range(width))
+        for _ in range(depth)
+    ]
+    return TestSequence.from_strings(rows)
+
+
+class TestWeightSetProperties:
+    @given(strings=_WEIGHT_STRINGS)
+    @settings(max_examples=60, deadline=None)
+    def test_duplicate_free_and_first_appearance_ordered(self, strings):
+        s = WeightSet()
+        for text in strings:
+            s.add(Weight.from_string(text))
+        listed = list(s)
+        # No duplicates, ever.
+        assert len(set(listed)) == len(listed) == len(s)
+        # Iteration order is exactly first-appearance order.
+        expected = []
+        for text in strings:
+            w = Weight.from_string(text)
+            if w not in expected:
+                expected.append(w)
+        assert listed == expected
+        # Re-adding anything already present is always a no-op.
+        assert not any(s.add(w) for w in expected)
+        assert list(s) == expected
+
+    @given(seq=_sequences(), length=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_extend_from_is_deterministic(self, seq, length):
+        u = len(seq) - 1
+        length = min(length, u + 1)  # mining needs that much history
+        a, b = WeightSet(), WeightSet()
+        assert a.extend_from(seq, u, length) == b.extend_from(seq, u, length)
+        assert list(a) == list(b)
+
+
+class TestCandidateSetProperties:
+    @given(seq=_sequences(), strings=_WEIGHT_STRINGS)
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_order_invariant_under_s_insertion_order(
+        self, seq, strings
+    ):
+        # The sort key (-n_m, length, bits) is a total order on distinct
+        # weights, so the sorted A_i never depend on the order S grew in.
+        u = len(seq) - 1
+        forward, backward = WeightSet(), WeightSet()
+        for text in strings:
+            forward.add(Weight.from_string(text))
+        for text in reversed(strings):
+            backward.add(Weight.from_string(text))
+        assert candidate_sets(seq, u, forward, 3) == candidate_sets(
+            seq, u, backward, 3
+        )
+
+    @given(
+        seq=_sequences(),
+        strings=_WEIGHT_STRINGS,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivariant_under_input_permutation(self, seq, strings, data):
+        # Renaming/permuting the primary inputs permutes the A_i the
+        # same way — no candidate computation leaks across inputs.
+        u = len(seq) - 1
+        perm = data.draw(st.permutations(range(seq.width)))
+        permuted = TestSequence.from_strings(
+            [
+                "".join(row[perm[i]] for i in range(seq.width))
+                for row in seq.to_strings()
+            ]
+        )
+        s = WeightSet()
+        for text in strings:
+            s.add(Weight.from_string(text))
+        original = candidate_sets(seq, u, s, 3)
+        renamed = candidate_sets(permuted, u, s, 3)
+        assert renamed == [original[perm[i]] for i in range(seq.width)]
+
+    @given(seq=_sequences(), strings=_WEIGHT_STRINGS)
+    @settings(max_examples=60, deadline=None)
+    def test_membership_is_exactly_the_tail_matchers(self, seq, strings):
+        u = len(seq) - 1
+        s = WeightSet()
+        for text in strings:
+            s.add(Weight.from_string(text))
+        cands = candidate_sets(seq, u, s, 3)
+        pool = s.up_to_length(3)
+        for i, a_i in enumerate(cands):
+            t_i = seq.restrict(i)
+            members = [w for w, _n in a_i]
+            # Duplicate-free, correct counts, and complete.
+            assert len(set(members)) == len(members)
+            assert all(n == w.match_count(t_i) for w, n in a_i)
+            assert set(members) == {
+                w for w in pool if w.matches_tail(t_i, u)
+            }
 
 
 class TestAssignmentRows:

@@ -100,6 +100,36 @@ class TestFsmBankRules:
         assert len(findings) == 1
         assert "is not used by any assignment" in findings[0].message
 
+    def test_alphabet_extended_bank_without_declaration_t004(self):
+        # Defect fixture: this is exactly what optimizer-style designs
+        # looked like before TpgDesign grew the ``alphabet`` field — a
+        # bank holding weights beyond Ω with nothing declaring them.
+        # Pin that the old shape still (rightly) trips T004.
+        design = _design(["01", "1"])
+        extra = Weight.from_string("100")
+        undeclared = dataclasses.replace(
+            design,
+            fsms=tuple(build_weight_fsms(
+                [w for a in design.assignments for w in a.weights] + [extra]
+            )),
+        )
+        assert undeclared.alphabet is None
+        findings = lint_design(undeclared).by_rule()["T004"]
+        assert len(findings) == 1
+        assert "100" in findings[0].message
+
+    def test_declared_alphabet_lints_clean(self):
+        # The fix: the same extra weight, declared as alphabet at
+        # synthesis time, is legitimate reconfiguration capacity.
+        design = synthesize_tpg(
+            [WeightAssignment.from_strings(["01", "1"])],
+            l_g=8,
+            alphabet=[Weight.from_string("100"), Weight.from_string("01")],
+        )
+        report = lint_design(design)
+        assert report.error_count == 0
+        assert "T004" not in report.by_rule()
+
     def test_reducible_fsm_output_t005(self):
         w = Weight.from_string("0101")
         design = _design(["0101"])
@@ -153,6 +183,22 @@ class TestDesignIo:
         loaded = load_design(path)
         assert loaded.lfsr == design.lfsr
         assert verify_tpg(loaded).ok
+
+    def test_round_trip_preserves_alphabet(self, tmp_path):
+        alphabet = (Weight.from_string("100"), Weight.from_string("01"))
+        design = synthesize_tpg(
+            [WeightAssignment.from_strings(["01", "1"])],
+            l_g=8,
+            alphabet=alphabet,
+        )
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        loaded = load_design(path)
+        assert loaded.alphabet == alphabet
+        assert verify_tpg(loaded).ok
+        report = lint_design_path(path)
+        assert report.error_count == 0
+        assert "T004" not in report.by_rule()
 
     def test_saved_design_lints_clean(self, tmp_path):
         design = _design(["01", "1"], l_g=8)

@@ -1,0 +1,310 @@
+"""The multi-objective weight-assignment search (repro.optimize).
+
+Covers the pure layers (NSGA-II ranking, genome operators, alphabet
+construction) with unit and closure properties, and the full search
+with the three guarantees the subsystem is built around:
+
+* the greedy baseline always appears on (or is dominated by) the
+  reported front;
+* the rendered front is byte-identical for any worker count and cache
+  temperature;
+* an interrupted search resumed from its checkpoint journal produces
+  byte-identical output to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.weight import Weight
+from repro.core.weight_set import WeightSet
+from repro.errors import OptimizeError, SweepInterrupted
+from repro.optimize import (
+    OptimizeConfig,
+    build_alphabet,
+    crossover,
+    crowding_distance,
+    derive_windows,
+    dominates,
+    fast_non_dominated_sort,
+    genome_assignments,
+    mutate,
+    random_genome,
+    render_front,
+    run_optimize,
+)
+from repro.optimize.genome import genome_from_jsonable, genome_to_jsonable
+from repro.runtime.context import RuntimeContext
+from repro.util.rng import DeterministicRng
+
+#: Small but real search budget: s27, short flow, two generations.
+FAST = dict(
+    population=4, generations=2, l_g=32, tgen_max_len=64, compaction_sims=0
+)
+
+
+def _w(text: str) -> Weight:
+    return Weight.from_string(text)
+
+
+# -- NSGA-II ranking ---------------------------------------------------------
+
+
+class TestNsga:
+    def test_dominates_is_strict_pareto(self):
+        assert dominates((0.0, 1.0), (1.0, 1.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal: no
+        assert not dominates((0.0, 2.0), (1.0, 1.0))  # trade-off: no
+
+    def test_fast_non_dominated_sort_layers(self):
+        objectives = [
+            (1.0, 1.0),  # front 0
+            (2.0, 2.0),  # dominated by 0: front 1
+            (0.5, 3.0),  # front 0 (trade-off with 0)
+            (3.0, 3.0),  # dominated by everything: front 2
+        ]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts == [[0, 2], [1], [3]]
+
+    def test_sort_handles_all_equal(self):
+        fronts = fast_non_dominated_sort([(1.0, 1.0)] * 3)
+        assert fronts == [[0, 1, 2]]
+
+    def test_crowding_boundary_points_are_infinite(self):
+        objectives = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        crowd = crowding_distance(objectives, [0, 1, 2, 3])
+        assert crowd[0] == float("inf") and crowd[3] == float("inf")
+        assert 0.0 < crowd[1] < float("inf")
+
+    def test_crowding_tiny_fronts_all_infinite(self):
+        crowd = crowding_distance([(0.0, 1.0), (1.0, 0.0)], [0, 1])
+        assert set(crowd.values()) == {float("inf")}
+
+
+# -- alphabet and windows ----------------------------------------------------
+
+
+class TestAlphabet:
+    def test_kept_weights_lead_and_are_never_dropped(self):
+        from repro.core import WeightAssignment
+
+        kept = [WeightAssignment.from_strings(["01", "1"])]
+        s = WeightSet()
+        for text in ("1", "0", "00", "100", "01"):
+            s.add(_w(text))
+        alphabet = build_alphabet(kept, s, max_alphabet=3)
+        assert list(alphabet[:2]) == [_w("01"), _w("1")]
+        assert len(alphabet) == 3
+        assert len(set(alphabet)) == 3
+
+    def test_cap_below_kept_still_keeps_all_kept(self):
+        from repro.core import WeightAssignment
+
+        kept = [WeightAssignment.from_strings(["01", "1", "0"])]
+        alphabet = build_alphabet(kept, WeightSet(), max_alphabet=1)
+        assert list(alphabet) == [_w("01"), _w("1"), _w("0")]
+
+    def test_empty_alphabet_is_an_error(self):
+        with pytest.raises(OptimizeError):
+            build_alphabet([], WeightSet())
+
+    def test_windows_are_sorted_distinct_and_end_at_lg(self):
+        assert derive_windows(64) == (16, 32, 64)
+        assert derive_windows(2) == (1, 2)
+        assert derive_windows(1) == (1,)
+        with pytest.raises(OptimizeError):
+            derive_windows(0)
+
+
+# -- genome operators --------------------------------------------------------
+
+
+def _in_space(genome, n_inputs, n_alphabet, n_windows, max_phases) -> bool:
+    if not 1 <= len(genome) <= max_phases:
+        return False
+    for genes, window in genome:
+        if len(genes) != n_inputs or not 0 <= window < n_windows:
+            return False
+        if not all(0 <= g < n_alphabet for g in genes):
+            return False
+    return True
+
+
+class TestGenomeOperators:
+    def test_operators_closed_over_the_quantized_space(self):
+        # Whatever the rng does, variation can never leave the
+        # alphabet/window grid the hardware supports.
+        n_inputs, n_alphabet, n_windows, max_phases = 3, 4, 3, 4
+        rng = DeterministicRng(7)
+        pool = [
+            random_genome(rng, n_inputs, n_alphabet, n_windows, max_phases)
+            for _ in range(20)
+        ]
+        assert all(
+            _in_space(g, n_inputs, n_alphabet, n_windows, max_phases)
+            for g in pool
+        )
+        for i, a in enumerate(pool):
+            b = pool[(i + 1) % len(pool)]
+            child = crossover(rng, a, b)[:max_phases]
+            mutant = mutate(
+                rng, child, n_alphabet, n_windows, max_phases, rate=0.5
+            )
+            assert _in_space(
+                mutant, n_inputs, n_alphabet, n_windows, max_phases
+            )
+
+    def test_operators_are_deterministic_in_the_rng(self):
+        args = (2, 3, 2, 3)
+        a = random_genome(DeterministicRng(1), *args)
+        b = random_genome(DeterministicRng(2), *args)
+        first = mutate(
+            DeterministicRng(9), crossover(DeterministicRng(5), a, b),
+            3, 2, 3, 0.3,
+        )
+        second = mutate(
+            DeterministicRng(9), crossover(DeterministicRng(5), a, b),
+            3, 2, 3, 0.3,
+        )
+        assert first == second
+
+    def test_genome_assignments_dedup_first_appearance(self):
+        alphabet = (_w("0"), _w("1"))
+        genome = (((0, 1), 0), ((1, 0), 1), ((0, 1), 2))
+        assignments = genome_assignments(genome, alphabet)
+        assert [tuple(str(w) for w in a.weights) for a in assignments] == [
+            ("0", "1"),
+            ("1", "0"),
+        ]
+
+    def test_jsonable_round_trip(self):
+        genome = (((0, 2), 1), ((1, 1), 0))
+        assert genome_from_jsonable(genome_to_jsonable(genome)) == genome
+        with pytest.raises((ValueError, TypeError)):
+            genome_from_jsonable([])
+        with pytest.raises((ValueError, TypeError)):
+            genome_from_jsonable("bogus")
+
+
+# -- configuration -----------------------------------------------------------
+
+
+class TestConfig:
+    def test_bad_budgets_raise(self):
+        with pytest.raises(OptimizeError):
+            OptimizeConfig(population=1)
+        with pytest.raises(OptimizeError):
+            OptimizeConfig(generations=-1)
+        with pytest.raises(OptimizeError):
+            OptimizeConfig(mutation_rate=1.5)
+
+
+# -- the full search ---------------------------------------------------------
+
+
+class TestSearch:
+    def test_baseline_is_matched_or_dominated(self):
+        result = run_optimize("s27", OptimizeConfig(**FAST))
+        from repro.optimize import front_comparison
+
+        comparison = front_comparison(result)
+        assert comparison["dominates_or_matches_baseline"] is True
+        # The archive guarantee, stated directly: no front point is
+        # dominated by the greedy baseline.
+        base = result.baseline.objectives
+        assert not any(dominates(base, p.objectives) for p in result.front)
+
+    def test_front_is_nondominated_and_sorted(self):
+        result = run_optimize("s27", OptimizeConfig(**FAST))
+        objs = [p.objectives for p in result.front]
+        for i, a in enumerate(objs):
+            assert not any(
+                dominates(b, a) for j, b in enumerate(objs) if j != i
+            )
+        assert objs == sorted(objs)
+
+    def test_byte_identical_across_worker_counts(self, tmp_path):
+        cfg = OptimizeConfig(**FAST)
+        with RuntimeContext(jobs=1, cache_dir=str(tmp_path / "a")) as runtime:
+            serial = render_front(run_optimize("s27", cfg, runtime=runtime))
+        with RuntimeContext(jobs=4, cache_dir=str(tmp_path / "b")) as runtime:
+            parallel = render_front(run_optimize("s27", cfg, runtime=runtime))
+        assert serial == parallel
+        # And identical again against a warm cache.
+        with RuntimeContext(jobs=2, cache_dir=str(tmp_path / "a")) as runtime:
+            warm = render_front(run_optimize("s27", cfg, runtime=runtime))
+            assert runtime.stats.full_sim_hits > 0
+        assert warm == serial
+
+    def test_interrupt_then_resume_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.optimize import search as search_mod
+
+        cfg = OptimizeConfig(generations=3, **{
+            k: v for k, v in FAST.items() if k != "generations"
+        })
+        with RuntimeContext(
+            jobs=1, cache_dir=str(tmp_path / "golden")
+        ) as runtime:
+            golden = render_front(run_optimize("s27", cfg, runtime=runtime))
+
+        state = str(tmp_path / "state")
+        real = search_mod._Search.offspring
+        calls = {"n": 0}
+
+        def interrupted(self, rng):
+            if calls["n"] >= 2:
+                raise SweepInterrupted("simulated SIGTERM")
+            calls["n"] += 1
+            return real(self, rng)
+
+        monkeypatch.setattr(search_mod._Search, "offspring", interrupted)
+        with pytest.raises(SweepInterrupted):
+            with RuntimeContext(jobs=1, cache_dir=state) as runtime:
+                run_optimize("s27", cfg, runtime=runtime)
+        monkeypatch.setattr(search_mod._Search, "offspring", real)
+
+        with RuntimeContext(
+            jobs=1, cache_dir=state, resume=True
+        ) as runtime:
+            result = run_optimize("s27", cfg, runtime=runtime)
+        assert result.resumed_from == 2  # generations 0-2 checkpointed
+        assert render_front(result) == golden
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestCli:
+    ARGS = [
+        "optimize", "s27", "--population", "4", "--generations", "1",
+        "--lg", "32", "--tgen-max-len", "64", "--compaction-sims", "0",
+        "--no-cache",
+    ]
+
+    def test_smoke_writes_front_and_design(self, tmp_path, capsys):
+        front = tmp_path / "front.json"
+        design = tmp_path / "design.json"
+        rc = main(
+            self.ARGS
+            + ["--output", str(front), "--save-tpg", str(design)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Pareto front" in out
+        assert "dominates or matches the greedy baseline" in out
+        assert front.read_text().startswith("{")
+        from repro.lint import lint_design_path
+
+        report = lint_design_path(design)
+        assert report.error_count == 0
+        assert "T004" not in report.by_rule()
+
+    def test_error_contract_is_one_line(self, capsys):
+        rc = main(["optimize", "s27", "--population", "1", "--no-cache"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1

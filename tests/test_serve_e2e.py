@@ -147,6 +147,40 @@ def test_campaign_survives_sigterm_and_restart(tmp_path):
         stop_server(process) if process.poll() is None else None
 
 
+def test_optimize_job_result_matches_direct_search(tmp_path):
+    """A ``task="optimize"`` job's stored result is byte-identical to
+    running :func:`repro.optimize.run_optimize` directly on the same
+    spec — the same canonical-bytes promise flow jobs make."""
+    from repro.optimize import run_optimize
+    from repro.serve.results import optimize_result_payload
+
+    spec = JobSpec(
+        circuit="s27",
+        task="optimize",
+        seed=1,
+        tgen_max_len=64,
+        compaction_sims=0,
+        l_g=32,
+        population=4,
+        generations=1,
+    )
+    process, url = start_server(tmp_path / "state")
+    try:
+        client = ServeClient(url)
+        record = client.submit(spec)
+        assert record["created"] is True
+        key = record["key"]
+        records = client.wait_all([key], timeout_s=120.0)
+        assert records[key]["state"] == "done"
+        served = client.result_bytes(key)
+    finally:
+        out = stop_server(process) if process.poll() is None else ""
+        assert "Traceback" not in out
+
+    direct = run_optimize(spec.circuit, spec.optimize_config())
+    assert served == render_result(optimize_result_payload(direct))
+
+
 def test_rate_limited_client_backs_off_and_loses_nothing(tmp_path):
     process, url = start_server(
         tmp_path / "state", "--rate", "2", "--burst", "2"

@@ -21,21 +21,32 @@ import tempfile
 from collections import defaultdict
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.serve.job import CANCELLED, DONE, QUEUED, RUNNING, Job, JobSpec
+from repro.serve.job import CANCELLED, DONE, QUEUED, RUNNING, TASKS, Job, JobSpec
 from repro.serve.queue import JobQueue
 
 #: Small parameter spaces keep the example count meaningful: seeds
 #: collide (exercising dedup), clients and priorities interleave.
+#: Every queue/journal promise is task-agnostic, so the whole suite is
+#: parametric over the job types the server runs.
 _SEEDS = st.integers(min_value=0, max_value=7)
 _PRIORITIES = st.integers(min_value=0, max_value=3)
 _CLIENTS = st.sampled_from(("alice", "bob", "carol"))
 
+all_tasks = pytest.mark.parametrize("task", TASKS)
 
-def make_spec(seed: int, priority: int = 0, client: str = "alice") -> JobSpec:
+
+def make_spec(
+    seed: int,
+    priority: int = 0,
+    client: str = "alice",
+    task: str = "flow",
+) -> JobSpec:
     return JobSpec(
         circuit="s27",
+        task=task,
         seed=seed,
         tgen_max_len=64,
         compaction_sims=0,
@@ -50,20 +61,21 @@ _cancels = st.tuples(st.just("cancel"), _SEEDS)
 _ops = st.lists(st.one_of(_submits, _cancels), max_size=30)
 
 
-def _apply(queue: JobQueue, op) -> None:
+def _apply(queue: JobQueue, op, task: str) -> None:
     if op[0] == "submit":
-        queue.submit(make_spec(op[1], op[2], op[3]))
+        queue.submit(make_spec(op[1], op[2], op[3], task=task))
     else:
-        queue.cancel(make_spec(op[1]).key())
+        queue.cancel(make_spec(op[1], task=task).key())
 
 
+@all_tasks
 @given(ops=_ops)
 @settings(max_examples=40, deadline=None)
-def test_claim_order_priority_then_fifo_under_interleavings(ops):
+def test_claim_order_priority_then_fifo_under_interleavings(ops, task):
     with tempfile.TemporaryDirectory() as tmp:
         queue = JobQueue(Path(tmp) / "journal.json")
         for op in ops:
-            _apply(queue, op)
+            _apply(queue, op, task)
 
         queued = {j.key for j in queue.jobs() if j.state == QUEUED}
         claimed = []
@@ -90,14 +102,15 @@ def test_claim_order_priority_then_fifo_under_interleavings(ops):
             assert seqs == sorted(seqs), "FIFO broken within a tier/client"
 
 
+@all_tasks
 @given(ops=_ops, claims=st.integers(min_value=0, max_value=5))
 @settings(max_examples=40, deadline=None)
-def test_journal_round_trip_restores_identical_state(ops, claims):
+def test_journal_round_trip_restores_identical_state(ops, claims, task):
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "journal.json"
         queue = JobQueue(path)
         for op in ops:
-            _apply(queue, op)
+            _apply(queue, op, task)
         # Move some jobs into running/done so every state round-trips.
         for i in range(claims):
             job = queue.claim_next()
@@ -124,6 +137,7 @@ class _Crash(RuntimeError):
     """Simulated process death around the journal write."""
 
 
+@all_tasks
 @given(
     submits=st.lists(
         st.tuples(_SEEDS, _PRIORITIES, _CLIENTS),
@@ -136,7 +150,7 @@ class _Crash(RuntimeError):
 )
 @settings(max_examples=40, deadline=None)
 def test_no_job_lost_or_duplicated_across_crash_mid_submit(
-    submits, crash_at, crash_after_write
+    submits, crash_at, crash_after_write, task
 ):
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "journal.json"
@@ -157,7 +171,7 @@ def test_no_job_lost_or_duplicated_across_crash_mid_submit(
 
         acked = []
         crashed_spec = None
-        pending = [make_spec(*t) for t in submits]
+        pending = [make_spec(*t, task=task) for t in submits]
         for i, spec in enumerate(pending):
             try:
                 queue.submit(spec)
@@ -194,14 +208,45 @@ def test_no_job_lost_or_duplicated_across_crash_mid_submit(
 # -- deterministic unit tests ------------------------------------------------
 
 
-def test_submit_dedups_by_content_key(tmp_path):
+@all_tasks
+def test_submit_dedups_by_content_key(tmp_path, task):
     queue = JobQueue(tmp_path / "journal.json")
-    job, created = queue.submit(make_spec(1, priority=2, client="alice"))
+    job, created = queue.submit(
+        make_spec(1, priority=2, client="alice", task=task)
+    )
     assert created and job.state == QUEUED
     # Same computation from another client at another priority: dedup.
-    dup, created2 = queue.submit(make_spec(1, priority=9, client="bob"))
+    dup, created2 = queue.submit(
+        make_spec(1, priority=9, client="bob", task=task)
+    )
     assert not created2 and dup is job
     assert len(queue) == 1
+
+
+def test_task_kinds_never_share_a_key(tmp_path):
+    queue = JobQueue(tmp_path / "journal.json")
+    flow = make_spec(1, task="flow")
+    optimize = make_spec(1, task="optimize")
+    assert flow.key() != optimize.key()
+    queue.submit(flow)
+    _, created = queue.submit(optimize)
+    assert created and len(queue) == 2
+
+
+def test_flow_keys_ignore_the_search_budget():
+    # The flow key basis predates the optimizer: budget knobs must not
+    # disturb it (old journals and result stores keep resolving), while
+    # an optimize job is re-keyed by its budget.
+    import dataclasses
+
+    flow = make_spec(1, task="flow")
+    assert dataclasses.replace(flow, population=32).key() == flow.key()
+    assert dataclasses.replace(flow, generations=9).key() == flow.key()
+    optimize = make_spec(1, task="optimize")
+    assert dataclasses.replace(optimize, population=32).key() != optimize.key()
+    assert (
+        dataclasses.replace(optimize, generations=9).key() != optimize.key()
+    )
 
 
 def test_cancelled_job_is_revived_by_resubmit(tmp_path):
@@ -258,10 +303,11 @@ def test_shed_lowest_evicts_youngest_of_bottom_tier(tmp_path):
     assert queue.shed_lowest(below_priority=0) is None
 
 
-def test_restore_demotes_running_and_keeps_attempts(tmp_path):
+@all_tasks
+def test_restore_demotes_running_and_keeps_attempts(tmp_path, task):
     path = tmp_path / "journal.json"
     queue = JobQueue(path)
-    job, _ = queue.submit(make_spec(1))
+    job, _ = queue.submit(make_spec(1, task=task))
     queue.claim_next()
     restored = JobQueue(path)
     back = restored.get(job.key)
@@ -278,7 +324,8 @@ def test_foreign_journal_records_are_ignored(tmp_path):
     assert {j.key for j in restored.jobs()} == {job.key}
 
 
-def test_job_record_round_trips_through_dict(tmp_path):
-    spec = make_spec(3, priority=2, client="bob")
+@all_tasks
+def test_job_record_round_trips_through_dict(tmp_path, task):
+    spec = make_spec(3, priority=2, client="bob", task=task)
     job = Job(spec=spec, seq=7, state=DONE, stats={"full_simulations": 9.0})
     assert Job.from_dict(job.to_dict()).to_dict() == job.to_dict()

@@ -7,10 +7,21 @@
   stuck-at detection-probability estimates under random patterns;
   quantitatively explains which faults the LFSR baseline and the
   random-walk generator miss.
+* :mod:`repro.analysis.static` — the static implication engine and
+  provable-redundancy identifier: value-set constant propagation,
+  learned implications, and per-fault untestability certificates that
+  drive the certified fault pre-prune.
 """
 
 from repro.analysis.scoap import ScoapMeasures, compute_scoap
 from repro.analysis.cop import CopEstimates, compute_cop, detection_probability
+from repro.analysis.static import (
+    Certificate,
+    RedundancyProver,
+    StaticAnalysis,
+    analyze,
+    check_certificate,
+)
 
 __all__ = [
     "ScoapMeasures",
@@ -18,4 +29,9 @@ __all__ = [
     "CopEstimates",
     "compute_cop",
     "detection_probability",
+    "Certificate",
+    "RedundancyProver",
+    "StaticAnalysis",
+    "analyze",
+    "check_certificate",
 ]

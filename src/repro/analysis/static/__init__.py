@@ -1,0 +1,77 @@
+"""Static implication engine and provable-redundancy identification.
+
+Layered bottom-up:
+
+* :mod:`repro.analysis.static.valuesets` — possible-value-set
+  abstraction (subsets of ``{0, 1, X}``) with an accumulating frame
+  fixpoint over the sequential structure; the soundness bedrock.
+* :mod:`repro.analysis.static.structure` — observable region,
+  fanout-free regions and frame-local post-dominators.
+* :mod:`repro.analysis.static.implication` — direct and learned
+  (contrapositive) implications, impossible literals with recorded,
+  replayable derivations.
+* :mod:`repro.analysis.static.certify` — per-fault untestability
+  proofs emitting machine-checkable certificates, plus the
+  independent certificate checker.
+* :mod:`repro.analysis.static.engine` — the aggregate :func:`analyze`
+  pass: canonical JSON payload, artifact-cache content addressing,
+  trace attribution.
+"""
+
+from repro.analysis.static.valuesets import (
+    CAN0,
+    CAN1,
+    CANX,
+    SET_ALL,
+    Clamp,
+    constants_of,
+    frame_fixpoint,
+    gate_value_set,
+    set_from_str,
+    set_to_str,
+)
+from repro.analysis.static.structure import (
+    fanout_free_regions,
+    observable_nets,
+    post_dominators,
+)
+from repro.analysis.static.implication import (
+    ImplicationEngine,
+    replay_implication_steps,
+)
+from repro.analysis.static.certify import (
+    CERTIFICATE_KINDS,
+    Certificate,
+    RedundancyProver,
+    check_certificate,
+)
+from repro.analysis.static.engine import (
+    ANALYSIS_FORMAT,
+    StaticAnalysis,
+    analyze,
+)
+
+__all__ = [
+    "ANALYSIS_FORMAT",
+    "CAN0",
+    "CAN1",
+    "CANX",
+    "CERTIFICATE_KINDS",
+    "Certificate",
+    "Clamp",
+    "ImplicationEngine",
+    "RedundancyProver",
+    "SET_ALL",
+    "StaticAnalysis",
+    "analyze",
+    "check_certificate",
+    "constants_of",
+    "fanout_free_regions",
+    "frame_fixpoint",
+    "gate_value_set",
+    "observable_nets",
+    "post_dominators",
+    "replay_implication_steps",
+    "set_from_str",
+    "set_to_str",
+]

@@ -1,0 +1,396 @@
+"""Provable-redundancy certificates for untestable stuck-at faults.
+
+The prover (:class:`RedundancyProver`) tries, per fault and in cost
+order, four independent proofs of undetectability under the simulator's
+exact semantics (all-X start, binary-discrepancy-at-a-PO detection):
+
+* ``unexcitable`` — the value-set fixpoint shows the fault site can
+  never take the binary value opposite the stuck value, so the forced
+  value only ever *refines* X; ternary gate functions are monotone
+  under refinement, hence every binary good-machine output value is
+  reproduced by the faulty machine.
+* ``dead-cone`` — the net where the fault effect enters the circuit
+  has no structural path to any primary output, across any number of
+  frames.
+* ``implied-unexcitable`` — assuming the site takes the opposite
+  binary value contradicts the implication closure; the recorded
+  derivation is the certificate.
+* ``unobservable`` — a monotone difference-propagation fixpoint over
+  the time-unrolled structure: the set ``D`` of nets that can *ever*
+  differ between the good and faulty machine, computed against the
+  good and per-fault faulty value-set fixpoints, never reaches a
+  primary output.  Propagation out of a gate is blocked when a side
+  input holds the same constant controlling value in both machines.
+
+Every certificate is machine-checkable: :func:`check_certificate`
+re-derives the cited facts from the netlist (value-set fixpoints,
+reachability, step replay, closure conditions) without trusting the
+search that produced them.  The test suite additionally cross-checks
+every certificate against the oracle fault simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.sim.faults import Fault, fault_name, validate_fault
+from repro.analysis.static.implication import (
+    ImplicationEngine,
+    replay_implication_steps,
+)
+from repro.analysis.static.structure import observable_nets
+from repro.analysis.static.valuesets import (
+    CAN0,
+    CAN1,
+    SET_0,
+    SET_1,
+    Clamp,
+    frame_fixpoint,
+    set_to_str,
+)
+
+KIND_UNEXCITABLE = "unexcitable"
+KIND_DEAD_CONE = "dead-cone"
+KIND_IMPLIED = "implied-unexcitable"
+KIND_UNOBSERVABLE = "unobservable"
+
+CERTIFICATE_KINDS = (
+    KIND_UNEXCITABLE,
+    KIND_DEAD_CONE,
+    KIND_IMPLIED,
+    KIND_UNOBSERVABLE,
+)
+
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+@dataclass
+class Certificate:
+    """One machine-checkable proof that a fault is untestable."""
+
+    kind: str
+    fault: Fault
+    evidence: Dict[str, object]
+
+    @property
+    def name(self) -> str:
+        return fault_name(self.fault)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form."""
+        return {
+            "kind": self.kind,
+            "fault": {
+                "name": self.name,
+                "net": self.fault.net,
+                "stuck": self.fault.stuck,
+                "gate": self.fault.gate,
+                "pin": self.fault.pin,
+            },
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Certificate":
+        """Validate and rebuild a certificate from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise AnalysisError(f"certificate is not an object: {payload!r}")
+        kind = payload.get("kind")
+        if kind not in CERTIFICATE_KINDS:
+            raise AnalysisError(f"unknown certificate kind {kind!r}")
+        fault_raw = payload.get("fault")
+        if not isinstance(fault_raw, Mapping):
+            raise AnalysisError(f"certificate has no fault: {payload!r}")
+        evidence = payload.get("evidence", {})
+        if not isinstance(evidence, Mapping):
+            raise AnalysisError(f"certificate evidence is not an object")
+        try:
+            pin = fault_raw.get("pin")
+            fault = Fault(
+                net=str(fault_raw["net"]),
+                stuck=int(fault_raw["stuck"]),  # type: ignore[arg-type]
+                gate=(
+                    str(fault_raw["gate"])
+                    if fault_raw.get("gate") is not None
+                    else None
+                ),
+                pin=int(pin) if pin is not None else None,  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"malformed certificate fault: {fault_raw!r}") from exc
+        return cls(kind=str(kind), fault=fault, evidence=dict(evidence))
+
+
+def _effect_entry(fault: Fault) -> str:
+    """The net where the fault effect first enters the circuit."""
+    return fault.gate if fault.gate is not None else fault.net
+
+
+class RedundancyProver:
+    """Per-fault untestability proofs over one circuit.
+
+    Builds the good-machine value-set fixpoint and the structural
+    observable region once; the implication engine learns lazily on the
+    first fault that needs it.
+    """
+
+    def __init__(self, circuit: Circuit, max_frames: Optional[int] = None) -> None:
+        self.circuit = circuit
+        self.max_frames = max_frames
+        self.value_sets, self.frames = frame_fixpoint(circuit, max_frames=max_frames)
+        self.observable = observable_nets(circuit)
+        self._engine: Optional[ImplicationEngine] = None
+
+    @property
+    def engine(self) -> ImplicationEngine:
+        """The implication engine, learned on first use."""
+        if self._engine is None:
+            self._engine = ImplicationEngine(self.circuit, self.value_sets)
+            self._engine.learn()
+        return self._engine
+
+    def prove(self, fault: Fault) -> Optional[Certificate]:
+        """A certificate of untestability, or ``None`` (possibly testable)."""
+        validate_fault(self.circuit, fault)
+        opposite = CAN1 if fault.stuck == 0 else CAN0
+        site_mask = self.value_sets.get(fault.net, 0)
+        if not site_mask & opposite:
+            return Certificate(
+                KIND_UNEXCITABLE,
+                fault,
+                {"site": fault.net, "values": set_to_str(site_mask)},
+            )
+        entry = _effect_entry(fault)
+        if entry not in self.observable:
+            return Certificate(KIND_DEAD_CONE, fault, {"entry": entry})
+        literal = (fault.net, 1 - fault.stuck)
+        steps = self.engine.contradictions.get(literal)
+        if steps is not None:
+            return Certificate(
+                KIND_IMPLIED,
+                fault,
+                {
+                    "literal": [literal[0], literal[1]],
+                    "steps": [dict(s) for s in steps],
+                },
+            )
+        return self._prove_unobservable(fault)
+
+    # -- difference propagation ---------------------------------------------
+
+    def _prove_unobservable(self, fault: Fault) -> Optional[Certificate]:
+        clamp = Clamp(fault.net, fault.stuck, fault.gate, fault.pin)
+        faulty_sets, _ = frame_fixpoint(
+            self.circuit, clamp, max_frames=self.max_frames
+        )
+        region, blocked = _difference_region(
+            self.circuit, self.value_sets, faulty_sets, fault
+        )
+        if region is None:
+            return None
+        return Certificate(
+            KIND_UNOBSERVABLE,
+            fault,
+            {
+                "region": sorted(region),
+                "blocked": [list(b) for b in sorted(blocked)],
+            },
+        )
+
+
+def _agree_const(
+    gsets: Mapping[str, int], fsets: Mapping[str, int], net: str
+) -> Optional[int]:
+    """The binary constant ``net`` provably holds in *both* machines."""
+    g = gsets.get(net, 0)
+    if g == fsets.get(net, 0) and g in (SET_0, SET_1):
+        return 0 if g == SET_0 else 1
+    return None
+
+
+def _gate_blocked(
+    circuit: Circuit,
+    gsets: Mapping[str, int],
+    fsets: Mapping[str, int],
+    gate_name: str,
+    skip_pin: Optional[int] = None,
+) -> Optional[Tuple[str, str, int]]:
+    """A side input holding an agree-constant controlling value, if any.
+
+    Such an input pins the gate output to the same constant in both
+    machines, so no difference can pass through.  ``skip_pin`` excludes
+    the faulty pin itself for branch faults.
+    """
+    gate = circuit.gate(gate_name)
+    control = _CONTROLLING.get(gate.gtype)
+    if control is None:
+        return None
+    for pin, driver in enumerate(gate.fanins):
+        if pin == skip_pin:
+            continue
+        if _agree_const(gsets, fsets, driver) == control:
+            return (gate_name, driver, control)
+    return None
+
+
+def _difference_region(
+    circuit: Circuit,
+    gsets: Mapping[str, int],
+    fsets: Mapping[str, int],
+    fault: Fault,
+) -> Tuple[Optional[Set[str]], List[Tuple[str, str, int]]]:
+    """The monotone closure of nets that may ever differ between the
+    good and the faulty machine, or ``None`` when it reaches a PO."""
+    blocked: List[Tuple[str, str, int]] = []
+    region: Set[str] = set()
+    worklist: List[str] = []
+
+    def add(net: str) -> bool:
+        """Returns False when the region reached a primary output."""
+        if net in region:
+            return True
+        region.add(net)
+        worklist.append(net)
+        return not circuit.is_output(net)
+
+    # Seed: where can the forced value first cause a divergence?
+    if fault.gate is None:
+        if not add(fault.net):
+            return None, blocked
+    else:
+        gate = circuit.gate(fault.gate)
+        seeded = True
+        if _agree_const(gsets, fsets, fault.gate) is not None:
+            seeded = False
+        elif gate.gtype is not GateType.DFF:
+            block = _gate_blocked(
+                circuit, gsets, fsets, fault.gate, skip_pin=fault.pin
+            )
+            if block is not None:
+                blocked.append(block)
+                seeded = False
+        if seeded and not add(fault.gate):
+            return None, blocked
+
+    while worklist:
+        net = worklist.pop()
+        for sink, _pin in circuit.fanout(net):
+            if sink in region:
+                continue
+            if circuit.gate(sink).gtype is GateType.DFF:
+                if _agree_const(gsets, fsets, sink) is None and not add(sink):
+                    return None, blocked
+                continue
+            if _agree_const(gsets, fsets, sink) is not None:
+                continue
+            block = _gate_blocked(circuit, gsets, fsets, sink)
+            if block is not None:
+                blocked.append(block)
+                continue
+            if not add(sink):
+                return None, blocked
+    return region, blocked
+
+
+# -- validation -------------------------------------------------------------
+
+
+def check_certificate(circuit: Circuit, certificate: Certificate) -> bool:
+    """Re-validate ``certificate`` against ``circuit`` from scratch.
+
+    Recomputes every fact the certificate relies on — value-set
+    fixpoints, structural reachability, implication-step replay, the
+    difference-region closure conditions — without re-running the
+    search.  Returns ``False`` on any mismatch (including a fault that
+    does not fit the circuit).
+    """
+    fault = certificate.fault
+    try:
+        validate_fault(circuit, fault)
+    except Exception:
+        return False
+    evidence = certificate.evidence
+    if certificate.kind == KIND_UNEXCITABLE:
+        value_sets, _ = frame_fixpoint(circuit)
+        mask = value_sets.get(fault.net, 0)
+        opposite = CAN1 if fault.stuck == 0 else CAN0
+        return not mask & opposite and evidence.get("values") == set_to_str(mask)
+    if certificate.kind == KIND_DEAD_CONE:
+        entry = _effect_entry(fault)
+        return evidence.get("entry") == entry and entry not in observable_nets(
+            circuit
+        )
+    if certificate.kind == KIND_IMPLIED:
+        literal_raw = evidence.get("literal")
+        steps = evidence.get("steps")
+        if (
+            not isinstance(literal_raw, (list, tuple))
+            or len(literal_raw) != 2
+            or not isinstance(steps, (list, tuple))
+        ):
+            return False
+        literal = (str(literal_raw[0]), int(literal_raw[1]))
+        if literal != (fault.net, 1 - fault.stuck):
+            return False
+        value_sets, _ = frame_fixpoint(circuit)
+        return replay_implication_steps(circuit, value_sets, literal, steps)
+    if certificate.kind == KIND_UNOBSERVABLE:
+        return _check_unobservable(circuit, fault, evidence)
+    return False
+
+
+def _check_unobservable(
+    circuit: Circuit, fault: Fault, evidence: Mapping[str, object]
+) -> bool:
+    region_raw = evidence.get("region")
+    if not isinstance(region_raw, (list, tuple)):
+        return False
+    region = {str(net) for net in region_raw}
+    if any(net not in circuit.gates for net in region):
+        return False
+    if any(circuit.is_output(net) for net in region):
+        return False
+    gsets, _ = frame_fixpoint(circuit)
+    fsets, _ = frame_fixpoint(
+        circuit, Clamp(fault.net, fault.stuck, fault.gate, fault.pin)
+    )
+    # Region members must genuinely be allowed to differ (no agreed
+    # constants smuggled in), and the fault effect must enter inside it
+    # (or be provably unable to enter at all).
+    if any(_agree_const(gsets, fsets, net) is not None for net in region):
+        return False
+    if fault.gate is None:
+        if fault.net not in region:
+            return False
+    else:
+        gate = circuit.gate(fault.gate)
+        if fault.gate not in region:
+            if _agree_const(gsets, fsets, fault.gate) is None and (
+                gate.gtype is GateType.DFF
+                or _gate_blocked(
+                    circuit, gsets, fsets, fault.gate, skip_pin=fault.pin
+                )
+                is None
+            ):
+                return False
+    # Closure: a difference inside the region can never escape it.
+    for net in region:
+        for sink, _pin in circuit.fanout(net):
+            if sink in region:
+                continue
+            if circuit.gate(sink).gtype is GateType.DFF:
+                return False
+            if _agree_const(gsets, fsets, sink) is not None:
+                continue
+            if _gate_blocked(circuit, gsets, fsets, sink) is None:
+                return False
+    return True

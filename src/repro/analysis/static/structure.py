@@ -1,0 +1,109 @@
+"""Structural analyses over the time-unrolled netlist.
+
+Three classic ATPG structures, all deterministic functions of the
+netlist alone:
+
+* **Observable region** — backward reachability from the primary
+  outputs over combinational edges *and* flip-flop D→Q edges (the
+  time-unrolled sequential structure, unbounded depth).  A net outside
+  it can never influence any output in any cycle: its faults are
+  *dead-cone* undetectable.
+* **Fanout-free regions** — each net's FFR head, the first stem (a
+  multi-fanout net, a primary output, or a flip-flop D input) its
+  single-path fanout chain runs into.  A fault effect inside an FFR
+  must pass through the head to be observed.
+* **Combinational post-dominators** — per net, the nets every
+  frame-local path to an *exit* (a primary output or a flip-flop D
+  input, where the effect crosses the frame boundary) passes through.
+  Dominators are the gates a blocked side input kills whole cones at;
+  certificates cite them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+def observable_nets(circuit: Circuit) -> FrozenSet[str]:
+    """Nets with a structural path to some primary output, across any
+    number of frame boundaries."""
+    seen: Set[str] = set()
+    queue = deque(circuit.outputs)
+    while queue:
+        net = queue.popleft()
+        if net in seen:
+            continue
+        seen.add(net)
+        for driver in circuit.gate(net).fanins:
+            if driver not in seen:
+                queue.append(driver)
+    return frozenset(seen)
+
+
+def fanout_free_regions(circuit: Circuit) -> Dict[str, str]:
+    """Map each net to its fanout-free-region head."""
+    heads: Dict[str, str] = {}
+
+    def head_of(net: str) -> str:
+        chain: List[str] = []
+        current = net
+        while current not in heads:
+            sinks = circuit.fanout(current)
+            if (
+                circuit.is_output(current)
+                or len(sinks) != 1
+                or circuit.gate(sinks[0][0]).gtype is GateType.DFF
+            ):
+                heads[current] = current
+                break
+            chain.append(current)
+            current = sinks[0][0]
+        resolved = heads[current] if current in heads else current
+        for name in chain:
+            heads[name] = resolved
+        return resolved
+
+    for net in circuit.nets:
+        head_of(net)
+    return dict(sorted(heads.items()))
+
+
+def post_dominators(circuit: Circuit) -> Dict[str, Tuple[str, ...]]:
+    """Frame-local post-dominators of every net, toward the exits.
+
+    Exits are primary outputs and flip-flop D pins; a net with no
+    frame-local path to an exit dominates only itself.  Sets are
+    returned sorted for canonical output.
+    """
+    doms: Dict[str, FrozenSet[str]] = {}
+    order = [
+        net
+        for net in circuit.nets
+        if circuit.gate(net).gtype.is_combinational or circuit.gate(net).gtype.is_source
+    ]
+    # Sinks first: combinational outputs in reverse topological order,
+    # then every source net (whose sinks are all combinational or flops).
+    for net in list(reversed(circuit.combinational_order)) + [
+        n for n in order if not circuit.gate(n).gtype.is_combinational
+    ]:
+        sink_doms: List[FrozenSet[str]] = []
+        exits = circuit.is_output(net)
+        for sink, _pin in circuit.fanout(net):
+            if circuit.gate(sink).gtype is GateType.DFF:
+                exits = True
+            else:
+                sink_doms.append(doms[sink])
+        if exits:
+            doms[net] = frozenset({net})
+        elif sink_doms:
+            inter: FrozenSet[str] = sink_doms[0]
+            for other in sink_doms[1:]:
+                inter = inter & other
+            doms[net] = inter | {net}
+        else:
+            doms[net] = frozenset({net})
+    return {net: tuple(sorted(doms[net])) for net in sorted(doms)}

@@ -1,0 +1,279 @@
+"""Possible-value-set abstraction over the ternary machine.
+
+Each net carries a *set* of ternary values it may take — a subset of
+``{0, 1, X}`` encoded as a 3-bit mask — and gates are evaluated over
+sets.  Iterating frames with accumulating flip-flop sets yields, per
+net, a sound over-approximation ``U(net)`` of every value the net can
+take at *any* cycle under *any* stimulus, starting from the paper's
+all-X no-reset state.
+
+Soundness argument (the certificates in :mod:`repro.analysis.static.certify`
+lean on it):
+
+* The set transfer functions are exact images of the ternary gate
+  functions under independent choice of input values; correlation
+  between inputs can only shrink the reachable set, so the computed
+  set is always a superset of the truly reachable one.
+* The transfer functions are monotone in set inclusion, and the
+  flip-flop sets only grow (``state' = state ∪ next``), so the frame
+  iteration reaches a least fixpoint in at most ``3 · n_flops + 1``
+  frames and every per-cycle reachable value is contained in it.
+
+A :class:`Clamp` models a stuck-at fault exactly as the bit-parallel
+simulator forces it (:class:`repro.sim.faultsim._GroupSim`): a stem
+clamp replaces the net's value after evaluation (primary inputs and
+flip-flop outputs included), a pin clamp replaces what one gate input
+reads, and a flip-flop branch clamp replaces the *latched* next state
+(so the faulty flop still starts at X in cycle 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+CAN0 = 1
+"""Mask bit: the net can evaluate to binary 0."""
+CAN1 = 2
+"""Mask bit: the net can evaluate to binary 1."""
+CANX = 4
+"""Mask bit: the net can evaluate to the unknown value X."""
+
+SET_NONE = 0
+SET_0 = CAN0
+SET_1 = CAN1
+SET_X = CANX
+SET_ALL = CAN0 | CAN1 | CANX
+
+_CHARS = ((CAN0, "0"), (CAN1, "1"), (CANX, "X"))
+
+
+def set_to_str(mask: int) -> str:
+    """Canonical rendering of a value-set mask, e.g. ``"0X"``."""
+    return "".join(char for bit, char in _CHARS if mask & bit)
+
+
+def set_from_str(text: str) -> int:
+    """Inverse of :func:`set_to_str` (used by certificate validation)."""
+    mask = 0
+    for char in text:
+        for bit, known in _CHARS:
+            if char == known:
+                mask |= bit
+                break
+        else:
+            raise AnalysisError(f"bad value-set character {char!r}")
+    return mask
+
+
+def and_sets(inputs: Sequence[int]) -> int:
+    """Image of the ternary AND over independent input sets."""
+    out = 0
+    if any(s & CAN0 for s in inputs):
+        out |= CAN0
+    if all(s & CAN1 for s in inputs):
+        out |= CAN1
+    if all(s & (CAN1 | CANX) for s in inputs) and any(s & CANX for s in inputs):
+        out |= CANX
+    return out
+
+
+def or_sets(inputs: Sequence[int]) -> int:
+    """Image of the ternary OR over independent input sets."""
+    out = 0
+    if any(s & CAN1 for s in inputs):
+        out |= CAN1
+    if all(s & CAN0 for s in inputs):
+        out |= CAN0
+    if all(s & (CAN0 | CANX) for s in inputs) and any(s & CANX for s in inputs):
+        out |= CANX
+    return out
+
+
+def not_set(value: int) -> int:
+    """Image of the ternary NOT over a set."""
+    out = value & CANX
+    if value & CAN0:
+        out |= CAN1
+    if value & CAN1:
+        out |= CAN0
+    return out
+
+
+def xor_sets(inputs: Sequence[int]) -> int:
+    """Image of the ternary XOR over independent input sets.
+
+    Ternary XOR is X as soon as any input is X; otherwise it is the
+    parity of the binary inputs, so the binary part of the image is the
+    fold of achievable parities.
+    """
+    out = 0
+    if any(s & CANX for s in inputs):
+        out |= CANX
+    parities = 1  # bit p set <=> parity p achievable; start: even
+    for s in inputs:
+        nxt = 0
+        if s & CAN0:
+            nxt |= parities
+        if s & CAN1:
+            nxt |= ((parities & 1) << 1) | ((parities & 2) >> 1)
+        parities = nxt
+    if parities & 1:
+        out |= CAN0
+    if parities & 2:
+        out |= CAN1
+    return out
+
+
+def gate_value_set(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Set-level evaluation of one combinational gate."""
+    if gtype is GateType.AND:
+        return and_sets(inputs)
+    if gtype is GateType.NAND:
+        return not_set(and_sets(inputs))
+    if gtype is GateType.OR:
+        return or_sets(inputs)
+    if gtype is GateType.NOR:
+        return not_set(or_sets(inputs))
+    if gtype is GateType.XOR:
+        return xor_sets(inputs)
+    if gtype is GateType.XNOR:
+        return not_set(xor_sets(inputs))
+    if gtype is GateType.NOT:
+        return not_set(inputs[0])
+    if gtype is GateType.BUF:
+        return inputs[0]
+    raise AnalysisError(f"gate type {gtype!r} is not combinational")
+
+
+@dataclass(frozen=True)
+class Clamp:
+    """A stuck-at force, mirrored from the fault simulator's semantics.
+
+    ``gate``/``pin`` are ``None`` for a stem clamp.  A branch clamp
+    whose ``gate`` is a flip-flop forces the latched next state.
+    """
+
+    net: str
+    value: int
+    gate: Optional[str] = None
+    pin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise AnalysisError(f"clamp value must be 0 or 1, got {self.value!r}")
+
+    @property
+    def mask(self) -> int:
+        """The singleton value set the clamp forces."""
+        return CAN1 if self.value else CAN0
+
+
+def evaluate_frame(
+    circuit: Circuit,
+    state: Mapping[str, int],
+    clamp: Optional[Clamp] = None,
+) -> Dict[str, int]:
+    """One frame of set evaluation from per-flop state sets.
+
+    Primary inputs take the full set (any stimulus, X included);
+    constants take their singleton; flip-flop output nets take their
+    accumulated state set.
+    """
+    stem = clamp if clamp is not None and clamp.gate is None else None
+    pin_clamp = clamp if clamp is not None and clamp.gate is not None else None
+    vals: Dict[str, int] = {}
+    for name, gate in circuit.gates.items():
+        if gate.gtype is GateType.INPUT:
+            vals[name] = SET_ALL
+        elif gate.gtype is GateType.DFF:
+            vals[name] = state[name]
+        elif gate.gtype is GateType.CONST0:
+            vals[name] = SET_0
+        elif gate.gtype is GateType.CONST1:
+            vals[name] = SET_1
+    if stem is not None and stem.net in vals:
+        vals[stem.net] = stem.mask
+    for name in circuit.combinational_order:
+        gate = circuit.gate(name)
+        ins: List[int] = []
+        for pin, driver in enumerate(gate.fanins):
+            if (
+                pin_clamp is not None
+                and pin_clamp.gate == name
+                and pin_clamp.pin == pin
+            ):
+                ins.append(pin_clamp.mask)
+            else:
+                ins.append(vals[driver])
+        out = gate_value_set(gate.gtype, ins)
+        if stem is not None and stem.net == name:
+            out = stem.mask
+        vals[name] = out
+    return vals
+
+
+def frame_fixpoint(
+    circuit: Circuit,
+    clamp: Optional[Clamp] = None,
+    max_frames: Optional[int] = None,
+) -> Tuple[Dict[str, int], int]:
+    """Accumulated per-net value sets ``U`` over all cycles and stimuli.
+
+    Returns ``(U, frames)`` where ``frames`` is the number of frame
+    evaluations until the flip-flop sets stabilised.  ``max_frames``
+    bounds the unrolling depth; if the bound is hit before the fixpoint
+    the remaining flip-flop sets are widened to the full set, keeping
+    the result a sound over-approximation.
+    """
+    flop_clamped = (
+        clamp is not None
+        and clamp.gate is not None
+        and clamp.gate in circuit.gates
+        and circuit.gate(clamp.gate).gtype is GateType.DFF
+    )
+    state: Dict[str, int] = {q: SET_X for q in circuit.flops}
+    union: Dict[str, int] = {}
+    bound = max_frames if max_frames is not None else 3 * len(circuit.flops) + 1
+    frames = 0
+    while True:
+        vals = evaluate_frame(circuit, state, clamp)
+        frames += 1
+        for net, mask in vals.items():
+            union[net] = union.get(net, 0) | mask
+        changed = False
+        for q in circuit.flops:
+            if flop_clamped and clamp is not None and clamp.gate == q:
+                nxt = state[q] | clamp.mask
+            else:
+                nxt = state[q] | vals[circuit.gate(q).fanins[0]]
+            if nxt != state[q]:
+                state[q] = nxt
+                changed = True
+        if not changed:
+            break
+        if frames >= bound:
+            # Depth bound hit: widen to keep soundness, then settle.
+            for q in circuit.flops:
+                state[q] = SET_ALL
+            vals = evaluate_frame(circuit, state, clamp)
+            frames += 1
+            for net, mask in vals.items():
+                union[net] = union.get(net, 0) | mask
+            break
+    return union, frames
+
+
+def constants_of(value_sets: Mapping[str, int]) -> Dict[str, int]:
+    """Nets provably constant at a binary value (singleton sets)."""
+    out: Dict[str, int] = {}
+    for net, mask in value_sets.items():
+        if mask == SET_0:
+            out[net] = 0
+        elif mask == SET_1:
+            out[net] = 1
+    return dict(sorted(out.items()))

@@ -51,6 +51,7 @@ from typing import Optional, Sequence
 
 from repro import __version__
 from repro.circuit import (
+    Circuit,
     available_circuits,
     circuit_stats,
     load_circuit,
@@ -117,8 +118,44 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-tpg", type=Path, default=None,
                    help="write the full TPG design (netlist + Ω + L_G) as "
                         "JSON, reloadable by `repro lint`")
+    p.add_argument("--static-prune", action="store_true",
+                   help="exclude faults the static implication engine "
+                        "proves untestable from fault simulation; pruned "
+                        "faults are reported, all other outputs are "
+                        "identical")
     _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_flow)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static implication analysis and redundancy certificates",
+        description=(
+            "Run the static implication engine on one circuit: "
+            "value-set constant propagation over the time-unrolled "
+            "sequential structure, direct and learned implications, "
+            "fanout-free regions and dominators, and a per-fault "
+            "untestability verdict with a machine-checkable "
+            "certificate for every fault proved untestable.  Emits "
+            "one canonical JSON document."
+        ),
+    )
+    p.add_argument("circuit", help="library name (e.g. s27) or .bench path")
+    p.add_argument("--faults", dest="fault_universe", default="collapsed",
+                   choices=("collapsed", "all"),
+                   help="fault universe to issue verdicts for "
+                        "(default: the collapsed list the flows target)")
+    p.add_argument("--max-frames", type=int, default=None, metavar="N",
+                   help="sequential unrolling bound for the value-set "
+                        "fixpoint (default: derived from the flop count)")
+    p.add_argument("--check", action="store_true",
+                   help="independently re-validate every emitted "
+                        "certificate before printing (defense in depth; "
+                        "fails loudly on any invalid certificate)")
+    p.add_argument("--output", type=Path, default=None, metavar="PATH",
+                   help="write the analysis JSON to PATH and print a "
+                        "one-line summary instead of dumping to stdout")
+    _add_runtime_flags(p)
+    p.set_defaults(handler=_cmd_analyze)
 
     p = sub.add_parser("table6", help="regenerate the paper's Table 6")
     p.add_argument("circuits", nargs="*", help="circuit names (default: fast suite)")
@@ -162,6 +199,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-tpg", type=Path, default=None, metavar="PATH",
                    help="save the best-coverage front point as a TPG "
                         "design carrying the full weight alphabet")
+    p.add_argument("--static-prune", action="store_true",
+                   help="exclude statically-proved-untestable faults from "
+                        "phase fault simulation (scores and front are "
+                        "identical either way)")
     _add_runtime_flags(p)
     p.set_defaults(handler=_cmd_optimize)
 
@@ -193,6 +234,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(determinism rules)")
     p.add_argument("--all-circuits", action="store_true",
                    help="lint every embedded library circuit")
+    p.add_argument("--static", dest="lint_static", action="store_true",
+                   help="also run the implication-engine rules "
+                        "(C010-C013) on circuit targets; slower")
     p.add_argument("--format", dest="fmt", default="text",
                    choices=("text", "json", "sarif"),
                    help="output format (default: text)")
@@ -327,6 +371,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="optimize-task population size (default: 8)")
     p.add_argument("--generations", type=int, default=2, metavar="N",
                    help="optimize-task generation count (default: 2)")
+    p.add_argument("--static-prune", action="store_true",
+                   help="run the certified static pre-prune; the result "
+                        "reports the proved-untestable faults")
     p.add_argument("--job-workers", type=int, default=1, metavar="N",
                    help="worker processes the job may use (default: 1)")
     p.add_argument("--wait", action="store_true",
@@ -468,6 +515,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         tgen_mode="hybrid" if args.hybrid else "random",
         procedure=ProcedureConfig(l_g=args.lg),
         synthesize_hardware=True,
+        static_prune=args.static_prune,
     )
     from repro.resilience import handle_termination
 
@@ -476,6 +524,10 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     print(format_table6([flow.table6]))
     print(f"\nT: {len(flow.sequence)} cycles, coverage "
           f"{100 * flow.generated.coverage:.1f}% of the collapsed fault list")
+    if flow.pruned is not None:
+        print(f"proved untestable: {flow.pruned.n_pruned}/"
+              f"{flow.pruned.n_faults} faults excluded from simulation "
+              "(each carries a certificate; denominators unchanged)")
     print(f"TPG verified: {flow.tpg_verified}")
     if flow.tpg is not None:
         if args.verilog is not None:
@@ -499,6 +551,55 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                     f"({len(flow.sequence)} cycles)",
         )
         print(f"wrote {args.save_seq}")
+    if args.stats:
+        print()
+        print(runtime.stats.format())
+    _write_trace(runtime, args)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.static import analyze, check_certificate
+    from repro.errors import AnalysisError
+    from repro.resilience import handle_termination
+
+    circuit = _load(args.circuit)
+    faults = all_faults(circuit) if args.fault_universe == "all" else None
+    with _make_runtime(args) as runtime, handle_termination():
+        analysis = analyze(
+            circuit, faults=faults, runtime=runtime,
+            max_frames=args.max_frames,
+        )
+    if args.check:
+        bad = [
+            name for name, cert in sorted(analysis.certificates.items())
+            if not check_certificate(circuit, cert)
+        ]
+        if bad:
+            raise AnalysisError(
+                f"{len(bad)} certificate(s) failed independent "
+                f"re-validation: {', '.join(bad[:5])}"
+            )
+    summary = analysis.payload.get("summary", {})
+    if isinstance(summary, dict):
+        by_kind = summary.get("by_kind", {})
+        detail = (
+            " (" + ", ".join(f"{k}: {v}" for k, v in sorted(by_kind.items()))
+            + ")" if by_kind else ""
+        )
+        line = (f"{circuit.name}: {summary.get('proved_untestable', 0)}/"
+                f"{summary.get('n_faults', 0)} faults proved untestable"
+                f"{detail}")
+    else:  # pragma: no cover - payload always carries a summary
+        line = circuit.name
+    if args.output is not None:
+        args.output.write_text(analysis.to_json())
+        print(f"wrote {args.output}")
+        print(line)
+    else:
+        # stdout stays pure canonical JSON; the summary goes to stderr.
+        sys.stdout.write(analysis.to_json())
+        print(line, file=sys.stderr)
     if args.stats:
         print()
         print(runtime.stats.format())
@@ -555,6 +656,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         l_g=args.lg,
         tgen_max_len=args.tgen_max_len,
         compaction_sims=args.compaction_sims,
+        static_prune=args.static_prune,
     )
     with _make_runtime(args) as runtime, handle_termination():
         result = run_optimize(circuit, config, runtime=runtime)
@@ -638,7 +740,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_design_path,
         lint_package,
         lint_python_path,
+        lint_static,
     )
+
+    def lint_one_circuit(circuit: Circuit, artifact: str) -> LintReport:
+        report = lint_circuit(circuit, artifact=artifact)
+        if args.lint_static:
+            report = report.merge(lint_static(circuit, artifact=artifact))
+        return report
 
     if args.list_rules:
         for rule in all_rules():
@@ -657,6 +766,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         path = Path(target)
         if target.endswith(".bench"):
             report = report.merge(lint_bench_path(path))
+            if args.lint_static:
+                # The structural pass tolerates unbuildable netlists;
+                # the static rules need a real circuit, so only run
+                # them when the bench parses.
+                try:
+                    circuit = parse_bench(path)
+                except ReproError:
+                    pass
+                else:
+                    report = report.merge(
+                        lint_static(circuit, artifact=target)
+                    )
         elif target.endswith(".json"):
             report = report.merge(lint_design_path(path))
         elif target.endswith(".py"):
@@ -668,7 +789,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             report = report.merge(lint_package(path))
         elif target in available_circuits():
             report = report.merge(
-                lint_circuit(load_circuit(target), artifact=target)
+                lint_one_circuit(load_circuit(target), artifact=target)
             )
         else:
             raise LintError(
@@ -678,7 +799,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.all_circuits:
         for name in available_circuits():
             report = report.merge(
-                lint_circuit(load_circuit(name), artifact=name)
+                lint_one_circuit(load_circuit(name), artifact=name)
             )
     if args.lint_self:
         report = report.merge(lint_package())
@@ -790,6 +911,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         l_g=args.lg,
         tgen_mode="hybrid" if args.hybrid else "random",
         synthesize_hardware=args.synthesize,
+        static_prune=args.static_prune,
         population=args.population,
         generations=args.generations,
         client=client_id,

@@ -33,6 +33,10 @@ class FaultModelError(ReproError):
     """A fault refers to a line or pin that does not exist."""
 
 
+class AnalysisError(ReproError):
+    """Static-analysis failure (bad fault, malformed certificate, ...)."""
+
+
 class WeightError(ReproError):
     """A weight subsequence is malformed (empty, non-binary, ...)."""
 

@@ -35,6 +35,8 @@ from repro.hw.tpg import TpgDesign, synthesize_tpg
 from repro.hw.verify import verify_tpg
 from repro.sim.compile import compile_circuit
 from repro.sim.collapse import collapse_faults
+from repro.sim.faults import FaultPruner, PruneReport
+from repro.sim.faultsim import FaultSimulator
 from repro.tgen.compaction import CompactionResult, compact_sequence
 from repro.tgen.random_tgen import GeneratedTest, generate_test_sequence
 from repro.tgen.sequence import TestSequence
@@ -67,6 +69,13 @@ class FlowConfig:
         ``l_g`` is the paper's ``L_G``.
     synthesize_hardware:
         Also synthesize and verify the TPG for the kept assignments.
+    static_prune:
+        Run the static implication engine first and exclude faults it
+        proves untestable from the weight-selection and reverse-order
+        fault simulations.  Every excluded fault carries a
+        machine-checkable certificate and is reported in
+        :attr:`FlowResult.pruned`; coverage denominators and every
+        other output are identical to an unpruned run.
     """
 
     seed: int = 1
@@ -75,6 +84,7 @@ class FlowConfig:
     compaction_sims: int = 60
     procedure: ProcedureConfig = field(default_factory=ProcedureConfig)
     synthesize_hardware: bool = False
+    static_prune: bool = False
 
 
 @dataclass
@@ -102,6 +112,9 @@ class FlowResult:
     tpg_verified:
         Replay-verification verdict for the TPG (None unless
         synthesized).
+    pruned:
+        Report of faults proved untestable and excluded from fault
+        simulation (None unless :attr:`FlowConfig.static_prune`).
     timings:
         Per-stage wall-clock seconds.
     runtime_stats:
@@ -118,6 +131,7 @@ class FlowResult:
     table6: Table6Row
     tpg: Optional[TpgDesign] = None
     tpg_verified: Optional[bool] = None
+    pruned: Optional[PruneReport] = None
     timings: Dict[str, float] = field(default_factory=dict)
     runtime_stats: Optional["RuntimeStats"] = None
 
@@ -165,6 +179,29 @@ def _run_stages(
     comp = compile_circuit(circuit)
     faults = collapse_faults(circuit)
     timings: Dict[str, float] = {}
+
+    # Certified pre-prune: arm the shared fault simulator with the
+    # static analysis verdicts.  Only the simulation-side stages use it
+    # (test generation still targets the full universe — its sequence
+    # must not depend on the prune), and the armed simulator rebuilds
+    # every result over the full fault list, so all flow outputs except
+    # the explicit `pruned` report are identical either way.
+    pruned_report: Optional[PruneReport] = None
+    sim: Optional[FaultSimulator] = None
+    if cfg.static_prune:
+        t0 = time.perf_counter()
+        with traced(runtime, "static_analysis_stage"):
+            pruner = FaultPruner(circuit, runtime=runtime)
+            pruned_report = pruner.report(faults)
+            sim = FaultSimulator(circuit, comp, runtime=runtime, pruner=pruner)
+        timings["static_analysis"] = time.perf_counter() - t0
+        trace_event(
+            runtime,
+            "stage",
+            name="static_analysis",
+            n_faults=pruned_report.n_faults,
+            pruned=pruned_report.n_pruned,
+        )
 
     t0 = time.perf_counter()
     with traced(runtime, "test_generation", mode=cfg.tgen_mode):
@@ -219,7 +256,7 @@ def _run_stages(
     with traced(runtime, "procedure", l_g=cfg.procedure.l_g):
         procedure = select_weight_assignments(
             circuit, sequence, faults, cfg.procedure, compiled=comp,
-            runtime=runtime,
+            simulator=sim, runtime=runtime,
         )
     timings["procedure"] = time.perf_counter() - t0
     trace_event(
@@ -229,7 +266,7 @@ def _run_stages(
     t0 = time.perf_counter()
     with traced(runtime, "reverse_order"):
         reverse_order = reverse_order_simulation(
-            circuit, procedure, comp, runtime=runtime
+            circuit, procedure, comp, simulator=sim, runtime=runtime
         )
     timings["reverse_order"] = time.perf_counter() - t0
     trace_event(
@@ -285,6 +322,7 @@ def _run_stages(
         table6=table6,
         tpg=tpg,
         tpg_verified=verified,
+        pruned=pruned_report,
         timings=timings,
         runtime_stats=runtime.stats if runtime is not None else None,
     )

@@ -12,6 +12,10 @@ before anything runs":
   :class:`~repro.hw.tpg.TpgDesign`: Ω coverage, FSM output columns
   (dead / reducible / duplicate), phase- and mux-select counter
   widths, LFSR presence.
+* **Static-analysis rules (C010–C013)** — opt-in semantic checks
+  backed by the implication engine (:func:`lint_static`): provably
+  constant nets, unobservable cones, redundant gate inputs and
+  never-computable values.
 * **Determinism rules (D…)** — a Python AST pass over
   :mod:`repro` enforcing the runtime's bit-identical contract: no set
   iteration, no unseeded randomness, no wall-clock or environment
@@ -47,6 +51,11 @@ from repro.lint.pyast import (
     lint_python_path,
     lint_python_source,
 )
+
+# Imported after pyast so REGISTRY keeps its historical order (SARIF
+# ruleIndex values key on registration order): C001–C009, T…, D…, then
+# the opt-in static-analysis block C010–C013.
+from repro.lint.static_rules import lint_static
 from repro.lint.emit import (
     FORMATTERS,
     format_json,
@@ -76,6 +85,7 @@ __all__ = [
     "lint_package",
     "lint_python_path",
     "lint_python_source",
+    "lint_static",
     "FORMATTERS",
     "format_json",
     "format_sarif",

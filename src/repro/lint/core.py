@@ -125,6 +125,11 @@ class Diagnostic:
         location.
     line:
         1-based source line for file artifacts (None otherwise).
+    column / end_column:
+        1-based column range on ``line`` (None when the finding spans
+        the whole line).  ``end_column`` follows the SARIF convention:
+        it points one past the last character, so a single-character
+        region at column ``c`` is ``(c, c + 1)``.
     """
 
     rule_id: str
@@ -133,6 +138,8 @@ class Diagnostic:
     artifact: str
     location: str = ""
     line: Optional[int] = None
+    column: Optional[int] = None
+    end_column: Optional[int] = None
 
     def format(self) -> str:
         """Render as ``artifact[:line]: severity[RULE] message``."""
@@ -148,6 +155,8 @@ def make_diagnostic(
     artifact: str,
     location: str = "",
     line: Optional[int] = None,
+    column: Optional[int] = None,
+    end_column: Optional[int] = None,
 ) -> Diagnostic:
     """Build a diagnostic carrying ``rule``'s default severity."""
     return Diagnostic(
@@ -157,6 +166,8 @@ def make_diagnostic(
         artifact=artifact,
         location=location,
         line=line,
+        column=column,
+        end_column=end_column,
     )
 
 

@@ -54,6 +54,8 @@ def to_json_dict(report: LintReport) -> Dict[str, object]:
                 "artifact": d.artifact,
                 "location": d.location,
                 "line": d.line,
+                "column": d.column,
+                "end_column": d.end_column,
             }
             for d in report.diagnostics
         ],
@@ -76,7 +78,19 @@ def _sarif_location(diagnostic: Diagnostic) -> Dict[str, object]:
         "artifactLocation": {"uri": diagnostic.artifact}
     }
     if diagnostic.line is not None:
-        physical["region"] = {"startLine": diagnostic.line}
+        region: Dict[str, object] = {"startLine": diagnostic.line}
+        if diagnostic.column is not None:
+            region["startColumn"] = diagnostic.column
+            # SARIF's endColumn points one past the region; when the
+            # analyzer recorded no end, the region is one character
+            # wide — omitting endColumn would make consumers default it
+            # to end-of-line.
+            region["endColumn"] = (
+                diagnostic.end_column
+                if diagnostic.end_column is not None
+                else diagnostic.column + 1
+            )
+        physical["region"] = region
     location: Dict[str, object] = {"physicalLocation": physical}
     if diagnostic.location:
         location["logicalLocations"] = [{"name": diagnostic.location}]

@@ -21,6 +21,11 @@ that historically break determinism:
   not change with the caller's environment.
 * **D105** — mutable default arguments: state shared across calls is
   ordering-dependent state.
+* **D106** — iterating directly over ``os.listdir`` / ``os.scandir`` /
+  ``glob.glob`` / ``glob.iglob`` results: the filesystem returns
+  entries in platform- and filesystem-dependent order; sort first.
+  (``Path.glob`` *method* calls on arbitrary objects are not flagged —
+  only the module-level functions are unambiguous.)
 
 Findings are silenced inline with ``# lint: ignore[D104]`` on the
 flagged line, or for a whole file with ``# lint: ignore-file[D104]``
@@ -65,6 +70,11 @@ MUTABLE_DEFAULT = register(Rule(
     "D105", "mutable-default", Severity.ERROR,
     "Mutable default argument; state is shared across calls.",
 ))
+UNSORTED_DIR_LISTING = register(Rule(
+    "D106", "unsorted-dir-listing", Severity.ERROR,
+    "Iteration over os.listdir/os.scandir/glob results; filesystem "
+    "order is platform-dependent — sort first.",
+))
 
 _IGNORE_LINE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
 _IGNORE_FILE_RE = re.compile(r"#\s*lint:\s*ignore-file\[([A-Z0-9,\s]+)\]")
@@ -79,6 +89,11 @@ _CLOCK_ALWAYS = {"time", "time_ns", "ctime"}
 _CLOCK_NO_ARGS = {"localtime", "gmtime"}
 #: Methods that read the clock on datetime/date classes.
 _DATETIME_NOW = {"now", "utcnow", "today"}
+
+#: ``os`` module functions that list a directory in filesystem order.
+_OS_LISTING = {"listdir", "scandir"}
+#: ``glob`` module functions that expand patterns in filesystem order.
+_GLOB_LISTING = {"glob", "iglob"}
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -106,14 +121,21 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.seedable_names: Set[str] = set()
         self.time_funcs: Set[str] = set()
         self.environ_names: Set[str] = set()
+        self.glob_modules: Set[str] = set()
+        self.listing_funcs: Set[str] = set()
 
     # -- bookkeeping --------------------------------------------------------
 
     def _emit(self, rule: Rule, message: str, node: ast.AST,
               location: str = "") -> None:
+        # AST offsets are 0-based; diagnostics (and SARIF) are 1-based.
+        col = getattr(node, "col_offset", None)
+        end_col = getattr(node, "end_col_offset", None)
         self.diagnostics.append(make_diagnostic(
             rule, message, self.artifact,
             location=location, line=getattr(node, "lineno", None),
+            column=None if col is None else col + 1,
+            end_column=None if end_col is None else end_col + 1,
         ))
 
     def visit_Import(self, node: ast.Import) -> None:
@@ -127,6 +149,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 self.time_modules.add(bound)
             elif alias.name == "os":
                 self.os_modules.add(bound)
+            elif alias.name == "glob":
+                self.glob_modules.add(bound)
             elif alias.name == "datetime":
                 self.datetime_like.add(bound)
         self.generic_visit(node)
@@ -153,12 +177,37 @@ class _DeterminismVisitor(ast.NodeVisitor):
             elif node.module == "os":
                 if alias.name in ("environ", "getenv"):
                     self.environ_names.add(bound)
+                elif alias.name in _OS_LISTING:
+                    self.listing_funcs.add(bound)
+            elif node.module == "glob":
+                if alias.name in _GLOB_LISTING:
+                    self.listing_funcs.add(bound)
             elif node.module == "datetime":
                 if alias.name in ("datetime", "date"):
                     self.datetime_like.add(bound)
         self.generic_visit(node)
 
-    # -- D101: set iteration ------------------------------------------------
+    # -- D101 / D106: unordered iteration -----------------------------------
+
+    def _listing_call_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted name of a directory-listing call, or None.
+
+        Only *module-level* functions qualify (``os.listdir(p)``,
+        ``glob.glob(p)``, or their from-imports): a ``.glob`` method on
+        an arbitrary object (``Path.glob``) may well be ordered.
+        """
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.listing_funcs:
+            return func.id
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in self.os_modules and func.attr in _OS_LISTING:
+                return f"{base}.{func.attr}"
+            if base in self.glob_modules and func.attr in _GLOB_LISTING:
+                return f"{base}.{func.attr}"
+        return None
 
     def _check_iterable(self, iterable: ast.AST) -> None:
         if _is_set_expr(iterable):
@@ -166,6 +215,15 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 SET_ITERATION,
                 "iteration over an unordered set; wrap in sorted(...) to "
                 "fix the order",
+                iterable,
+            )
+            return
+        listing = self._listing_call_name(iterable)
+        if listing is not None:
+            self._emit(
+                UNSORTED_DIR_LISTING,
+                f"iteration over {listing}(...) in filesystem order; "
+                f"wrap in sorted(...) to fix the order",
                 iterable,
             )
 

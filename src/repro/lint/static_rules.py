@@ -1,0 +1,133 @@
+"""Static-analysis lint rules (the ``C010``–``C013`` block).
+
+These rules are powered by the static implication engine
+(:mod:`repro.analysis.static`): value-set constant propagation over the
+sequential structure, observability analysis and implication learning.
+They find *semantic* redundancy the structural C001–C009 family cannot
+see — a net that is provably constant in every reachable state, a cone
+with no path to any output, a gate input that can never influence its
+gate.
+
+Because they run the full analysis (seconds, not milliseconds, on the
+larger benchmarks) they are **opt-in**: :func:`lint_static` is not part
+of :func:`repro.lint.circuit_rules.lint_circuit`, and the CLI exposes
+them behind ``repro lint --static``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    make_diagnostic,
+    register,
+)
+
+PROVABLY_CONSTANT = register(Rule(
+    "C010", "provably-constant-net", Severity.WARNING,
+    "A non-constant gate's output provably holds one binary value in "
+    "every reachable state under every stimulus.",
+))
+UNOBSERVABLE_CONE = register(Rule(
+    "C011", "unobservable-cone", Severity.WARNING,
+    "Nets with no structural path to any primary output; faults there "
+    "are untestable and logic is wasted.",
+))
+REDUNDANT_GATE_INPUT = register(Rule(
+    "C012", "redundant-gate-input", Severity.WARNING,
+    "A gate input pin driven by a constant at its non-controlling "
+    "value; the pin never influences the gate.",
+))
+IMPLICATION_CONTRADICTION = register(Rule(
+    "C013", "implication-contradiction", Severity.NOTE,
+    "A net value the implication engine proves the ternary machine can "
+    "never compute.",
+))
+
+#: Non-controlling input value per gate type: a pin stuck there is
+#: removable without changing the gate's function.
+_NONCONTROLLING: Dict[GateType, int] = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 0,
+    GateType.XOR: 0,
+    GateType.XNOR: 0,
+}
+
+_MAX_CONE_NETS_SHOWN = 8
+
+
+def lint_static(
+    circuit: Circuit,
+    artifact: Optional[str] = None,
+    max_frames: Optional[int] = None,
+) -> LintReport:
+    """Run the implication-engine-backed rules over ``circuit``.
+
+    One analysis pass feeds all four rules.  C011 aggregates to a
+    single diagnostic per circuit (a dead cone is one defect, not one
+    defect per net it swallows).
+    """
+    from repro.analysis.static import RedundancyProver, constants_of
+
+    where = artifact if artifact is not None else circuit.name
+    prover = RedundancyProver(circuit, max_frames=max_frames)
+    constants = constants_of(prover.value_sets)
+    diagnostics: List[Diagnostic] = []
+
+    for net in sorted(constants):
+        gate = circuit.gate(net)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        diagnostics.append(make_diagnostic(
+            PROVABLY_CONSTANT,
+            f"net {net!r} ({gate.gtype.value}) provably holds constant "
+            f"{constants[net]} in every reachable state",
+            where, location=net,
+        ))
+
+    unobservable = sorted(
+        net for net in circuit.gates if net not in prover.observable
+    )
+    if unobservable:
+        shown = ", ".join(unobservable[:_MAX_CONE_NETS_SHOWN])
+        if len(unobservable) > _MAX_CONE_NETS_SHOWN:
+            shown += f", … and {len(unobservable) - _MAX_CONE_NETS_SHOWN} more"
+        diagnostics.append(make_diagnostic(
+            UNOBSERVABLE_CONE,
+            f"{len(unobservable)} net(s) have no structural path to any "
+            f"primary output: {shown}",
+            where, location=unobservable[0],
+        ))
+
+    for name in sorted(circuit.gates):
+        gate = circuit.gate(name)
+        noncontrolling = _NONCONTROLLING.get(gate.gtype)
+        if noncontrolling is None or len(gate.fanins) < 2:
+            continue
+        for pin, driver in enumerate(gate.fanins):
+            if constants.get(driver) == noncontrolling:
+                diagnostics.append(make_diagnostic(
+                    REDUNDANT_GATE_INPUT,
+                    f"{gate.gtype.value} gate {name!r} pin {pin} is driven "
+                    f"by {driver!r} = constant {noncontrolling} "
+                    f"(non-controlling); the pin never influences the gate",
+                    where, location=name,
+                ))
+
+    for net, value in sorted(prover.engine.contradictions):
+        diagnostics.append(make_diagnostic(
+            IMPLICATION_CONTRADICTION,
+            f"the ternary machine can never compute {net} = {value}: "
+            f"assuming it implies a contradiction",
+            where, location=net,
+        ))
+
+    return LintReport.from_iterable(diagnostics)

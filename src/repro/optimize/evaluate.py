@@ -30,7 +30,7 @@ from repro.core.assignment import WeightAssignment
 from repro.hw.cost import tpg_cost
 from repro.hw.tpg import synthesize_tpg
 from repro.sim.compile import CompiledCircuit, compile_circuit
-from repro.sim.faults import Fault, fault_name
+from repro.sim.faults import Fault, FaultPruner, fault_name
 from repro.sim.faultsim import GROUP_FAULTS, FaultSimulator
 from repro.trace import trace_event
 
@@ -57,6 +57,13 @@ class PhaseEvaluator:
         Optional :class:`~repro.runtime.context.RuntimeContext`; plugs
         in the artifact cache and the worker pool.  Results never
         depend on it.
+    pruner:
+        Optional :class:`~repro.sim.faults.FaultPruner`.  Faults it
+        certifies untestable are excluded from the simulation groups
+        only; ``self.faults`` (and with it every cache key, payload
+        denominator and coverage count) still spans the full target
+        list, so results — and cached artifacts — are shared verbatim
+        with unpruned evaluators.
     """
 
     def __init__(
@@ -65,11 +72,17 @@ class PhaseEvaluator:
         target_faults: Sequence[Fault],
         runtime=None,
         compiled: CompiledCircuit | None = None,
+        pruner: Optional[FaultPruner] = None,
     ) -> None:
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
         self.faults: Tuple[Fault, ...] = tuple(target_faults)
         self.runtime = runtime
+        if pruner is not None:
+            kept, _ = pruner.split(self.faults)
+            self._sim_faults: Tuple[Fault, ...] = tuple(kept)
+        else:
+            self._sim_faults = self.faults
         self._bench_text = write_bench(circuit)
         self._memo: Dict[PhaseKey, FrozenSet[str]] = {}
         self._area_memo: Dict[Tuple[Tuple[Tuple[str, ...], ...], int], float] = {}
@@ -158,9 +171,12 @@ class PhaseEvaluator:
         if not pending:
             return
         ctx = self.runtime
+        # Group packing over the kept faults only — certified-untestable
+        # faults cannot contribute detections, so the detected-name sets
+        # (and everything cached under self.faults) are unchanged.
         groups = [
-            list(self.faults[start : start + GROUP_FAULTS])
-            for start in range(0, len(self.faults), GROUP_FAULTS)
+            list(self._sim_faults[start : start + GROUP_FAULTS])
+            for start in range(0, len(self._sim_faults), GROUP_FAULTS)
         ]
         if ctx is not None:
             tasks = [
@@ -177,7 +193,7 @@ class PhaseEvaluator:
         else:
             sim = FaultSimulator(self.circuit, self.comp)
             for key in pending:
-                result = sim.run(stimuli[key], self.faults)
+                result = sim.run(stimuli[key], self._sim_faults)
                 names = [fault_name(f) for f in result.detection_time]
                 self._store(key, frozenset(names), stimuli[key])
 

@@ -61,6 +61,30 @@ def config_fingerprint(config: Mapping[str, object]) -> str:
     return fingerprint(json.dumps(config, sort_keys=True, default=repr))
 
 
+def analysis_key(
+    circuit_fp: str,
+    faults_fp: str,
+    config: Mapping[str, object],
+) -> str:
+    """The cache key for one static-analysis artifact.
+
+    Static analysis has no stimulus; the key covers the circuit, the
+    fault universe the verdicts were computed for, and the analysis
+    configuration (format version, unrolling bound, ...).
+    """
+    return fingerprint(
+        "\n".join(
+            (
+                f"format={CACHE_FORMAT}",
+                "static_analysis",
+                circuit_fp,
+                faults_fp,
+                config_fingerprint(config),
+            )
+        )
+    )
+
+
 def simulation_key(
     circuit_fp: str,
     stimulus_fp: str,

@@ -76,6 +76,10 @@ class JobSpec:
     population / generations:
         The search budget; only meaningful (and only part of the job
         key) when ``task == "optimize"``.
+    static_prune:
+        Run the certified static pre-prune before fault simulation;
+        the result gains a ``proved_untestable`` section and the job
+        key changes only when the flag is set (old keys stay valid).
     priority:
         0–9, higher runs first; FIFO within a priority.
     client:
@@ -95,6 +99,7 @@ class JobSpec:
     compaction_sims: int = 60
     l_g: int = 512
     synthesize_hardware: bool = False
+    static_prune: bool = False
     population: int = 8
     generations: int = 2
     priority: int = DEFAULT_PRIORITY
@@ -161,6 +166,10 @@ class JobSpec:
             fields["task"] = self.task
             fields["population"] = self.population
             fields["generations"] = self.generations
+        if self.static_prune:
+            # Pruned jobs report extra sections, so they key separately;
+            # default jobs keep their historical keys.
+            fields["static_prune"] = True
         return fields
 
     def key(self) -> str:
@@ -183,6 +192,7 @@ class JobSpec:
             compaction_sims=self.compaction_sims,
             procedure=ProcedureConfig(l_g=self.l_g),
             synthesize_hardware=self.synthesize_hardware,
+            static_prune=self.static_prune,
         )
 
     def optimize_config(self) -> "OptimizeConfig":
@@ -198,6 +208,7 @@ class JobSpec:
             tgen_mode=self.tgen_mode,
             tgen_max_len=self.tgen_max_len,
             compaction_sims=self.compaction_sims,
+            static_prune=self.static_prune,
         )
 
     def budget(self) -> Tuple[int, Optional[float], int]:

@@ -39,8 +39,12 @@ def flow_result_payload(flow: FlowResult) -> Dict[str, object]:
     the deterministic sequence ``T``, the kept weighted subsequences'
     count and the TPG verification verdict — and nothing
     machine-dependent (no timings, no runtime counters).
+
+    Flows run with the certified pre-prune additionally report the
+    ``proved_untestable`` section; every other key is byte-identical to
+    an unpruned run of the same spec.
     """
-    return {
+    payload: Dict[str, object] = {
         "format": RESULT_FORMAT,
         "circuit": flow.circuit.name,
         "table6": asdict(flow.table6),
@@ -51,6 +55,9 @@ def flow_result_payload(flow: FlowResult) -> Dict[str, object]:
         "omega_size": len(flow.procedure.omega),
         "tpg_verified": flow.tpg_verified,
     }
+    if flow.pruned is not None:
+        payload["proved_untestable"] = flow.pruned.to_payload()
+    return payload
 
 
 def optimize_result_payload(result: "OptimizeResult") -> Dict[str, object]:

@@ -10,11 +10,14 @@ counts of equivalence-collapsed faults over exactly this universe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.errors import FaultModelError
+
+if TYPE_CHECKING:
+    from repro.analysis.static import Certificate, StaticAnalysis
 
 
 @dataclass(frozen=True)
@@ -90,6 +93,100 @@ def all_faults(circuit: Circuit) -> List[Fault]:
                 faults.append(Fault(driver, 0, gate=net, pin=pin))
                 faults.append(Fault(driver, 1, gate=net, pin=pin))
     return sorted(faults)
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of a certified static pre-prune over one fault list.
+
+    ``pruned`` holds ``(canonical fault name, certificate kind)`` pairs,
+    sorted by name.  The report is what flows and serve jobs surface so
+    that pruned faults are *reported, never silently dropped* — coverage
+    denominators keep counting them.
+    """
+
+    n_faults: int
+    pruned: Tuple[Tuple[str, str], ...]
+
+    @property
+    def n_pruned(self) -> int:
+        """Faults removed from simulation (each carries a certificate)."""
+        return len(self.pruned)
+
+    @property
+    def n_kept(self) -> int:
+        """Faults that remain to be simulated."""
+        return self.n_faults - len(self.pruned)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready projection for result/report documents."""
+        return {
+            "n_faults": self.n_faults,
+            "n_pruned": len(self.pruned),
+            "faults": [
+                {"fault": name, "kind": kind} for name, kind in self.pruned
+            ],
+        }
+
+
+class FaultPruner:
+    """Certified fault pre-prune backed by the static implication engine.
+
+    Wraps a :class:`repro.analysis.static.StaticAnalysis` (computed on
+    demand when not supplied) and partitions fault lists into the
+    *kept* faults worth simulating and the *pruned* faults proved
+    untestable — each pruned fault backed by a machine-checkable
+    certificate (:meth:`certificate`).
+
+    Soundness contract: a certified-untestable fault is never detected
+    by the fault simulator, so removing it from a simulation changes no
+    detection outcome.  Consumers must still report pruned faults and
+    keep them in coverage denominators; the simulator integration
+    (:class:`repro.sim.faultsim.FaultSimulator`) rebuilds its results
+    over the caller's original fault list for exactly that reason.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        analysis: Optional["StaticAnalysis"] = None,
+        runtime: Optional[object] = None,
+        max_frames: Optional[int] = None,
+    ) -> None:
+        self.circuit = circuit
+        if analysis is None:
+            from repro.analysis.static import analyze
+
+            analysis = analyze(circuit, runtime=runtime, max_frames=max_frames)
+        self.analysis = analysis
+
+    def certificate(self, fault: Fault) -> Optional["Certificate"]:
+        """The fault's untestability certificate, or ``None``."""
+        return self.analysis.verdict(fault)
+
+    def split(
+        self, faults: Sequence[Fault]
+    ) -> Tuple[List[Fault], List[Fault]]:
+        """Partition ``faults`` into (kept, pruned), preserving order."""
+        kept: List[Fault] = []
+        pruned: List[Fault] = []
+        for fault in faults:
+            if self.certificate(fault) is None:
+                kept.append(fault)
+            else:
+                pruned.append(fault)
+        return kept, pruned
+
+    def report(self, faults: Sequence[Fault]) -> PruneReport:
+        """A :class:`PruneReport` over ``faults``."""
+        faults = list(faults)
+        _, pruned = self.split(faults)
+        entries = []
+        for fault in pruned:
+            certificate = self.certificate(fault)
+            assert certificate is not None  # split() put it in pruned
+            entries.append((fault_name(fault), certificate.kind))
+        return PruneReport(n_faults=len(faults), pruned=tuple(sorted(entries)))
 
 
 def validate_fault(circuit: Circuit, fault: Fault) -> None:

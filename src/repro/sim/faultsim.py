@@ -48,7 +48,7 @@ from repro.sim.compile import (
     OP_XNOR,
     compile_circuit,
 )
-from repro.sim.faults import Fault, fault_name, validate_fault
+from repro.sim.faults import Fault, FaultPruner, fault_name, validate_fault
 from repro.sim.values import V0, V1, VX, Value
 from repro.trace import trace_event
 
@@ -309,6 +309,16 @@ class FaultSimulator:
     ``runtime`` (a :class:`~repro.runtime.context.RuntimeContext`)
     plugs the simulator into the artifact cache and the worker pool;
     results never depend on it.
+
+    ``pruner`` (a :class:`~repro.sim.faults.FaultPruner`) arms the
+    certified pre-prune: faults proved untestable by the static
+    implication engine are excluded from simulation, but results are
+    always rebuilt over the caller's full fault list — the pruned
+    faults reappear among ``undetected`` and ``n_faults`` counts them,
+    so coverage denominators and detection outcomes are identical to an
+    unpruned run (certified faults are never detectable).  Pruning is
+    skipped for line-recording runs, whose per-net discrepancy sets are
+    meaningful even for unobservable faults.
     """
 
     def __init__(
@@ -316,10 +326,13 @@ class FaultSimulator:
         circuit: Circuit,
         compiled: CompiledCircuit | None = None,
         runtime=None,
+        pruner: Optional[FaultPruner] = None,
     ) -> None:
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
         self.runtime = runtime
+        self.pruner = pruner
+        self._prune_traced = False
         self._flop_pos = {name: i for i, name in enumerate(circuit.flops)}
         self._cache_ids_memo: Optional[Tuple[str, str]] = None
 
@@ -393,8 +406,58 @@ class FaultSimulator:
             continues after the last detection — so it is not part of
             the cache key.)
         """
+        faults = list(faults)
         for fault in faults:
             validate_fault(self.circuit, fault)
+        kept = None if record_lines else self._prune(faults)
+        if kept is not None:
+            inner = self._run_validated(
+                stimulus, kept, record_lines, stop_when_all_detected
+            )
+            detection = dict(inner.detection_time)
+            return FaultSimResult(
+                detection_time=detection,
+                undetected=tuple(f for f in faults if f not in detection),
+                n_faults=len(faults),
+                lines=inner.lines,
+            )
+        return self._run_validated(
+            stimulus, faults, record_lines, stop_when_all_detected
+        )
+
+    def _prune(self, faults: Sequence[Fault]) -> Optional[List[Fault]]:
+        """The kept-fault sublist when pruning removes anything, else None.
+
+        The cache key of the inner run then covers the *kept* set only;
+        that artifact is shared with unpruned runs over the same list,
+        and is sound because certified faults carry no detections.
+        """
+        if self.pruner is None:
+            return None
+        kept, pruned = self.pruner.split(faults)
+        if not pruned:
+            return None
+        if not self._prune_traced:
+            # One attribution event per simulator, not one per screen —
+            # a flow screens thousands of candidate sequences.
+            self._prune_traced = True
+            trace_event(
+                self._ctx(),
+                "prune",
+                circuit=self.circuit.name,
+                n_faults=len(faults),
+                pruned=len(pruned),
+            )
+        return kept
+
+    def _run_validated(
+        self,
+        stimulus: Sequence[Sequence[Value]],
+        faults: Sequence[Fault],
+        record_lines: bool,
+        stop_when_all_detected: bool,
+    ) -> FaultSimResult:
+        """The cached whole-sequence run (faults already validated)."""
         ctx = self._ctx()
         key = None
         if ctx is not None and ctx.cache is not None:
@@ -514,8 +577,14 @@ class FaultSimulator:
         a small fault sample and fully simulated only if the screen
         fires.  Stops at the first detection.
         """
+        faults = list(faults)
         for fault in faults:
             validate_fault(self.circuit, fault)
+        kept = self._prune(faults)
+        if kept is not None:
+            if not kept:
+                return False
+            faults = kept
         ctx = self._ctx()
         key = None
         if ctx is not None and ctx.cache is not None:
@@ -562,8 +631,14 @@ class FaultSimulator:
         ctx = self._ctx()
         if ctx is None or ctx.executor.jobs <= 1 or len(stimuli) <= 1:
             return [self.detects_any(s, faults) for s in stimuli]
+        faults = list(faults)
         for fault in faults:
             validate_fault(self.circuit, fault)
+        kept = self._prune(faults)
+        if kept is not None:
+            if not kept:
+                return [False] * len(stimuli)
+            faults = kept
         verdicts: List[Optional[bool]] = [None] * len(stimuli)
         keys: Optional[List[str]] = None
         if ctx.cache is not None:

@@ -36,12 +36,16 @@ TRACE_FORMAT = 1
 reject anything else (recompute, never reinterpret)."""
 
 DETERMINISTIC_KINDS = frozenset(
-    {"note", "omega", "reverse", "stage", "generation", "front"}
+    {"note", "omega", "reverse", "stage", "generation", "front",
+     "analysis", "prune"}
 )
 """Event kinds that are identical for any execution strategy.  The
 ``generation`` / ``front`` kinds mark :mod:`repro.optimize` progress:
 one event per search generation and one for the final Pareto front —
-both pure functions of (circuit, config, seed)."""
+both pure functions of (circuit, config, seed).  The ``analysis`` /
+``prune`` kinds summarise :mod:`repro.analysis.static` results and the
+certified fault pre-prune — pure functions of (circuit, fault set),
+whether computed fresh or replayed from the artifact cache."""
 
 RUNTIME_KINDS = frozenset(
     {

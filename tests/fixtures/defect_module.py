@@ -29,3 +29,7 @@ def env_mode():
 
 def collect(acc=[]):
     return acc
+
+
+def scan(root):
+    return [name for name in os.listdir(root)]

@@ -1,0 +1,229 @@
+"""Certificates vs. the oracle: no certified fault is ever detected.
+
+This is the acceptance suite for provable-redundancy pruning:
+
+* every certificate the analysis emits passes the independent
+  :func:`check_certificate` re-derivation;
+* the bit-parallel fault simulator — the oracle — never detects a
+  certified fault, under the flow's own sequences and under random and
+  weighted stimuli;
+* pruning is invisible: `FaultSimResult` and full-flow outputs are
+  byte-identical with pruning on and off, apart from the explicit
+  proved-untestable report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.static import analyze, check_certificate
+from repro.flows import FlowConfig, run_full_flow
+from repro.core import ProcedureConfig
+from repro.sim import FaultSimulator, VX, all_faults, collapse_faults
+from repro.sim.faults import FaultPruner, PruneReport, fault_name
+from repro.util.rng import DeterministicRng
+
+CIRCUITS = ("s27", "g208")
+
+
+@pytest.fixture(scope="module", params=CIRCUITS)
+def analyzed(request):
+    from repro.circuit import load_circuit
+
+    circuit = load_circuit(request.param)
+    faults = all_faults(circuit)
+    return circuit, faults, analyze(circuit, faults=faults)
+
+
+def _stimuli(circuit, cycles=64):
+    """A battery of stimulus regimes for the oracle cross-check."""
+    n = len(circuit.inputs)
+    rng = DeterministicRng(11)
+    random = [rng.bits(n) for _ in range(cycles)]
+    biased = [
+        tuple(1 if rng.random() < 0.8 else 0 for _ in range(n))
+        for _ in range(cycles)
+    ]
+    with_x = [
+        tuple(VX if rng.random() < 0.2 else rng.bit() for _ in range(n))
+        for _ in range(cycles)
+    ]
+    return {"random": random, "biased": biased, "with_x": with_x}
+
+
+def _some_certificate(analyzed):
+    _circuit, _faults, analysis = analyzed
+    if not analysis.certificates:
+        pytest.skip("circuit has no certified-untestable faults")
+    return next(iter(analysis.certificates.values()))
+
+
+class TestCertificatesCheck:
+    def test_every_certificate_validates(self, analyzed):
+        circuit, _faults, analysis = analyzed
+        if circuit.name == "g208":
+            # The paper benchmark is known to contain redundancy; an
+            # empty table here would mean the prover regressed.
+            assert analysis.certificates
+        for cert in analysis.certificates.values():
+            assert check_certificate(circuit, cert), cert.to_dict()
+
+    def test_tampered_certificate_rejected(self, analyzed):
+        circuit, _faults, _analysis = analyzed
+        cert = _some_certificate(analyzed)
+        flipped = dataclasses.replace(
+            cert, fault=dataclasses.replace(cert.fault, stuck=1 - cert.fault.stuck)
+        )
+        assert not check_certificate(circuit, flipped)
+
+    def test_wrong_circuit_rejected(self, analyzed):
+        from repro.circuit import load_circuit
+
+        circuit, _faults, _analysis = analyzed
+        other = load_circuit("s27" if circuit.name != "s27" else "g208")
+        cert = _some_certificate(analyzed)
+        assert not check_certificate(other, cert)
+
+    def test_round_trip_through_dict(self, analyzed):
+        from repro.analysis.static import Certificate
+
+        circuit, _faults, analysis = analyzed
+        for cert in analysis.certificates.values():
+            rebuilt = Certificate.from_dict(cert.to_dict())
+            assert check_certificate(circuit, rebuilt)
+
+
+class TestOracleNeverDetects:
+    def test_random_and_weighted_stimuli(self, analyzed):
+        circuit, faults, analysis = analyzed
+        certified = [
+            f for f in faults if fault_name(f) in analysis.certificates
+        ]
+        sim = FaultSimulator(circuit)
+        for regime, stimulus in _stimuli(circuit).items():
+            result = sim.run(stimulus, certified)
+            assert result.detection_time == {}, (
+                f"{circuit.name}/{regime}: certified fault detected"
+            )
+
+    def test_flow_sequence(self, analyzed):
+        circuit, faults, analysis = analyzed
+        certified = [
+            f for f in faults if fault_name(f) in analysis.certificates
+        ]
+        flow = run_full_flow(
+            circuit,
+            FlowConfig(seed=2, tgen_max_len=300, compaction_sims=0,
+                       procedure=ProcedureConfig(l_g=64)),
+        )
+        result = FaultSimulator(circuit).run(flow.sequence, certified)
+        assert result.detection_time == {}
+
+
+class TestPrunerEquivalence:
+    def test_fault_sim_result_identical(self, analyzed):
+        circuit, faults, analysis = analyzed
+        stimulus = _stimuli(circuit)["random"]
+        plain = FaultSimulator(circuit).run(stimulus, faults)
+        pruner = FaultPruner(circuit, analysis=analysis)
+        pruned = FaultSimulator(circuit, pruner=pruner).run(stimulus, faults)
+        assert pruned.detection_time == plain.detection_time
+        assert pruned.undetected == plain.undetected
+        assert pruned.n_faults == plain.n_faults
+        assert pruned.coverage == plain.coverage
+
+    def test_detects_any_identical(self, analyzed):
+        circuit, faults, analysis = analyzed
+        stimulus = _stimuli(circuit)["random"][:16]
+        pruner = FaultPruner(circuit, analysis=analysis)
+        a = FaultSimulator(circuit).detects_any(stimulus, faults)
+        b = FaultSimulator(circuit, pruner=pruner).detects_any(
+            stimulus, faults
+        )
+        assert a == b
+
+    def test_all_pruned_screen_is_false(self, analyzed):
+        circuit, faults, analysis = analyzed
+        certified = [
+            f for f in faults if fault_name(f) in analysis.certificates
+        ]
+        if not certified:
+            pytest.skip("no certified faults on this circuit")
+        pruner = FaultPruner(circuit, analysis=analysis)
+        sim = FaultSimulator(circuit, pruner=pruner)
+        stimulus = _stimuli(circuit)["random"][:8]
+        assert sim.detects_any(stimulus, certified) is False
+
+    def test_record_lines_disables_pruning(self, analyzed):
+        circuit, faults, analysis = analyzed
+        pruner = FaultPruner(circuit, analysis=analysis)
+        stimulus = _stimuli(circuit)["random"][:8]
+        plain = FaultSimulator(circuit).run(
+            stimulus, faults, record_lines=True
+        )
+        pruned = FaultSimulator(circuit, pruner=pruner).run(
+            stimulus, faults, record_lines=True
+        )
+        assert pruned.lines == plain.lines
+        assert pruned.detection_time == plain.detection_time
+
+    def test_prune_report_shape(self, analyzed):
+        circuit, faults, analysis = analyzed
+        pruner = FaultPruner(circuit, analysis=analysis)
+        report = pruner.report(faults)
+        assert isinstance(report, PruneReport)
+        assert report.n_faults == len(faults)
+        assert report.n_pruned == len(analysis.certificates)
+        assert report.n_kept + report.n_pruned == report.n_faults
+        payload = report.to_payload()
+        assert payload["n_faults"] == len(faults)
+        assert len(payload["faults"]) == report.n_pruned
+        kept, pruned = pruner.split(faults)
+        assert len(kept) == report.n_kept
+        assert list(kept) + list(pruned) != []  # order-preserving split
+        assert [f for f in faults if f in set(kept)] == list(kept)
+
+
+class TestFlowByteIdentity:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        cfg = dict(seed=3, tgen_max_len=300, compaction_sims=0,
+                   procedure=ProcedureConfig(l_g=64))
+        off = run_full_flow("g208", FlowConfig(static_prune=False, **cfg))
+        on = run_full_flow("g208", FlowConfig(static_prune=True, **cfg))
+        return off, on
+
+    def test_identical_results(self, pair):
+        off, on = pair
+        assert on.table6 == off.table6
+        assert on.sequence == off.sequence
+        assert on.procedure.omega == off.procedure.omega
+        assert [a.weights for a in on.reverse_order.kept] == [
+            a.weights for a in off.reverse_order.kept
+        ]
+
+    def test_prune_report_only_on(self, pair):
+        off, on = pair
+        assert off.pruned is None
+        assert on.pruned is not None
+        assert on.pruned.n_pruned > 0
+        # Collapsed-universe faults only; every entry carries a kind.
+        universe = {
+            fault_name(f) for f in collapse_faults(off.circuit)
+        }
+        for name, kind in on.pruned.pruned:
+            assert name in universe
+            assert kind
+
+    def test_serve_payload_gains_untestable_section(self, pair):
+        from repro.serve.results import flow_result_payload
+
+        off, on = pair
+        p_off = flow_result_payload(off)
+        p_on = flow_result_payload(on)
+        assert "proved_untestable" not in p_off
+        section = p_on.pop("proved_untestable")
+        assert section["n_pruned"] == on.pruned.n_pruned
+        assert p_on == p_off

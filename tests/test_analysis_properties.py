@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the analysis layer.
+
+Two families:
+
+* classic testability measures (SCOAP, COP) — permutation invariance
+  over symmetric gates and range sanity;
+* the static implication engine — the value-set fixpoint and the
+  impossible-literal table are sound against the reference ternary
+  simulator, propagation closures are fixpoints, and observability is
+  monotone under added observation points.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import compute_cop, compute_scoap
+from repro.analysis.static import (
+    CAN0,
+    CAN1,
+    CANX,
+    ImplicationEngine,
+    frame_fixpoint,
+    observable_nets,
+)
+from repro.circuit import Circuit
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.synth import SynthSpec, synthesize
+from repro.sim import LogicSimulator
+from repro.sim.compile import compile_circuit
+from repro.sim.values import V0, V1, VX
+from repro.util.rng import DeterministicRng
+
+_SYMMETRIC = {
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+}
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def _random_circuit(seed):
+    return synthesize(SynthSpec("prop", 4, 2, 2, 18, seed=seed))
+
+
+def _permute_symmetric_fanins(circuit, seed):
+    """A copy of ``circuit`` with symmetric gates' fanins shuffled."""
+    rng = DeterministicRng(seed)
+    gates = []
+    for net, gate in circuit.gates.items():
+        fanins = list(gate.fanins)
+        if gate.gtype in _SYMMETRIC and len(fanins) > 1:
+            rng.shuffle(fanins)
+        gates.append(Gate(net, gate.gtype, tuple(fanins)))
+    return Circuit(circuit.name, gates, circuit.outputs)
+
+
+def _value_mask(value):
+    return {V0: CAN0, V1: CAN1, VX: CANX}[value]
+
+
+class TestTestabilityMeasures:
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_scoap_invariant_under_fanin_permutation(self, seed, shuffle_seed):
+        circuit = _random_circuit(seed)
+        permuted = _permute_symmetric_fanins(circuit, shuffle_seed)
+        a = compute_scoap(circuit)
+        b = compute_scoap(permuted)
+        assert a.cc0 == b.cc0
+        assert a.cc1 == b.cc1
+        assert a.co == b.co
+
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_cop_invariant_under_fanin_permutation(self, seed, shuffle_seed):
+        circuit = _random_circuit(seed)
+        permuted = _permute_symmetric_fanins(circuit, shuffle_seed)
+        a = compute_cop(circuit)
+        b = compute_cop(permuted)
+        for net in circuit.gates:
+            assert abs(a.probability[net] - b.probability[net]) < 1e-12
+            assert abs(a.observability[net] - b.observability[net]) < 1e-12
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_cop_values_are_probabilities(self, seed):
+        estimates = compute_cop(_random_circuit(seed))
+        for net, p in estimates.probability.items():
+            assert 0.0 <= p <= 1.0
+            assert 0.0 <= estimates.observability[net] <= 1.0
+
+
+class TestValueSetSoundness:
+    @given(seeds, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_simulated_values_inside_fixpoint(self, seed, stim_seed):
+        circuit = _random_circuit(seed)
+        union, _ = frame_fixpoint(circuit)
+        comp = compile_circuit(circuit)
+        rng = DeterministicRng(stim_seed)
+        stimulus = [
+            tuple(
+                VX if rng.random() < 0.25 else rng.bit()
+                for _ in circuit.inputs
+            )
+            for _ in range(12)
+        ]
+        trace = LogicSimulator(circuit, comp).run(stimulus, record_nets=True)
+        for cycle in trace.nets:
+            for name, value in zip(comp.names, cycle):
+                assert union[name] & _value_mask(value), (
+                    f"net {name} took {value} outside its value set"
+                )
+
+    @given(seeds, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_impossible_literals_never_simulated(self, seed, stim_seed):
+        circuit = _random_circuit(seed)
+        union, _ = frame_fixpoint(circuit)
+        engine = ImplicationEngine(circuit, union)
+        engine.learn()
+        if not engine.impossible:
+            return
+        comp = compile_circuit(circuit)
+        rng = DeterministicRng(stim_seed)
+        stimulus = [
+            tuple(rng.bit() for _ in circuit.inputs) for _ in range(16)
+        ]
+        trace = LogicSimulator(circuit, comp).run(stimulus, record_nets=True)
+        index = {name: i for i, name in enumerate(comp.names)}
+        binary = {0: V0, 1: V1}
+        for net, value in engine.impossible:
+            for cycle in trace.nets:
+                assert cycle[index[net]] != binary[value], (
+                    f"impossible literal {net}={value} was computed"
+                )
+
+
+class TestImplicationClosure:
+    @given(seeds, st.integers(min_value=0, max_value=1), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_closure_is_fixpoint(self, seed, value, data):
+        circuit = _random_circuit(seed)
+        union, _ = frame_fixpoint(circuit)
+        engine = ImplicationEngine(circuit, union)
+        net = data.draw(st.sampled_from(sorted(circuit.gates)))
+        closure = engine.propagate({net: value})
+        if closure is None:
+            return
+        assert engine.propagate(dict(closure)) == closure
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_learned_exclusions_mirror_implications(self, seed):
+        circuit = _random_circuit(seed)
+        union, _ = frame_fixpoint(circuit)
+        engine = ImplicationEngine(circuit, union)
+        engine.learn()
+        # Contrapositive bookkeeping: a ⟹ b recorded as trigger ¬b
+        # excluding a, for every direct implication of the last round.
+        for (net, value), targets in engine.implications.items():
+            for m, w in targets:
+                assert (net, value) in engine.learned.get((m, 1 - w), ())
+
+
+class TestObservabilityMonotone:
+    @given(seeds, st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_extra_observation_point_only_grows(self, seed, data):
+        circuit = _random_circuit(seed)
+        before = observable_nets(circuit)
+        tap = data.draw(st.sampled_from(sorted(circuit.gates)))
+        gates = [g for g in circuit.gates.values()]
+        gates.append(Gate("__obs", GateType.BUF, (tap,)))
+        extended = Circuit(
+            circuit.name, gates, tuple(circuit.outputs) + ("__obs",)
+        )
+        after = observable_nets(extended)
+        assert before <= after
+        assert tap in after

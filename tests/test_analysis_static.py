@@ -1,0 +1,284 @@
+"""Unit tests for the static implication engine's building blocks.
+
+Value-set abstraction, structural analyses, implication learning and
+the aggregate ``analyze`` pass.  The oracle cross-checks (no certified
+fault is ever detected by the simulator) live in
+``test_analysis_certificates.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import (
+    ANALYSIS_FORMAT,
+    CAN0,
+    CAN1,
+    CANX,
+    Clamp,
+    ImplicationEngine,
+    SET_ALL,
+    analyze,
+    constants_of,
+    fanout_free_regions,
+    frame_fixpoint,
+    gate_value_set,
+    observable_nets,
+    post_dominators,
+    replay_implication_steps,
+    set_from_str,
+    set_to_str,
+)
+from repro.analysis.static.valuesets import SET_0, SET_1, SET_X
+from repro.circuit import load_circuit, parse_bench_text
+from repro.circuit.gates import GateType
+from repro.errors import AnalysisError
+from repro.sim import Fault, fault_name
+
+
+def _circuit(text, name="fx"):
+    return parse_bench_text(text, name)
+
+
+class TestValueSetPrimitives:
+    def test_round_trip_all_masks(self):
+        for mask in range(1, 8):
+            assert set_from_str(set_to_str(mask)) == mask
+
+    def test_bad_character_raises(self):
+        with pytest.raises(AnalysisError):
+            set_from_str("2")
+
+    def test_and_needs_all_ones_for_one(self):
+        assert gate_value_set(GateType.AND, [SET_ALL, SET_1]) == SET_ALL
+        assert gate_value_set(GateType.AND, [SET_0, SET_1]) == SET_0
+        assert gate_value_set(GateType.AND, [SET_X, SET_1]) == SET_X
+
+    def test_controlling_zero_wins_over_x(self):
+        # AND(0, X) is 0 exactly — never X.
+        assert gate_value_set(GateType.AND, [SET_0, SET_X]) == SET_0
+        assert gate_value_set(GateType.OR, [SET_1, SET_X]) == SET_1
+
+    def test_not_swaps_binary_keeps_x(self):
+        assert gate_value_set(GateType.NOT, [SET_0]) == SET_1
+        assert gate_value_set(GateType.NOT, [SET_X]) == SET_X
+        assert gate_value_set(GateType.NOT, [CAN0 | CANX]) == (CAN1 | CANX)
+
+    def test_xor_any_x_infects(self):
+        assert gate_value_set(GateType.XOR, [SET_X, SET_1]) == SET_X
+        assert gate_value_set(GateType.XOR, [SET_1, SET_1]) == SET_0
+        assert gate_value_set(GateType.XNOR, [SET_1, SET_1]) == SET_1
+
+    def test_xor_parity_image(self):
+        # a ∈ {0,1}, b = 1 → a^b ∈ {1,0}: both parities achievable.
+        both = CAN0 | CAN1
+        assert gate_value_set(GateType.XOR, [both, SET_1]) == both
+
+    def test_non_combinational_gate_raises(self):
+        with pytest.raises(AnalysisError):
+            gate_value_set(GateType.DFF, [SET_ALL])
+
+
+class TestFrameFixpoint:
+    def test_constant_cone_collapses(self):
+        sets, _frames = frame_fixpoint(_circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n"
+        ))
+        assert sets["z"] == SET_0
+        assert sets["g"] == SET_0
+        assert sets["a"] == SET_ALL
+
+    def test_flop_accumulates_initial_x(self):
+        # q = DFF(CONST1): settles at 1, but starts unknown; the
+        # accumulated set must keep the X of cycle 0.
+        sets, _ = frame_fixpoint(_circuit(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "one = CONST1()\nq = DFF(one)\npo = AND(a, q)\n"
+        ))
+        assert sets["q"] == (CAN1 | CANX)
+
+    def test_stem_clamp_forces_singleton(self):
+        circuit = _circuit("INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n")
+        sets, _ = frame_fixpoint(circuit, Clamp("a", 1))
+        assert sets["a"] == SET_1
+        assert sets["g"] == SET_0
+
+    def test_pin_clamp_leaves_stem_free(self):
+        circuit = _circuit(
+            "INPUT(a)\nOUTPUT(g)\nOUTPUT(h)\ng = BUF(a)\nh = NOT(a)\n"
+        )
+        sets, _ = frame_fixpoint(circuit, Clamp("a", 0, gate="g", pin=0))
+        assert sets["g"] == SET_0      # reads the clamped pin
+        assert sets["h"] == SET_ALL    # reads the true stem
+
+    def test_max_frames_widens_soundly(self):
+        # A 3-flop ring counter needs several frames; bounding to 1
+        # must widen, never shrink, the result.
+        text = (
+            "INPUT(a)\nOUTPUT(po)\n"
+            "q0 = DFF(q2)\nq1 = DFF(q0)\nq2 = DFF(q1)\n"
+            "po = AND(a, q0)\n"
+        )
+        full, _ = frame_fixpoint(_circuit(text))
+        bounded, _ = frame_fixpoint(_circuit(text), max_frames=1)
+        for net, mask in full.items():
+            assert bounded[net] & mask == mask
+
+    def test_fixpoint_frame_bound(self):
+        circuit = load_circuit("s27")
+        _, frames = frame_fixpoint(circuit)
+        assert frames <= 3 * len(circuit.flops) + 1
+
+    def test_constants_of_only_binary_singletons(self):
+        assert constants_of(
+            {"a": SET_0, "b": SET_1, "c": SET_X, "d": CAN0 | CANX}
+        ) == {"a": 0, "b": 1}
+
+
+class TestStructure:
+    CONE = (
+        "INPUT(a)\nINPUT(b)\nOUTPUT(po)\n"
+        "po = BUF(b)\ng1 = NOT(a)\ng2 = NOT(g1)\n"
+    )
+
+    def test_observable_excludes_dead_cone(self):
+        observable = observable_nets(_circuit(self.CONE))
+        assert observable == frozenset({"b", "po"})
+
+    def test_observable_crosses_flops(self):
+        observable = observable_nets(_circuit(
+            "INPUT(a)\nOUTPUT(po)\nq = DFF(a)\npo = BUF(q)\n"
+        ))
+        assert "a" in observable
+
+    def test_ffr_heads_stop_at_fanout_and_flops(self):
+        circuit = _circuit(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "g1 = NOT(a)\ng2 = BUF(g1)\nq = DFF(g2)\npo = BUF(q)\n"
+        )
+        heads = fanout_free_regions(circuit)
+        # g1 → g2 is a single-fanout chain; g2 feeds a flop D pin, so
+        # it is its own head and the chain collapses onto it.
+        assert heads["g1"] == "g2"
+        assert heads["g2"] == "g2"
+        assert heads["po"] == "po"
+
+    def test_post_dominators_funnel(self):
+        circuit = _circuit(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(po)\n"
+            "g1 = NOT(a)\ng2 = NOT(b)\npo = AND(g1, g2)\n"
+        )
+        doms = post_dominators(circuit)
+        assert "po" in doms["g1"]
+        assert "po" in doms["a"]
+        assert doms["po"] == ("po",)
+
+
+class TestImplicationEngine:
+    def _engine(self, text):
+        circuit = _circuit(text)
+        sets, _ = frame_fixpoint(circuit)
+        engine = ImplicationEngine(circuit, sets)
+        engine.learn()
+        return circuit, sets, engine
+
+    def test_and_output_one_forces_inputs(self):
+        _, _, engine = self._engine(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\n"
+        )
+        implied = dict(engine.implications[("g", 1)])
+        assert implied == {"a": 1, "b": 1}
+
+    def test_contradiction_found_and_replayable(self):
+        circuit, sets, engine = self._engine(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "na = NOT(a)\ng = AND(a, na)\npo = OR(g, a)\n"
+        )
+        assert ("g", 1) in engine.impossible
+        steps = engine.contradictions[("g", 1)]
+        assert replay_implication_steps(circuit, sets, ("g", 1), steps)
+
+    def test_tampered_replay_rejected(self):
+        circuit, sets, engine = self._engine(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "na = NOT(a)\ng = AND(a, na)\npo = OR(g, a)\n"
+        )
+        steps = [dict(s) for s in engine.contradictions[("g", 1)]]
+        steps[-1]["net"] = "po"  # claim a conflict somewhere else
+        assert not replay_implication_steps(circuit, sets, ("g", 1), steps)
+
+    def test_replay_requires_assumption(self):
+        circuit, sets, engine = self._engine(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "na = NOT(a)\ng = AND(a, na)\npo = OR(g, a)\n"
+        )
+        steps = [
+            dict(s)
+            for s in engine.contradictions[("g", 1)]
+            if s["why"] != "assume"
+        ]
+        assert not replay_implication_steps(circuit, sets, ("g", 1), steps)
+
+    def test_propagation_closure_is_fixpoint(self):
+        circuit, sets, engine = self._engine(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(po)\n"
+            "g1 = AND(a, b)\ng2 = OR(g1, a)\npo = BUF(g2)\n"
+        )
+        closure = engine.propagate({"g1": 1})
+        # Re-propagating the full closure must not add anything.
+        again = engine.propagate(dict(closure))
+        assert again == closure
+
+    def test_value_set_impossible_literals_seeded(self):
+        circuit = _circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n"
+        )
+        sets, _ = frame_fixpoint(circuit)
+        engine = ImplicationEngine(circuit, sets)
+        assert ("g", 1) in engine.impossible
+        assert ("z", 1) in engine.impossible
+
+
+class TestAnalyze:
+    def test_payload_shape_and_summary(self, s27):
+        analysis = analyze(s27)
+        payload = analysis.payload
+        assert payload["format"] == ANALYSIS_FORMAT
+        assert payload["circuit"] == "s27"
+        summary = payload["summary"]
+        assert summary["n_faults"] == len(payload["faults"])
+        assert summary["proved_untestable"] == analysis.n_proved
+        assert sum(summary["by_kind"].values()) == analysis.n_proved
+
+    def test_to_json_is_canonical(self, s27):
+        a = analyze(s27).to_json()
+        b = analyze(s27).to_json()
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_verdict_for_out_of_universe_fault(self, s27):
+        analysis = analyze(s27, faults=[Fault("G10", 0)])
+        other = Fault("G10", 1)
+        assert fault_name(other) not in analysis.payload["faults"]
+        # On-demand proving must be memoized and deterministic.
+        first = analysis.verdict(other)
+        assert analysis.verdict(other) is first
+
+    def test_cache_round_trip(self, s27, tmp_path):
+        from repro.runtime import RuntimeContext
+
+        with RuntimeContext(cache_dir=tmp_path) as runtime:
+            cold = analyze(s27, runtime=runtime)
+            cold_misses = runtime.stats.cache_misses
+        with RuntimeContext(cache_dir=tmp_path) as runtime:
+            warm = analyze(s27, runtime=runtime)
+            warm_misses = runtime.stats.cache_misses
+        assert warm.payload == cold.payload
+        assert cold_misses == 1
+        assert warm_misses == 0
+
+    def test_g208_finds_redundancy(self, g208):
+        analysis = analyze(g208)
+        assert analysis.n_proved > 0
+        for name, cert in analysis.certificates.items():
+            assert cert.name == name

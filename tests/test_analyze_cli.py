@@ -1,0 +1,89 @@
+"""The ``repro analyze`` command and the ``--static`` / ``--static-prune``
+CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.static import ANALYSIS_FORMAT
+from repro.cli import main
+
+
+class TestAnalyzeCommand:
+    def test_stdout_is_canonical_json(self, capsys):
+        rc = main(["analyze", "s27", "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(captured.out)
+        assert payload["format"] == ANALYSIS_FORMAT
+        assert payload["circuit"] == "s27"
+        # The human summary goes to stderr, keeping stdout pipeable.
+        assert "proved untestable" in captured.err
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "analysis.json"
+        rc = main(["analyze", "s27", "--no-cache", "--output", str(target)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert str(target) in out
+        payload = json.loads(target.read_text())
+        assert payload["circuit"] == "s27"
+
+    def test_all_faults_universe_and_check(self, capsys):
+        rc = main([
+            "analyze", "g208", "--no-cache", "--faults", "all", "--check",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(captured.out)
+        assert payload["summary"]["proved_untestable"] > 0
+        # --check re-validated every certificate; a failure would raise.
+        assert "g208:" in captured.err
+
+    def test_collapsed_default_universe(self, capsys):
+        from repro.circuit import load_circuit
+        from repro.sim import collapse_faults
+
+        rc = main(["analyze", "s27", "--no-cache"])
+        payload = json.loads(capsys.readouterr().out)
+        n = len(collapse_faults(load_circuit("s27")))
+        assert payload["summary"]["n_faults"] == n
+
+    def test_unknown_circuit_exits_nonzero(self, capsys):
+        rc = main(["analyze", "definitely_not_a_circuit"])
+        err = capsys.readouterr().err
+        assert rc != 0
+        assert "unknown circuit" in err
+
+    def test_max_frames_recorded_in_config(self, capsys):
+        rc = main(["analyze", "s27", "--no-cache", "--max-frames", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["config"]["max_frames"] == 2
+
+
+class TestFlowStaticPrune:
+    def test_flow_reports_prune_line(self, capsys):
+        rc = main([
+            "flow", "s27", "--static-prune", "--no-cache", "--lg", "64",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "proved untestable:" in out
+        assert "denominators unchanged" in out
+
+    def test_flow_without_flag_stays_silent(self, capsys):
+        rc = main(["flow", "s27", "--no-cache", "--lg", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "proved untestable" not in out
+
+
+class TestLintStaticFlag:
+    def test_static_rules_only_with_flag(self, capsys):
+        main(["lint", "g386", "--fail-on", "never"])
+        plain = capsys.readouterr().out
+        main(["lint", "g386", "--static", "--fail-on", "never"])
+        with_static = capsys.readouterr().out
+        assert "C013" not in plain
+        assert "C013" in with_static

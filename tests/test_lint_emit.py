@@ -134,7 +134,17 @@ SARIF_SUBSET_SCHEMA = {
                                                                 "type":
                                                                 "integer",
                                                                 "minimum": 1,
-                                                            }
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "endColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
                                                         },
                                                     },
                                                 },
@@ -173,8 +183,8 @@ class TestText:
     def test_listing_plus_summary(self):
         text = format_text(_fixture_report())
         lines = text.splitlines()
-        assert len(lines) == 9
-        assert lines[-1] == "8 findings (4 error, 4 warning, 0 note)"
+        assert len(lines) == 10
+        assert lines[-1] == "9 findings (5 error, 4 warning, 0 note)"
         assert any("warning[C006]" in line for line in lines)
 
     def test_empty_report(self):
@@ -191,15 +201,23 @@ class TestJson:
     def test_round_trips_and_counts(self):
         payload = json.loads(format_json(_fixture_report()))
         assert payload["tool"] == "repro-lint"
-        assert len(payload["diagnostics"]) == 8
+        assert len(payload["diagnostics"]) == 9
         assert payload["summary"] == {
-            "errors": 4, "warnings": 4, "notes": 0, "suppressed": 0
+            "errors": 5, "warnings": 4, "notes": 0, "suppressed": 0
         }
 
     def test_diagnostics_carry_rule_names(self):
         payload = json.loads(format_json(_fixture_report()))
         for entry in payload["diagnostics"]:
             assert entry["rule_name"] == REGISTRY[entry["rule_id"]].name
+
+    def test_diagnostics_carry_column_range(self):
+        payload = json.loads(format_json(
+            lint_python_path(FIXTURES / "defect_module.py")
+        ))
+        for entry in payload["diagnostics"]:
+            assert entry["column"] >= 1
+            assert entry["end_column"] > entry["column"]
 
 
 class TestSarif:
@@ -243,6 +261,46 @@ class TestSarif:
     def test_parses_as_json_text(self):
         parsed = json.loads(format_sarif(_fixture_report()))
         assert parsed["version"] == "2.1.0"
+
+    def test_column_range_present_and_half_open(self):
+        # AST findings carry a column; endColumn must always accompany
+        # startColumn (omitting it makes SARIF consumers default the
+        # region to end-of-line) and point one past the region.
+        log = to_sarif_dict(lint_python_path(FIXTURES / "defect_module.py"))
+        regions = [
+            r["locations"][0]["physicalLocation"]["region"]
+            for r in log["runs"][0]["results"]
+        ]
+        assert regions
+        for region in regions:
+            assert region["startColumn"] >= 1
+            assert region["endColumn"] > region["startColumn"]
+
+    def test_missing_end_column_defaults_to_one_char_region(self):
+        from repro.lint import make_diagnostic
+        from repro.lint.core import REGISTRY as rules
+
+        diag = make_diagnostic(
+            rules["D101"], "msg", "a.py", line=3, column=7
+        )
+        log = to_sarif_dict(LintReport.from_iterable([diag]))
+        region = (
+            log["runs"][0]["results"][0]
+            ["locations"][0]["physicalLocation"]["region"]
+        )
+        assert region == {"startLine": 3, "startColumn": 7, "endColumn": 8}
+
+    def test_line_without_column_has_no_column_keys(self):
+        from repro.lint import make_diagnostic
+        from repro.lint.core import REGISTRY as rules
+
+        diag = make_diagnostic(rules["C001"], "msg", "c.bench", line=2)
+        log = to_sarif_dict(LintReport.from_iterable([diag]))
+        region = (
+            log["runs"][0]["results"][0]
+            ["locations"][0]["physicalLocation"]["region"]
+        )
+        assert region == {"startLine": 2}
 
 
 def test_formatter_registry():

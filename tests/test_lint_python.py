@@ -24,7 +24,7 @@ class TestFixtureModule:
     def test_one_finding_per_rule(self):
         report = lint_python_path(FIXTURE)
         assert sorted(report.by_rule()) == [
-            "D101", "D102", "D103", "D104", "D105"
+            "D101", "D102", "D103", "D104", "D105", "D106"
         ]
         assert all(len(v) == 1 for v in report.by_rule().values())
 
@@ -40,6 +40,8 @@ class TestFixtureModule:
         assert "os.getenv()" in by_rule["D104"].message
         assert by_rule["D105"].line == 30
         assert "'collect'" in by_rule["D105"].message
+        assert by_rule["D106"].line == 35
+        assert "os.listdir" in by_rule["D106"].message
 
 
 class TestSetIteration:
@@ -137,6 +139,49 @@ class TestMutableDefault:
 
     def test_tuple_default_is_fine(self):
         assert _rules("def f(x=()):\n    pass\n") == []
+
+
+class TestUnsortedDirListing:
+    def test_for_over_listdir_flagged(self):
+        assert _rules(
+            "import os\nfor f in os.listdir(d):\n    pass\n"
+        ) == ["D106"]
+
+    def test_comprehension_over_scandir_flagged(self):
+        assert _rules(
+            "import os\nxs = [e.name for e in os.scandir(d)]\n"
+        ) == ["D106"]
+
+    def test_glob_glob_flagged(self):
+        assert _rules(
+            "import glob\nfor f in glob.glob('*.py'):\n    pass\n"
+        ) == ["D106"]
+
+    def test_iglob_from_import_flagged(self):
+        assert _rules(
+            "from glob import iglob\nfor f in iglob('*.py'):\n    pass\n"
+        ) == ["D106"]
+
+    def test_listdir_from_import_flagged(self):
+        assert _rules(
+            "from os import listdir\nfor f in listdir(d):\n    pass\n"
+        ) == ["D106"]
+
+    def test_sorted_listdir_is_fine(self):
+        assert _rules(
+            "import os\nfor f in sorted(os.listdir(d)):\n    pass\n"
+        ) == []
+
+    def test_pathlib_glob_method_is_fine(self):
+        # Path.glob is a *method*; only the module-level functions are
+        # flagged (the rule keys on os/glob module attributes).
+        assert _rules(
+            "from pathlib import Path\n"
+            "for f in Path('.').glob('*.py'):\n    pass\n"
+        ) == []
+
+    def test_listdir_outside_iteration_is_fine(self):
+        assert _rules("import os\nnames = os.listdir(d)\n") == []
 
 
 class TestInlineSuppressions:

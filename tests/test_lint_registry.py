@@ -17,15 +17,31 @@ from repro.core import WeightAssignment
 from repro.core.weight import Weight
 from repro.hw import synthesize_tpg
 from repro.hw.fsm import WeightFsm
+from repro.circuit import parse_bench_text
 from repro.lint import (
     REGISTRY,
     lint_bench_path,
     lint_bench_text,
     lint_design,
     lint_python_path,
+    lint_static,
 )
 
 FIXTURES = Path(__file__).parent / "fixtures"
+
+# Minimal netlists that each trip exactly one static-analysis rule.
+_STATIC_BENCHES = {
+    "C010": "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n",
+    "C011": (
+        "INPUT(a)\nINPUT(b)\nOUTPUT(po)\n"
+        "po = BUF(b)\ng1 = NOT(a)\ng2 = NOT(g1)\n"
+    ),
+    "C012": "INPUT(a)\nOUTPUT(g)\none = CONST1()\ng = AND(a, one)\n",
+    "C013": (
+        "INPUT(a)\nOUTPUT(po)\n"
+        "na = NOT(a)\ng = AND(a, na)\npo = OR(g, a)\n"
+    ),
+}
 
 
 def _design(strings, l_g=8):
@@ -79,6 +95,9 @@ def _tpg_defect(rule_id):
 def _fixture_report(rule_id):
     family = rule_id[0]
     if family == "C":
+        if rule_id in _STATIC_BENCHES:
+            circuit = parse_bench_text(_STATIC_BENCHES[rule_id], rule_id)
+            return lint_static(circuit)
         if rule_id == "C009":
             return lint_bench_text("z = FROB(a)\n", "inline")
         if rule_id == "C005":

@@ -1,0 +1,126 @@
+"""Implication-engine lint rules (C010–C013, `lint_static`)."""
+
+from __future__ import annotations
+
+from repro.circuit import load_circuit, parse_bench_text
+from repro.lint import Severity, lint_static
+
+
+def _circuit(text, name="fx"):
+    return parse_bench_text(text, name)
+
+
+def _rules(report):
+    return [d.rule_id for d in report]
+
+
+class TestProvablyConstant:
+    def test_constant_fed_and_flagged(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n"
+        ))
+        by_rule = report.by_rule()
+        assert [d.location for d in by_rule["C010"]] == ["g"]
+        assert "constant 0" in by_rule["C010"][0].message
+
+    def test_const_gates_themselves_not_flagged(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = OR(a, z)\n"
+        ))
+        # g = OR(a, 0) is just a buffer of a — nothing constant except
+        # the CONST gate itself, which is constant by design.
+        assert "C010" not in report.by_rule()
+
+    def test_flop_with_unknown_initial_state_not_flagged(self):
+        # q = DFF(CONST0) settles to 0, but the initial state is X and
+        # the accumulating fixpoint keeps it: {0, X} is not a binary
+        # singleton, so the (sound) analysis must not call q constant.
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "z = CONST0()\nq = DFF(z)\npo = OR(a, q)\n"
+        ))
+        locations = {d.location for d in report.by_rule().get("C010", [])}
+        assert "q" not in locations
+
+
+class TestUnobservableCone:
+    def test_one_aggregated_diagnostic(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(po)\n"
+            "po = BUF(b)\ng1 = NOT(a)\ng2 = NOT(g1)\n"
+        ))
+        cones = report.by_rule()["C011"]
+        assert len(cones) == 1
+        assert "3 net(s)" in cones[0].message
+        for net in ("a", "g1", "g2"):
+            assert net in cones[0].message
+
+    def test_fully_observable_circuit_clean(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\n"
+        ))
+        assert "C011" not in report.by_rule()
+
+
+class TestRedundantGateInput:
+    def test_noncontrolling_constant_pin(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\none = CONST1()\ng = AND(a, one)\n"
+        ))
+        redundant = report.by_rule()["C012"]
+        assert len(redundant) == 1
+        assert redundant[0].location == "g"
+        assert "pin 1" in redundant[0].message
+
+    def test_or_with_constant_zero_pin(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = OR(z, a)\n"
+        ))
+        redundant = report.by_rule()["C012"]
+        assert len(redundant) == 1
+        assert "pin 0" in redundant[0].message
+
+    def test_controlling_constant_is_c010_not_c012(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n"
+        ))
+        by_rule = report.by_rule()
+        assert "C012" not in by_rule
+        assert "C010" in by_rule
+
+
+class TestImplicationContradiction:
+    def test_never_computable_literal_reported(self):
+        report = lint_static(_circuit(
+            "INPUT(a)\nOUTPUT(po)\n"
+            "na = NOT(a)\ng = AND(a, na)\npo = OR(g, a)\n"
+        ))
+        notes = report.by_rule()["C013"]
+        assert len(notes) == 1
+        assert notes[0].severity is Severity.NOTE
+        assert "g = 1" in notes[0].message
+
+
+class TestLibraryCircuits:
+    def test_s27_is_clean(self):
+        assert len(lint_static(load_circuit("s27"))) == 0
+
+    def test_g386_findings_are_stable(self):
+        report = lint_static(load_circuit("g386"))
+        # The paper benchmark really does contain redundancy; pin the
+        # rule mix so analysis changes surface here.
+        by_rule = {k: len(v) for k, v in report.by_rule().items()}
+        assert by_rule.get("C011", 0) == 1
+        assert by_rule.get("C013", 0) >= 1
+
+    def test_artifact_defaults_to_circuit_name(self):
+        report = lint_static(load_circuit("s27"))
+        assert report.diagnostics == ()
+        named = lint_static(
+            _circuit("INPUT(a)\nOUTPUT(g)\nz = CONST0()\ng = AND(a, z)\n",
+                     "mycirc"),
+            artifact="path/to/mycirc.bench",
+        )
+        assert all(
+            d.artifact == "path/to/mycirc.bench" for d in named
+        )

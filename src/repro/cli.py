@@ -338,7 +338,20 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="disable the artifact cache (reruns recompute)")
     p.add_argument("--chaos", default=None, metavar="SPEC",
                    help="deterministic fault injection for the job "
-                        "runtimes (results are still bit-identical)")
+                        "runtimes and the worker service (results are "
+                        "still bit-identical)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="supervised worker processes executing jobs "
+                        "under leased ownership; 1 (the default) runs "
+                        "jobs on the in-process scheduler")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="lease deadline per claim; worker heartbeats "
+                        "renew it (default: 30)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="heartbeat silence after which a worker is "
+                        "declared hung and restarted (default: 10)")
     p.add_argument("--trace", type=Path, default=None, metavar="PATH",
                    help="write the server's span trace (job lifecycle "
                         "events included) on drain")
@@ -881,6 +894,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_grace_s=args.drain_grace,
         trace_path=args.trace,
         trace_format=args.trace_format,
+        workers=args.workers,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_timeout_s=args.heartbeat_timeout,
         **kwargs,
     ))
 

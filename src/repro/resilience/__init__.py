@@ -17,6 +17,10 @@ composes into a fault-tolerant whole:
 * :mod:`repro.resilience.journal` — :class:`CheckpointJournal`:
   atomic per-circuit result checkpoints under the cache dir, powering
   ``repro table6 --resume``.
+* :mod:`repro.resilience.shards` — :class:`ShardedJournal`:
+  per-writer journal shards (one supervisor, N job workers) merged
+  deterministically by record version on restart; chaos can tear
+  individual shard writes to prove the recovery path.
 * :mod:`repro.resilience.signals` — :func:`handle_termination`:
   SIGINT/SIGTERM → :class:`~repro.errors.SweepInterrupted`, for an
   orderly stop with a valid journal left behind.
@@ -35,6 +39,7 @@ from repro.resilience.journal import (
     flow_journal_key,
 )
 from repro.resilience.policy import RetryPolicy
+from repro.resilience.shards import ShardedJournal
 from repro.resilience.signals import handle_termination
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "CheckpointWarning",
     "JOURNAL_FORMAT",
     "RetryPolicy",
+    "ShardedJournal",
     "chaos_call",
     "flow_journal_key",
     "handle_termination",

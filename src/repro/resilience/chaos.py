@@ -1,4 +1,4 @@
-"""Deterministic fault injection ("chaos") for the runtime layer.
+"""Deterministic fault injection ("chaos") for the runtime and serve layers.
 
 Recovery code that is never exercised is recovery code that does not
 work.  A :class:`ChaosSpec` makes workers crash, hang past their
@@ -16,9 +16,26 @@ roll fresh dice) and ultimately replayed serially without chaos; a
 vandalized cache entry is discarded on read and the artifact
 recomputed.
 
+Two families of modes share one spec:
+
+* **Runtime-pool modes** (``crash``/``hang``/``corrupt``/``cache``)
+  afflict the executor's task workers and the artifact cache, exactly
+  as before.
+* **Service modes** afflict the multi-worker campaign service
+  (:mod:`repro.serve.supervisor`): ``worker_crash`` hard-exits a job
+  worker after it computed but before it reported, ``worker_hang``
+  stops its heartbeats before the work, ``worker_stall`` stops them
+  after the work but before the result is sent, ``kill_claim``
+  SIGKILLs the worker the instant it receives a claim,
+  ``lease_expire`` grants an already-expired lease (provoking the
+  stale-result fencing race), and ``journal_tear`` discards one
+  per-worker journal-shard write as if the tmp file had torn before
+  the atomic replace.
+
 Spec syntax (the CLI's ``--chaos``)::
 
     crash=0.2,hang=0.1,corrupt=0.1,cache=0.3,seed=7,hang_s=2.0
+    worker_crash=0.3,kill_claim=0.2,lease_expire=0.2,seed=11
 
 Rates are probabilities in ``[0, 1]``; ``seed`` picks the injection
 pattern; ``hang_s`` is how long a hung worker sleeps.
@@ -39,7 +56,26 @@ CORRUPT_PAYLOAD = "__repro_chaos_corrupted_payload__"
 result; it fails the executor's payload validation and triggers the
 retry path."""
 
-_RATE_FIELDS = ("crash", "hang", "corrupt", "cache")
+_RATE_FIELDS = (
+    "crash",
+    "hang",
+    "corrupt",
+    "cache",
+    "worker_crash",
+    "worker_hang",
+    "worker_stall",
+    "kill_claim",
+    "lease_expire",
+    "journal_tear",
+)
+_SERVICE_FIELDS = (
+    "worker_crash",
+    "worker_hang",
+    "worker_stall",
+    "kill_claim",
+    "lease_expire",
+    "journal_tear",
+)
 _DIGEST_BITS = 48
 
 
@@ -61,6 +97,27 @@ class ChaosSpec:
     cache:
         Probability that the artifact cache truncates an entry right
         after writing it.
+    worker_crash:
+        Probability that a campaign job worker hard-exits after
+        computing a job but before reporting the result.
+    worker_hang:
+        Probability that a campaign job worker stops heartbeating and
+        sleeps ``hang_s`` *before* doing the work.
+    worker_stall:
+        Probability that a campaign job worker does the work, then
+        stops heartbeating and stalls before sending the result.
+    kill_claim:
+        Probability that a campaign job worker SIGKILLs itself the
+        instant it receives a claim (the journaled lease is the only
+        trace of the claim).
+    lease_expire:
+        Probability that the supervisor grants a lease already at its
+        deadline, so the job is reclaimed while the original worker is
+        still computing and that worker's late result is fenced off.
+    journal_tear:
+        Probability that one per-worker journal-shard write is
+        discarded — as if the temporary file tore before the atomic
+        replace — leaving the shard at its previous state.
     seed:
         Seed for the injection pattern; same seed → same injections.
     hang_s:
@@ -71,6 +128,12 @@ class ChaosSpec:
     hang: float = 0.0
     corrupt: float = 0.0
     cache: float = 0.0
+    worker_crash: float = 0.0
+    worker_hang: float = 0.0
+    worker_stall: float = 0.0
+    kill_claim: float = 0.0
+    lease_expire: float = 0.0
+    journal_tear: float = 0.0
     seed: int = 0
     hang_s: float = 30.0
 
@@ -114,8 +177,13 @@ class ChaosSpec:
 
     @property
     def affects_workers(self) -> bool:
-        """True when any worker-side injection mode is active."""
+        """True when any runtime-pool injection mode is active."""
         return self.crash > 0 or self.hang > 0 or self.corrupt > 0
+
+    @property
+    def affects_service(self) -> bool:
+        """True when any serve-layer injection mode is active."""
+        return any(getattr(self, name) > 0 for name in _SERVICE_FIELDS)
 
     def roll(self, mode: str, *ingredients: object) -> float:
         """Deterministic pseudo-uniform draw in ``[0, 1)`` for one

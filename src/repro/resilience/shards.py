@@ -1,0 +1,162 @@
+"""Per-writer journal shards with deterministic merge.
+
+One durable journal written by many concurrent owners is a lock or a
+corruption waiting to happen.  The serve layer instead gives every
+writer (one supervisor, N job workers) its **own**
+:class:`~repro.resilience.journal.CheckpointJournal` shard under a
+shared directory — each shard keeps the single-writer atomicity the
+checkpoint journal already proves — and merges the shards
+**deterministically** when a restarted service rebuilds its state:
+
+* every record carries a monotonically increasing ``version`` stamped
+  by the writer that owned the job at that moment;
+* the merge keeps, per key, the record with the highest
+  ``(version, shard-name)`` pair — version decides, the shard name is
+  a pure tie-break so the merge is a function of the on-disk bytes,
+  never of directory-listing order;
+* an unreadable or torn shard degrades exactly like a corrupt
+  checkpoint journal: it is ignored with a warning and its records
+  are recomputed (a lost *transition* is recovered by requeueing; a
+  lost *submit ack* cannot happen because acks are journaled by the
+  single supervisor shard before the client hears 202).
+
+Chaos's ``journal_tear`` mode injects the failure this layout is
+designed around: a shard write is dropped as if the temporary file
+tore before the atomic replace, leaving the shard at its previous
+(consistent) state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from repro.resilience.journal import CheckpointJournal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.chaos import ChaosSpec
+    from repro.runtime.metrics import RuntimeStats
+    from repro.trace.span import Tracer
+
+_SHARD_PREFIX = "shard-"
+_SHARD_SUFFIX = ".json"
+
+
+def _record_version(payload: dict) -> int:
+    try:
+        return int(payload.get("version", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+class ShardedJournal:
+    """A family of single-writer journal shards under one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``shard-<name>.json`` files (created on the
+        first record).
+    stats / tracer:
+        Forwarded to every shard's :class:`CheckpointJournal`.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.ChaosSpec`; its
+        ``journal_tear`` mode deterministically discards individual
+        shard writes (counted in :attr:`tears`).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        stats: Optional["RuntimeStats"] = None,
+        tracer: Optional["Tracer"] = None,
+        chaos: Optional["ChaosSpec"] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.stats = stats
+        self.tracer = tracer
+        self.chaos = chaos
+        self._shards: Dict[str, CheckpointJournal] = {}
+        #: Number of writes chaos tore (discarded before persisting).
+        self.tears = 0
+
+    # -- shards --------------------------------------------------------------
+
+    def _path(self, name: str) -> Path:
+        return self.root / f"{_SHARD_PREFIX}{name}{_SHARD_SUFFIX}"
+
+    def shard(self, name: str) -> CheckpointJournal:
+        """The (cached) journal for writer ``name``."""
+        journal = self._shards.get(name)
+        if journal is None:
+            journal = CheckpointJournal(
+                self._path(name), stats=self.stats, tracer=self.tracer
+            )
+            self._shards[name] = journal
+        return journal
+
+    def shard_names(self) -> List[str]:
+        """Writers with an on-disk shard, sorted."""
+        try:
+            files = sorted(p.name for p in self.root.iterdir())
+        except OSError:
+            return []
+        return [
+            name[len(_SHARD_PREFIX) : -len(_SHARD_SUFFIX)]
+            for name in files
+            if name.startswith(_SHARD_PREFIX) and name.endswith(_SHARD_SUFFIX)
+        ]
+
+    # -- writes --------------------------------------------------------------
+
+    def record(self, shard_name: str, key: str, payload: dict) -> bool:
+        """Journal ``payload`` into ``shard_name``'s shard.
+
+        Returns False when chaos tore the write — the shard keeps its
+        previous consistent state, exactly as a real torn tmp file
+        under the atomic-replace discipline would leave it.
+        """
+        if self.chaos is not None and self.chaos.decide(
+            "journal_tear", shard_name, key, _record_version(payload)
+        ):
+            self.tears += 1
+            return False
+        self.shard(shard_name).record(key, payload)
+        return True
+
+    # -- merge ---------------------------------------------------------------
+
+    def merged(self) -> Dict[str, dict]:
+        """The deterministic union of every on-disk shard.
+
+        Per key, the record with the highest ``(version, shard-name)``
+        wins.  Unreadable shards warn (via the underlying journal) and
+        contribute nothing.
+        """
+        best: Dict[str, Tuple[int, str, dict]] = {}
+        for name in self.shard_names():
+            journal = CheckpointJournal(self._path(name))
+            for key in journal.keys():
+                payload = journal.get(key)
+                if payload is None:
+                    continue
+                rank = (_record_version(payload), name)
+                current = best.get(key)
+                if current is None or rank > (current[0], current[1]):
+                    best[key] = (rank[0], rank[1], payload)
+        return {key: payload for key, (_, _, payload) in best.items()}
+
+    def clear(self) -> int:
+        """Delete every shard file; returns the number removed."""
+        removed = 0
+        for name in self.shard_names():
+            try:
+                self._path(name).unlink(missing_ok=True)
+                removed += 1
+            except OSError:
+                pass
+        self._shards.clear()
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ShardedJournal({self.root})"

@@ -39,6 +39,7 @@ from repro.serve.job import (
     Job,
     JobSpec,
 )
+from repro.serve.lease import Lease, LeaseTable, shard_of
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
 from repro.serve.queue import JobQueue
 from repro.serve.results import (
@@ -49,6 +50,8 @@ from repro.serve.results import (
 )
 from repro.serve.scheduler import ContextPool, Scheduler
 from repro.serve.server import CampaignServer, ServerConfig, ServerThread
+from repro.serve.supervisor import Supervisor
+from repro.serve.worker import JobOutcome, WorkerHandle, execute_job
 
 __all__ = [
     "AdmissionController",
@@ -59,9 +62,12 @@ __all__ = [
     "DONE",
     "FAILED",
     "Job",
+    "JobOutcome",
     "JobQueue",
     "JobSpec",
     "LatencyHistogram",
+    "Lease",
+    "LeaseTable",
     "QUEUED",
     "ResultStore",
     "RUNNING",
@@ -72,10 +78,14 @@ __all__ = [
     "ServerThread",
     "SHED",
     "STATES",
+    "Supervisor",
     "TASKS",
     "TERMINAL_STATES",
     "TokenBucket",
+    "WorkerHandle",
+    "execute_job",
     "flow_result_payload",
     "optimize_result_payload",
     "render_result",
+    "shard_of",
 ]

@@ -245,7 +245,14 @@ class JobSpec:
 
 @dataclass
 class Job:
-    """A spec the server has accepted, plus its lifecycle state."""
+    """A spec the server has accepted, plus its lifecycle state.
+
+    ``owner``/``lease_token`` identify the worker currently leasing a
+    running job (None for queued/terminal jobs or the in-process
+    scheduler's unleased claims); ``version`` increments on *every*
+    state transition and orders records when per-worker journal shards
+    are merged after a crash.
+    """
 
     spec: JobSpec
     seq: int
@@ -253,6 +260,9 @@ class Job:
     error: Optional[str] = None
     attempts: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+    owner: Optional[str] = None
+    version: int = 0
+    lease_token: Optional[int] = None
 
     @property
     def key(self) -> str:
@@ -277,6 +287,9 @@ class Job:
             "error": self.error,
             "attempts": self.attempts,
             "stats": dict(self.stats),
+            "owner": self.owner,
+            "version": self.version,
+            "lease_token": self.lease_token,
         }
 
     @classmethod
@@ -294,9 +307,15 @@ class Job:
         try:
             seq = int(payload["seq"])  # type: ignore[arg-type,call-overload]
             attempts = int(payload.get("attempts", 0))  # type: ignore[arg-type]
+            version = int(payload.get("version", 0))  # type: ignore[arg-type]
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(f"malformed job record: {payload!r}") from exc
         error = payload.get("error")
+        owner = payload.get("owner")
+        token_raw = payload.get("lease_token")
+        lease_token = (
+            int(token_raw) if isinstance(token_raw, (int, float)) else None
+        )
         stats_raw = payload.get("stats", {})
         stats: Dict[str, float] = {}
         if isinstance(stats_raw, Mapping):
@@ -310,4 +329,7 @@ class Job:
             error=str(error) if error is not None else None,
             attempts=attempts,
             stats=stats,
+            owner=str(owner) if owner is not None else None,
+            version=version,
+            lease_token=lease_token,
         )

@@ -83,6 +83,16 @@ class ServeMetrics:
         "cancelled",
         "shed",
         "requeued",
+        # Multi-worker service counters (zero under the in-process
+        # scheduler): restarts of crashed/hung workers, leases the
+        # expiry sweep reclaimed, cross-shard work steals, results a
+        # stale fencing token kept out of the store, and worker slots
+        # retired for flapping.
+        "worker_restarts",
+        "lease_expiries",
+        "steals",
+        "stale_results_rejected",
+        "workers_degraded",
     )
 
     def __init__(self) -> None:

@@ -1,4 +1,4 @@
-"""Durable, crash-safe job queue.
+"""Durable, crash-safe job queue with leased ownership.
 
 The queue is a key → :class:`~repro.serve.job.Job` map with a dispatch
 order (priority tiers, FIFO inside a tier, fair-share across clients)
@@ -21,18 +21,38 @@ already proves:
   and its completed stages sit in the artifact cache, so the rerun is
   cheap and byte-identical); terminal jobs stay terminal.
 
+Multi-worker service mode adds two layers on top:
+
+* **Leases** (:mod:`repro.serve.lease`).  :meth:`claim` grants the
+  claiming worker a journaled lease — monotonic fencing token plus
+  deadline — instead of bare ownership.  :meth:`finish` and
+  :meth:`requeue` are token-fenced: a worker whose lease expired (or
+  whose job the supervisor already reclaimed) presents a stale token
+  and is rejected, so no result is ever double-applied and no job is
+  double-demoted.  The token floor is restored past the journal's
+  high-water mark on restart, so fencing survives server lives.
+* **Journal shards** (:mod:`repro.resilience.shards`).  Transitions of
+  a leased job are journaled into its owner's shard (single writer per
+  file); submits, demotions and unleased transitions go to the main
+  journal.  A restart merges main + shards deterministically by record
+  ``version``, compacts the merge back into the main journal in one
+  atomic rewrite, and clears the shards.
+
 All public methods are thread-safe — the HTTP loop submits and
-cancels while the scheduler thread claims and finishes.
+cancels while scheduler/supervisor threads claim and finish.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple, Union
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from pathlib import Path
 
+from repro.resilience.chaos import ChaosSpec
 from repro.resilience.journal import CheckpointJournal
+from repro.resilience.shards import ShardedJournal
 from repro.runtime.metrics import RuntimeStats
 from repro.trace.span import Tracer
 from repro.serve.job import (
@@ -45,20 +65,31 @@ from repro.serve.job import (
     Job,
     JobSpec,
 )
+from repro.serve.lease import Lease, LeaseTable, shard_of
 
 
 class JobQueue:
-    """Priority/FIFO job queue with a durable journal.
+    """Priority/FIFO job queue with a durable journal and lease table.
 
     Parameters
     ----------
     journal_path:
-        The queue journal file (atomic whole-file rewrites).  Pass the
-        same path to a restarted server to resume the queue.
+        The main queue journal file (atomic whole-file rewrites).  Pass
+        the same path to a restarted server to resume the queue.
     stats / tracer:
         Optional :class:`~repro.runtime.metrics.RuntimeStats` /
         :class:`~repro.trace.span.Tracer` forwarded to the journal so
         checkpoint writes are counted and traced like every other.
+    shard_root:
+        Directory for per-worker journal shards.  None (the default)
+        keeps the single-journal behaviour of the in-process scheduler;
+        a restarted queue still merges any shards it finds there.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.ChaosSpec`; its
+        ``lease_expire`` mode grants already-expired leases and its
+        ``journal_tear`` mode drops individual shard writes.
+    clock:
+        Monotonic clock for lease deadlines (injectable for tests).
     """
 
     def __init__(
@@ -66,10 +97,24 @@ class JobQueue:
         journal_path: Union[str, Path],
         stats: Optional[RuntimeStats] = None,
         tracer: Optional[Tracer] = None,
+        shard_root: Optional[Union[str, Path]] = None,
+        chaos: Optional[ChaosSpec] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._journal = CheckpointJournal(
             journal_path, stats=stats, tracer=tracer
         )
+        self.shards: Optional[ShardedJournal] = (
+            None
+            if shard_root is None
+            else ShardedJournal(
+                shard_root, stats=stats, tracer=tracer, chaos=chaos
+            )
+        )
+        self._chaos = chaos
+        self.leases = LeaseTable(clock=clock)
+        #: Token-fenced finishes rejected as stale (metrics surface this).
+        self.stale_finishes = 0
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._next_seq = 0
@@ -81,26 +126,65 @@ class JobQueue:
 
     # -- persistence --------------------------------------------------------
 
-    def _restore(self) -> None:
-        """Load the journal; demote ``running`` jobs back to ``queued``."""
+    def _merged_records(self) -> Dict[str, dict]:
+        """Main journal + shards, per key the highest-version record.
+
+        Ties between the main journal and a shard go to the shard: the
+        main journal holds the *compacted* state of an earlier life,
+        so an equal-version shard record is the same transition or a
+        later one — never an older one.
+        """
+        best: Dict[str, Tuple[int, int, dict]] = {}
         for key in self._journal.keys():
             payload = self._journal.get(key)
-            if payload is None:
-                continue
+            if payload is not None:
+                best[key] = (_record_version(payload), 0, payload)
+        if self.shards is not None:
+            for key, payload in sorted(self.shards.merged().items()):
+                rank = (_record_version(payload), 1)
+                current = best.get(key)
+                if current is None or rank > (current[0], current[1]):
+                    best[key] = (rank[0], rank[1], payload)
+        return {key: payload for key, (_, _, payload) in best.items()}
+
+    def _restore(self) -> None:
+        """Merge journal + shards; demote ``running`` jobs to ``queued``.
+
+        When shards are in play the merged state is compacted back into
+        the main journal in one atomic rewrite and the shards cleared,
+        so the next restart starts from a single consistent file.
+        """
+        for key, payload in sorted(self._merged_records().items()):
             try:
                 job = Job.from_dict(payload)
             except Exception:
                 continue  # foreign or stale record: recompute, never trust
             if job.key != key:
                 continue
+            if job.lease_token is not None:
+                # Restore the fencing floor past every token ever granted.
+                self.leases.observe_token(job.lease_token)
             if job.state == RUNNING:
                 job.state = QUEUED
-                self._journal.record(key, job.to_dict())
+                job.owner = None
+                job.lease_token = None
+                job.version += 1
+                if self.shards is None:
+                    self._journal.record(key, job.to_dict())
             self._jobs[key] = job
             self._next_seq = max(self._next_seq, job.seq + 1)
+        if self.shards is not None:
+            self._journal.record_many(
+                {key: job.to_dict() for key, job in sorted(self._jobs.items())}
+            )
+            self.shards.clear()
 
     def _checkpoint(self, job: Job) -> None:
-        self._journal.record(job.key, job.to_dict())
+        """Journal ``job`` — into its owner's shard when it has one."""
+        if self.shards is not None and job.owner is not None:
+            self.shards.record(job.owner, job.key, job.to_dict())
+        else:
+            self._journal.record(job.key, job.to_dict())
 
     # -- submission ---------------------------------------------------------
 
@@ -123,6 +207,7 @@ class JobQueue:
                     existing.state = QUEUED
                     existing.error = None
                     existing.seq = self._next_seq
+                    existing.version += 1
                     self._next_seq += 1
                     self._checkpoint(existing)
                     return existing, True
@@ -140,29 +225,106 @@ class JobQueue:
     def _queued_jobs(self) -> List[Job]:
         return [j for j in self._jobs.values() if j.state == QUEUED]
 
-    def claim_next(self) -> Optional[Job]:
-        """Claim the next job to run (marks it ``running``).
+    def _select(self, pool: List[Job]) -> Job:
+        """Pick (and account) the next job from a non-empty pool.
 
         Order: highest priority tier first; inside the tier, the
         *client served longest ago* goes first (fair share — one chatty
         client cannot starve the others), and FIFO within a client.
         """
+        top = max(j.spec.priority for j in pool)
+        tier = [j for j in pool if j.spec.priority == top]
+        job = min(
+            tier,
+            key=lambda j: (self._last_served.get(j.spec.client, -1), j.seq),
+        )
+        self._claim_round += 1
+        self._last_served[job.spec.client] = self._claim_round
+        return job
+
+    def claim_next(self) -> Optional[Job]:
+        """Claim the next job to run, unleased (in-process scheduler).
+
+        The job is marked ``running`` with no owner and no lease; the
+        scheduler thread that claimed it cannot outlive its server, so
+        a deadline would only expire work that is still progressing.
+        """
         with self._lock:
             queued = self._queued_jobs()
             if not queued:
                 return None
-            top = max(j.spec.priority for j in queued)
-            tier = [j for j in queued if j.spec.priority == top]
-            job = min(
-                tier,
-                key=lambda j: (self._last_served.get(j.spec.client, -1), j.seq),
-            )
-            self._claim_round += 1
-            self._last_served[job.spec.client] = self._claim_round
+            job = self._select(queued)
             job.state = RUNNING
             job.attempts += 1
+            job.version += 1
             self._checkpoint(job)
             return job
+
+    def claim(
+        self,
+        owner: str,
+        ttl_s: Optional[float],
+        shard: Optional[int] = None,
+        total_shards: int = 1,
+        steal: bool = True,
+    ) -> Optional[Tuple[Job, Lease]]:
+        """Claim the next job under a lease for worker ``owner``.
+
+        ``shard``/``total_shards`` steer the claim to the worker's home
+        shard (:func:`~repro.serve.lease.shard_of` placement); when the
+        home shard is empty and ``steal`` is set, the claim crosses
+        shards rather than idling (the returned lease is marked
+        ``stolen``).  Chaos's ``lease_expire`` mode replaces the ttl
+        with zero, granting a lease that is already past its deadline.
+        """
+        with self._lock:
+            queued = self._queued_jobs()
+            if not queued:
+                return None
+            if shard is None:
+                pool, stolen = queued, False
+            else:
+                local = [
+                    j
+                    for j in queued
+                    if shard_of(j.key, total_shards) == shard
+                ]
+                if local:
+                    pool, stolen = local, False
+                elif steal:
+                    pool, stolen = queued, True
+                else:
+                    return None
+            job = self._select(pool)
+            attempt = job.attempts + 1
+            ttl = ttl_s
+            if self._chaos is not None and self._chaos.decide(
+                "lease_expire", job.key, owner, attempt
+            ):
+                ttl = 0.0
+            lease = self.leases.grant(job.key, owner, ttl, stolen=stolen)
+            job.state = RUNNING
+            job.attempts = attempt
+            job.owner = owner
+            job.lease_token = lease.token
+            job.version += 1
+            self._checkpoint(job)
+            return job, lease
+
+    def renew(self, key: str, owner: str, token: int) -> bool:
+        """Extend ``owner``'s lease on ``key`` (heartbeat); token-fenced."""
+        with self._lock:
+            return self.leases.renew(key, owner, token)
+
+    def lease_valid(self, key: str, token: int) -> bool:
+        """Whether ``token`` is still the current lease on ``key``.
+
+        The supervisor checks this *before* persisting a worker's
+        result bytes, so a fenced-off worker's payload never reaches
+        the result store at all.
+        """
+        with self._lock:
+            return self.leases.validate(key, token)
 
     def finish(
         self,
@@ -170,18 +332,85 @@ class JobQueue:
         ok: bool,
         error: Optional[str] = None,
         stats: Optional[Dict[str, float]] = None,
+        token: Optional[int] = None,
     ) -> Optional[Job]:
-        """Mark a running job ``done`` (or ``failed``)."""
+        """Mark a running job ``done`` (or ``failed``).
+
+        For leased jobs the worker's fencing ``token`` must match the
+        *current* lease: a worker whose lease expired — or whose job
+        was requeued and re-leased to someone else — is rejected, and
+        the rejection counted in :attr:`stale_finishes`.  The unleased
+        form (``token=None``) is refused on leased jobs.
+        """
         with self._lock:
             job = self._jobs.get(key)
             if job is None or job.state != RUNNING:
+                if token is not None:
+                    self.stale_finishes += 1
                 return None
+            lease = self.leases.get(key)
+            if token is None:
+                if lease is not None:
+                    self.stale_finishes += 1
+                    return None
+            else:
+                if lease is None or lease.token != token:
+                    self.stale_finishes += 1
+                    return None
+                self.leases.release(key, token)
             job.state = DONE if ok else FAILED
             job.error = error
             if stats:
                 job.stats = dict(stats)
+            job.lease_token = None
+            job.version += 1
             self._checkpoint(job)
             return job
+
+    def requeue(self, key: str, token: int) -> bool:
+        """Demote a leased running job back to ``queued``; idempotent.
+
+        Only the holder of the *current* fencing token can demote, and
+        demotion clears the lease — so two recovery paths racing on
+        the same claim (supervisor restart sweep and signal-time drain,
+        say) demote **exactly once**: the second presents a token that
+        no longer matches and is a no-op.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.state != RUNNING:
+                return False
+            lease = self.leases.get(key)
+            if lease is None or lease.token != token:
+                return False
+            self.leases.release(key, token)
+            self._demote(job)
+            return True
+
+    def expire_leases(self, now: Optional[float] = None) -> List[Lease]:
+        """Reclaim every job whose lease deadline has passed.
+
+        Expired claims are demoted back to ``queued`` (lease cleared,
+        so the late worker's token is fenced off) and the reclaimed
+        leases returned for the supervisor's metrics.
+        """
+        with self._lock:
+            reclaimed: List[Lease] = []
+            for lease in self.leases.expired(now):
+                self.leases.release(lease.key, lease.token)
+                job = self._jobs.get(lease.key)
+                if job is not None and job.state == RUNNING:
+                    self._demote(job)
+                reclaimed.append(lease)
+            return reclaimed
+
+    def _demote(self, job: Job) -> None:
+        """running → queued (lock held; lease already released)."""
+        job.state = QUEUED
+        job.owner = None
+        job.lease_token = None
+        job.version += 1
+        self._checkpoint(job)
 
     # -- cancellation and shedding ------------------------------------------
 
@@ -193,6 +422,7 @@ class JobQueue:
             if job is None or job.state != QUEUED:
                 return None
             job.state = CANCELLED
+            job.version += 1
             self._checkpoint(job)
             return job
 
@@ -215,6 +445,7 @@ class JobQueue:
                 key=lambda j: j.seq,
             )
             victim.state = SHED
+            victim.version += 1
             self._checkpoint(victim)
             return victim
 
@@ -255,3 +486,10 @@ class JobQueue:
 
     def __repr__(self) -> str:
         return f"JobQueue({self._journal.path}, {len(self)} jobs)"
+
+
+def _record_version(payload: dict) -> int:
+    try:
+        return int(payload.get("version", 0))
+    except (TypeError, ValueError):
+        return 0

@@ -28,33 +28,16 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
-from repro.flows.full_flow import run_full_flow
 from repro.runtime.context import RuntimeContext
 from repro.runtime.metrics import RuntimeStats
 from repro.serve.job import Job
 from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import JobQueue
-from repro.serve.results import (
-    ResultStore,
-    flow_result_payload,
-    optimize_result_payload,
-)
-from repro.trace.normalize import normalized_json
+from repro.serve.results import ResultStore
+from repro.serve.worker import execute_job
 from repro.trace.span import Tracer
-
-#: Stats counters worth echoing onto the finished job record.
-_JOB_STAT_KEYS = (
-    "full_simulations",
-    "full_sim_hits",
-    "screen_simulations",
-    "screen_hits",
-    "tasks_dispatched",
-    "task_retries",
-    "serial_fallback_tasks",
-)
 
 Budget = Tuple[int, Optional[float], int]
 
@@ -144,6 +127,7 @@ class Scheduler:
         self._stop = threading.Event()
         self._idle = threading.Event()
         self._idle.set()
+        self._current_key: Optional[str] = None
         self._thread = threading.Thread(
             target=self._loop, name="repro-serve-scheduler", daemon=True
         )
@@ -186,9 +170,11 @@ class Scheduler:
                 self._stop.wait(self.poll_s)
                 continue
             self._idle.clear()
+            self._current_key = job.key
             try:
                 self._run_job(job)
             finally:
+                self._current_key = None
                 self._idle.set()
 
     def _run_job(self, job: Job) -> None:
@@ -200,54 +186,17 @@ class Scheduler:
             priority=job.spec.priority, attempt=job.attempts,
         )
         runtime = self.contexts.acquire(job.spec.budget())
-        # Fresh per-job accounting and trace on the *shared* context:
-        # the pool (and its warm workers) carries over, the counters
-        # and spans do not.
-        runtime.reset_stats()
-        tracer = Tracer(stats=runtime.stats)
-        runtime.attach_tracer(tracer)
-        try:
-            with tracer.span(
-                "job", key=key, job=key, circuit=job.spec.circuit,
-                seed=job.spec.seed, l_g=job.spec.l_g,
-                task=job.spec.task,
-            ):
-                if job.spec.task == "optimize":
-                    from repro.optimize import run_optimize
-
-                    payload = optimize_result_payload(
-                        run_optimize(
-                            job.spec.circuit,
-                            job.spec.optimize_config(),
-                            runtime=runtime,
-                        )
-                    )
-                else:
-                    payload = flow_result_payload(
-                        run_full_flow(
-                            job.spec.circuit,
-                            job.spec.flow_config(),
-                            runtime=runtime,
-                        )
-                    )
-        except ReproError as exc:
-            runtime.attach_tracer(None)
-            self.queue.finish(key, ok=False, error=str(exc))
+        outcome = execute_job(job.spec, runtime)
+        if not outcome.ok:
+            self.queue.finish(key, ok=False, error=outcome.error)
             self.metrics.count("failed")
-            self._server_event("job_failed", key=key, error=str(exc))
+            self._server_event("job_failed", key=key, error=outcome.error)
             return
-        finally:
-            runtime.attach_tracer(None)
-        stats = {
-            name: value
-            for name, value in runtime.stats.snapshot().items()
-            if name in _JOB_STAT_KEYS and value
-        }
-        self.results.put(key, payload)
-        self.results.put_trace(
-            key, normalized_json(tracer.finish(), tracer.events)
-        )
-        self.queue.finish(key, ok=True, stats=stats)
+        assert outcome.payload is not None  # ok outcomes carry a payload
+        self.results.put(key, outcome.payload)
+        if outcome.trace_json is not None:
+            self.results.put_trace(key, outcome.trace_json)
+        self.queue.finish(key, ok=True, stats=outcome.stats)
         done = time.monotonic()
         self.metrics.count("completed")
         self.metrics.observe_job(
@@ -265,3 +214,23 @@ class Scheduler:
     def note_submitted(self, key: str) -> None:
         """Stamp a submission time for latency accounting."""
         self.submit_stamps[key] = time.monotonic()
+
+    def worker_snapshots(self) -> List[Dict[str, object]]:
+        """The `/healthz` worker view: one in-process pseudo-worker."""
+        return [
+            {
+                "name": "scheduler",
+                "shard": 0,
+                "alive": self._thread.is_alive(),
+                "busy": self._current_key,
+                "restarts": 0,
+                "heartbeat_age_s": 0.0,
+            }
+        ]
+
+    def runtime_stats_snapshot(self) -> RuntimeStats:
+        """Aggregated runtime counters (the `/metrics` runtime section)."""
+        return self.contexts.aggregate_stats()
+
+    def set_inherited_fds(self, fds: Sequence[int]) -> None:
+        """No-op: the in-process scheduler forks no workers."""

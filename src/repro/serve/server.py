@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ServeError
+from repro.resilience.chaos import ChaosSpec
 from repro.serve.admission import (
     DEFAULT_BURST,
     DEFAULT_QUEUE_CAPACITY,
@@ -52,6 +53,12 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import JobQueue
 from repro.serve.results import ResultStore
 from repro.serve.scheduler import ContextPool, Scheduler
+from repro.serve.supervisor import (
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_WORKERS,
+    Supervisor,
+)
 from repro.trace.span import Tracer
 
 
@@ -62,6 +69,12 @@ class ServerConfig:
     ``port=0`` binds an ephemeral port (tests and parallel CI);
     ``cache_dir=None`` keeps the artifact cache inside ``state_dir`` so
     one directory carries the server's whole resumable state.
+
+    ``workers=1`` (the default) executes jobs on the in-process
+    scheduler; ``workers>=2`` forks that many supervised worker
+    processes with leased ownership (``lease_ttl_s``) and heartbeat
+    monitoring (``heartbeat_timeout_s``) — see
+    :mod:`repro.serve.supervisor`.
     """
 
     state_dir: Union[str, Path]
@@ -76,6 +89,9 @@ class ServerConfig:
     drain_grace_s: float = 60.0
     trace_path: Optional[Union[str, Path]] = None
     trace_format: str = "json"
+    workers: int = DEFAULT_WORKERS
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S
+    heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S
 
 
 class CampaignServer:
@@ -89,8 +105,18 @@ class CampaignServer:
             Tracer() if config.trace_path is not None else None
         )
         self.metrics = ServeMetrics()
+        if config.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {config.workers}")
+        service_chaos = (
+            ChaosSpec.parse(config.chaos) if config.chaos else None
+        )
         self.queue = JobQueue(
-            state / "queue" / "journal.json", tracer=self.tracer
+            state / "queue" / "journal.json",
+            tracer=self.tracer,
+            # Always hand the queue its shard root: a single-worker
+            # restart still merges shards a multi-worker life left.
+            shard_root=state / "queue" / "shards",
+            chaos=service_chaos,
         )
         self.results = ResultStore(state / "results")
         cache_dir = (
@@ -108,13 +134,28 @@ class CampaignServer:
             rate_per_s=config.rate_per_s,
             burst=config.burst,
         )
-        self.scheduler = Scheduler(
-            self.queue,
-            self.results,
-            self.metrics,
-            self.contexts,
-            server_tracer=self.tracer,
-        )
+        self.scheduler: Union[Scheduler, Supervisor]
+        if config.workers >= 2:
+            self.scheduler = Supervisor(
+                self.queue,
+                self.results,
+                self.metrics,
+                server_tracer=self.tracer,
+                workers=config.workers,
+                lease_ttl_s=config.lease_ttl_s,
+                heartbeat_timeout_s=config.heartbeat_timeout_s,
+                cache_dir=str(cache_dir),
+                enable_cache=config.enable_cache,
+                chaos_text=config.chaos,
+            )
+        else:
+            self.scheduler = Scheduler(
+                self.queue,
+                self.results,
+                self.metrics,
+                self.contexts,
+                server_tracer=self.tracer,
+            )
         requeued = len(self.queue.running()) + self.queue.depth()
         if requeued:
             self.metrics.count("requeued", requeued)
@@ -259,17 +300,22 @@ class CampaignServer:
                 "queue_depth": self.queue.depth(),
                 "scheduler_idle": self.scheduler.idle,
                 "jobs": self.queue.counts(),
+                "workers": self.scheduler.worker_snapshots(),
             },
         )
 
     async def _get_metrics(self, request: HttpRequest) -> HttpResponse:
-        runtime = self.contexts.aggregate_stats()
+        runtime = self.scheduler.runtime_stats_snapshot()
         payload = self.metrics.to_dict()
         payload["queue"] = {
             "depth": self.queue.depth(),
             "capacity": self.config.queue_capacity,
             "jobs": self.queue.counts(),
+            "active_leases": len(self.queue.leases),
+            "stale_finishes": self.queue.stale_finishes,
         }
+        if self.queue.shards is not None:
+            payload["queue"]["journal_tears"] = self.queue.shards.tears
         payload["runtime"] = runtime.snapshot()
         payload["runtime"]["jobs"] = runtime.jobs
         return HttpResponse.json(200, payload)
@@ -308,6 +354,13 @@ class CampaignServer:
             raise ServeError("server bound no sockets")
         host, port = sockets[0].getsockname()[:2]
         self.bound_address = (host, port)
+        # Workers respawned after this point would inherit the bound
+        # listening socket (fork semantics) and keep the port alive
+        # past the server's death — tell the supervisor which fds its
+        # children must close.
+        self.scheduler.set_inherited_fds(
+            tuple(sock.fileno() for sock in sockets)
+        )
         if ready is not None:
             ready(host, port)
         async with server:

@@ -1,0 +1,117 @@
+"""ShardedJournal: per-writer shards, deterministic merge, torn writes.
+
+The multi-worker serve layer journals each owner's job transitions
+into its own single-writer shard and merges them on restart.  These
+tests pin the merge algebra down in isolation:
+
+* per key, the highest ``version`` wins across shards; the shard name
+  is a pure tie-break, so the merge is a function of the on-disk bytes
+  alone (never of iteration order);
+* a torn write (chaos ``journal_tear``) leaves the shard at its
+  previous consistent state and is counted, not raised;
+* ``clear`` removes every shard; ``record_many`` compacts a merged
+  view into one journal atomically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import ChaosSpec
+from repro.resilience.journal import CheckpointJournal, CheckpointWarning
+from repro.resilience.shards import ShardedJournal
+
+
+def test_record_routes_to_named_shard_files(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    assert shards.record("w0", "a", {"version": 1, "x": "w0"})
+    assert shards.record("w1", "b", {"version": 1, "x": "w1"})
+    assert shards.shard_names() == ["w0", "w1"]
+    assert (tmp_path / "shard-w0.json").exists()
+    assert (tmp_path / "shard-w1.json").exists()
+
+
+def test_merge_picks_highest_version_per_key(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "job", {"version": 1, "state": "running"})
+    shards.record("w1", "job", {"version": 3, "state": "done"})
+    shards.record("w2", "job", {"version": 2, "state": "queued"})
+    merged = shards.merged()
+    assert merged == {"job": {"version": 3, "state": "done"}}
+
+
+def test_merge_tie_breaks_on_shard_name_deterministically(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "job", {"version": 5, "state": "from-w0"})
+    shards.record("w1", "job", {"version": 5, "state": "from-w1"})
+    # Equal versions: the lexicographically larger shard name wins —
+    # an arbitrary but *stable* rule, a function of the bytes on disk.
+    assert shards.merged()["job"]["state"] == "from-w1"
+    # A fresh reader over the same directory agrees.
+    assert ShardedJournal(tmp_path).merged()["job"]["state"] == "from-w1"
+
+
+def test_merge_unions_disjoint_keys(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "a", {"version": 1})
+    shards.record("w0", "b", {"version": 2})
+    shards.record("w1", "c", {"version": 1})
+    assert sorted(shards.merged()) == ["a", "b", "c"]
+
+
+def test_missing_version_ranks_as_zero(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "job", {"state": "no-version"})
+    shards.record("w1", "job", {"version": 1, "state": "stamped"})
+    assert shards.merged()["job"]["state"] == "stamped"
+
+
+def test_torn_write_is_counted_and_leaves_previous_state(tmp_path):
+    # journal_tear=1.0 tears every shard write deterministically.
+    shards = ShardedJournal(tmp_path, chaos=ChaosSpec(journal_tear=1.0))
+    assert shards.record("w0", "job", {"version": 1}) is False
+    assert shards.tears == 1
+    assert shards.merged() == {}  # nothing ever became durable
+    # Pre-existing consistent state survives later torn writes.
+    clean = ShardedJournal(tmp_path)
+    clean.record("w0", "job", {"version": 1, "state": "running"})
+    assert shards.record("w0", "job", {"version": 2, "state": "done"}) is False
+    assert shards.tears == 2
+    assert ShardedJournal(tmp_path).merged()["job"]["state"] == "running"
+
+
+def test_corrupt_shard_is_ignored_not_fatal(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "job", {"version": 1, "state": "running"})
+    (tmp_path / "shard-w1.json").write_text("{not json", encoding="utf-8")
+    with pytest.warns(CheckpointWarning):
+        merged = shards.merged()
+    assert merged == {"job": {"version": 1, "state": "running"}}
+
+
+def test_clear_removes_all_shards(tmp_path):
+    shards = ShardedJournal(tmp_path)
+    shards.record("w0", "a", {"version": 1})
+    shards.record("w1", "b", {"version": 1})
+    assert shards.clear() == 2
+    assert shards.shard_names() == []
+    assert shards.merged() == {}
+
+
+def test_record_many_compacts_merged_state_atomically(tmp_path):
+    # The restart path: shards merge into the main journal in a single
+    # atomic rewrite, then the shards vanish.
+    shards = ShardedJournal(tmp_path / "shards")
+    shards.record("w0", "a", {"version": 2, "state": "done"})
+    shards.record("w1", "b", {"version": 1, "state": "queued"})
+    main = CheckpointJournal(tmp_path / "journal.json")
+    main.record("a", {"version": 1, "state": "running"})
+
+    merged = shards.merged()
+    main.record_many(merged)
+    shards.clear()
+
+    compacted = CheckpointJournal(tmp_path / "journal.json")
+    assert compacted.get("a") == {"version": 2, "state": "done"}
+    assert compacted.get("b") == {"version": 1, "state": "queued"}
+    assert shards.shard_names() == []

@@ -147,6 +147,60 @@ def test_campaign_survives_sigterm_and_restart(tmp_path):
         stop_server(process) if process.poll() is None else None
 
 
+def test_multiworker_campaign_survives_sigkill_and_restart(tmp_path):
+    """The supervised fleet under the harshest exit: SIGKILL the whole
+    server mid-campaign (no drain, no atexit — leases and shard
+    journals are all that survive), restart on the same state dir, and
+    every job still converges byte-identically."""
+    state = tmp_path / "state"
+    specs = CAMPAIGN[:4]
+    process, url = start_server(
+        state, "--workers", "2", "--lease-ttl", "10", "--heartbeat-timeout", "5"
+    )
+    try:
+        client = ServeClient(url)
+        keys = [client.submit(spec)["key"] for spec in specs]
+        health = client.healthz()
+        assert [w["name"] for w in health["workers"]] == ["w0", "w1"]
+
+        # Catch the campaign genuinely mid-flight, then pull the plug.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            jobs = client.healthz()["jobs"]
+            if jobs.get("done", 0) >= 1 and jobs.get("done", 0) < len(specs):
+                break
+            time.sleep(0.02)
+        process.kill()  # SIGKILL: workers are orphaned, nothing drains
+        process.communicate(timeout=60)
+        assert process.returncode != 0
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup only
+            process.kill()
+
+    process, url = start_server(
+        state, "--workers", "2", "--lease-ttl", "10", "--heartbeat-timeout", "5"
+    )
+    try:
+        client = ServeClient(url)
+        # The shard merge reconstructed every accepted job exactly once.
+        listed = client.jobs()
+        assert sorted(j["key"] for j in listed) == sorted(keys)
+
+        records = client.wait_all(keys, timeout_s=300.0)
+        assert {r["state"] for r in records.values()} == {"done"}
+        for spec, key in zip(specs, keys):
+            served = client.result_bytes(key)
+            direct = run_full_flow(spec.circuit, spec.flow_config())
+            assert served == render_result(flow_result_payload(direct)), (
+                f"served result for seed {spec.seed} diverged after SIGKILL"
+            )
+        metrics = client.metrics()
+        assert metrics["queue"]["active_leases"] == 0
+    finally:
+        out = stop_server(process) if process.poll() is None else ""
+        assert "Traceback" not in out
+
+
 def test_optimize_job_result_matches_direct_search(tmp_path):
     """A ``task="optimize"`` job's stored result is byte-identical to
     running :func:`repro.optimize.run_optimize` directly on the same

@@ -76,6 +76,10 @@ class FlowConfig:
         machine-checkable certificate and is reported in
         :attr:`FlowResult.pruned`; coverage denominators and every
         other output are identical to an unpruned run.
+    sim_backend:
+        Fault-simulation backend for every stage
+        (``"auto"``/``"python"``/``"vector"``).  Backends are
+        bit-identical; this only selects the implementation.
     """
 
     seed: int = 1
@@ -85,6 +89,7 @@ class FlowConfig:
     procedure: ProcedureConfig = field(default_factory=ProcedureConfig)
     synthesize_hardware: bool = False
     static_prune: bool = False
+    sim_backend: str = "auto"
 
 
 @dataclass
@@ -193,7 +198,10 @@ def _run_stages(
         with traced(runtime, "static_analysis_stage"):
             pruner = FaultPruner(circuit, runtime=runtime)
             pruned_report = pruner.report(faults)
-            sim = FaultSimulator(circuit, comp, runtime=runtime, pruner=pruner)
+            sim = FaultSimulator(
+                circuit, comp, runtime=runtime, pruner=pruner,
+                backend=cfg.sim_backend,
+            )
         timings["static_analysis"] = time.perf_counter() - t0
         trace_event(
             runtime,
@@ -214,11 +222,12 @@ def _run_stages(
                 seed=cfg.seed,
                 random_max_len=cfg.tgen_max_len,
                 compiled=comp,
+                sim_backend=cfg.sim_backend,
             )
         elif cfg.tgen_mode == "random":
             generated = generate_test_sequence(
                 circuit, faults, seed=cfg.seed, max_len=cfg.tgen_max_len,
-                compiled=comp,
+                compiled=comp, sim_backend=cfg.sim_backend,
             )
         else:
             raise ReproError(f"unknown tgen_mode {cfg.tgen_mode!r}")
@@ -245,6 +254,7 @@ def _run_stages(
                 max_simulations=cfg.compaction_sims,
                 compiled=comp,
                 runtime=runtime,
+                sim_backend=cfg.sim_backend,
             )
         sequence = compaction.sequence
         timings["compaction"] = time.perf_counter() - t0
@@ -256,7 +266,7 @@ def _run_stages(
     with traced(runtime, "procedure", l_g=cfg.procedure.l_g):
         procedure = select_weight_assignments(
             circuit, sequence, faults, cfg.procedure, compiled=comp,
-            simulator=sim, runtime=runtime,
+            simulator=sim, runtime=runtime, sim_backend=cfg.sim_backend,
         )
     timings["procedure"] = time.perf_counter() - t0
     trace_event(
@@ -266,7 +276,8 @@ def _run_stages(
     t0 = time.perf_counter()
     with traced(runtime, "reverse_order"):
         reverse_order = reverse_order_simulation(
-            circuit, procedure, comp, simulator=sim, runtime=runtime
+            circuit, procedure, comp, simulator=sim, runtime=runtime,
+            sim_backend=cfg.sim_backend,
         )
     timings["reverse_order"] = time.perf_counter() - t0
     trace_event(

@@ -64,6 +64,13 @@ class PhaseEvaluator:
         denominator and coverage count) still spans the full target
         list, so results — and cached artifacts — are shared verbatim
         with unpruned evaluators.
+    backend:
+        Fault-simulation backend selector (resolved against ``runtime``
+        and the environment, see
+        :func:`repro.sim.backend.resolve_backend`).  The vector backend
+        simulates every fault of a phase in one pass, so its tasks are
+        per-phase rather than per-fault-group; detected sets — and the
+        cache entries keyed purely by content — are identical.
     """
 
     def __init__(
@@ -73,11 +80,15 @@ class PhaseEvaluator:
         runtime=None,
         compiled: CompiledCircuit | None = None,
         pruner: Optional[FaultPruner] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        from repro.sim.backend import resolve_backend
+
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
         self.faults: Tuple[Fault, ...] = tuple(target_faults)
         self.runtime = runtime
+        self.backend = resolve_backend(backend, runtime)
         if pruner is not None:
             kept, _ = pruner.split(self.faults)
             self._sim_faults: Tuple[Fault, ...] = tuple(kept)
@@ -166,19 +177,40 @@ class PhaseEvaluator:
 
         Tasks are built in (phase, group) order and results merged in
         the same order; the executor returns them positionally, so the
-        merge is independent of scheduling.
+        merge is independent of scheduling.  The vector backend packs
+        the whole kept fault list into one word-parallel pass, so its
+        tasks are one per phase (serially it batches all pending phases
+        through one engine); detected sets are identical either way.
         """
         if not pending:
             return
         ctx = self.runtime
-        # Group packing over the kept faults only — certified-untestable
-        # faults cannot contribute detections, so the detected-name sets
-        # (and everything cached under self.faults) are unchanged.
-        groups = [
-            list(self._sim_faults[start : start + GROUP_FAULTS])
-            for start in range(0, len(self._sim_faults), GROUP_FAULTS)
-        ]
         if ctx is not None:
+            if self.backend == "vector":
+                tasks = [
+                    (
+                        self._bench_text,
+                        stimuli[key],
+                        list(self._sim_faults),
+                        False,
+                        True,
+                        self.backend,
+                    )
+                    for key in pending
+                ]
+                parts = ctx.executor.run_group_tasks(tasks)
+                for key, part in zip(pending, parts):
+                    names = [fault_name(f) for f in part.detection_time]
+                    self._store(key, frozenset(names), stimuli[key])
+                return
+            # Group packing over the kept faults only — certified-
+            # untestable faults cannot contribute detections, so the
+            # detected-name sets (and everything cached under
+            # self.faults) are unchanged.
+            groups = [
+                list(self._sim_faults[start : start + GROUP_FAULTS])
+                for start in range(0, len(self._sim_faults), GROUP_FAULTS)
+            ]
             tasks = [
                 (self._bench_text, stimuli[key], group, False, True)
                 for key in pending
@@ -191,7 +223,16 @@ class PhaseEvaluator:
                     names.extend(fault_name(f) for f in part.detection_time)
                 self._store(key, frozenset(names), stimuli[key])
         else:
-            sim = FaultSimulator(self.circuit, self.comp)
+            sim = FaultSimulator(self.circuit, self.comp, backend=self.backend)
+            if getattr(sim, "_use_vector", False) and len(pending) > 1:
+                results = sim.run_batch(
+                    [list(stimuli[key]) for key in pending],
+                    list(self._sim_faults),
+                )
+                for key, result in zip(pending, results):
+                    names = [fault_name(f) for f in result.detection_time]
+                    self._store(key, frozenset(names), stimuli[key])
+                return
             for key in pending:
                 result = sim.run(stimuli[key], self._sim_faults)
                 names = [fault_name(f) for f in result.detection_time]

@@ -102,6 +102,13 @@ class RuntimeContext:
     tracer:
         Use an existing tracer instead of creating one (implies
         tracing; ``trace`` is then ignored).
+    sim_backend:
+        Default fault-simulation backend for simulators created under
+        this context: ``"auto"`` (default), ``"python"`` or
+        ``"vector"``.  An explicit ``backend=`` argument on a simulator
+        still wins; see :func:`repro.sim.backend.resolve_backend` for
+        the full precedence chain.  Both backends produce bit-identical
+        results — this knob only selects the implementation.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class RuntimeContext:
         resume: bool = False,
         trace: bool = False,
         tracer: Optional[Tracer] = None,
+        sim_backend: str = "auto",
     ) -> None:
         # Validate every knob *before* any worker pool exists, so a
         # configuration error can never leak a ProcessPoolExecutor.
@@ -128,6 +136,9 @@ class RuntimeContext:
                 f"unknown lint policy {lint!r}; expected one of "
                 f"{', '.join(LINT_POLICIES)}"
             )
+        from repro.sim.backend import validate_backend
+
+        self.sim_backend = validate_backend(sim_backend)
         if isinstance(chaos, str):
             chaos = ChaosSpec.parse(chaos)
         self.chaos = chaos

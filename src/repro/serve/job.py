@@ -80,6 +80,12 @@ class JobSpec:
         Run the certified static pre-prune before fault simulation;
         the result gains a ``proved_untestable`` section and the job
         key changes only when the flag is set (old keys stay valid).
+    sim_backend:
+        Fault-simulation backend (``"auto"``/``"python"``/``"vector"``).
+        Backends are bit-identical, so — like the execution budget — it
+        is *excluded* from :meth:`result_fields` and the job key: two
+        clients demanding the same computation share one result no
+        matter which engine computes it.
     priority:
         0–9, higher runs first; FIFO within a priority.
     client:
@@ -100,6 +106,7 @@ class JobSpec:
     l_g: int = 512
     synthesize_hardware: bool = False
     static_prune: bool = False
+    sim_backend: str = "auto"
     population: int = 8
     generations: int = 2
     priority: int = DEFAULT_PRIORITY
@@ -124,6 +131,13 @@ class JobSpec:
             raise ServeError(
                 f"unknown tgen_mode {self.tgen_mode!r}; expected one of "
                 f"{', '.join(TGEN_MODES)}"
+            )
+        from repro.sim.backend import BACKENDS
+
+        if self.sim_backend not in BACKENDS:
+            raise ServeError(
+                f"unknown sim_backend {self.sim_backend!r}; expected one "
+                f"of {', '.join(BACKENDS)}"
             )
         if not MIN_PRIORITY <= self.priority <= MAX_PRIORITY:
             raise ServeError(
@@ -193,6 +207,7 @@ class JobSpec:
             procedure=ProcedureConfig(l_g=self.l_g),
             synthesize_hardware=self.synthesize_hardware,
             static_prune=self.static_prune,
+            sim_backend=self.sim_backend,
         )
 
     def optimize_config(self) -> "OptimizeConfig":
@@ -209,6 +224,7 @@ class JobSpec:
             tgen_max_len=self.tgen_max_len,
             compaction_sims=self.compaction_sims,
             static_prune=self.static_prune,
+            sim_backend=self.sim_backend,
         )
 
     def budget(self) -> Tuple[int, Optional[float], int]:

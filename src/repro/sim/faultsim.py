@@ -48,12 +48,19 @@ from repro.sim.compile import (
     OP_XNOR,
     compile_circuit,
 )
+from repro.sim.backend import resolve_backend
 from repro.sim.faults import Fault, FaultPruner, fault_name, validate_fault
 from repro.sim.values import V0, V1, VX, Value
+from repro.sim.vector.packing import WORD_BITS
 from repro.trace import trace_event
 
-GROUP_FAULTS = 63
-"""Faulty machines per simulation word (bit 0 is the good machine)."""
+GROUP_FAULTS = WORD_BITS - 1
+"""Faulty machines per simulation word (bit 0 is the good machine).
+
+Derived from the packing module's word width rather than assuming the
+host word size, so every group/snapshot/mask computation stays correct
+if the packing width ever changes.
+"""
 
 
 class _GroupSim:
@@ -327,14 +334,30 @@ class FaultSimulator:
         compiled: CompiledCircuit | None = None,
         runtime=None,
         pruner: Optional[FaultPruner] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
         self.runtime = runtime
         self.pruner = pruner
+        self.backend = resolve_backend(backend, runtime)
         self._prune_traced = False
         self._flop_pos = {name: i for i, name in enumerate(circuit.flops)}
         self._cache_ids_memo: Optional[Tuple[str, str]] = None
+        self._vec_engine = None
+
+    @property
+    def _use_vector(self) -> bool:
+        """Vector kernel applies only to the exact base class — subclasses
+        carry different step semantics the kernel does not implement."""
+        return self.backend == "vector" and type(self) is FaultSimulator
+
+    def _vector_engine(self):
+        if self._vec_engine is None:
+            from repro.sim.vector.engine import VectorEngine
+
+            self._vec_engine = VectorEngine(self.comp, self._flop_pos)
+        return self._vec_engine
 
     # -- runtime plumbing ---------------------------------------------------
 
@@ -500,6 +523,19 @@ class FaultSimulator:
             return self._simulate_sharded(
                 stimulus, faults, record_lines, stop_when_all_detected, ctx
             )
+        if self._use_vector:
+            detection, vlines = self._vector_engine().run(
+                stimulus,
+                faults,
+                record_lines,
+                stop_when_all_detected and not record_lines,
+            )
+            return FaultSimResult(
+                detection_time=detection,
+                undetected=tuple(f for f in faults if f not in detection),
+                n_faults=len(faults),
+                lines=vlines,
+            )
         detection: Dict[Fault, int] = {}
         lines: Dict[Fault, Set[str]] = {f: set() for f in faults} if record_lines else {}
         early_stop = stop_when_all_detected and not record_lines
@@ -546,7 +582,12 @@ class FaultSimulator:
             for start in range(0, len(faults), GROUP_FAULTS)
         ]
         parts = ctx.executor.run_fault_groups(
-            bench_text, frozen, groups, record_lines, stop_when_all_detected
+            bench_text,
+            frozen,
+            groups,
+            record_lines,
+            stop_when_all_detected,
+            backend=self.backend,
         )
         detection: Dict[Fault, int] = {}
         lines: Dict[Fault, Set[str]] = {f: set() for f in faults} if record_lines else {}
@@ -608,6 +649,8 @@ class FaultSimulator:
         stimulus: Sequence[Sequence[Value]],
         faults: Sequence[Fault],
     ) -> bool:
+        if self._use_vector:
+            return self._vector_engine().screen(stimulus, faults)
         for start in range(0, len(faults), GROUP_FAULTS):
             group = faults[start : start + GROUP_FAULTS]
             sim = _GroupSim(self.comp, self._flop_pos, group)
@@ -625,12 +668,27 @@ class FaultSimulator:
 
         Verdict ``i`` is exactly ``detects_any(stimuli[i], faults)``;
         with a multi-worker runtime the uncached screens run on the
-        pool concurrently (cached ones are answered locally).
+        pool concurrently (cached ones are answered locally), and the
+        vector backend screens all uncached stimuli in one multi-block
+        kernel pass even without a worker pool.
         """
         stimuli = list(stimuli)
         ctx = self._ctx()
-        if ctx is None or ctx.executor.jobs <= 1 or len(stimuli) <= 1:
+        pooled = ctx is not None and ctx.executor.jobs > 1
+        if len(stimuli) <= 1 or not (pooled or self._use_vector):
             return [self.detects_any(s, faults) for s in stimuli]
+        if ctx is None:
+            # Vector backend without a runtime: no cache or stats to
+            # maintain, just one batched kernel screen.
+            faults = list(faults)
+            for fault in faults:
+                validate_fault(self.circuit, fault)
+            kept = self._prune(faults)
+            if kept is not None:
+                if not kept:
+                    return [False] * len(stimuli)
+                faults = kept
+            return self._vector_engine().screen_batch(stimuli, faults)
         faults = list(faults)
         for fault in faults:
             validate_fault(self.circuit, fault)
@@ -660,18 +718,107 @@ class FaultSimulator:
         else:
             pending = list(range(len(stimuli)))
         if pending:
-            _, bench_text = self._cache_ids()
-            outcomes = ctx.executor.screen_batch(
-                bench_text,
-                [tuple(tuple(p) for p in stimuli[i]) for i in pending],
-                list(faults),
-            )
+            if pooled:
+                _, bench_text = self._cache_ids()
+                outcomes = ctx.executor.screen_batch(
+                    bench_text,
+                    [tuple(tuple(p) for p in stimuli[i]) for i in pending],
+                    list(faults),
+                    backend=self.backend,
+                )
+            else:
+                outcomes = self._vector_engine().screen_batch(
+                    [stimuli[i] for i in pending], faults
+                )
             for i, verdict in zip(pending, outcomes):
                 verdicts[i] = verdict
                 ctx.stats.screen_simulations += 1
                 if keys is not None:
                     ctx.cache.put(keys[i], {"detects": verdict})
         return verdicts  # type: ignore[return-value] — every slot is filled
+
+    def run_batch(
+        self,
+        stimuli: Sequence[Sequence[Sequence[Value]]],
+        faults: Sequence[Fault],
+        record_lines: bool = False,
+        stop_when_all_detected: bool = True,
+    ) -> List[FaultSimResult]:
+        """Whole-sequence runs over several stimuli against one fault list.
+
+        Result ``i`` is exactly ``run(stimuli[i], faults, ...)``.  The
+        vector backend simulates the uncached stimuli together, packing
+        each into its own word-aligned lane block of a single kernel;
+        other configurations fall back to a plain loop.
+        """
+        stimuli = list(stimuli)
+        if not self._use_vector or record_lines or len(stimuli) <= 1:
+            return [
+                self.run(s, faults, record_lines, stop_when_all_detected)
+                for s in stimuli
+            ]
+        faults = list(faults)
+        for fault in faults:
+            validate_fault(self.circuit, fault)
+        kept = self._prune(faults)
+        sim_faults = kept if kept is not None else faults
+        ctx = self._ctx()
+        results: List[Optional[FaultSimResult]] = [None] * len(stimuli)
+        keys: Optional[List[str]] = None
+        if ctx is not None and ctx.cache is not None:
+            keys = [
+                self._artifact_key(
+                    s, sim_faults, {"kind": "run", "record_lines": False}
+                )
+                for s in stimuli
+            ]
+            pending: List[int] = []
+            for i, key in enumerate(keys):
+                payload = ctx.cache.get(key)
+                if payload is not None:
+                    inner = _result_from_payload(payload, sim_faults, False)
+                    if inner is not None:
+                        ctx.stats.full_sim_hits += 1
+                        trace_event(ctx, "cache_hit", op="run", key=key)
+                        results[i] = inner
+                        continue
+                ctx.stats.cache_misses += 1
+                trace_event(ctx, "cache_miss", op="run", key=key)
+                pending.append(i)
+        else:
+            pending = list(range(len(stimuli)))
+        if pending:
+            detections = self._vector_engine().run_batch(
+                [stimuli[i] for i in pending],
+                sim_faults,
+                early_stop=stop_when_all_detected,
+            )
+            for i, detection in zip(pending, detections):
+                inner = FaultSimResult(
+                    detection_time=detection,
+                    undetected=tuple(
+                        f for f in sim_faults if f not in detection
+                    ),
+                    n_faults=len(sim_faults),
+                )
+                results[i] = inner
+                if ctx is not None:
+                    ctx.stats.full_simulations += 1
+                    if keys is not None:
+                        ctx.cache.put(keys[i], _result_payload(inner, False))
+        if kept is None:
+            return results  # type: ignore[return-value] — every slot filled
+        final: List[FaultSimResult] = []
+        for inner in results:
+            detection = dict(inner.detection_time)  # type: ignore[union-attr]
+            final.append(
+                FaultSimResult(
+                    detection_time=detection,
+                    undetected=tuple(f for f in faults if f not in detection),
+                    n_faults=len(faults),
+                )
+            )
+        return final
 
 
 class IncrementalFaultSimulator:
@@ -687,16 +834,28 @@ class IncrementalFaultSimulator:
         circuit: Circuit,
         faults: Sequence[Fault],
         compiled: CompiledCircuit | None = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.comp = compiled or compile_circuit(circuit)
+        self.backend = resolve_backend(backend)
         flop_pos = {name: i for i, name in enumerate(circuit.flops)}
+        faults = list(faults)
         for fault in faults:
             validate_fault(circuit, fault)
-        self._groups = [
-            _GroupSim(self.comp, flop_pos, faults[start : start + GROUP_FAULTS])
-            for start in range(0, len(faults), GROUP_FAULTS)
-        ]
+        self._vec = None
+        self._groups: List[_GroupSim] = []
+        if self.backend == "vector":
+            from repro.sim.vector.engine import VectorIncremental
+
+            self._vec = VectorIncremental(self.comp, flop_pos, faults)
+        else:
+            self._groups = [
+                _GroupSim(
+                    self.comp, flop_pos, faults[start : start + GROUP_FAULTS]
+                )
+                for start in range(0, len(faults), GROUP_FAULTS)
+            ]
         self._n_faults = len(faults)
         self._n_detected = 0
 
@@ -707,6 +866,8 @@ class IncrementalFaultSimulator:
 
     def remaining_faults(self) -> List[Fault]:
         """The undetected faults, in group order."""
+        if self._vec is not None:
+            return self._vec.remaining_faults()
         out: List[Fault] = []
         for group in self._groups:
             out.extend(group.faults_of_mask(group.active))
@@ -714,7 +875,11 @@ class IncrementalFaultSimulator:
 
     def step(self, pattern: Sequence[Value]) -> List[Fault]:
         """Commit one pattern; return the faults it newly detected."""
-        newly: List[Fault] = []
+        if self._vec is not None:
+            newly = self._vec.step(pattern)
+            self._n_detected += len(newly)
+            return newly
+        newly = []
         for group in self._groups:
             bits = group.step(pattern)
             if bits:
@@ -724,6 +889,8 @@ class IncrementalFaultSimulator:
 
     def peek(self, pattern: Sequence[Value]) -> int:
         """Count detections ``pattern`` would achieve, without committing."""
+        if self._vec is not None:
+            return self._vec.peek(pattern)
         count = 0
         for group in self._groups:
             snap = group.snapshot()
@@ -736,6 +903,9 @@ class IncrementalFaultSimulator:
 
     def reset_state(self) -> None:
         """Reset the circuit state to all-X in every machine."""
+        if self._vec is not None:
+            self._vec.reset_state()
+            return
         for group in self._groups:
             group.reset_state()
 
@@ -747,6 +917,9 @@ class IncrementalFaultSimulator:
         *preserving every remaining machine's flip-flop state*, so it is
         behaviourally invisible — only faster.
         """
+        if self._vec is not None:
+            self._vec.regroup()
+            return
         if not self._groups:
             return
         n_ff = len(self.comp.ff_indices)

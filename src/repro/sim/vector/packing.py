@@ -1,0 +1,65 @@
+"""Word-packing policy for the vector kernels.
+
+Everything that depends on the machine-word width lives here: the lane
+count per word, the numpy availability gate, and the kernel-selection
+heuristic.  ``repro.sim.faultsim`` derives its group size from
+:data:`WORD_BITS` instead of hard-coding the host word size, so a
+packing with a different width (the int kernel accepts any
+``word_bits``) keeps every mask/boundary computation correct.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SimulationError
+
+WORD_BITS = 64
+"""Lanes per machine word.  Lane 0 of each block is the good machine."""
+
+_NUMPY_CACHE: dict = {}
+
+
+def numpy_available() -> bool:
+    """True when numpy can back a kernel.
+
+    ``REPRO_NO_NUMPY=1`` forces the pure-stdlib fallback even when numpy
+    is importable — CI uses this to prove the fallback path without
+    uninstalling anything.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return False
+    if "ok" not in _NUMPY_CACHE:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_CACHE["ok"] = True
+        except Exception:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+            _NUMPY_CACHE["ok"] = False
+    return _NUMPY_CACHE["ok"]
+
+
+def choose_packing(words_per_block: int, n_blocks: int = 1) -> str:
+    """Pick the kernel packing for ``n_blocks`` blocks of
+    ``words_per_block`` words each.
+
+    ``REPRO_SIM_PACKING=int|numpy`` overrides the default (the
+    differential tests force each packing through the same paths).
+    The default is the big-int kernel: its generated straight-line step
+    function beats the numpy kernel's per-wave gather/scatter dispatch
+    at every measured width — numpy only draws level on the widest
+    bundled circuit at the maximum block count — so numpy is an opt-in
+    packing rather than an auto-selected one.  Both arguments stay part
+    of the signature so a future policy can key on run shape without
+    touching callers.
+    """
+    forced = os.environ.get("REPRO_SIM_PACKING", "").strip().lower()
+    if forced:
+        if forced not in ("int", "numpy"):
+            raise SimulationError(f"unknown packing {forced!r}")
+        if forced == "numpy" and not numpy_available():
+            raise SimulationError(
+                "numpy packing requested but numpy is unavailable"
+            )
+        return forced
+    return "int"

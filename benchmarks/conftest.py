@@ -6,20 +6,68 @@ rendered tables are (1) written to ``benchmarks/results/`` as both a
 printed in the terminal summary, so ``pytest benchmarks/
 --benchmark-only`` leaves both machine-readable artifacts and a
 side-by-side comparison against the paper.
+
+JSON artifacts are wrapped in a versioned **envelope** (schema v2)::
+
+    {
+      "schema_version": 2,
+      "host_cpus": 8,
+      "git_describe": "cbd1396",
+      "circuits": {"s27": {"n_pi": 4, ...}},
+      "payload": {"name": ..., "rows": ..., "wall_time_s": ...}
+    }
+
+The inner ``payload`` keeps the exact pre-envelope shape, so every
+reader — ``repro trace compare``, ``repro campaign ingest``, ad-hoc
+scripts — accepts both enveloped and bare legacy artifacts.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import time
 from pathlib import Path
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+ARTIFACT_SCHEMA_VERSION = 2
+"""Version of the benchmark-artifact envelope."""
+
 _REPORTS: List[Tuple[str, str]] = []
+
+
+def _git_describe() -> str:
+    """The repo's ``git describe`` (best effort; '' off-repo)."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
+def _circuit_stats(names: Sequence[str]) -> Dict[str, Dict[str, int]]:
+    from dataclasses import asdict
+
+    from repro.circuit import circuit_stats, load_circuit
+
+    out: Dict[str, Dict[str, int]] = {}
+    for name in sorted(set(names)):
+        stats = asdict(circuit_stats(load_circuit(name)))
+        stats.pop("name", None)
+        stats.pop("gate_mix", None)
+        out[name] = stats
+    return out
 
 
 @pytest.fixture()
@@ -28,17 +76,21 @@ def record_table():
 
     Usage: ``record_table("table6", text)``.  The text is written to
     ``benchmarks/results/<name>.txt`` and echoed in the terminal
-    summary.  A companion ``benchmarks/results/<name>.json`` records
-    the rows (``rows`` if given, else the text split into lines), the
-    wall time since the fixture was set up, and any ``extra`` payload.
+    summary.  A companion ``benchmarks/results/<name>.json`` records —
+    inside the versioned envelope — the rows (``rows`` if given, else
+    the text split into lines), the wall time since the fixture was
+    set up, and any ``extra`` payload; ``circuits`` names library
+    circuits whose structural stats belong in the envelope.
     """
     t0 = time.perf_counter()
+    describe = _git_describe()
 
     def _record(
         name: str,
         text: str,
         rows: Optional[Any] = None,
         extra: Optional[dict] = None,
+        circuits: Optional[Sequence[str]] = None,
     ) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
@@ -49,8 +101,17 @@ def record_table():
         }
         if extra:
             payload.update(extra)
+        envelope: Dict[str, Any] = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "host_cpus": os.cpu_count() or 1,
+            "git_describe": describe,
+            "payload": payload,
+        }
+        if circuits:
+            envelope["circuits"] = _circuit_stats(circuits)
         (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+            json.dumps(envelope, indent=2, sort_keys=True, default=str)
+            + "\n"
         )
         _REPORTS.append((name, text))
 

@@ -1,0 +1,92 @@
+"""E23: a 16-configuration factorial campaign, end-to-end through serve.
+
+Builds the full factorial ``circuit × L_G × seed × static_prune`` grid
+(2×2×2×2 = 16 points), drives every point through a real
+:class:`ServerThread`, and lands everything in a sqlite warehouse.
+The gate: every design point's Table-6 row, its phase timings, and a
+regression-model prediction for each circuit must be queryable from
+the store afterwards — the campaign subsystem's core promise that no
+result is ever stranded in a flat file.
+
+``benchmarks/results/campaign.json`` is the artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import (
+    CampaignStore,
+    fit_models,
+    parse_grid,
+    run_campaign,
+    suggest,
+)
+from repro.serve import ServerConfig, ServerThread
+from repro.util.tables import format_table
+
+GRID = "circuit=s27,g208 l_g=64,128 seed=1,2 static_prune=on,off"
+#: Small budgets keep all 16 real flows inside benchmark time.
+BUDGET = dict(tgen_max_len=300, compaction_sims=4)
+
+
+def test_campaign_factorial_through_serve(tmp_path, record_table):
+    store = CampaignStore(tmp_path / "campaign.db")
+    grid = parse_grid(GRID, name="e23")
+    assert grid.size == 16
+
+    config = ServerConfig(state_dir=tmp_path / "state", port=0)
+    with ServerThread(config) as url:
+        run = run_campaign(
+            store, grid, server_url=url, timeout_s=600.0,
+            spec_overrides=dict(BUDGET),
+        )
+    assert run.done == 16 and not run.failed, run.failed
+
+    # Gate 1: every design point is a queryable Table-6 row with its
+    # factors and coverage attached.
+    rows = store.query_table6(campaign="e23")
+    assert len(rows) == 16
+    assert [row["point"] for row in rows] == list(range(16))
+    for row in rows:
+        assert row["circuit"] in ("s27", "g208")
+        assert row["l_g"] in (64, 128)
+        assert row["seed"] in (1, 2)
+        assert row["coverage"] is not None and 0.0 < row["coverage"] <= 1.0
+
+    # Gate 2: every point contributed phase timings.
+    phases = {t["phase"] for t in store.query_timings()}
+    assert {"procedure", "compaction"} <= phases
+
+    # Gate 3: the regression models fit and predict for both circuits.
+    models = fit_models(store)
+    assert models["coverage"].n_observations == 16
+    predictions = {}
+    for circuit in ("s27", "g208"):
+        advice = suggest(store, circuit, target_coverage=0.5, models=models)
+        assert advice["recommendation"] is not None
+        predictions[circuit] = advice["recommendation"]
+
+    table_rows = [
+        [
+            row["point"], row["circuit"], row["l_g"], row["seed"],
+            "y" if row["static_prune"] else "n",
+            f"{row['coverage']:.3f}", row["max_length"],
+        ]
+        for row in rows
+    ]
+    text = format_table(
+        ["pt", "circuit", "L_G", "seed", "prune", "coverage", "len"],
+        table_rows,
+        title="campaign: 16-point factorial through serve (E23)",
+    )
+    record_table(
+        "campaign",
+        text,
+        rows=[dict(row) for row in rows],
+        extra={
+            "grid": GRID,
+            "models": {k: m.to_dict() for k, m in models.items()},
+            "suggestions": predictions,
+            "summary": store.summary(),
+        },
+        circuits=["s27", "g208"],
+    )

@@ -80,4 +80,5 @@ def test_optimize_pareto(record_table):
         text,
         rows=rows,
         extra={"circuits": payloads},
+        circuits=[circuit for circuit, _ in CIRCUITS],
     )

@@ -20,6 +20,8 @@ Set ``REPRO_FULL_SUITE=1`` for the six larger stand-ins as well.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from repro.core import ProcedureConfig, select_weight_assignments
 from repro.core.report import format_table6
 from repro.flows import flow_for
@@ -60,7 +62,12 @@ def test_table6(benchmark, record_table):
         f"  {row.circuit}: L_G = {flow_for(row.circuit).procedure.l_g}"
         for row in rows
     )
-    record_table("table6", text + "\n\nL_G used per circuit:\n" + lg_note)
+    record_table(
+        "table6",
+        text + "\n\nL_G used per circuit:\n" + lg_note,
+        rows=[asdict(row) for row in rows],
+        circuits=[row.circuit for row in rows],
+    )
 
     # Benchmark kernel: the selection procedure itself on s27 with the
     # paper's own deterministic sequence.

@@ -1,0 +1,71 @@
+"""Campaign analytics: warehouse, DoE driver, models, dashboards.
+
+The paper's evaluation is a many-configuration sweep — one row per
+(circuit × ``L_S`` × ``L_G`` × knobs), coverage against TPG area
+against sequence length.  This package turns the repo's fleet of
+runners into an *operated* experiment campaign:
+
+* :mod:`repro.campaign.store` — a sqlite warehouse every existing
+  artifact format ingests into, idempotently, keyed by
+  content-addressed run fingerprints;
+* :mod:`repro.campaign.doe` — full/fractional factorial designs over
+  the flow knobs, expanded into serve ``JobSpec``s and driven through
+  :class:`~repro.serve.client.ServeClient` (or a local runtime);
+* :mod:`repro.campaign.model` — deterministic least-squares models of
+  coverage and TPG cost with leave-one-circuit-out residuals, used to
+  pre-size campaigns before spending simulation budget;
+* :mod:`repro.campaign.report` — self-contained HTML dashboards
+  (inline SVG, zero external assets) plus text/JSON emitters, all
+  byte-deterministic over the same store contents.
+
+Surfaced on the CLI as ``repro campaign ingest|run|query|report|
+suggest``.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.doe import (
+    DesignPoint,
+    FactorSpec,
+    GridSpec,
+    build_design,
+    parse_grid,
+    run_campaign,
+)
+from repro.campaign.model import (
+    RegressionModel,
+    fit_models,
+    suggest,
+    tpg_area_estimate,
+)
+from repro.campaign.report import (
+    render_dashboard,
+    render_json,
+    render_text,
+)
+from repro.campaign.store import (
+    SCHEMA_VERSION,
+    CampaignStore,
+    IngestReport,
+    payload_fingerprint,
+)
+
+__all__ = [
+    "CampaignStore",
+    "DesignPoint",
+    "FactorSpec",
+    "GridSpec",
+    "IngestReport",
+    "RegressionModel",
+    "SCHEMA_VERSION",
+    "build_design",
+    "fit_models",
+    "parse_grid",
+    "payload_fingerprint",
+    "render_dashboard",
+    "render_json",
+    "render_text",
+    "run_campaign",
+    "suggest",
+    "tpg_area_estimate",
+]

@@ -1,0 +1,371 @@
+"""Campaign sizing models: deterministic least squares over the store.
+
+Before spending simulation budget on a big factorial, fit what the
+warehouse already knows: coverage and TPG cost as a function of
+circuit structure (``n_pi``, ``n_ff``, ``n_gates``) and the flow knobs
+(``l_g``, ``tgen_max_len``, ``compaction_sims``).  Everything is
+stdlib float arithmetic — ordinary least squares solved by normal
+equations with partially-pivoted Gaussian elimination — so the same
+store always yields the same coefficients, residuals and suggestions.
+
+Honesty is enforced structurally: the headline generalization numbers
+are **leave-one-circuit-out** — each circuit's residual comes from a
+model that never saw that circuit — because campaign sizing is always
+an extrapolation question ("what will this knob do on a circuit I
+have not swept yet"), not an interpolation one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.store import CampaignStore
+from repro.errors import CampaignError
+
+_PIVOT_EPS = 1e-12
+
+#: Feature vector layout (index 0 is the intercept).
+FEATURE_NAMES = (
+    "intercept",
+    "log2_n_gates",
+    "log2_n_ff",
+    "log2_n_pi",
+    "log2_l_g",
+    "log2_tgen_max_len",
+)
+
+
+def _log2(value: object) -> float:
+    number = float(value) if isinstance(value, (int, float)) else 0.0
+    return math.log2(number) if number > 0 else 0.0
+
+
+def _features(row: Mapping[str, object]) -> List[float]:
+    return [
+        1.0,
+        _log2(row.get("n_gates")),
+        _log2(row.get("n_ff")),
+        _log2(row.get("n_pi")),
+        _log2(row.get("l_g")),
+        _log2(row.get("tgen_max_len")),
+    ]
+
+
+def tpg_area_estimate(row: Mapping[str, object]) -> float:
+    """Closed-form TPG gate-equivalents for one Table-6 row.
+
+    Mirrors the shape of :class:`repro.hw.cost.TpgCost.
+    gate_equivalents` (``literals/2 + 6·flops``) without synthesizing:
+    flops are the subsequence-length counter, the subsequence-index
+    counter and one state register per FSM; literals are the FSM
+    next-state/output logic (four per FSM output) plus the per-input
+    weight muxing (two per primary input).  It is a *proxy* — the
+    model's target, not a replacement for real synthesis — but it is
+    monotone in exactly the quantities the paper's area argument is.
+    """
+    max_length = max(int(row.get("max_length", 0) or 0), 0)
+    n_subsequences = max(int(row.get("n_subsequences", 0) or 0), 0)
+    n_fsms = max(int(row.get("n_fsms", 0) or 0), 0)
+    n_fsm_outputs = max(int(row.get("n_fsm_outputs", 0) or 0), 0)
+    n_pi = max(int(row.get("n_pi", 0) or 0), 0)
+    flops = (
+        math.ceil(math.log2(max_length + 1)) if max_length else 0
+    ) + (
+        math.ceil(math.log2(n_subsequences + 1)) if n_subsequences else 0
+    ) + n_fsms
+    literals = 4 * n_fsm_outputs + 2 * n_pi
+    return literals / 2 + 6 * flops
+
+
+def _solve(
+    matrix: List[List[float]], rhs: List[float]
+) -> List[float]:
+    """Gaussian elimination with partial pivoting (in place)."""
+    n = len(rhs)
+    for col in range(n):
+        pivot_row = max(
+            range(col, n), key=lambda r: abs(matrix[r][col])
+        )
+        if abs(matrix[pivot_row][col]) < _PIVOT_EPS:
+            raise CampaignError(
+                "under-determined model: design matrix is singular "
+                "(need more distinct configurations in the store)"
+            )
+        if pivot_row != col:
+            matrix[col], matrix[pivot_row] = matrix[pivot_row], matrix[col]
+            rhs[col], rhs[pivot_row] = rhs[pivot_row], rhs[col]
+        for row in range(col + 1, n):
+            factor = matrix[row][col] / matrix[col][col]
+            if factor == 0.0:
+                continue
+            for k in range(col, n):
+                matrix[row][k] -= factor * matrix[col][k]
+            rhs[row] -= factor * rhs[col]
+    out = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = rhs[row]
+        for k in range(row + 1, n):
+            acc -= matrix[row][k] * out[k]
+        out[row] = acc / matrix[row][row]
+    return out
+
+
+def _active_columns(rows: Sequence[Sequence[float]]) -> List[int]:
+    """The intercept plus every column that actually varies.
+
+    A grid that holds a knob (or sweeps one circuit, freezing the
+    structural features) contributes no information about that column;
+    dropping it keeps small stores fittable instead of fatally
+    under-determined.  The intercept absorbs the constants.
+    """
+    n_features = len(rows[0])
+    active = [0]
+    for col in range(1, n_features):
+        values = {round(row[col], 12) for row in rows}
+        if len(values) > 1:
+            active.append(col)
+    return active
+
+
+def _ols(
+    rows: Sequence[Sequence[float]], targets: Sequence[float]
+) -> List[float]:
+    """Least squares via normal equations ``XᵀX β = Xᵀy``.
+
+    Constant columns are dropped first (their coefficient is reported
+    as 0; the intercept carries their constant part).  If the active
+    columns are still collinear — two circuits cannot separate three
+    structural features — the solve deterministically falls back to a
+    tiny ridge (``λ = 10⁻⁶·tr(XᵀX)/n``) rather than failing, which
+    keeps predictions defined while barely perturbing a well-posed
+    fit.
+    """
+    n_features = len(rows[0])
+    active = _active_columns(rows)
+    if len(rows) < len(active):
+        raise CampaignError(
+            f"under-determined model: {len(rows)} observation(s) for "
+            f"{len(active)} varying coefficient(s)"
+        )
+    k = len(active)
+    xtx = [[0.0] * k for _ in range(k)]
+    xty = [0.0] * k
+    for row, y in zip(rows, targets):
+        for i, ci in enumerate(active):
+            xty[i] += row[ci] * y
+            for j, cj in enumerate(active):
+                xtx[i][j] += row[ci] * row[cj]
+    try:
+        beta_active = _solve(
+            [list(r) for r in xtx], list(xty)
+        )
+    except CampaignError:
+        ridge = 1e-6 * sum(xtx[i][i] for i in range(k)) / k
+        for i in range(1, k):  # never shrink the intercept
+            xtx[i][i] += ridge
+        beta_active = _solve(xtx, xty)
+    beta = [0.0] * n_features
+    for coefficient, col in zip(beta_active, active):
+        beta[col] = coefficient
+    return beta
+
+
+@dataclass
+class RegressionModel:
+    """One fitted target: coefficients plus honesty metrics."""
+
+    target: str
+    features: Tuple[str, ...]
+    coefficients: Tuple[float, ...]
+    n_observations: int
+    r2: float
+    #: Mean |residual| per circuit from a fit that excluded it.
+    loco_residuals: Dict[str, float] = field(default_factory=dict)
+
+    def predict_features(self, features: Sequence[float]) -> float:
+        return sum(c * x for c, x in zip(self.coefficients, features))
+
+    def predict(self, row: Mapping[str, object]) -> float:
+        """Predict from a store row / row-shaped mapping."""
+        return self.predict_features(_features(row))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "features": list(self.features),
+            "coefficients": [round(c, 10) for c in self.coefficients],
+            "n_observations": self.n_observations,
+            "r2": round(self.r2, 6),
+            "loco_residuals": {
+                name: round(value, 6)
+                for name, value in sorted(self.loco_residuals.items())
+            },
+        }
+
+
+def _target_value(row: Mapping[str, object], target: str) -> Optional[float]:
+    if target == "coverage":
+        value = row.get("coverage")
+        return float(value) if isinstance(value, (int, float)) else None
+    if target == "tpg_gate_equivalents":
+        return tpg_area_estimate(row)
+    raise CampaignError(f"unknown model target {target!r}")
+
+
+def _fit_one(
+    rows: Sequence[Mapping[str, object]], target: str
+) -> RegressionModel:
+    observations: List[Tuple[str, List[float], float]] = []
+    for row in rows:
+        y = _target_value(row, target)
+        if y is None:
+            continue
+        observations.append((str(row.get("circuit", "")), _features(row), y))
+    if not observations:
+        raise CampaignError(
+            f"no usable observations for target {target!r} — ingest "
+            "campaign results (with circuit stats) first"
+        )
+    xs = [obs[1] for obs in observations]
+    ys = [obs[2] for obs in observations]
+    beta = _ols(xs, ys)
+    mean_y = sum(ys) / len(ys)
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - sum(c * f for c, f in zip(beta, x))) ** 2
+        for x, y in zip(xs, ys)
+    )
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    loco: Dict[str, float] = {}
+    circuits = sorted({obs[0] for obs in observations})
+    if len(circuits) >= 2:
+        for held_out in circuits:
+            train = [obs for obs in observations if obs[0] != held_out]
+            test = [obs for obs in observations if obs[0] == held_out]
+            try:
+                fold = _ols([o[1] for o in train], [o[2] for o in train])
+            except CampaignError:
+                continue  # fold under-determined: no honest number
+            residuals = [
+                abs(y - sum(c * f for c, f in zip(fold, x)))
+                for _, x, y in test
+            ]
+            loco[held_out] = sum(residuals) / len(residuals)
+    return RegressionModel(
+        target=target,
+        features=FEATURE_NAMES,
+        coefficients=tuple(beta),
+        n_observations=len(observations),
+        r2=r2,
+        loco_residuals=loco,
+    )
+
+
+def fit_models(store: CampaignStore) -> Dict[str, RegressionModel]:
+    """Fit both targets over every configured Table-6 row in the store.
+
+    Rows without knob columns (journal rows that only carried a
+    fingerprint) or without a known fault count (no coverage) are
+    skipped per target, not fatal.
+    """
+    rows = [
+        row
+        for row in store.query_table6()
+        if row.get("l_g") is not None and row.get("tgen_max_len") is not None
+    ]
+    if not rows:
+        raise CampaignError(
+            "store has no configured table6 rows; run a campaign (or "
+            "ingest serve job records) before fitting"
+        )
+    return {
+        "coverage": _fit_one(rows, "coverage"),
+        "tpg_gate_equivalents": _fit_one(rows, "tpg_gate_equivalents"),
+    }
+
+
+#: Candidate knob ladders ``suggest`` searches (powers of two).
+_LG_LADDER = (64, 128, 256, 512, 1024, 2048)
+_TGEN_LADDER = (500, 1000, 2000, 4000, 8000)
+
+
+def suggest(
+    store: CampaignStore,
+    circuit: str,
+    target_coverage: float = 0.9,
+    models: Optional[Dict[str, RegressionModel]] = None,
+) -> Dict[str, object]:
+    """Size a campaign for ``circuit``: the cheapest predicted knob
+    setting reaching ``target_coverage``.
+
+    Scans a deterministic (``l_g`` × ``tgen_max_len``) ladder with the
+    fitted models, returning the setting with the smallest predicted
+    TPG cost whose predicted coverage clears the target — or, if none
+    does, the setting with the best predicted coverage.  The answer
+    carries the models' honesty metrics so a caller can see how much
+    to trust it.
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise CampaignError(
+            f"target coverage {target_coverage} not in (0, 1]"
+        )
+    fitted = models if models is not None else fit_models(store)
+    stats_rows = [
+        row for row in store.query_circuits() if row["name"] == circuit
+    ]
+    if not stats_rows:
+        raise CampaignError(
+            f"circuit {circuit!r} is not in the store; ingest a run "
+            "for it (or any artifact naming it) first"
+        )
+    stats = stats_rows[0]
+    coverage_model = fitted["coverage"]
+    area_model = fitted["tpg_gate_equivalents"]
+    candidates: List[Dict[str, object]] = []
+    for l_g in _LG_LADDER:
+        for tgen_max_len in _TGEN_LADDER:
+            row = {**stats, "l_g": l_g, "tgen_max_len": tgen_max_len}
+            coverage = min(max(coverage_model.predict(row), 0.0), 1.0)
+            area = max(area_model.predict(row), 0.0)
+            candidates.append(
+                {
+                    "l_g": l_g,
+                    "tgen_max_len": tgen_max_len,
+                    "predicted_coverage": round(coverage, 6),
+                    "predicted_tpg_gate_equivalents": round(area, 3),
+                }
+            )
+    reaching = [
+        c
+        for c in candidates
+        if float(c["predicted_coverage"]) >= target_coverage  # type: ignore[arg-type]
+    ]
+    if reaching:
+        best = min(
+            reaching,
+            key=lambda c: (
+                float(c["predicted_tpg_gate_equivalents"]),  # type: ignore[arg-type]
+                int(c["l_g"]),  # type: ignore[arg-type]
+                int(c["tgen_max_len"]),  # type: ignore[arg-type]
+            ),
+        )
+        met = True
+    else:
+        best = max(
+            candidates,
+            key=lambda c: (
+                float(c["predicted_coverage"]),  # type: ignore[arg-type]
+                -float(c["predicted_tpg_gate_equivalents"]),  # type: ignore[arg-type]
+            ),
+        )
+        met = False
+    return {
+        "circuit": circuit,
+        "target_coverage": target_coverage,
+        "target_met": met,
+        "recommendation": best,
+        "candidates": candidates,
+        "models": {name: m.to_dict() for name, m in sorted(fitted.items())},
+    }

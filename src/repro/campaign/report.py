@@ -1,0 +1,572 @@
+"""Campaign dashboards: one self-contained HTML file per store.
+
+``repro campaign report`` renders everything the warehouse knows into
+a single HTML document with inline SVG — zero external assets, zero
+scripts, zero network, so the file opens identically from a mail
+attachment, a CI artifact tab or ``file://``.  And zero wall-clock:
+the bytes are a pure function of the store contents, so the golden
+test can (and does) demand byte-identical output across reruns.
+
+Four views:
+
+* **coverage** — fault coverage per configured Table-6 row, grouped
+  by circuit;
+* **fronts** — coverage vs. TPG gate-equivalents, the paper's central
+  trade-off, from optimizer front points and flow rows alike;
+* **timings** — mean per-phase wall seconds across every ingested
+  run (the one deliberately machine-dependent view);
+* **campaign grids** — per-campaign factor heatmaps colored by
+  coverage.
+
+Text and JSON emitters ride along for terminals and scripts; all
+three honour the CLI's one-line error contract by raising
+:class:`~repro.errors.CampaignError` only for a truly unusable store.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.model import fit_models, tpg_area_estimate
+from repro.campaign.store import SCHEMA_VERSION, CampaignStore
+from repro.errors import CampaignError
+
+_WIDTH = 640
+_HEIGHT = 320
+_MARGIN = 48
+
+#: Okabe-Ito colorblind-safe cycle (minus black, kept for text).
+_PALETTE = (
+    "#0072b2",
+    "#d55e00",
+    "#009e73",
+    "#cc79a7",
+    "#e69f00",
+    "#56b4e9",
+    "#f0e442",
+)
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a1a; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+svg { background: #fcfcfc; border: 1px solid #ddd; }
+table { border-collapse: collapse; font-size: 13px; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #f0f0f0; }
+.note { color: #666; font-size: 12px; }
+"""
+
+
+def _fmt(value: float) -> str:
+    """Fixed-width float text (the determinism anchor for SVG attrs)."""
+    return f"{value:.2f}"
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _color(index: int) -> str:
+    return _PALETTE[index % len(_PALETTE)]
+
+
+def _heat(fraction: float) -> str:
+    """White → blue ramp for heatmap cells (0 → 1)."""
+    f = min(max(fraction, 0.0), 1.0)
+    red = round(255 - 155 * f)
+    green = round(255 - 141 * f)
+    blue = round(255 - 77 * f)
+    return f"rgb({red},{green},{blue})"
+
+
+class _Scale:
+    """Linear data→pixel scale with padded domain."""
+
+    def __init__(
+        self, lo: float, hi: float, out_lo: float, out_hi: float
+    ) -> None:
+        if hi <= lo:
+            hi = lo + 1.0
+        span = hi - lo
+        self.lo = lo - 0.05 * span
+        self.hi = hi + 0.05 * span
+        self.out_lo = out_lo
+        self.out_hi = out_hi
+
+    def __call__(self, value: float) -> float:
+        t = (value - self.lo) / (self.hi - self.lo)
+        return self.out_lo + t * (self.out_hi - self.out_lo)
+
+    def ticks(self, n: int = 5) -> List[float]:
+        return [
+            self.lo + i * (self.hi - self.lo) / (n - 1) for i in range(n)
+        ]
+
+
+def _svg_open(title: str) -> List[str]:
+    return [
+        f'<svg role="img" aria-label="{_esc(title)}" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'xmlns="http://www.w3.org/2000/svg">',
+    ]
+
+
+def _axes(
+    out: List[str], xs: _Scale, ys: _Scale, x_label: str, y_label: str
+) -> None:
+    x0, x1 = _MARGIN, _WIDTH - _MARGIN // 2
+    y0, y1 = _HEIGHT - _MARGIN, _MARGIN // 2
+    out.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#444"/>'
+    )
+    out.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#444"/>'
+    )
+    for tick in xs.ticks():
+        px = _fmt(xs(tick))
+        out.append(
+            f'<line x1="{px}" y1="{y0}" x2="{px}" y2="{y0 + 4}" '
+            'stroke="#444"/>'
+        )
+        out.append(
+            f'<text x="{px}" y="{y0 + 18}" font-size="11" '
+            f'text-anchor="middle" fill="#333">{_fmt(tick)}</text>'
+        )
+    for tick in ys.ticks():
+        py = _fmt(ys(tick))
+        out.append(
+            f'<line x1="{x0 - 4}" y1="{py}" x2="{x0}" y2="{py}" '
+            'stroke="#444"/>'
+        )
+        out.append(
+            f'<text x="{x0 - 8}" y="{py}" font-size="11" dy="4" '
+            f'text-anchor="end" fill="#333">{_fmt(tick)}</text>'
+        )
+    out.append(
+        f'<text x="{(x0 + x1) // 2}" y="{_HEIGHT - 8}" font-size="12" '
+        f'text-anchor="middle" fill="#111">{_esc(x_label)}</text>'
+    )
+    out.append(
+        f'<text x="14" y="{(y0 + y1) // 2}" font-size="12" '
+        f'text-anchor="middle" fill="#111" '
+        f'transform="rotate(-90 14 {(y0 + y1) // 2})">'
+        f"{_esc(y_label)}</text>"
+    )
+
+
+def _scatter_chart(
+    title: str,
+    series: "Dict[str, List[Tuple[float, float]]]",
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Multi-series scatter with per-series sorted polylines."""
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f'<p class="note">no data for {_esc(title)}</p>'
+    xs = _Scale(
+        min(p[0] for p in points),
+        max(p[0] for p in points),
+        _MARGIN,
+        _WIDTH - _MARGIN // 2,
+    )
+    ys = _Scale(
+        min(p[1] for p in points),
+        max(p[1] for p in points),
+        _HEIGHT - _MARGIN,
+        _MARGIN // 2,
+    )
+    out = _svg_open(title)
+    _axes(out, xs, ys, x_label, y_label)
+    for index, name in enumerate(sorted(series)):
+        pts = sorted(series[name])
+        if not pts:
+            continue
+        color = _color(index)
+        path = " ".join(f"{_fmt(xs(x))},{_fmt(ys(y))}" for x, y in pts)
+        if len(pts) > 1:
+            out.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                'stroke-width="1.5" opacity="0.7"/>'
+            )
+        for x, y in pts:
+            out.append(
+                f'<circle cx="{_fmt(xs(x))}" cy="{_fmt(ys(y))}" r="3.5" '
+                f'fill="{color}"><title>{_esc(name)}: '
+                f"({_fmt(x)}, {y:.4f})</title></circle>"
+            )
+        out.append(
+            f'<text x="{_WIDTH - _MARGIN // 2}" '
+            f'y="{_MARGIN // 2 + 14 * (index + 1)}" font-size="11" '
+            f'text-anchor="end" fill="{color}">{_esc(name)}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def _bar_chart(
+    title: str,
+    bars: Sequence[Tuple[str, float]],
+    y_label: str,
+) -> str:
+    if not bars:
+        return f'<p class="note">no data for {_esc(title)}</p>'
+    ys = _Scale(
+        0.0,
+        max(v for _, v in bars),
+        _HEIGHT - _MARGIN,
+        _MARGIN // 2,
+    )
+    ys.lo = 0.0  # bars grow from a true zero baseline
+    x0 = _MARGIN
+    span = _WIDTH - _MARGIN - _MARGIN // 2
+    slot = span / len(bars)
+    width = max(min(slot * 0.7, 48.0), 3.0)
+    out = _svg_open(title)
+    baseline = _HEIGHT - _MARGIN
+    out.append(
+        f'<line x1="{x0}" y1="{baseline}" x2="{_WIDTH - _MARGIN // 2}" '
+        f'y2="{baseline}" stroke="#444"/>'
+    )
+    for tick in ys.ticks():
+        py = _fmt(ys(tick))
+        out.append(
+            f'<text x="{x0 - 8}" y="{py}" font-size="11" dy="4" '
+            f'text-anchor="end" fill="#333">{_fmt(tick)}</text>'
+        )
+    for index, (label, value) in enumerate(bars):
+        left = x0 + slot * index + (slot - width) / 2
+        top = ys(value)
+        out.append(
+            f'<rect x="{_fmt(left)}" y="{_fmt(top)}" '
+            f'width="{_fmt(width)}" height="{_fmt(baseline - top)}" '
+            f'fill="{_color(0)}"><title>{_esc(label)}: {value:.4f}'
+            "</title></rect>"
+        )
+        cx = left + width / 2
+        out.append(
+            f'<text x="{_fmt(cx)}" y="{baseline + 14}" font-size="10" '
+            f'text-anchor="middle" fill="#333">{_esc(label[:10])}</text>'
+        )
+    out.append(
+        f'<text x="14" y="{_HEIGHT // 2}" font-size="12" '
+        f'text-anchor="middle" fill="#111" '
+        f'transform="rotate(-90 14 {_HEIGHT // 2})">{_esc(y_label)}</text>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def _heatmap(
+    title: str,
+    x_levels: Sequence[str],
+    y_levels: Sequence[str],
+    cells: Mapping[Tuple[str, str], float],
+    x_label: str,
+    y_label: str,
+) -> str:
+    if not cells:
+        return f'<p class="note">no data for {_esc(title)}</p>'
+    values = list(cells.values())
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    x0 = _MARGIN + 24
+    y0 = _MARGIN // 2 + 8
+    cell_w = min((_WIDTH - x0 - _MARGIN // 2) / max(len(x_levels), 1), 96.0)
+    cell_h = min(
+        (_HEIGHT - y0 - _MARGIN) / max(len(y_levels), 1), 48.0
+    )
+    out = _svg_open(title)
+    for yi, y_level in enumerate(y_levels):
+        out.append(
+            f'<text x="{x0 - 6}" y="{_fmt(y0 + cell_h * (yi + 0.5))}" '
+            f'font-size="11" dy="4" text-anchor="end" fill="#333">'
+            f"{_esc(y_level)}</text>"
+        )
+        for xi, x_level in enumerate(x_levels):
+            value = cells.get((x_level, y_level))
+            left = x0 + cell_w * xi
+            top = y0 + cell_h * yi
+            if value is None:
+                fill = "#eeeeee"
+                label = "–"
+            else:
+                fill = _heat((value - lo) / span)
+                label = f"{value:.3f}"
+            out.append(
+                f'<rect x="{_fmt(left)}" y="{_fmt(top)}" '
+                f'width="{_fmt(cell_w - 2)}" height="{_fmt(cell_h - 2)}" '
+                f'fill="{fill}" stroke="#bbb"/>'
+            )
+            out.append(
+                f'<text x="{_fmt(left + cell_w / 2 - 1)}" '
+                f'y="{_fmt(top + cell_h / 2 - 1)}" font-size="11" dy="4" '
+                f'text-anchor="middle" fill="#1a1a1a">{label}</text>'
+            )
+    for xi, x_level in enumerate(x_levels):
+        out.append(
+            f'<text x="{_fmt(x0 + cell_w * (xi + 0.5))}" '
+            f'y="{_fmt(y0 + cell_h * len(y_levels) + 16)}" font-size="11" '
+            f'text-anchor="middle" fill="#333">{_esc(x_level)}</text>'
+        )
+    out.append(
+        f'<text x="{_fmt(x0 + cell_w * len(x_levels) / 2)}" '
+        f'y="{_HEIGHT - 8}" font-size="12" text-anchor="middle" '
+        f'fill="#111">{_esc(x_label)}</text>'
+    )
+    out.append(
+        f'<text x="14" y="{_HEIGHT // 2}" font-size="12" '
+        f'text-anchor="middle" fill="#111" '
+        f'transform="rotate(-90 14 {_HEIGHT // 2})">{_esc(y_label)}</text>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+# -- data shaping -----------------------------------------------------------
+
+
+def _coverage_bars(
+    rows: Sequence[Mapping[str, object]],
+) -> List[Tuple[str, float]]:
+    bars: List[Tuple[str, float]] = []
+    for row in rows:
+        coverage = row.get("coverage")
+        if not isinstance(coverage, (int, float)):
+            continue
+        label = (
+            f"{row.get('circuit')}/{str(row.get('fingerprint'))[:6]}"
+        )
+        bars.append((label, float(coverage)))
+    return bars
+
+
+def _front_series(
+    store: CampaignStore,
+) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in store.query_fronts():
+        name = str(point["circuit"]) or "?"
+        series.setdefault(name, []).append(
+            (float(point["area"]), float(point["coverage"]))  # type: ignore[arg-type]
+        )
+    for row in store.query_table6():
+        coverage = row.get("coverage")
+        if not isinstance(coverage, (int, float)):
+            continue
+        name = f"{row.get('circuit')} (flow)"
+        series.setdefault(name, []).append(
+            (tpg_area_estimate(row), float(coverage))
+        )
+    return {name: sorted(set(pts)) for name, pts in series.items()}
+
+
+def _timing_bars(store: CampaignStore) -> List[Tuple[str, float]]:
+    sums: Dict[str, Tuple[float, int]] = {}
+    for row in store.query_timings():
+        phase = str(row["phase"])
+        total, count = sums.get(phase, (0.0, 0))
+        sums[phase] = (total + float(row["seconds"]), count + 1)  # type: ignore[arg-type]
+    return [
+        (phase, total / count)
+        for phase, (total, count) in sorted(sums.items())
+    ]
+
+
+def _campaign_grids(
+    store: CampaignStore,
+) -> List[Tuple[str, str, str, List[str], List[str], Dict[Tuple[str, str], float]]]:
+    """(campaign, x_factor, y_factor, x_levels, y_levels, cells)."""
+    coverage_by_fp = {
+        str(row["fingerprint"]): float(row["coverage"])  # type: ignore[arg-type]
+        for row in store.query_table6()
+        if isinstance(row.get("coverage"), (int, float))
+    }
+    grids = []
+    rows = store.query_campaigns()
+    names = sorted({str(row["campaign"]) for row in rows})
+    for name in names:
+        points = [row for row in rows if row["campaign"] == name]
+        level_sets: Dict[str, List[str]] = {}
+        for point in points:
+            factors = point.get("factors")
+            if not isinstance(factors, Mapping):
+                continue
+            for factor in sorted(factors):
+                level = str(factors[factor])
+                levels = level_sets.setdefault(str(factor), [])
+                if level not in levels:
+                    levels.append(level)
+        varying = [f for f, ls in sorted(level_sets.items()) if len(ls) > 1]
+        if not varying:
+            continue
+        x_factor = varying[0]
+        y_factor = varying[1] if len(varying) > 1 else varying[0]
+        cells: Dict[Tuple[str, str], float] = {}
+        counts: Dict[Tuple[str, str], int] = {}
+        for point in points:
+            factors = point.get("factors")
+            if not isinstance(factors, Mapping):
+                continue
+            coverage = coverage_by_fp.get(str(point.get("fingerprint")))
+            if coverage is None:
+                continue
+            key = (
+                str(factors.get(x_factor, "")),
+                str(factors.get(y_factor, "")),
+            )
+            cells[key] = cells.get(key, 0.0) + coverage
+            counts[key] = counts.get(key, 0) + 1
+        cells = {k: v / counts[k] for k, v in cells.items()}
+        grids.append(
+            (
+                name,
+                x_factor,
+                y_factor,
+                level_sets[x_factor],
+                level_sets[y_factor],
+                cells,
+            )
+        )
+    return grids
+
+
+def _models_section(store: CampaignStore) -> str:
+    try:
+        models = fit_models(store)
+    except CampaignError as exc:
+        return f'<p class="note">models not fitted: {_esc(str(exc))}</p>'
+    rows = []
+    for name in sorted(models):
+        model = models[name]
+        loco = ", ".join(
+            f"{circuit}: {value:.4f}"
+            for circuit, value in sorted(model.loco_residuals.items())
+        )
+        rows.append(
+            "<tr>"
+            f"<td style=\"text-align:left\">{_esc(name)}</td>"
+            f"<td>{model.n_observations}</td>"
+            f"<td>{model.r2:.4f}</td>"
+            f"<td style=\"text-align:left\">{_esc(loco) or '–'}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><tr><th>target</th><th>obs</th><th>R²</th>"
+        "<th>LOCO mean |residual| per held-out circuit</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+# -- emitters ---------------------------------------------------------------
+
+
+def render_dashboard(store: CampaignStore) -> str:
+    """The full HTML dashboard; a pure function of the store."""
+    summary = store.summary()
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>repro campaign dashboard</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>repro campaign dashboard</h1>",
+        '<p class="note">'
+        + " · ".join(
+            f"{table}: {summary[table]}" for table in sorted(summary)
+        )
+        + "</p>",
+        "<h2>Fault coverage per configuration</h2>",
+        _bar_chart(
+            "coverage per configuration",
+            _coverage_bars(store.query_table6()),
+            "fault coverage",
+        ),
+        "<h2>Coverage vs. TPG area</h2>",
+        _scatter_chart(
+            "coverage vs TPG gate-equivalents",
+            _front_series(store),
+            "TPG gate-equivalents",
+            "fault coverage",
+        ),
+        "<h2>Per-phase wall time</h2>",
+        '<p class="note">machine-dependent by design; every other view '
+        "is machine-independent</p>",
+        _bar_chart(
+            "mean phase seconds", _timing_bars(store), "mean seconds"
+        ),
+    ]
+    for name, xf, yf, xl, yl, cells in _campaign_grids(store):
+        parts.append(f"<h2>Campaign grid: {_esc(name)}</h2>")
+        parts.append(
+            _heatmap(
+                f"campaign {name} coverage heatmap",
+                xl,
+                yl,
+                cells,
+                xf,
+                yf,
+            )
+        )
+    parts.append("<h2>Sizing models</h2>")
+    parts.append(_models_section(store))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def render_text(store: CampaignStore) -> str:
+    """Terminal summary of the store."""
+    summary = store.summary()
+    lines = ["campaign store summary"]
+    for table in sorted(summary):
+        lines.append(f"  {table:<12} {summary[table]:>6}")
+    rows = store.query_table6()
+    if rows:
+        lines.append("")
+        lines.append(
+            f"{'circuit':<10} {'l_g':>6} {'det':>6} {'coverage':>9} "
+            f"{'max_len':>8} {'fsms':>5}"
+        )
+        for row in rows:
+            coverage = row.get("coverage")
+            cov_text = (
+                f"{coverage:.4f}"
+                if isinstance(coverage, (int, float))
+                else "-"
+            )
+            l_g = row.get("l_g")
+            lines.append(
+                f"{str(row['circuit']):<10} "
+                f"{l_g if l_g is not None else '-':>6} "
+                f"{row['given_det']:>6} {cov_text:>9} "
+                f"{row['max_length']:>8} {row['n_fsms']:>5}"
+            )
+    campaigns = store.query_campaigns()
+    if campaigns:
+        names = sorted({str(row["campaign"]) for row in campaigns})
+        lines.append("")
+        for name in names:
+            count = sum(1 for row in campaigns if row["campaign"] == name)
+            lines.append(f"campaign {name}: {count} point(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(store: CampaignStore) -> str:
+    """Canonical JSON projection of every queryable view."""
+    payload = {
+        "format": "campaign-store",
+        "schema_version": SCHEMA_VERSION,
+        "summary": store.summary(),
+        "table6": store.query_table6(),
+        "fronts": store.query_fronts(),
+        "timings": store.query_timings(),
+        "jobs": store.query_jobs(),
+        "campaigns": store.query_campaigns(),
+        "circuits": store.query_circuits(),
+        "benchmarks": store.query_benchmarks(),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"

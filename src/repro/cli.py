@@ -416,12 +416,123 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print the job's normalized trace JSON")
     p.add_argument("--metrics", action="store_true",
                    help="print the server's /metrics payload")
+    p.add_argument("--watch", action="store_true",
+                   help="follow the job's live progress events "
+                        "(long-poll) until it reaches a terminal state")
+    p.add_argument("--watch-timeout", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="give up watching after this long (default: 300)")
     p.set_defaults(handler=_cmd_jobs)
 
     p = sub.add_parser("report", help="render benchmarks/results/ as an HTML report")
     p.add_argument("--results", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--output", type=Path, default=Path("report.html"))
     p.set_defaults(handler=_cmd_report)
+
+    p = sub.add_parser(
+        "campaign",
+        help="experiment warehouse: ingest, run, query, report, suggest",
+        description=(
+            "Operate a sqlite experiment warehouse over every artifact "
+            "the repo produces.  `ingest` loads artifacts (idempotent, "
+            "content-addressed), `run` drives a factorial design "
+            "through a campaign server (or locally), `query` prints "
+            "deterministic views, `report` renders a self-contained "
+            "HTML dashboard and `suggest` sizes knobs from fitted "
+            "regression models."
+        ),
+    )
+    csub = p.add_subparsers()
+
+    ci = csub.add_parser(
+        "ingest", help="ingest artifact files/directories into the store"
+    )
+    ci.add_argument("paths", type=Path, nargs="+",
+                    help="result files, journals, traces, benchmark "
+                         "artifacts or directories of them")
+    ci.add_argument("--store", type=Path, default=Path("campaign.db"),
+                    metavar="PATH", help="sqlite store (default: "
+                                         "campaign.db, created on demand)")
+    ci.set_defaults(handler=_cmd_campaign_ingest)
+
+    cr = csub.add_parser(
+        "run", help="run a factorial campaign and warehouse the results"
+    )
+    cr.add_argument("grid",
+                    help="grid spec, e.g. 'circuit=s27,g208 l_g=256,512 "
+                         "static_prune=0,1 seed=1'")
+    cr.add_argument("--store", type=Path, default=Path("campaign.db"),
+                    metavar="PATH")
+    cr.add_argument("--name", default="campaign",
+                    help="campaign name in the store (default: campaign)")
+    cr.add_argument("--fraction", type=int, default=1, metavar="K",
+                    help="keep every point whose level-index parity sum "
+                         "is 0 mod K (1 = full factorial)")
+    cr.add_argument("--server", default=None, metavar="URL",
+                    help="campaign server to run through (default: run "
+                         "points locally through the same execution core)")
+    cr.add_argument("--timeout", type=float, default=600.0,
+                    metavar="SECONDS",
+                    help="overall budget when running through a server")
+    cr.add_argument("--tgen-max-len", type=int, default=2000, metavar="N",
+                    help="test-generation budget for every point not "
+                         "sweeping it (default: 2000)")
+    cr.add_argument("--compaction-sims", type=int, default=60, metavar="N",
+                    help="compaction budget for every point not sweeping "
+                         "it (default: 60)")
+    cr.set_defaults(handler=_cmd_campaign_run)
+
+    cq = csub.add_parser(
+        "query", help="print deterministic views of the store"
+    )
+    cq.add_argument("--store", type=Path, default=Path("campaign.db"),
+                    metavar="PATH")
+    cq.add_argument("--view", default="summary",
+                    choices=("summary", "table6", "fronts", "timings",
+                             "jobs", "campaigns", "circuits", "benchmarks"),
+                    help="which view to print (default: summary)")
+    cq.add_argument("--circuit", default=None,
+                    help="restrict table6/fronts to one circuit")
+    cq.add_argument("--campaign", default=None,
+                    help="restrict table6 to one campaign's points")
+    cq.add_argument("--sql", default=None, metavar="SELECT",
+                    help="run one read-only SELECT instead of a view")
+    cq.add_argument("--json", action="store_true",
+                    help="print rows as canonical JSON")
+    cq.set_defaults(handler=_cmd_campaign_query)
+
+    cp = csub.add_parser(
+        "report", help="render the store as text, JSON or an HTML dashboard"
+    )
+    cp.add_argument("--store", type=Path, default=Path("campaign.db"),
+                    metavar="PATH")
+    cp.add_argument("--format", dest="fmt", default="text",
+                    choices=("text", "json", "html"),
+                    help="output format (default: text)")
+    cp.add_argument("--output", type=Path, default=None, metavar="PATH",
+                    help="write to a file instead of stdout")
+    cp.set_defaults(handler=_cmd_campaign_report)
+
+    cs = csub.add_parser(
+        "suggest",
+        help="size campaign knobs for a circuit from fitted models",
+    )
+    cs.add_argument("circuit", help="library circuit name (e.g. s27)")
+    cs.add_argument("--store", type=Path, default=Path("campaign.db"),
+                    metavar="PATH")
+    cs.add_argument("--target-coverage", type=float, default=0.9,
+                    metavar="FRACTION",
+                    help="coverage the suggestion must reach "
+                         "(default: 0.9)")
+    cs.add_argument("--json", action="store_true",
+                    help="print the full prediction payload as JSON")
+    cs.set_defaults(handler=_cmd_campaign_suggest)
+
+    def _campaign_help(args: argparse.Namespace) -> int:
+        p.print_help()
+        return 2
+
+    p.set_defaults(handler=_campaign_help)
 
     return parser
 
@@ -1023,7 +1134,167 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if args.job_trace:
         sys.stdout.write(client.trace_bytes(args.key).decode("utf-8") + "\n")
         return 0
+    if args.watch:
+        for event in client.watch(
+            args.key, timeout_s=args.watch_timeout
+        ):
+            attrs = event.get("attrs", {})
+            attr_text = ""
+            if isinstance(attrs, dict) and attrs:
+                attr_text = "  " + " ".join(
+                    f"{k}={attrs[k]}" for k in sorted(attrs)
+                )
+            print(f"[{event.get('seq'):>4}] "
+                  f"{event.get('kind')}{attr_text}")
+        final = client.job(args.key)
+        print(f"job {args.key} finished: {final.get('state')}")
+        return 0 if final.get("state") == "done" else 1
     print(_json.dumps(client.job(args.key), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_campaign_ingest(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.store)
+    report = None
+    for path in args.paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such artifact: {path}")
+        sub = store.ingest_path(path)
+        report = sub if report is None else report.merge(sub)
+    assert report is not None  # argparse enforces nargs="+"
+    print(f"{args.store}: {report.describe()}")
+    for skipped in report.skipped:
+        print(f"  skipped (unrecognized): {skipped}")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignStore, parse_grid, run_campaign
+
+    store = CampaignStore(args.store)
+    grid = parse_grid(args.grid, name=args.name)
+    run = run_campaign(
+        store,
+        grid,
+        fraction=args.fraction,
+        server_url=args.server,
+        timeout_s=args.timeout,
+        spec_overrides={
+            "tgen_max_len": args.tgen_max_len,
+            "compaction_sims": args.compaction_sims,
+        },
+    )
+    mode = f"via {args.server}" if args.server else "locally"
+    print(f"campaign {run.campaign}: {run.done}/{run.points} point(s) "
+          f"done {mode}")
+    print(f"  {run.report.describe()}")
+    if run.failed:
+        print(f"  failed design point(s): "
+              f"{', '.join(map(str, run.failed))}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_query(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.store)
+    if args.sql is not None:
+        rows: list = store.sql(args.sql)
+    elif args.view == "summary":
+        summary = store.summary()
+        if args.json:
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            for table in sorted(summary):
+                print(f"{table:<12} {summary[table]:>6}")
+        return 0
+    elif args.view == "table6":
+        rows = store.query_table6(
+            circuit=args.circuit, campaign=args.campaign
+        )
+    elif args.view == "fronts":
+        rows = store.query_fronts(circuit=args.circuit)
+    elif args.view == "timings":
+        rows = store.query_timings()
+    elif args.view == "jobs":
+        rows = store.query_jobs()
+    elif args.view == "campaigns":
+        rows = store.query_campaigns()
+    elif args.view == "circuits":
+        rows = store.query_circuits()
+    else:
+        rows = store.query_benchmarks()
+    if args.json:
+        print(_json.dumps(rows, indent=2, sort_keys=True, default=repr))
+        return 0
+    if not rows:
+        print("no rows")
+        return 0
+    columns = list(rows[0].keys())
+    print("  ".join(columns))
+    for row in rows:
+        print("  ".join(str(row.get(column, "")) for column in columns))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignStore,
+        render_dashboard,
+        render_json,
+        render_text,
+    )
+
+    store = CampaignStore(args.store)
+    if args.fmt == "html":
+        text = render_dashboard(store)
+    elif args.fmt == "json":
+        text = render_json(store)
+    else:
+        text = render_text(store)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output} ({len(text)} bytes)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_campaign_suggest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign import CampaignStore, suggest
+
+    store = CampaignStore(args.store)
+    outcome = suggest(
+        store, args.circuit, target_coverage=args.target_coverage
+    )
+    if args.json:
+        print(_json.dumps(outcome, indent=2, sort_keys=True))
+        return 0
+    best = outcome["recommendation"]
+    met = "reaches" if outcome["target_met"] else "best effort toward"
+    print(f"{args.circuit}: l_g={best['l_g']} "  # type: ignore[index]
+          f"tgen_max_len={best['tgen_max_len']} "  # type: ignore[index]
+          f"{met} coverage {args.target_coverage:g} "
+          f"(predicted {best['predicted_coverage']}, "  # type: ignore[index]
+          f"~{best['predicted_tpg_gate_equivalents']} "  # type: ignore[index]
+          "TPG gate-equivalents)")
+    models = outcome.get("models", {})
+    if isinstance(models, dict):
+        for name in sorted(models):
+            model = models[name]
+            loco = model.get("loco_residuals", {})
+            loco_text = ", ".join(
+                f"{c}={v}" for c, v in sorted(loco.items())
+            ) or "n/a (single circuit)"
+            print(f"  model {name}: {model.get('n_observations')} obs, "
+                  f"R²={model.get('r2')}, LOCO |residual| {loco_text}")
     return 0
 
 

@@ -93,6 +93,11 @@ class RateLimited(ServeError):
         self.retry_after_s = retry_after_s
 
 
+class CampaignError(ReproError):
+    """The campaign warehouse was misused (unreadable store, malformed
+    artifact, bad grid specification, under-determined model)."""
+
+
 class SweepInterrupted(ReproError):
     """A termination signal stopped a sweep.
 

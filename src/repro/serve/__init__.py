@@ -41,6 +41,7 @@ from repro.serve.job import (
 )
 from repro.serve.lease import Lease, LeaseTable, shard_of
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.progress import PROGRESS_KINDS, ProgressBook
 from repro.serve.queue import JobQueue
 from repro.serve.results import (
     ResultStore,
@@ -68,6 +69,8 @@ __all__ = [
     "LatencyHistogram",
     "Lease",
     "LeaseTable",
+    "PROGRESS_KINDS",
+    "ProgressBook",
     "QUEUED",
     "ResultStore",
     "RUNNING",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import time
 from http.client import HTTPConnection, HTTPResponse as _RawResponse
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import RateLimited, ServeError
@@ -47,11 +47,16 @@ class ServeClient:
         method: str,
         path: str,
         body: Optional[Dict[str, object]] = None,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         payload = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
-        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        conn = HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
+        )
         try:
             conn.request(
                 method,
@@ -77,8 +82,11 @@ class ServeClient:
         method: str,
         path: str,
         body: Optional[Dict[str, object]] = None,
+        timeout_s: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
-        status, headers, data = self._request(method, path, body)
+        status, headers, data = self._request(
+            method, path, body, timeout_s=timeout_s
+        )
         try:
             parsed = json.loads(data.decode("utf-8")) if data else {}
         except (UnicodeDecodeError, ValueError) as exc:
@@ -190,6 +198,72 @@ class ServeClient:
         if status != 200:
             raise ServeError(f"trace fetch failed for {key} ({status})")
         return data
+
+    def events(
+        self,
+        key: str,
+        since: int = 0,
+        timeout_s: float = 0.0,
+    ) -> Dict[str, object]:
+        """One poll of the job's progress feed.
+
+        ``timeout_s`` is the server-side long-poll park: 0 returns
+        immediately, anything larger blocks until an event with
+        ``seq >= since`` arrives (or the park expires).  Returns the
+        server payload: ``events``, ``next`` (the follow-up cursor),
+        ``state`` and ``closed``.
+        """
+        status, headers, payload = self._json(
+            "GET",
+            f"/jobs/{key}/events?since={int(since)}&timeout={timeout_s:g}",
+            # The socket must outlive the server-side park.
+            timeout_s=self.timeout_s + max(timeout_s, 0.0),
+        )
+        if status != 200:
+            self._raise_for(status, headers, payload)
+        return payload
+
+    def watch(
+        self,
+        key: str,
+        since: int = 0,
+        timeout_s: float = 300.0,
+        poll_timeout_s: float = 10.0,
+    ) -> Iterator[Dict[str, object]]:
+        """Follow a job live: yield progress events until it closes.
+
+        Long-polls ``GET /jobs/<key>/events`` and yields each event
+        dict (``{"seq", "kind", "attrs"}``) as it arrives; returns
+        when the server marks the feed closed (the job reached a
+        terminal state).  Raises :class:`ServeError` if the job is
+        still open after ``timeout_s``.
+        """
+        deadline = time.monotonic() + timeout_s
+        cursor = int(since)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                raise ServeError(
+                    f"job {key} still open after {timeout_s:.0f}s of watching"
+                )
+            payload = self.events(
+                key,
+                since=cursor,
+                timeout_s=min(max(poll_timeout_s, 0.0), remaining),
+            )
+            events = payload.get("events", [])
+            if isinstance(events, list):
+                for event in events:
+                    if isinstance(event, dict):
+                        yield event
+            next_raw = payload.get("next", cursor)
+            cursor = (
+                int(next_raw)
+                if isinstance(next_raw, (int, float))
+                else cursor
+            )
+            if payload.get("closed"):
+                return
 
     def healthz(self) -> Dict[str, object]:
         status, headers, payload = self._json("GET", "/healthz")

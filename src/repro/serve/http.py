@@ -18,6 +18,7 @@ import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote
 
 from repro.errors import ServeError
 
@@ -48,6 +49,31 @@ class HttpRequest:
     headers: Dict[str, str]
     body: bytes = b""
     params: Dict[str, str] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
+
+    def query_int(self, name: str, default: int) -> int:
+        """An integer query parameter (:class:`ServeError` on garbage)."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ServeError(
+                f"query parameter {name!r} is not an integer: {raw!r}"
+            ) from exc
+
+    def query_float(self, name: str, default: float) -> float:
+        """A float query parameter (:class:`ServeError` on garbage)."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ServeError(
+                f"query parameter {name!r} is not a number: {raw!r}"
+            ) from exc
 
     def json(self) -> object:
         """The body parsed as JSON (:class:`ServeError` on garbage)."""
@@ -175,7 +201,9 @@ async def read_request(
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ServeError(f"malformed request line: {lines[0]!r}")
     method, target = parts[0], parts[1]
-    path = target.split("?", 1)[0]
+    path, _, query_text = target.partition("?")
+    path = unquote(path)
+    query = dict(parse_qsl(query_text, keep_blank_values=True))
     headers: Dict[str, str] = {}
     for line in lines[1:]:
         if not line:
@@ -199,7 +227,9 @@ async def read_request(
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError as exc:
             raise ServeError("truncated HTTP request body") from exc
-    return HttpRequest(method=method, path=path, headers=headers, body=body)
+    return HttpRequest(
+        method=method, path=path, headers=headers, body=body, query=query
+    )
 
 
 async def handle_connection(

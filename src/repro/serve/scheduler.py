@@ -28,15 +28,17 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.context import RuntimeContext
 from repro.runtime.metrics import RuntimeStats
 from repro.serve.job import Job
 from repro.serve.metrics import ServeMetrics
+from repro.serve.progress import ProgressBook
 from repro.serve.queue import JobQueue
 from repro.serve.results import ResultStore
 from repro.serve.worker import execute_job
+from repro.trace.events import TraceEvent
 from repro.trace.span import Tracer
 
 Budget = Tuple[int, Optional[float], int]
@@ -105,6 +107,10 @@ class Scheduler:
     server_tracer:
         Optional tracer owned by the server; job lifecycle events fire
         on it (under its currently open span) when present.
+    progress:
+        Optional :class:`~repro.serve.progress.ProgressBook`; when
+        present, lifecycle transitions and the running job's
+        deterministic tracer events are posted to it live.
     poll_s:
         Idle sleep between queue polls.
     """
@@ -116,6 +122,7 @@ class Scheduler:
         metrics: ServeMetrics,
         contexts: ContextPool,
         server_tracer: Optional[Tracer] = None,
+        progress: Optional[ProgressBook] = None,
         poll_s: float = 0.05,
     ) -> None:
         self.queue = queue
@@ -123,6 +130,7 @@ class Scheduler:
         self.metrics = metrics
         self.contexts = contexts
         self.server_tracer = server_tracer
+        self.progress = progress
         self.poll_s = poll_s
         self._stop = threading.Event()
         self._idle = threading.Event()
@@ -185,12 +193,28 @@ class Scheduler:
             "job_running", key=key, circuit=job.spec.circuit,
             priority=job.spec.priority, attempt=job.attempts,
         )
+        book = self.progress
+        tap: Optional[Callable[[TraceEvent], None]] = None
+        if book is not None:
+            live = book
+            book.post(
+                key, "job_running",
+                {"circuit": job.spec.circuit, "attempt": job.attempts},
+            )
+
+            def _tap(event: TraceEvent) -> None:
+                live.post(key, event.kind, event.attrs)
+
+            tap = _tap
         runtime = self.contexts.acquire(job.spec.budget())
-        outcome = execute_job(job.spec, runtime)
+        outcome = execute_job(job.spec, runtime, progress=tap)
         if not outcome.ok:
             self.queue.finish(key, ok=False, error=outcome.error)
             self.metrics.count("failed")
             self._server_event("job_failed", key=key, error=outcome.error)
+            if book is not None:
+                book.post(key, "job_failed", {"error": outcome.error})
+                book.close(key, "failed")
             return
         assert outcome.payload is not None  # ok outcomes carry a payload
         self.results.put(key, outcome.payload)
@@ -208,6 +232,9 @@ class Scheduler:
             "job_done", key=key, circuit=job.spec.circuit,
             run_s=round(done - started, 6),
         )
+        if book is not None:
+            book.post(key, "job_done", {"circuit": job.spec.circuit})
+            book.close(key, "done")
 
     # -- hooks for the server -----------------------------------------------
 

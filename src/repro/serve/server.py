@@ -50,6 +50,7 @@ from repro.serve.http import (
 )
 from repro.serve.job import DONE, FAILED, Job, JobSpec
 from repro.serve.metrics import ServeMetrics
+from repro.serve.progress import MAX_WAIT_S, ProgressBook
 from repro.serve.queue import JobQueue
 from repro.serve.results import ResultStore
 from repro.serve.scheduler import ContextPool, Scheduler
@@ -134,6 +135,7 @@ class CampaignServer:
             rate_per_s=config.rate_per_s,
             burst=config.burst,
         )
+        self.progress = ProgressBook()
         self.scheduler: Union[Scheduler, Supervisor]
         if config.workers >= 2:
             self.scheduler = Supervisor(
@@ -141,6 +143,7 @@ class CampaignServer:
                 self.results,
                 self.metrics,
                 server_tracer=self.tracer,
+                progress=self.progress,
                 workers=config.workers,
                 lease_ttl_s=config.lease_ttl_s,
                 heartbeat_timeout_s=config.heartbeat_timeout_s,
@@ -155,6 +158,7 @@ class CampaignServer:
                 self.metrics,
                 self.contexts,
                 server_tracer=self.tracer,
+                progress=self.progress,
             )
         requeued = len(self.queue.running()) + self.queue.depth()
         if requeued:
@@ -175,6 +179,7 @@ class CampaignServer:
         router.add("DELETE", "/jobs/{key}", self._delete_job)
         router.add("GET", "/jobs/{key}/result", self._get_result)
         router.add("GET", "/jobs/{key}/trace", self._get_trace)
+        router.add("GET", "/jobs/{key}/events", self._get_job_events)
         router.add("GET", "/healthz", self._get_healthz)
         router.add("GET", "/metrics", self._get_metrics)
         return router
@@ -210,6 +215,8 @@ class CampaignServer:
         if decision.shed is not None:
             self.metrics.count("shed")
             self._event("job_shed", key=decision.shed.key)
+            self.progress.post(decision.shed.key, "job_shed")
+            self.progress.close(decision.shed.key, "shed")
         if decision.status == 202:
             self.metrics.count("admitted")
             self.scheduler.note_submitted(job.key)
@@ -218,6 +225,10 @@ class CampaignServer:
                 priority=spec.priority,
             )
             self._event("job_queued", key=job.key)
+            self.progress.post(
+                job.key, "job_queued",
+                {"circuit": spec.circuit, "priority": spec.priority},
+            )
         else:
             self.metrics.count("deduplicated")
         body: Dict[str, object] = dict(job.to_dict())
@@ -260,6 +271,8 @@ class CampaignServer:
             )
         self.metrics.count("cancelled")
         self._event("job_cancelled", key=job.key)
+        self.progress.post(job.key, "job_cancelled")
+        self.progress.close(job.key, "cancelled")
         return HttpResponse.json(200, cancelled.to_dict())
 
     async def _get_result(self, request: HttpRequest) -> HttpResponse:
@@ -291,6 +304,50 @@ class CampaignServer:
                 409, f"job {job.key} has no trace yet (state: {job.state})"
             )
         return HttpResponse(status=200, body=data)
+
+    async def _get_job_events(self, request: HttpRequest) -> HttpResponse:
+        """Long-poll the job's live progress feed.
+
+        ``?since=<seq>`` returns events with ``seq >= since``;
+        ``?timeout=<s>`` (capped) is how long the request parks when
+        nothing new exists yet.  The response carries ``next`` (the
+        cursor for the follow-up poll) and ``closed`` (no more events
+        will ever come: poll no further).
+        """
+        job = self._job_or_404(request)
+        if isinstance(job, HttpResponse):
+            return job
+        key = job.key
+        since = request.query_int("since", 0)
+        if since < 0:
+            raise ServeError(f"since must be >= 0, got {since}")
+        timeout_s = min(
+            max(request.query_float("timeout", 25.0), 0.0), MAX_WAIT_S
+        )
+        events, book_closed = self.progress.snapshot(key, since)
+        if not events and not book_closed and not job.terminal and timeout_s:
+            # Park off the event loop; posts wake the condition.
+            events, book_closed = await asyncio.to_thread(
+                self.progress.wait, key, since, timeout_s
+            )
+        current = self.queue.get(key)
+        state = current.state if current is not None else job.state
+        terminal = current.terminal if current is not None else job.terminal
+        next_seq = (
+            max(int(e["seq"]) for e in events) + 1  # type: ignore[call-overload]
+            if events
+            else max(since, self.progress.next_seq(key))
+        )
+        return HttpResponse.json(
+            200,
+            {
+                "key": key,
+                "state": state,
+                "closed": bool(book_closed or terminal),
+                "next": next_seq,
+                "events": events,
+            },
+        )
 
     async def _get_healthz(self, request: HttpRequest) -> HttpResponse:
         return HttpResponse.json(

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runtime.metrics import RuntimeStats
 from repro.serve.metrics import ServeMetrics
+from repro.serve.progress import ProgressBook
 from repro.serve.queue import JobQueue
 from repro.serve.results import ResultStore
 from repro.serve.worker import WorkerHandle
@@ -90,6 +91,7 @@ class Supervisor:
         results: ResultStore,
         metrics: ServeMetrics,
         server_tracer: Optional[Tracer] = None,
+        progress: Optional[ProgressBook] = None,
         *,
         workers: int = 2,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
@@ -108,6 +110,7 @@ class Supervisor:
         self.results = results
         self.metrics = metrics
         self.server_tracer = server_tracer
+        self.progress = progress
         self.lease_ttl_s = lease_ttl_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.max_restarts = max_restarts
@@ -167,7 +170,7 @@ class Supervisor:
         while self.clock() < deadline:
             for handle in self._fleet():
                 for msg in handle.poll():
-                    self._handle_done(handle, msg)
+                    self._handle_message(handle, msg)
                 assignment = handle.busy
                 if handle.alive() and assignment is not None:
                     key, token, _ = assignment
@@ -224,7 +227,7 @@ class Supervisor:
                 )
         for handle in self._fleet():
             for msg in handle.poll():
-                self._handle_done(handle, msg)
+                self._handle_message(handle, msg)
                 progressed = True
         for handle in self._fleet():
             if handle.name in self._respawn_at:
@@ -285,10 +288,46 @@ class Supervisor:
                 priority=job.spec.priority, attempt=job.attempts,
                 worker=handle.name, stolen=lease.stolen,
             )
+            if self.progress is not None:
+                self.progress.post(
+                    job.key, "job_running",
+                    {
+                        "circuit": job.spec.circuit,
+                        "attempt": job.attempts,
+                        "worker": handle.name,
+                    },
+                )
             dispatched = True
         return dispatched
 
     # -- results ------------------------------------------------------------
+
+    def _handle_message(
+        self, handle: WorkerHandle, msg: Dict[str, object]
+    ) -> None:
+        """Route one worker pipe message (``progress`` or ``done``)."""
+        if msg.get("op") == "progress":
+            self._handle_progress(handle, msg)
+        else:
+            self._handle_done(handle, msg)
+
+    def _handle_progress(
+        self, handle: WorkerHandle, msg: Dict[str, object]
+    ) -> None:
+        book = self.progress
+        if book is None:
+            return
+        key = str(msg.get("key"))
+        token_raw = msg.get("token")
+        token = token_raw if isinstance(token_raw, int) else -1
+        if not self.queue.lease_valid(key, token):
+            return  # fenced: progress from a superseded claim is noise
+        attrs = msg.get("attrs")
+        book.post(
+            key,
+            str(msg.get("kind")),
+            attrs if isinstance(attrs, dict) else None,
+        )
 
     def _accumulate(self, snapshot: Dict[str, object]) -> None:
         with self._stats_lock:
@@ -353,6 +392,11 @@ class Supervisor:
                 self._server_event(
                     "job_done", key=key, worker=handle.name,
                 )
+                if self.progress is not None:
+                    self.progress.post(
+                        key, "job_done", {"worker": handle.name}
+                    )
+                    self.progress.close(key, "done")
         else:
             error = msg.get("error")
             if self.queue.finish(
@@ -364,6 +408,11 @@ class Supervisor:
                     "job_failed", key=key, error=str(error),
                     worker=handle.name,
                 )
+                if self.progress is not None:
+                    self.progress.post(
+                        key, "job_failed", {"error": str(error)}
+                    )
+                    self.progress.close(key, "failed")
 
     # -- recovery -----------------------------------------------------------
 
@@ -380,6 +429,11 @@ class Supervisor:
             if self.queue.requeue(key, token):
                 self.metrics.count("requeued")
                 self._server_event("job_requeued", key=key, reason=reason)
+                if self.progress is not None:
+                    self.progress.post(
+                        key, "job_requeued", {"reason": reason}
+                    )
+                    self.progress.reopen(key)
         handle.restarts += 1
         self.metrics.count("worker_restarts")
         self._server_event(

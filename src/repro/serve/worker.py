@@ -50,7 +50,10 @@ from repro.errors import ReproError
 from repro.flows.full_flow import run_full_flow
 from repro.resilience.chaos import ChaosSpec
 from repro.serve.job import JobSpec
+from repro.serve.progress import PROGRESS_KINDS
 from repro.serve.results import flow_result_payload, optimize_result_payload
+from repro.trace.compare import phase_durations
+from repro.trace.events import TraceEvent
 from repro.trace.normalize import normalized_json
 from repro.trace.span import Tracer
 
@@ -82,17 +85,35 @@ class JobOutcome:
     error: Optional[str]
 
 
-def execute_job(spec: JobSpec, runtime: "RuntimeContext") -> JobOutcome:
+def execute_job(
+    spec: JobSpec,
+    runtime: "RuntimeContext",
+    progress: Optional[Callable[[TraceEvent], None]] = None,
+) -> JobOutcome:
     """Run one job on ``runtime``; never raises for flow errors.
 
     The context is *reused*: stats are reset in place and a fresh
     per-job tracer attached, so the pool (and its warm workers) carries
     over while counters and spans do not.  Results are bit-identical
     to a fresh context by the runtime layer's standing guarantee.
+
+    ``progress`` is an optional live tap: it is called with every
+    *deterministic* tracer event (:data:`~repro.serve.progress.
+    PROGRESS_KINDS`) as the job runs, feeding the server's long-poll
+    events endpoint.  It never influences the result.
     """
     key = spec.key()
     runtime.reset_stats()
-    tracer = Tracer(stats=runtime.stats)
+    on_event: Optional[Callable[[TraceEvent], None]] = None
+    if progress is not None:
+        tap = progress
+
+        def _forward(event: TraceEvent) -> None:
+            if event.kind in PROGRESS_KINDS:
+                tap(event)
+
+        on_event = _forward
+    tracer = Tracer(stats=runtime.stats, on_event=on_event)
     runtime.attach_tracer(tracer)
     try:
         with tracer.span(
@@ -130,10 +151,18 @@ def execute_job(spec: JobSpec, runtime: "RuntimeContext") -> JobOutcome:
         for name, value in snapshot.items()
         if name in _JOB_STAT_KEYS and value
     }
+    root = tracer.finish()
+    # Phase wall seconds ride on the job record's stats (machine-
+    # dependent, so deliberately *not* part of the canonical result
+    # bytes) — the campaign warehouse ingests them from there.
+    for phase, seconds in phase_durations(root).items():
+        if phase in ("trace", "job"):
+            continue
+        stats[f"phase:{phase}"] = seconds
     return JobOutcome(
         ok=True,
         payload=payload,
-        trace_json=normalized_json(tracer.finish(), tracer.events),
+        trace_json=normalized_json(root, tracer.events),
         stats=stats,
         snapshot=snapshot,
         error=None,
@@ -249,7 +278,25 @@ def _worker_main(
                 pump.pause()
                 time.sleep(service_chaos.hang_s)
             runtime = pool.acquire(spec.budget())
-            outcome = execute_job(spec, runtime)
+
+            def _progress(event: TraceEvent) -> None:
+                # Best-effort: progress lost on a dying pipe is fine;
+                # the main loop exits on EOF soon after anyway.
+                try:
+                    with send_lock:
+                        conn.send(
+                            {
+                                "op": "progress",
+                                "key": key,
+                                "token": token,
+                                "kind": event.kind,
+                                "attrs": dict(event.attrs),
+                            }
+                        )
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+
+            outcome = execute_job(spec, runtime, progress=_progress)
             if (
                 outcome.ok
                 and service_chaos is not None
@@ -372,7 +419,11 @@ class WorkerHandle:
         return True
 
     def poll(self) -> List[Dict[str, object]]:
-        """Drain pending messages; any message counts as a heartbeat."""
+        """Drain pending messages; any message counts as a heartbeat.
+
+        Returns the ``done`` and ``progress`` messages in arrival
+        order (heartbeats are consumed silently).
+        """
         out: List[Dict[str, object]] = []
         conn = self.conn
         if conn is None:
@@ -387,8 +438,11 @@ class WorkerHandle:
             if not isinstance(msg, dict):
                 continue
             self.last_heartbeat = self._clock()
-            if msg.get("op") == "done":
+            op = msg.get("op")
+            if op == "done":
                 self.busy = None
+                out.append(msg)
+            elif op == "progress":
                 out.append(msg)
         return out
 

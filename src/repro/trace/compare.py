@@ -42,10 +42,12 @@ def phase_durations(root: Span) -> Dict[str, float]:
 def load_phases(path: Union[str, Path]) -> Dict[str, float]:
     """Read a per-phase timing artifact.
 
-    Accepts both the benchmark artifact form (``{"phases": {...}}``,
-    possibly with extra bookkeeping keys) and a full JSON trace
-    artifact (``{"format": 1, "spans": ...}``), so ``repro trace
-    compare`` works against either.
+    Accepts the benchmark artifact form (``{"phases": {...}}``,
+    possibly with extra bookkeeping keys), the same wrapped in the
+    versioned benchmark envelope (``{"schema_version": ...,
+    "payload": {...}}``), and a full JSON trace artifact
+    (``{"format": 1, "spans": ...}``), so ``repro trace compare``
+    works against any of them.
     """
     path = Path(path)
     if not path.exists():
@@ -63,6 +65,10 @@ def load_phases(path: Union[str, Path]) -> Dict[str, float]:
 
         root, _ = load_trace(path)
         return phase_durations(root)
+    if "schema_version" in payload and isinstance(
+        payload.get("payload"), dict
+    ):
+        payload = payload["payload"]
     phases = payload.get("phases")
     if not isinstance(phases, dict):
         raise TraceError(

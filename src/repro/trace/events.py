@@ -72,12 +72,18 @@ RUNTIME_KINDS = frozenset(
         "job_cancelled",
         "job_shed",
         "job_rejected",
+        "job_requeued",
+        "lease_expired",
+        "stale_result_rejected",
+        "worker_restart",
+        "worker_degraded",
     }
 )
 """Event kinds describing execution strategy, not results.  The
 ``job_*`` family marks the lifecycle of one :mod:`repro.serve` campaign
 job (queued → admitted → running → done/failed/cancelled/shed), so a
-served trace attributes every job in Perfetto."""
+served trace attributes every job in Perfetto; the supervisor adds the
+recovery kinds (requeue, lease expiry, fencing, worker restarts)."""
 
 EVENT_KINDS = DETERMINISTIC_KINDS | RUNTIME_KINDS
 

@@ -31,7 +31,15 @@ import hashlib
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import TraceError
 from repro.trace.events import EVENT_KINDS, Scalar, TraceEvent, coerce_attr
@@ -185,6 +193,11 @@ class Tracer:
         Optional :class:`~repro.runtime.metrics.RuntimeStats`; when
         given, every span records the delta of each counter over its
         interval.
+    on_event:
+        Optional callback fired with every :class:`TraceEvent` as it
+        is appended — the live-progress tap used by
+        :mod:`repro.serve.progress`.  Exceptions it raises are
+        swallowed: observation must never change the observed run.
 
     The tracer is strictly stack-disciplined: :meth:`end` must close
     the innermost open span (the ``span`` context manager guarantees
@@ -192,8 +205,13 @@ class Tracer:
     the trace is immutable.
     """
 
-    def __init__(self, stats: Optional["RuntimeStats"] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional["RuntimeStats"] = None,
+        on_event: Optional[Callable[[TraceEvent], None]] = None,
+    ) -> None:
         self.stats = stats
+        self.on_event = on_event
         self._t0 = time.perf_counter()
         self._cpu0 = time.process_time()
         self.root = Span(
@@ -370,6 +388,11 @@ class Tracer:
             attrs={str(k): coerce_attr(v) for k, v in attrs.items()},
         )
         self.events.append(event)
+        if self.on_event is not None:
+            try:
+                self.on_event(event)
+            except Exception:  # noqa: BLE001 - observers must not break runs
+                pass
         return event
 
     # -- sealing ------------------------------------------------------------

@@ -1,0 +1,128 @@
+"""`repro campaign ...` CLI: happy paths and the one-line error contract."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import CampaignStore
+from repro.cli import main
+
+
+def seed_store(tmp_path):
+    db = tmp_path / "c.db"
+    store = CampaignStore(db)
+    store.ingest_flow_payload(
+        {
+            "circuit": "s27",
+            "table6": {
+                "circuit": "s27",
+                "given_len": 10,
+                "given_det": 32,
+                "n_sequences": 2,
+                "n_subsequences": 3,
+                "max_length": 5,
+                "n_fsms": 1,
+                "n_fsm_outputs": 2,
+            },
+        },
+        config={"l_g": 64, "tgen_max_len": 500},
+    )
+    return db
+
+
+def test_campaign_ingest_and_query(tmp_path, capsys):
+    artifact = tmp_path / "flow.json"
+    artifact.write_text(json.dumps({
+        "circuit": "s27",
+        "table6": {
+            "circuit": "s27", "given_len": 10, "given_det": 30,
+            "n_sequences": 2, "n_subsequences": 3, "max_length": 5,
+            "n_fsms": 1, "n_fsm_outputs": 2,
+        },
+    }))
+    db = tmp_path / "c.db"
+    rc = main(["campaign", "ingest", str(artifact), "--store", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 new run" in out or "runs" in out
+
+    rc = main(["campaign", "query", "--store", str(db), "--view", "table6"])
+    out = capsys.readouterr().out
+    assert rc == 0 and "s27" in out
+
+    rc = main(["campaign", "query", "--store", str(db), "--view",
+               "table6", "--json"])
+    rows = json.loads(capsys.readouterr().out)
+    assert rc == 0 and rows[0]["circuit"] == "s27"
+
+
+def test_campaign_query_summary_and_sql(tmp_path, capsys):
+    db = seed_store(tmp_path)
+    rc = main(["campaign", "query", "--store", str(db)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "table6_rows" in out
+
+    rc = main(["campaign", "query", "--store", str(db), "--sql",
+               "SELECT circuit FROM table6_rows", "--json"])
+    rows = json.loads(capsys.readouterr().out)
+    assert rc == 0 and rows == [{"circuit": "s27"}]
+
+
+def test_campaign_report_formats(tmp_path, capsys):
+    db = seed_store(tmp_path)
+    out_html = tmp_path / "dash.html"
+    rc = main(["campaign", "report", "--store", str(db),
+               "--format", "html", "--output", str(out_html)])
+    assert rc == 0
+    assert out_html.read_text().startswith("<!DOCTYPE html>")
+    assert "wrote" in capsys.readouterr().out
+
+    rc = main(["campaign", "report", "--store", str(db), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0 and payload["format"] == "campaign-store"
+
+    rc = main(["campaign", "report", "--store", str(db)])
+    assert rc == 0 and "s27" in capsys.readouterr().out
+
+
+def test_campaign_run_local_and_suggest(tmp_path, capsys):
+    db = tmp_path / "c.db"
+    rc = main([
+        "campaign", "run", "circuit=s27 l_g=64,128",
+        "--store", str(db), "--name", "smoke",
+        "--tgen-max-len", "200", "--compaction-sims", "4",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "2/2" in out
+
+    rc = main(["campaign", "suggest", "s27", "--store", str(db),
+               "--target-coverage", "0.5", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["circuit"] == "s27"
+    assert payload["recommendation"]
+
+
+def test_campaign_errors_are_one_line(tmp_path, capsys):
+    db = seed_store(tmp_path)
+    cases = [
+        ["campaign", "ingest", str(tmp_path / "missing.json"),
+         "--store", str(tmp_path / "x.db")],
+        ["campaign", "run", "circuit=s27 bogus_knob=1",
+         "--store", str(tmp_path / "x.db")],
+        ["campaign", "query", "--store", str(db), "--sql",
+         "DROP TABLE table6_rows"],
+        ["campaign", "suggest", "no-such-circuit", "--store", str(db)],
+    ]
+    for argv in cases:
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc == 1, argv
+        lines = [l for l in captured.err.splitlines() if l]
+        assert len(lines) == 1 and lines[0].startswith("repro: error:"), argv
+
+
+def test_campaign_without_subcommand_shows_help(capsys):
+    rc = main(["campaign"])
+    assert rc == 2

@@ -1,0 +1,110 @@
+"""Factorial design construction and the local campaign driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignStore,
+    FactorSpec,
+    GridSpec,
+    build_design,
+    parse_grid,
+    run_campaign,
+)
+from repro.errors import CampaignError
+
+
+def test_parse_grid_types_and_order():
+    grid = parse_grid("circuit=s27,g208 l_g=64,128 static_prune=on,off")
+    assert grid.size == 8
+    by_name = {f.name: f for f in grid.factors}
+    assert by_name["circuit"].levels == ("s27", "g208")
+    assert by_name["l_g"].levels == (64, 128)
+    assert by_name["static_prune"].levels == (True, False)
+
+
+def test_parse_grid_rejects_garbage():
+    with pytest.raises(CampaignError):
+        parse_grid("")
+    with pytest.raises(CampaignError):
+        parse_grid("l_g=64")  # no circuit factor
+    with pytest.raises(CampaignError):
+        parse_grid("circuit=s27 no_such_knob=1")
+    with pytest.raises(CampaignError):
+        parse_grid("circuit=s27 l_g=abc")
+    with pytest.raises(CampaignError):
+        parse_grid("circuit=s27 static_prune=maybe")
+    with pytest.raises(CampaignError):
+        parse_grid("circuit=s27 circuit=g208")
+    with pytest.raises(CampaignError):
+        parse_grid("circuit=s27 l_g=64,64")
+
+
+def test_factor_spec_validation():
+    with pytest.raises(CampaignError):
+        FactorSpec("unknown_factor", (1,))
+    with pytest.raises(CampaignError):
+        FactorSpec("l_g", ())
+    with pytest.raises(CampaignError):
+        GridSpec((FactorSpec("l_g", (64,)),))  # circuit missing
+
+
+def test_full_factorial_is_row_major_product():
+    grid = parse_grid("circuit=s27 l_g=64,128 seed=1,2")
+    design = build_design(grid)
+    assert [p.index for p in design] == [0, 1, 2, 3]
+    assert [(p.factors["l_g"], p.factors["seed"]) for p in design] == [
+        (64, 1), (64, 2), (128, 1), (128, 2),
+    ]
+
+
+def test_fractional_design_keeps_stable_indices():
+    grid = parse_grid("circuit=s27 l_g=64,128 seed=1,2")
+    half = build_design(grid, fraction=2)
+    full = {p.index: p.factors for p in build_design(grid)}
+    assert len(half) == 2
+    for point in half:
+        assert full[point.index] == point.factors
+    # Extreme fractions still keep the all-low-levels corner point.
+    (corner,) = build_design(grid, fraction=100)
+    assert corner.index == 0
+    with pytest.raises(CampaignError):
+        build_design(grid, fraction=0)
+
+
+def test_design_point_builds_job_spec_with_overrides():
+    grid = parse_grid("circuit=s27 l_g=64")
+    (point,) = build_design(grid)
+    spec = point.job_spec(tgen_max_len=256, compaction_sims=8)
+    assert spec.circuit == "s27" and spec.l_g == 64
+    assert spec.tgen_max_len == 256
+    # The factor beats the override on conflict.
+    spec2 = point.job_spec(l_g=4096)
+    assert spec2.l_g == 64
+    with pytest.raises(CampaignError):
+        point.job_spec(tgen_max_len=-5)
+
+
+def test_run_campaign_local_ingests_everything(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    grid = parse_grid("circuit=s27 l_g=64,128")
+    run = run_campaign(
+        store,
+        grid,
+        spec_overrides=dict(tgen_max_len=200, compaction_sims=4),
+    )
+    assert run.campaign == "campaign"
+    assert run.done == 2 and not run.failed
+    rows = store.query_table6(campaign="campaign")
+    assert len(rows) == 2
+    assert [row["point"] for row in rows] == [0, 1]
+    for row in rows:
+        assert row["coverage"] == pytest.approx(1.0)
+        assert row["l_g"] in (64, 128)
+    # Each point has phase timings and a done job record.
+    assert store.query_timings(phase="procedure")
+    jobs = store.query_jobs()
+    assert len(jobs) == 2 and all(j["state"] == "done" for j in jobs)
+    points = store.query_campaigns("campaign")
+    assert [p["factors"]["l_g"] for p in points] == [64, 128]

@@ -1,0 +1,191 @@
+"""Regression models over the warehouse: exact OLS, LOCO, suggest."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.campaign import CampaignStore, fit_models, suggest, tpg_area_estimate
+from repro.campaign.model import FEATURE_NAMES, _fit_one
+from repro.errors import CampaignError
+
+
+def synthetic_row(circuit, n_gates, n_ff, n_pi, l_g, tgen_max_len, coverage):
+    return {
+        "circuit": circuit,
+        "n_gates": n_gates,
+        "n_ff": n_ff,
+        "n_pi": n_pi,
+        "l_g": l_g,
+        "tgen_max_len": tgen_max_len,
+        "coverage": coverage,
+        "n_fsm_outputs": 2,
+        "max_length": 5,
+        "n_subsequences": 3,
+        "n_fsms": 1,
+    }
+
+
+def linear_cov(n_gates, l_g):
+    return 0.1 + 0.05 * math.log2(n_gates) + 0.02 * math.log2(l_g)
+
+
+def test_ols_recovers_exact_linear_relation():
+    rows = []
+    for i, (gates, l_g) in enumerate(
+        [(10, 64), (20, 64), (40, 128), (80, 256), (160, 512), (320, 1024)]
+    ):
+        rows.append(
+            synthetic_row(
+                f"c{i}", gates, 4 + i, 3 + i, l_g, 500 * (i + 1),
+                linear_cov(gates, l_g),
+            )
+        )
+    model = _fit_one(rows, "coverage")
+    coeff = dict(zip(model.features, model.coefficients))
+    assert coeff["intercept"] == pytest.approx(0.1, abs=1e-6)
+    assert coeff["log2_n_gates"] == pytest.approx(0.05, abs=1e-6)
+    assert coeff["log2_l_g"] == pytest.approx(0.02, abs=1e-6)
+    assert model.r2 == pytest.approx(1.0, abs=1e-9)
+    # Predictions reproduce the generating function.
+    pred = model.predict(
+        {"n_gates": 100, "n_ff": 5, "n_pi": 4, "l_g": 256, "tgen_max_len": 1000}
+    )
+    assert pred == pytest.approx(linear_cov(100, 256), abs=1e-6)
+
+
+def test_constant_columns_are_dropped_not_fatal():
+    # Every row shares tgen_max_len → that column is constant.
+    rows = [
+        synthetic_row(f"c{i}", 10 * (i + 1), 4, 3 + i, 64 * (i + 1), 2000,
+                      0.5 + 0.01 * i)
+        for i in range(6)
+    ]
+    model = _fit_one(rows, "coverage")
+    coeff = dict(zip(model.features, model.coefficients))
+    assert coeff["tgen_max_len" in model.features and "tgen_max_len" or
+                 "log2_tgen_max_len"] == 0.0
+    assert model.n_observations == 6
+
+
+def test_loco_residuals_need_two_circuits():
+    rows = [
+        synthetic_row("s27", 10, 3, 4, 64 * (i + 1), 500 * (i + 1), 0.9)
+        for i in range(6)
+    ]
+    model = _fit_one(rows, "coverage")
+    assert not model.loco_residuals
+    rows += [
+        synthetic_row("g208", 100, 8, 10, 64 * (i + 1), 500 * (i + 1), 0.8)
+        for i in range(6)
+    ]
+    model = _fit_one(rows, "coverage")
+    assert model.loco_residuals is not None
+    assert set(model.loco_residuals) == {"s27", "g208"}
+    for value in model.loco_residuals.values():
+        assert value >= 0.0
+
+
+def test_under_determined_fit_raises():
+    # Two observations but four varying columns: refuse to pretend.
+    rows = [
+        synthetic_row("s27", 10, 3, 4, 64, 500, 0.5),
+        synthetic_row("g208", 100, 8, 4, 128, 1000, 0.8),
+    ]
+    with pytest.raises(CampaignError, match="under-determined"):
+        _fit_one(rows, "coverage")
+    with pytest.raises(CampaignError):
+        _fit_one([], "coverage")
+
+
+def test_single_constant_row_fits_intercept_only():
+    model = _fit_one(
+        [synthetic_row("s27", 10, 3, 4, 64, 500, 0.5)], "coverage"
+    )
+    assert model.predict({"n_gates": 99, "n_ff": 9, "n_pi": 9,
+                          "l_g": 2048, "tgen_max_len": 8000}
+                         ) == pytest.approx(0.5)
+
+
+def test_feature_names_are_stable():
+    assert FEATURE_NAMES[0] == "intercept"
+    assert "log2_l_g" in FEATURE_NAMES
+    assert "log2_tgen_max_len" in FEATURE_NAMES
+
+
+def test_tpg_area_estimate_matches_hardware_cost_model():
+    row = {
+        "n_fsm_outputs": 4,
+        "n_pi": 4,
+        "max_length": 7,
+        "n_subsequences": 3,
+        "n_fsms": 2,
+    }
+    # literals = 4*4 + 2*4 = 24 → 12 gates; flops = ceil(log2(8)) +
+    # ceil(log2(4)) + 2 = 3 + 2 + 2 = 7 → 42.
+    assert tpg_area_estimate(row) == pytest.approx(12 + 42)
+
+
+def fitted_store(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    for circuit, det in (("s27", 32), ("g208", 80)):
+        for i, l_g in enumerate((64, 128, 256)):
+            store.ingest_flow_payload(
+                {
+                    "circuit": circuit,
+                    "table6": {
+                        "circuit": circuit,
+                        "given_len": 10,
+                        "given_det": det - i,
+                        "n_sequences": 2,
+                        "n_subsequences": 3,
+                        "max_length": 5,
+                        "n_fsms": 1,
+                        "n_fsm_outputs": 2,
+                    },
+                },
+                config={"l_g": l_g, "tgen_max_len": 500 * (i + 1)},
+            )
+    return store
+
+
+def test_fit_models_from_store_and_suggest(tmp_path):
+    store = fitted_store(tmp_path)
+    models = fit_models(store)
+    assert set(models) == {"coverage", "tpg_gate_equivalents"}
+    assert models["coverage"].n_observations == 6
+
+    result = suggest(store, "s27", target_coverage=0.5)
+    assert result["circuit"] == "s27"
+    assert result["recommendation"] is not None
+    assert result["candidates"]
+    rec = result["recommendation"]
+    assert rec["l_g"] in (64, 128, 256, 512, 1024, 2048)
+
+    # An impossible target falls back to the best-coverage candidate.
+    hard = suggest(store, "s27", target_coverage=1.0)
+    assert hard["recommendation"] is not None
+
+    with pytest.raises(CampaignError):
+        suggest(store, "s27", target_coverage=0.0)
+    with pytest.raises(CampaignError):
+        suggest(store, "not-a-circuit")
+
+
+def test_fit_models_empty_store_raises(tmp_path):
+    store = CampaignStore(tmp_path / "empty.db")
+    with pytest.raises(CampaignError):
+        fit_models(store)
+
+
+def test_model_to_dict_is_rounded_and_stable():
+    rows = [
+        synthetic_row(f"c{i}", 10 * (i + 1), 4 + i, 3, 64 * (i + 1),
+                      500 * (i + 1), 0.5 + 0.01 * i)
+        for i in range(6)
+    ]
+    model = _fit_one(rows, "coverage")
+    payload = model.to_dict()
+    assert payload["target"] == "coverage"
+    assert payload == _fit_one(rows, "coverage").to_dict()

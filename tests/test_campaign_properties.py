@@ -1,0 +1,91 @@
+"""Hypothesis properties of the campaign store.
+
+Three invariants the warehouse promises:
+
+* ingest is idempotent — re-ingesting any artifact changes nothing,
+* a checkpoint journal and direct payload ingest produce the same
+  store contents,
+* the final store is independent of ingest order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import CampaignStore
+
+CIRCUITS = st.sampled_from(["s27", "g208", "s208", "x1"])
+
+table6_rows = st.fixed_dictionaries({
+    "circuit": CIRCUITS,
+    "given_len": st.integers(1, 500),
+    "given_det": st.integers(0, 200),
+    "n_sequences": st.integers(1, 20),
+    "n_subsequences": st.integers(1, 40),
+    "max_length": st.integers(1, 100),
+    "n_fsms": st.integers(1, 10),
+    "n_fsm_outputs": st.integers(1, 20),
+})
+
+configs = st.fixed_dictionaries({
+    "seed": st.integers(0, 5),
+    "l_g": st.sampled_from([64, 128, 256]),
+    "tgen_max_len": st.sampled_from([500, 1000]),
+})
+
+flow_payloads = st.builds(
+    lambda row: {"circuit": row["circuit"], "table6": row}, table6_rows
+)
+
+flow_items = st.tuples(flow_payloads, configs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(items=st.lists(flow_items, min_size=1, max_size=6))
+def test_ingest_twice_equals_ingest_once(tmp_path_factory, items):
+    base = tmp_path_factory.mktemp("prop")
+    store = CampaignStore(base / "c.db")
+    for payload, config in items:
+        store.ingest_flow_payload(payload, config=config)
+    snapshot = store.dump()
+    for payload, config in items:
+        report = store.ingest_flow_payload(payload, config=config)
+        assert report.runs_new == 0
+        assert report.table6_rows == 0
+    assert store.dump() == snapshot
+
+
+@settings(max_examples=25, deadline=None)
+@given(items=st.lists(flow_items, min_size=1, max_size=6))
+def test_ingest_order_never_changes_the_store(tmp_path_factory, items):
+    base = tmp_path_factory.mktemp("prop")
+    forward = CampaignStore(base / "fwd.db")
+    backward = CampaignStore(base / "bwd.db")
+    for payload, config in items:
+        forward.ingest_flow_payload(payload, config=config)
+    for payload, config in reversed(items):
+        backward.ingest_flow_payload(payload, config=config)
+    assert forward.dump() == backward.dump()
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.lists(table6_rows, min_size=1, max_size=5, unique_by=repr))
+def test_journal_and_direct_ingest_agree(tmp_path_factory, rows):
+    base = tmp_path_factory.mktemp("prop")
+    journal_path = base / "journal.json"
+    entries = {}
+    direct = CampaignStore(base / "direct.db")
+    for i, row in enumerate(rows):
+        key = f"flow:{row['circuit']}:fp{i}"
+        entries[key] = {"kind": "flow", "table6": row}
+        direct.ingest_flow_payload(
+            {"circuit": row["circuit"], "table6": dict(row)},
+            source=f"{journal_path}:{key}",
+            config={"config_fp": f"fp{i}"},
+        )
+    journal_path.write_text(json.dumps({"format": 1, "entries": entries}))
+    via_journal = CampaignStore(base / "journal.db")
+    via_journal.ingest_path(journal_path)
+    assert via_journal.dump() == direct.dump()

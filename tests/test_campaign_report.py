@@ -1,0 +1,126 @@
+"""Dashboard determinism: byte-identical renders, well-formed SVG."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+
+from repro.campaign import (
+    CampaignStore,
+    payload_fingerprint,
+    render_dashboard,
+    render_json,
+    render_text,
+)
+
+
+def populate(store, order=1):
+    payloads = []
+    for circuit, det in (("s27", 30), ("g208", 70)):
+        for l_g in (64, 128):
+            payloads.append(
+                (
+                    {
+                        "circuit": circuit,
+                        "table6": {
+                            "circuit": circuit,
+                            "given_len": 10,
+                            "given_det": det,
+                            "n_sequences": 2,
+                            "n_subsequences": 3,
+                            "max_length": 5,
+                            "n_fsms": 1,
+                            "n_fsm_outputs": 2,
+                        },
+                    },
+                    {"l_g": l_g, "tgen_max_len": 1000},
+                )
+            )
+    front = {
+        "kind": "optimize-front",
+        "circuit": "s27",
+        "front": [
+            {"coverage": 0.9, "area": 50.0, "length": 128, "detected": 29},
+            {"coverage": 1.0, "area": 80.0, "length": 256, "detected": 32},
+        ],
+    }
+    items = payloads[::order]
+    for payload, config in items:
+        store.ingest_flow_payload(payload, config=config, timings={
+            "procedure": 0.5, "compaction": 0.25,
+        })
+    store.ingest_optimize_payload(front)
+    for point, (payload, config) in enumerate(payloads):
+        fingerprint = payload_fingerprint(
+            {"kind": "flow", "payload": payload,
+             **{k: config.get(k) for k in config}}
+        )
+        store.record_campaign_point(
+            "grid", point, config, job_key=f"j{point}"
+        )
+    return store
+
+
+def test_dashboard_bytes_identical_across_runs_and_orders(tmp_path):
+    store_a = populate(CampaignStore(tmp_path / "a.db"), order=1)
+    store_b = populate(CampaignStore(tmp_path / "b.db"), order=-1)
+    html_a1 = render_dashboard(store_a)
+    html_a2 = render_dashboard(store_a)
+    html_b = render_dashboard(store_b)
+    assert html_a1 == html_a2 == html_b
+    assert render_json(store_a) == render_json(store_b)
+    assert render_text(store_a) == render_text(store_b)
+
+
+def test_dashboard_is_self_contained_html(tmp_path):
+    html = render_dashboard(populate(CampaignStore(tmp_path / "c.db")))
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.endswith("\n")
+    # Zero external assets: no links, scripts, or remote references.
+    # (The SVG xmlns namespace URI is an identifier, never fetched.)
+    stripped = html.replace('xmlns="http://www.w3.org/2000/svg"', "")
+    for needle in ("<script", "http://", "https://", "<link", "@import"):
+        assert needle not in stripped, needle
+    assert "<svg" in html
+
+
+def test_dashboard_svgs_are_well_formed_xml(tmp_path):
+    html = render_dashboard(populate(CampaignStore(tmp_path / "c.db")))
+    svgs = []
+    start = 0
+    while True:
+        lo = html.find("<svg", start)
+        if lo < 0:
+            break
+        hi = html.index("</svg>", lo) + len("</svg>")
+        svgs.append(html[lo:hi])
+        start = hi
+    assert len(svgs) >= 3  # coverage bars, fronts, timings, heatmap
+    for svg in svgs:
+        ET.fromstring(svg)
+
+
+def test_render_json_payload_shape(tmp_path):
+    payload = json.loads(render_json(populate(CampaignStore(tmp_path / "c.db"))))
+    assert payload["format"] == "campaign-store"
+    assert payload["schema_version"] == 1
+    assert payload["summary"]["table6_rows"] == 4
+    assert len(payload["table6"]) == 4
+    assert payload["fronts"]
+    assert payload["campaigns"]
+
+
+def test_render_text_mentions_rows_and_campaigns(tmp_path):
+    text = render_text(populate(CampaignStore(tmp_path / "c.db")))
+    assert "s27" in text and "g208" in text
+    assert "grid" in text
+    assert text.endswith("\n")
+
+
+def test_empty_store_renders_without_crashing(tmp_path):
+    store = CampaignStore(tmp_path / "empty.db")
+    html = render_dashboard(store)
+    assert "<!DOCTYPE html>" in html
+    assert render_dashboard(store) == html
+    json.loads(render_json(store))
+    assert render_text(store)

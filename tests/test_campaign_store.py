@@ -1,0 +1,278 @@
+"""The campaign warehouse: schema, idempotent ingest, projections."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.campaign import CampaignStore, payload_fingerprint
+from repro.errors import CampaignError
+from repro.trace.export import export_trace
+from repro.trace.span import Tracer
+
+
+def flow_payload(circuit="s27", given_det=30, **table6):
+    row = {
+        "circuit": circuit,
+        "given_len": 10,
+        "given_det": given_det,
+        "n_sequences": 2,
+        "n_subsequences": 3,
+        "max_length": 5,
+        "n_fsms": 1,
+        "n_fsm_outputs": 2,
+    }
+    row.update(table6)
+    return {"circuit": circuit, "table6": row}
+
+
+def job_record(key="k1", version=1, state="done", **stats):
+    return {
+        "kind": "job",
+        "key": key,
+        "spec": {"circuit": "s27", "task": "flow"},
+        "seq": 0,
+        "state": state,
+        "error": None,
+        "attempts": 1,
+        "stats": dict(stats),
+        "owner": None,
+        "version": version,
+        "lease_token": None,
+    }
+
+
+def test_ingest_flow_payload_is_idempotent(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    first = store.ingest_flow_payload(flow_payload(), config={"l_g": 64})
+    again = store.ingest_flow_payload(flow_payload(), config={"l_g": 64})
+    assert first.runs_new == 1 and first.table6_rows == 1
+    assert again.runs_new == 0 and again.runs_dup == 1
+    assert again.table6_rows == 0
+    assert store.summary()["table6_rows"] == 1
+
+
+def test_same_payload_different_config_is_a_different_run(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_flow_payload(flow_payload(), config={"l_g": 64})
+    store.ingest_flow_payload(flow_payload(), config={"l_g": 128})
+    rows = store.query_table6()
+    assert len(rows) == 2
+    assert sorted(row["l_g"] for row in rows) == [64, 128]
+
+
+def test_coverage_joined_from_library_circuit_stats(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_flow_payload(flow_payload(given_det=16))
+    (row,) = store.query_table6()
+    # s27 has 32 collapsed faults; ensure_circuit learned that.
+    assert row["n_faults"] == 32
+    assert row["coverage"] == pytest.approx(0.5)
+    (circuit,) = store.query_circuits()
+    assert circuit["name"] == "s27" and circuit["n_pi"] == 4
+
+
+def test_unknown_circuit_coverage_is_null_not_fatal(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_flow_payload(flow_payload(circuit="not-in-library"))
+    (row,) = store.query_table6()
+    assert row["coverage"] is None
+
+
+def test_malformed_flow_payload_raises(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    with pytest.raises(CampaignError):
+        store.ingest_flow_payload({"circuit": "s27"})
+    with pytest.raises(CampaignError):
+        store.ingest_flow_payload(
+            {"circuit": "s27", "table6": {"given_len": "many"}}
+        )
+
+
+def test_job_record_upsert_freshest_version_wins(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_job_record(job_record(version=3, state="done"))
+    store.ingest_job_record(job_record(version=1, state="running"))
+    (job,) = store.query_jobs()
+    assert job["version"] == 3 and job["state"] == "done"
+    store.ingest_job_record(job_record(version=5, state="failed"))
+    (job,) = store.query_jobs()
+    assert job["version"] == 5 and job["state"] == "failed"
+
+
+def test_job_phase_stats_become_timings(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    record = job_record(**{"phase:procedure": 1.25, "full_simulations": 9})
+    store.ingest_job_record(record)
+    rows = store.query_timings(phase="procedure")
+    assert len(rows) == 1 and rows[0]["seconds"] == pytest.approx(1.25)
+    # Non-phase stats never leak into the timings table.
+    assert not store.query_timings(phase="full_simulations")
+
+
+def test_journal_ingest_flow_and_job_entries(tmp_path):
+    journal = {
+        "format": 1,
+        "entries": {
+            "flow:s27:abc123": {
+                "kind": "flow",
+                "table6": flow_payload()["table6"],
+                "timings": {"procedure": 0.5},
+            },
+            "job-entry": job_record(key="k9"),
+            "mystery": {"kind": "other"},
+        },
+    }
+    path = tmp_path / "journal.json"
+    path.write_text(json.dumps(journal))
+    store = CampaignStore(tmp_path / "c.db")
+    report = store.ingest_path(path)
+    assert report.table6_rows == 1
+    assert report.jobs == 1
+    assert len(report.skipped) == 1
+    (row,) = store.query_table6()
+    assert row["config_fp"] == "abc123"
+    # Re-ingesting the same journal is a no-op.
+    again = store.ingest_path(path)
+    assert again.runs_new == 0 and again.jobs == 0
+
+
+def test_optimize_payload_projects_front_points(tmp_path):
+    payload = {
+        "kind": "optimize-front",
+        "circuit": "s27",
+        "front": [
+            {"coverage": 0.9, "area": 50.0, "length": 128, "detected": 29},
+            {"coverage": 1.0, "area": 80.0, "length": 256, "detected": 32},
+        ],
+    }
+    store = CampaignStore(tmp_path / "c.db")
+    report = store.ingest_optimize_payload(payload)
+    assert report.front_points == 2
+    points = store.query_fronts(circuit="s27")
+    assert [p["idx"] for p in points] == [0, 1]
+    assert points[1]["area"] == pytest.approx(80.0)
+
+
+def test_trace_ingest_projects_phase_durations(tmp_path):
+    tracer = Tracer()
+    with tracer.span("full_flow"):
+        with tracer.span("procedure"):
+            pass
+    root = tracer.finish()
+    path = tmp_path / "trace.json"
+    export_trace(root, tracer.events, path)
+    store = CampaignStore(tmp_path / "c.db")
+    report = store.ingest_path(path)
+    assert report.runs_new == 1
+    phases = {row["phase"] for row in store.query_timings()}
+    assert "procedure" in phases
+
+
+def test_benchmark_ingest_legacy_and_enveloped(tmp_path):
+    legacy = {"name": "old_bench", "rows": ["a"], "wall_time_s": 1.5}
+    enveloped = {
+        "schema_version": 2,
+        "host_cpus": 8,
+        "git_describe": "abc1234",
+        "circuits": {"s27": {"n_pi": 4, "n_po": 1, "n_ff": 3,
+                             "n_gates": 10, "n_nets": 17, "depth": 4}},
+        "payload": {
+            "name": "new_bench",
+            "rows": [],
+            "wall_time_s": 2.0,
+            "phases": {"procedure": 0.75},
+        },
+    }
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_benchmark(legacy)
+    store.ingest_benchmark(enveloped)
+    rows = store.query_benchmarks()
+    assert [row["name"] for row in rows] == ["new_bench", "old_bench"]
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["old_bench"]["schema_version"] == 0
+    assert by_name["new_bench"]["schema_version"] == 2
+    assert by_name["new_bench"]["host_cpus"] == 8
+    assert by_name["new_bench"]["git_describe"] == "abc1234"
+    assert store.query_timings(phase="procedure")
+    assert any(c["name"] == "s27" for c in store.query_circuits())
+
+
+def test_benchmark_table6_rows_projected(tmp_path):
+    artifact = {
+        "schema_version": 2,
+        "host_cpus": 1,
+        "git_describe": "",
+        "payload": {
+            "name": "table6",
+            "rows": [flow_payload()["table6"]],
+            "wall_time_s": 0.1,
+        },
+    }
+    store = CampaignStore(tmp_path / "c.db")
+    report = store.ingest_benchmark(artifact)
+    assert report.table6_rows == 1
+    (row,) = store.query_table6()
+    assert row["circuit"] == "s27" and row["l_g"] is None
+
+
+def test_ingest_path_dispatch_and_unknown_shape(tmp_path):
+    known = tmp_path / "flow.json"
+    known.write_text(json.dumps(flow_payload()))
+    weird = tmp_path / "weird.json"
+    weird.write_text(json.dumps({"zzz": 1}))
+    store = CampaignStore(tmp_path / "c.db")
+    report = store.ingest_path(tmp_path)
+    assert report.table6_rows == 1
+    assert report.skipped == [str(weird)]
+
+
+def test_sql_is_select_only(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_flow_payload(flow_payload())
+    rows = store.sql("SELECT circuit FROM table6_rows")
+    assert rows == [{"circuit": "s27"}]
+    with pytest.raises(CampaignError):
+        store.sql("DELETE FROM table6_rows")
+    with pytest.raises(CampaignError):
+        store.sql("SELECT * FROM no_such_table")
+
+
+def test_newer_schema_version_rejected(tmp_path):
+    path = tmp_path / "future.db"
+    conn = sqlite3.connect(str(path))
+    conn.execute("PRAGMA user_version = 99")
+    conn.commit()
+    conn.close()
+    with pytest.raises(CampaignError, match="schema v99"):
+        CampaignStore(path)
+
+
+def test_campaign_point_binding_and_query(tmp_path):
+    store = CampaignStore(tmp_path / "c.db")
+    store.ingest_flow_payload(flow_payload())
+    fingerprint = payload_fingerprint(
+        {"kind": "flow", "payload": flow_payload()}
+    )
+    store.record_campaign_point(
+        "exp1", 0, {"l_g": 64}, job_key="j1", fingerprint=fingerprint
+    )
+    (point,) = store.query_campaigns("exp1")
+    assert point["factors"] == {"l_g": 64}
+    rows = store.query_table6(campaign="exp1")
+    assert len(rows) == 1 and rows[0]["point"] == 0
+    with pytest.raises(CampaignError):
+        store.record_campaign_point("", 0, {})
+
+
+def test_dump_is_ingest_order_independent(tmp_path):
+    payloads = [flow_payload(given_det=d) for d in (10, 20, 30)]
+    store_a = CampaignStore(tmp_path / "a.db")
+    store_b = CampaignStore(tmp_path / "b.db")
+    for payload in payloads:
+        store_a.ingest_flow_payload(payload)
+    for payload in reversed(payloads):
+        store_b.ingest_flow_payload(payload)
+    assert store_a.dump() == store_b.dump()
